@@ -1,0 +1,28 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables/figures
+at a reduced, seeded scale and both (a) times the regeneration under
+pytest-benchmark and (b) asserts the paper's qualitative *shape* claims on
+the produced numbers.  Set ``REPRO_SCALE=quick`` (or ``full``) to grow the
+sample budget; see ``python -m repro.experiments`` for standalone,
+paper-scale regeneration.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "smoke")
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Fault-injection campaigns are far too slow for pytest-benchmark's default
+    calibration loop; a single timed round per figure cell is the honest
+    measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,107 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Mask-aware lane gating** (§II-D: "crucial in deciding whether or not
+   to target a particular vector lane") — compare the dynamic-site
+   population and the benign rate with and without respecting execution
+   masks.  A mask-unaware injector counts dead lanes as fault sites and
+   dilutes SDC rates with injections into values that are masked out.
+
+2. **Exit-only invariant checking** (§III-A: "to minimize overheads, we
+   check them only upon exit") — compare the detector's dynamic-instruction
+   overhead when checking per iteration instead.
+"""
+
+import numpy as np
+import pytest
+from random import Random
+
+from conftest import one_shot
+from repro.core import FaultInjector
+from repro.detectors import DetectorRuntime, insert_foreach_detectors
+from repro.frontend.codegen import generate_module
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+from repro.frontend.target import AVX
+from repro.passes import optimize
+from repro.vm import Interpreter
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("respect_masks", [True, False], ids=["mask-aware", "mask-unaware"])
+def test_ablation_mask_awareness(benchmark, respect_masks):
+    workload = get_workload("vcopy")
+    module = workload.compile("avx")
+    injector = FaultInjector(module, category="pure-data", respect_masks=respect_masks)
+    rng = Random(1)
+
+    def campaign():
+        outcomes = {"sdc": 0, "benign": 0, "crash": 0}
+        sites = 0
+        for i in range(30):
+            runner = workload.make_runner(workload.sample_input(rng))
+            r = injector.experiment(runner, rng)
+            outcomes[r.outcome.value] += 1
+            sites = r.dynamic_sites
+        return outcomes, sites
+
+    outcomes, dynamic_sites = one_shot(benchmark, campaign)
+    benchmark.extra_info["outcomes"] = outcomes
+    benchmark.extra_info["dynamic_sites"] = dynamic_sites
+
+
+def test_ablation_mask_awareness_shape():
+    """Mask-unaware injection sees strictly more dynamic sites (dead lanes)."""
+    workload = get_workload("vcopy")
+    module = workload.compile("avx")
+    runner = workload.reference_runner(0)
+    aware = FaultInjector(module, category="all", respect_masks=True)
+    unaware = FaultInjector(module, category="all", respect_masks=False)
+    assert (
+        unaware.golden(runner).dynamic_sites > aware.golden(runner).dynamic_sites
+    )
+
+
+@pytest.mark.parametrize("every_iteration", [False, True], ids=["exit-only", "per-iteration"])
+def test_ablation_detector_placement(benchmark, every_iteration):
+    src = get_workload("dot_product").source
+    program = analyze(parse_source(src))
+    module = generate_module(program, AVX)
+    insert_foreach_detectors(module, every_iteration=every_iteration)
+    optimize(module)
+    plain = get_workload("dot_product").compile("avx")
+    runner = get_workload("dot_product").reference_runner(0)
+
+    def measure():
+        vm0 = Interpreter(plain)
+        runner(vm0)
+        vm1 = Interpreter(module)
+        vm1.bind_all(DetectorRuntime().bindings())
+        runner(vm1)
+        return vm1.stats.total / vm0.stats.total - 1.0
+
+    overhead = one_shot(benchmark, measure)
+    benchmark.extra_info["overhead"] = f"{100 * overhead:.2f}%"
+    if every_iteration:
+        assert overhead > 0.0
+    else:
+        assert overhead < 0.10  # exit-only stays in the paper's ~8% regime
+
+
+def test_ablation_detector_placement_shape():
+    """Per-iteration checking must cost measurably more than exit-only."""
+    src = get_workload("vector_sum").source
+    overheads = {}
+    plain = get_workload("vector_sum").compile("avx")
+    runner = get_workload("vector_sum").reference_runner(0)
+    vm0 = Interpreter(plain)
+    runner(vm0)
+    base = vm0.stats.total
+    for every in (False, True):
+        module = generate_module(analyze(parse_source(src)), AVX)
+        insert_foreach_detectors(module, every_iteration=every)
+        optimize(module)
+        vm = Interpreter(module)
+        vm.bind_all(DetectorRuntime().bindings())
+        runner(vm)
+        overheads[every] = vm.stats.total / base - 1.0
+    assert overheads[True] > overheads[False]

@@ -1,0 +1,81 @@
+"""Fig. 11 regeneration: SDC/Benign/Crash per benchmark x category x ISA.
+
+Each bench runs the three site-category campaign cells for one benchmark on
+one ISA (reduced, seeded sample budget; the paper's full protocol is
+``python -m repro.experiments fig11 --scale full``) and asserts the
+qualitative outcome structure the paper reports.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro.core.campaign import CampaignConfig
+from repro.experiments.fig11 import run_cell
+from repro.workloads import benchmark_workloads
+
+_WORKLOADS = benchmark_workloads()
+
+#: Per-cell budget for the bench harness (paper: 100 x 20 per cell).
+_BENCH_CONFIG = CampaignConfig(
+    experiments_per_campaign=5, max_campaigns=1, min_campaigns=1
+)
+_CATEGORIES = ("pure-data", "control", "address")
+
+
+@pytest.mark.parametrize("target", ["avx", "sse"])
+@pytest.mark.parametrize("workload", _WORKLOADS, ids=[w.name for w in _WORKLOADS])
+def test_fault_injection_campaign(benchmark, workload, target):
+    def cells():
+        return {
+            cat: run_cell(workload, target, cat, _BENCH_CONFIG)
+            for cat in _CATEGORIES
+        }
+
+    results = one_shot(benchmark, cells)
+    for cat, cell in results.items():
+        assert cell["experiments"] == 5
+        total = cell["sdc"] + cell["benign"] + cell["crash"]
+        assert abs(total - 1.0) < 1e-9
+        benchmark.extra_info[cat] = (
+            f"sdc={cell['sdc']:.2f} benign={cell['benign']:.2f} "
+            f"crash={cell['crash']:.2f}"
+        )
+
+
+def test_fig11_shape_claims(scale):
+    """Aggregate shape of the paper's headline figure, on a seeded subset:
+
+    * the address category produces the most crashes;
+    * swaptions and CG are among the more resilient benchmarks (low SDC);
+    * stencil/blackscholes SDC is above the swaptions/CG level.
+    """
+    import numpy as np
+
+    from repro.experiments import fig11
+    from repro.experiments.common import SCALES
+
+    config = SCALES[scale]
+    subset = ["swaptions", "blackscholes", "stencil", "cg"]
+    rows = []
+    for name in subset:
+        w = next(x for x in _WORKLOADS if x.name == name)
+        for cat in _CATEGORIES:
+            rows.append(run_cell(w, "avx", cat, config))
+
+    def mean(metric, *, category=None, benchmark_=None):
+        sel = [
+            r[metric]
+            for r in rows
+            if (category is None or r["category"] == category)
+            and (benchmark_ is None or r["benchmark"] == benchmark_)
+        ]
+        return float(np.mean(sel))
+
+    assert mean("crash", category="address") >= mean("crash", category="pure-data")
+    assert mean("crash", category="address") >= mean("crash", category="control")
+
+    resilient = (mean("sdc", benchmark_="swaptions") + mean("sdc", benchmark_="cg")) / 2
+    fragile = (
+        mean("sdc", benchmark_="stencil") + mean("sdc", benchmark_="blackscholes")
+    ) / 2
+    assert fragile >= resilient

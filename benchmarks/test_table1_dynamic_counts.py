@@ -1,0 +1,51 @@
+"""Table I regeneration: average dynamic instruction counts per benchmark.
+
+Each bench times one golden (fault-free) execution of a benchmark kernel on
+one ISA and records the dynamic instruction count and vector fraction as
+extra_info — the two quantities Table I and Fig. 10's denominators rest on.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.table1 import PAPER_COUNTS_MILLIONS
+from repro.vm import Interpreter
+from repro.workloads import benchmark_workloads
+
+_WORKLOADS = benchmark_workloads()
+
+
+@pytest.mark.parametrize("target", ["avx", "sse"])
+@pytest.mark.parametrize("workload", _WORKLOADS, ids=[w.name for w in _WORKLOADS])
+def test_golden_run_dynamic_count(benchmark, workload, target):
+    module = workload.compile(target)
+    runner = workload.reference_runner(seed=0)
+
+    def golden():
+        vm = Interpreter(module)
+        runner(vm)
+        return vm.stats
+
+    stats = one_shot(benchmark, golden)
+    assert stats.total > 0
+    assert stats.vector > 0, "Table I benchmarks are vector programs"
+    benchmark.extra_info["dynamic_instructions"] = stats.total
+    benchmark.extra_info["vector_fraction"] = round(stats.vector / stats.total, 4)
+    benchmark.extra_info["paper_millions"] = PAPER_COUNTS_MILLIONS[
+        (workload.name, target)
+    ]
+
+
+def test_table1_report_shape(scale):
+    """The full Table-I driver produces one row per benchmark x ISA."""
+    from repro.experiments import table1
+
+    report = table1.run(scale)
+    assert len(report.rows) == 18
+    by_name = {}
+    for r in report.rows:
+        by_name.setdefault(r["benchmark"], {})[r["target"]] = r
+    # Shape: fluidanimate is the most expensive benchmark in the paper and
+    # remains the most expensive here (all-pairs SPH dominates).
+    avg = lambda n: sum(by_name[n][t]["avg_dynamic_instructions"] for t in ("avx", "sse"))
+    assert avg("fluidanimate") == max(avg(n) for n in by_name)

@@ -1,0 +1,65 @@
+"""Bring your own kernel: write MiniISPC, compare AVX vs SSE lowering, and
+study its fault-site population.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.analysis import instruction_mix, pct, render_table
+from repro.core import enumerate_module_sites, filter_sites
+from repro.frontend import compile_source
+from repro.ir import format_module
+from repro.ir.types import F32, I32
+from repro.vm import Interpreter
+
+# A saxpy with a varying branch: y[i] = clamp(a*x[i] + y[i]) to [0, 10].
+SOURCE = """
+export void saxpy_clamped(uniform float x[], uniform float y[],
+                          uniform float a, uniform int n) {
+    foreach (i = 0 ... n) {
+        float v = a * x[i] + y[i];
+        if (v < 0.0) { v = 0.0; }
+        if (v > 10.0) { v = 10.0; }
+        y[i] = v;
+    }
+}
+"""
+
+N = 23
+rng = np.random.default_rng(0)
+x = rng.uniform(-5, 5, N).astype(np.float32)
+y = rng.uniform(-5, 5, N).astype(np.float32)
+
+for target in ("avx", "sse", "avx512"):
+    module = compile_source(SOURCE, target, name=f"saxpy-{target}")
+
+    vm = Interpreter(module)
+    px = vm.memory.store_array(F32, x, "x")
+    py = vm.memory.store_array(F32, y, "y")
+    vm.run("saxpy_clamped", [px, py, 2.0, N])
+    out = vm.memory.load_array(F32, py, N)
+    ref = np.clip(np.float32(2.0) * x + y, 0.0, 10.0)
+    assert np.allclose(out, ref), "kernel disagrees with numpy"
+
+    sites = enumerate_module_sites(module)
+    vec_share = vm.stats.vector / vm.stats.total
+    print(
+        f"{target.upper()}: {vm.stats.total} dynamic instructions "
+        f"({pct(vec_share)} vector), {len(sites)} static fault sites "
+        f"[pure-data {len(filter_sites(sites, 'pure-data'))}, "
+        f"control {len(filter_sites(sites, 'control'))}, "
+        f"address {len(filter_sites(sites, 'address'))}]"
+    )
+
+# Show the whole AVX module once (SSE/AVX-512 differ in lane count and in
+# using generic llvm.masked.* intrinsics instead of the x86 AVX ones).
+print("\n=== AVX IR ===")
+print(format_module(compile_source(SOURCE, "avx", name="saxpy")))
+
+rows = []
+mix = instruction_mix(compile_source(SOURCE, "avx", name="saxpy2"))
+for category, entry in mix.items():
+    rows.append([category, entry.scalar, entry.vector, pct(entry.vector_fraction)])
+print(render_table(["category", "scalar", "vector", "vector %"], rows,
+                   title="Instruction mix by fault-site category (Fig. 10 style)"))

@@ -1,0 +1,71 @@
+"""Compiler-invariant error detectors (paper §III) in action.
+
+Compiles the dot-product micro-benchmark with the foreach invariant detector
+inserted (Fig. 7's ``foreach_fullbody_check_invariants`` block), then shows:
+
+1. the detector block in the IR,
+2. that golden runs never fire it,
+3. a per-category injection study — pure-data faults are *never* detected,
+   control faults are (the Fig. 12 result).
+
+Run:  python examples/detector_demo.py
+"""
+
+from random import Random
+
+from repro.analysis import pct, render_table
+from repro.core import CampaignStats, FaultInjector
+from repro.detectors import detector_bindings_factory
+from repro.ir import format_function
+from repro.vm import Interpreter
+from repro.workloads import get_workload
+
+workload = get_workload("dot_product")
+
+# -- 1. The detector block in the generated code ----------------------------
+module = workload.compile("avx", foreach_detectors=True)
+fn = module.get_function("dot_ispc")
+print("=== dot product with the invariant detector block ===")
+print(format_function(fn))
+
+# -- 2. Golden runs are silent ----------------------------------------------
+factory = detector_bindings_factory()
+vm = Interpreter(module)
+bindings, fired = factory()
+vm.bind_all(bindings)
+workload.reference_runner(0)(vm)
+print(f"\ngolden run: detector fired = {fired()}  (must be False)")
+
+# -- 3. Injection study per site category ------------------------------------
+print("\nrunning 3 x 120 fault-injection experiments...")
+rows = []
+for category in ("pure-data", "control", "address"):
+    injector = FaultInjector(module, category=category)
+    stats = CampaignStats()
+    rng = Random(7)
+    for _ in range(120):
+        runner = workload.make_runner(workload.sample_input(rng))
+        stats.add(injector.experiment(runner, rng, bindings_factory=factory))
+    rows.append(
+        [
+            category,
+            stats.total,
+            pct(stats.rate("sdc")),
+            pct(stats.rate("crash")),
+            pct(stats.sdc_detection_rate),
+        ]
+    )
+
+print(
+    render_table(
+        ["category", "n", "SDC", "crash", "SDC detection rate"],
+        rows,
+        title="Fig. 12 (reduced): foreach-invariant detector on dot product",
+    )
+)
+print(
+    "\nThe invariants reference only the loop iterator; an iterator fault is\n"
+    "by construction a control and/or address site (paper Fig. 2), so the\n"
+    "pure-data detection rate is exactly zero while control faults are the\n"
+    "most detectable."
+)

@@ -1,0 +1,71 @@
+"""Multi-dimensional foreach (paper footnote 4): a 2D image box blur.
+
+The inner dimension vectorizes across lanes; the outer row dimension lowers
+to a uniform loop, so `img[r*cols + i]` stays a unit-stride vector access.
+Also runs a small per-category fault-injection probe on the 2D kernel.
+
+Run:  python examples/image_blur_2d.py
+"""
+
+from random import Random
+
+import numpy as np
+
+from repro.analysis import pct, render_table
+from repro.core import FaultInjector
+from repro.frontend import compile_source
+from repro.ir.types import F32
+from repro.vm import Interpreter
+
+SOURCE = """
+export void blur_ispc(uniform float src[], uniform float dst[],
+                      uniform int rows, uniform int cols) {
+    foreach (r = 1 ... rows - 1, i = 1 ... cols - 1) {
+        dst[r*cols + i] = (src[r*cols + i]
+                        + src[r*cols + i - 1] + src[r*cols + i + 1]
+                        + src[(r-1)*cols + i] + src[(r+1)*cols + i]) / 5.0;
+    }
+}
+"""
+
+ROWS, COLS = 9, 21
+rng = np.random.default_rng(0)
+image = rng.uniform(0, 1, (ROWS, COLS)).astype(np.float32)
+
+
+def runner(vm: Interpreter) -> dict:
+    psrc = vm.memory.store_array(F32, image.ravel(), "src")
+    pdst = vm.memory.store_array(F32, np.zeros(ROWS * COLS, dtype=np.float32), "dst")
+    vm.run("blur_ispc", [psrc, pdst, ROWS, COLS])
+    return {"dst": vm.memory.load_array(F32, pdst, ROWS * COLS)}
+
+
+module = compile_source(SOURCE, "avx")
+vm = Interpreter(module)
+out = runner(vm)["dst"].reshape(ROWS, COLS)
+
+ref = np.zeros_like(image)
+ref[1:-1, 1:-1] = (
+    image[1:-1, 1:-1]
+    + image[1:-1, :-2]
+    + image[1:-1, 2:]
+    + image[:-2, 1:-1]
+    + image[2:, 1:-1]
+) / np.float32(5.0)
+assert np.allclose(out, ref, atol=1e-6), "blur disagrees with numpy"
+print(
+    f"2D blur verified against numpy on a {ROWS}x{COLS} image "
+    f"({vm.stats.total} dynamic instructions, "
+    f"{pct(vm.stats.vector / vm.stats.total)} vector)"
+)
+
+print("\nFault-injection probe on the 2D kernel (30 experiments/category):")
+rows = []
+rand = Random(1)
+for category in ("pure-data", "control", "address"):
+    injector = FaultInjector(module, category=category)
+    counts = {"sdc": 0, "benign": 0, "crash": 0}
+    for _ in range(30):
+        counts[injector.experiment(runner, rand).outcome.value] += 1
+    rows.append([category, len(injector.sites), counts["sdc"], counts["benign"], counts["crash"]])
+print(render_table(["category", "static sites", "SDC", "benign", "crash"], rows))

@@ -1,0 +1,79 @@
+"""Working at the IR layer directly: build, print, parse, transform, run.
+
+Shows the substrate under the fault injector — the workflow a resilience
+researcher would use to prototype a *new* detector or instrumentation pass,
+including the text round trip ("print, rewrite, re-parse").
+
+Run:  python examples/ir_surgery.py
+"""
+
+import numpy as np
+
+from repro.ir import (
+    F32,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    format_module,
+    parse_module,
+    pointer,
+    verify_module,
+)
+from repro.passes import optimize
+from repro.vm import Interpreter
+
+# -- 1. Build the paper's Fig. 3 foo() by hand, alloca style ------------------
+module = Module("fig3")
+fn = module.add_function(
+    "foo", FunctionType(VOID, (pointer(I32), I32, I32)), ["a", "n", "x"]
+)
+entry, loop, body, done = (
+    fn.add_block("entry"),
+    fn.add_block("loop"),
+    fn.add_block("body"),
+    fn.add_block("done"),
+)
+b = IRBuilder(entry)
+s_var = b.alloca(I32, name="s")
+i_var = b.alloca(I32, name="i")
+b.store(fn.args[2], s_var)
+b.store(b.i32(0), i_var)
+b.br(loop)
+b.position_at_end(loop)
+iv = b.load(i_var, "iv")
+b.condbr(b.icmp("slt", iv, fn.args[1], "cmp"), body, done)
+b.position_at_end(body)
+i2 = b.load(i_var, "i2")
+pa = b.gep(fn.args[0], i2, "pa")
+b.store(b.mul(b.load(pa, "av"), b.load(s_var, "sv"), "prod"), pa)
+b.store(b.add(b.load(s_var, "sv2"), i2, "s2"), s_var)
+b.store(b.add(i2, b.i32(1), "inext"), i_var)
+b.br(loop)
+b.position_at_end(done)
+b.ret()
+verify_module(module)
+
+print("=== before optimization (allocas) ===")
+print(format_module(module))
+
+# -- 2. Run the mid-end: mem2reg turns it into the pruned SSA the paper's
+#       site classifier slices (i and s become loop phis).
+optimize(module)
+print("=== after mem2reg + cleanup (SSA with loop phis) ===")
+print(format_module(module))
+
+# -- 3. The text round trip: print -> edit the text -> re-parse ---------------
+text = format_module(module)
+patched = text.replace("mul i32", "add i32")  # rewrite a[i]*s into a[i]+s
+patched_module = parse_module(patched, name="fig3-patched")
+verify_module(patched_module)
+
+# -- 4. Execute both against the VM ------------------------------------------
+data = np.array([10, 20, 30, 40], dtype=np.int32)
+for label, mod in (("original", module), ("patched", patched_module)):
+    vm = Interpreter(mod)
+    addr = vm.memory.store_array(I32, data, "a")
+    vm.run("foo", [addr, len(data), 5])
+    print(f"{label}: a = {vm.memory.load_array(I32, addr, len(data)).tolist()}")

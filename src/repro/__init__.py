@@ -1,0 +1,16 @@
+"""repro: reproduction of "Towards Resiliency Evaluation of Vector Programs".
+
+Public entry points:
+
+* :mod:`repro.ir`        — vector-aware LLVM-like SSA IR
+* :mod:`repro.vm`        — bit-accurate IR interpreter (the simulated CPU)
+* :mod:`repro.passes`    — mid-end passes (mem2reg, DCE, const-fold, simplifycfg)
+* :mod:`repro.frontend`  — MiniISPC SPMD compiler (AVX/SSE targets)
+* :mod:`repro.core`      — VULFI: the vector-oriented fault injector
+* :mod:`repro.detectors` — compiler-invariant error detectors
+* :mod:`repro.workloads` — the paper's nine benchmarks + micro-benchmarks
+* :mod:`repro.analysis`  — campaign statistics and report rendering
+* :mod:`repro.experiments` — regeneration drivers for Table I, Figs 10-12
+"""
+
+__version__ = "1.0.0"

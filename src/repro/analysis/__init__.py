@@ -1,0 +1,25 @@
+"""Statistics and reporting for fault-injection studies."""
+
+from .instmix import MixEntry, instruction_mix
+from .report import pct, render_table
+from .stats import (
+    RateEstimate,
+    confidence_interval,
+    estimate_rate,
+    is_near_normal,
+    margin_of_error,
+    wilson_interval,
+)
+
+__all__ = [
+    "MixEntry",
+    "instruction_mix",
+    "pct",
+    "render_table",
+    "RateEstimate",
+    "confidence_interval",
+    "estimate_rate",
+    "is_near_normal",
+    "margin_of_error",
+    "wilson_interval",
+]

@@ -1,0 +1,52 @@
+"""Static instruction-mix analysis for Fig. 10.
+
+The paper plots, per benchmark and ISA, the composition of *scalar* vs
+*vector* instructions among the instructions hosting fault sites of each
+category (pure-data / control / address).  A vector instruction is one with
+at least one vector operand or a vector result (§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sites import CATEGORIES, enumerate_module_sites
+from ..ir.module import Module
+
+
+@dataclass
+class MixEntry:
+    scalar: int = 0
+    vector: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.scalar + self.vector
+
+    @property
+    def vector_fraction(self) -> float:
+        return self.vector / self.total if self.total else float("nan")
+
+
+def instruction_mix(
+    module: Module, functions: list[str] | None = None
+) -> dict[str, MixEntry]:
+    """Per-category scalar/vector instruction counts.
+
+    An instruction is counted once per category it hosts sites in (matching
+    Fig. 10, where the same static instruction can appear under several
+    fault-site categories).
+    """
+    sites = enumerate_module_sites(module, functions)
+    seen: dict[str, set[int]] = {c: set() for c in CATEGORIES}
+    mix = {c: MixEntry() for c in CATEGORIES}
+    for site in sites:
+        for cat in site.categories:
+            if id(site.instr) in seen[cat]:
+                continue
+            seen[cat].add(id(site.instr))
+            if site.instr.is_vector_instruction:
+                mix[cat].vector += 1
+            else:
+                mix[cat].scalar += 1
+    return mix

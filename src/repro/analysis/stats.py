@@ -1,0 +1,86 @@
+"""Campaign statistics (paper §IV-D).
+
+The paper's protocol: a campaign is 100 experiments; its SDC rate is one
+random sample; campaigns are run until (1) the sample distribution is
+normal or near normal and (2) the t-based margin of error at 95% confidence
+is within ±3 percentage points.  These helpers implement that machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+
+def margin_of_error(samples, confidence: float = 0.95) -> float:
+    """t-based margin of error of the sample mean.
+
+    ``t* · s / sqrt(n)`` with ``s`` the sample standard deviation — the
+    "standard t-value based formula where the sample size and the standard
+    error of the sample distribution is known" [paper §IV-D, ref 25].
+    """
+    x = np.asarray(list(samples), dtype=float)
+    n = x.size
+    if n < 2:
+        return math.inf
+    s = x.std(ddof=1)
+    if s == 0.0:
+        return 0.0
+    t_star = sps.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    return float(t_star * s / math.sqrt(n))
+
+
+def confidence_interval(samples, confidence: float = 0.95) -> tuple[float, float]:
+    x = np.asarray(list(samples), dtype=float)
+    moe = margin_of_error(x, confidence)
+    m = float(x.mean())
+    return (m - moe, m + moe)
+
+
+def is_near_normal(samples, alpha: float = 0.05) -> bool:
+    """Shapiro-Wilk normality check; degenerate (constant) samples count as
+    normal (a zero-variance estimate needs no distributional caveats)."""
+    x = np.asarray(list(samples), dtype=float)
+    if x.size < 3 or np.allclose(x, x[0]):
+        return True
+    _w, p = sps.shapiro(x)
+    return bool(p > alpha)
+
+
+@dataclass
+class RateEstimate:
+    """A rate (e.g. SDC rate) with its campaign-level uncertainty."""
+
+    mean: float
+    margin: float
+    samples: list[float]
+    confidence: float = 0.95
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - self.margin, self.mean + self.margin)
+
+    def __str__(self) -> str:
+        return f"{100 * self.mean:.1f}% ± {100 * self.margin:.1f}"
+
+
+def estimate_rate(samples, confidence: float = 0.95) -> RateEstimate:
+    x = [float(v) for v in samples]
+    mean = float(np.mean(x)) if x else float("nan")
+    return RateEstimate(mean, margin_of_error(x, confidence), x, confidence)
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a single pooled proportion — used for the
+    micro-benchmark study, which pools experiments rather than campaigns."""
+    if trials == 0:
+        return (0.0, 1.0)
+    z = sps.norm.ppf(0.5 + confidence / 2.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))

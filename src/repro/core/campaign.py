@@ -1,0 +1,142 @@
+"""Campaign driver (paper §IV-D).
+
+A *fault injection campaign* is a batch of independent experiments (100 in
+the paper); the campaign's SDC rate is one statistical sample.  The driver
+runs campaigns until the sample distribution is near normal and the t-based
+margin of error at the requested confidence drops inside the target (the
+paper reaches ±3 points at 95% within 20 campaigns per benchmark/category),
+or until ``max_campaigns``.
+
+Each experiment draws a program input at random from the workload's
+predefined input space (§IV-B) via the caller-supplied ``runner_factory``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from ..analysis.stats import RateEstimate, estimate_rate, is_near_normal, margin_of_error
+from .injector import BindingsFactory, FaultInjector, Runner
+from .outcomes import ExperimentResult, Outcome
+
+
+@dataclass
+class CampaignConfig:
+    experiments_per_campaign: int = 100
+    max_campaigns: int = 20
+    min_campaigns: int = 3
+    confidence: float = 0.95
+    margin_target: float = 0.03
+    require_normality: bool = True
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated counts over any number of experiments."""
+
+    sdc: int = 0
+    benign: int = 0
+    crash: int = 0
+    detected_sdc: int = 0
+    detected_total: int = 0
+    crash_kinds: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.sdc + self.benign + self.crash
+
+    def add(self, result: ExperimentResult) -> None:
+        if result.outcome is Outcome.SDC:
+            self.sdc += 1
+            if result.detected:
+                self.detected_sdc += 1
+        elif result.outcome is Outcome.BENIGN:
+            self.benign += 1
+        else:
+            self.crash += 1
+            kind = result.crash_kind or "unknown"
+            self.crash_kinds[kind] = self.crash_kinds.get(kind, 0) + 1
+        if result.detected:
+            self.detected_total += 1
+
+    def rate(self, what: str) -> float:
+        if self.total == 0:
+            return float("nan")
+        return {"sdc": self.sdc, "benign": self.benign, "crash": self.crash}[
+            what
+        ] / self.total
+
+    @property
+    def sdc_detection_rate(self) -> float:
+        """Fraction of SDC outcomes that the detectors flagged (Fig. 12)."""
+        if self.sdc == 0:
+            return 0.0
+        return self.detected_sdc / self.sdc
+
+
+@dataclass
+class CampaignSummary:
+    config: CampaignConfig
+    campaigns: list[CampaignStats]
+    totals: CampaignStats
+    sdc_rate: RateEstimate
+    benign_rate: RateEstimate
+    crash_rate: RateEstimate
+    converged: bool
+
+    @property
+    def campaigns_run(self) -> int:
+        return len(self.campaigns)
+
+
+def run_campaigns(
+    injector: FaultInjector,
+    runner_factory: Callable[[Random], Runner],
+    config: CampaignConfig | None = None,
+    seed: int = 0,
+    bindings_factory: BindingsFactory | None = None,
+) -> CampaignSummary:
+    """Run fault-injection campaigns to statistical convergence.
+
+    ``runner_factory(rng)`` must return a *deterministic* runner for a
+    randomly drawn input (the rng is only used for the draw).
+    """
+    config = config or CampaignConfig()
+    rng = Random(seed)
+    campaigns: list[CampaignStats] = []
+    totals = CampaignStats()
+    sdc_samples: list[float] = []
+    converged = False
+
+    while len(campaigns) < config.max_campaigns:
+        stats = CampaignStats()
+        for _ in range(config.experiments_per_campaign):
+            runner = runner_factory(rng)
+            result = injector.experiment(
+                runner, rng, bindings_factory=bindings_factory
+            )
+            stats.add(result)
+            totals.add(result)
+        campaigns.append(stats)
+        sdc_samples.append(stats.rate("sdc"))
+
+        if len(campaigns) >= config.min_campaigns:
+            moe_ok = margin_of_error(sdc_samples, config.confidence) <= config.margin_target
+            normal_ok = (not config.require_normality) or is_near_normal(sdc_samples)
+            if moe_ok and normal_ok:
+                converged = True
+                break
+
+    benign_samples = [c.rate("benign") for c in campaigns]
+    crash_samples = [c.rate("crash") for c in campaigns]
+    return CampaignSummary(
+        config=config,
+        campaigns=campaigns,
+        totals=totals,
+        sdc_rate=estimate_rate(sdc_samples, config.confidence),
+        benign_rate=estimate_rate(benign_samples, config.confidence),
+        crash_rate=estimate_rate(crash_samples, config.confidence),
+        converged=converged,
+    )

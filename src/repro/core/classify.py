@@ -1,0 +1,77 @@
+"""Forward-slice fault-site classification (paper §II-C, Fig. 2).
+
+The three categories:
+
+* **pure-data**: the forward slice has no ``getelementptr`` and no
+  control-flow instruction;
+* **control**: the slice has at least one control-flow instruction (a
+  conditional branch — the instruction that *decides* control from data);
+* **address**: the slice has at least one ``getelementptr``.
+
+Pure-data is disjoint from the other two; control ∩ address can be non-empty
+(the Fig. 3 loop counter ``i`` is both).  The slice is taken over SSA
+def-use edges and **includes the site's own instruction**, so a
+``getelementptr``'s Lvalue — a raw address — is itself an address site.
+As a refinement of the paper's definition, *any* pointer-typed Lvalue is an
+address site (a pointer produced by ``bitcast`` from a gep is still an
+address even though its own slice contains no further ``getelementptr`` —
+the paper's Fig. 10 discussion notes exactly this cast pattern).
+
+For store-value sites the "slice" is the store alone (the value is consumed
+by memory); such sites are pure-data: a corrupted stored datum never alters
+an address computation or a branch directly.
+"""
+
+from __future__ import annotations
+
+from ..ir.dataflow import slice_contains
+from ..ir.instructions import GetElementPtr, Instruction
+
+PURE_DATA = "pure-data"
+CONTROL = "control"
+ADDRESS = "address"
+
+_PURE_DATA_ONLY = frozenset({PURE_DATA})
+
+
+def classify_instruction(
+    instr: Instruction, as_store_value: bool = False
+) -> frozenset[str]:
+    """Category membership of the fault site anchored at ``instr``.
+
+    Returns ``{'pure-data'}`` or a non-empty subset of
+    ``{'control', 'address'}`` (Fig. 2: pure-data excludes the others).
+    """
+    if as_store_value:
+        return _PURE_DATA_ONLY
+
+    cached = instr.meta.get("vulfi_categories")
+    if cached is not None:
+        return cached
+
+    cats: set[str] = set()
+    if isinstance(instr, GetElementPtr) or instr.is_control_flow:
+        # The slice includes the instruction itself.
+        cats.add(ADDRESS if isinstance(instr, GetElementPtr) else CONTROL)
+    if instr.has_lvalue() and instr.type.scalar_type.is_pointer():
+        # A pointer-valued register (gep result, pointer bitcast, vector of
+        # gather addresses) *is* an address: flipping it produces a wild
+        # access even though no further getelementptr appears downstream.
+        cats.add(ADDRESS)
+    # Detector plumbing (inserted condbr/gep of checker code) must not
+    # reclassify application values: the categories describe the program
+    # under study, not the instrumentation around it.
+    if slice_contains(
+        instr,
+        lambda u: isinstance(u, GetElementPtr) and not u.meta.get("detector"),
+    ):
+        cats.add(ADDRESS)
+    if slice_contains(
+        instr, lambda u: u.is_control_flow and not u.meta.get("detector")
+    ):
+        cats.add(CONTROL)
+    if not cats:
+        cats.add(PURE_DATA)
+    result = frozenset(cats)
+    instr.meta["vulfi_categories"] = result
+    return result

@@ -1,0 +1,174 @@
+"""The fault-injection engine: VULFI's two-execution strategy (paper §IV-B).
+
+One *experiment*:
+
+1. **Golden run** — execute the instrumented program with the runtime in
+   ``count`` mode: record the output and the number ``N`` of dynamic fault
+   sites encountered.
+2. Choose a dynamic site index ``k ~ U{1..N}`` and (at injection time) a
+   uniformly random bit of the site's value.
+3. **Faulty run** — re-execute with the runtime in ``inject`` mode; the
+   ``k``-th dynamic site gets one bit flipped.
+4. Classify: Crash if the run trapped (or hung past the step budget), SDC
+   if the output differs from the golden run, Benign otherwise; record
+   whether any inserted detector fired.
+
+The engine instruments a structural *clone* of the module (meta-preserving,
+see :mod:`repro.ir.clone`), so the caller's IR is never mutated and one engine can serve thousands of
+experiments — the instrumented module is reusable because all mutable
+injection state lives in the per-run :class:`~repro.core.runtime.FaultRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable
+
+from ..errors import InjectionError, VMTrap
+from ..ir.clone import clone_module
+from ..ir.module import Module
+from ..vm.interpreter import DEFAULT_STEP_LIMIT, Interpreter
+from .instrument import instrument_module
+from .outcomes import ExperimentResult, Outcome, outputs_equal
+from .runtime import FaultRuntime, MODE_COUNT, MODE_INJECT
+from .sites import StaticSite, enumerate_module_sites, filter_sites
+
+#: A runner drives one complete program execution against a fresh
+#: interpreter (allocate inputs, call the kernel, gather outputs) and must
+#: be deterministic: the golden and faulty runs replay the same runner.
+Runner = Callable[[Interpreter], dict]
+
+#: Supplies extra host bindings (detector runtimes); returns the bindings
+#: plus a zero-argument "did any detector fire?" probe.
+BindingsFactory = Callable[[], tuple[dict, Callable[[], bool]]]
+
+
+@dataclass
+class GoldenRun:
+    output: dict
+    dynamic_sites: int
+    dynamic_instructions: int
+    detector_fired: bool
+
+
+class FaultInjector:
+    """Instruments a module once and runs experiments against it."""
+
+    def __init__(
+        self,
+        module: Module,
+        category: str = "all",
+        functions: list[str] | None = None,
+        step_limit: int = DEFAULT_STEP_LIMIT,
+        clone: bool = True,
+        respect_masks: bool = True,
+    ):
+        self.category = category
+        self.step_limit = step_limit
+        self.respect_masks = respect_masks
+        self.module = clone_module(module) if clone else module
+        all_sites = enumerate_module_sites(self.module, functions)
+        self.sites: list[StaticSite] = filter_sites(all_sites, category)
+        if not self.sites:
+            raise InjectionError(
+                f"no fault sites in category {category!r}"
+            )
+        instrument_module(self.module, self.sites, respect_masks=respect_masks)
+        self._site_by_id = {s.site_id: s for s in self.sites}
+
+    # -- execution ------------------------------------------------------------
+
+    def _prepare_vm(
+        self,
+        fault_runtime: FaultRuntime,
+        bindings_factory: BindingsFactory | None,
+    ) -> tuple[Interpreter, Callable[[], bool]]:
+        vm = Interpreter(self.module, step_limit=self.step_limit)
+        vm.bind_all(fault_runtime.bindings())
+        fired: Callable[[], bool] = lambda: False
+        if bindings_factory is not None:
+            extra, fired = bindings_factory()
+            vm.bind_all(extra)
+        return vm, fired
+
+    def golden(
+        self, runner: Runner, bindings_factory: BindingsFactory | None = None
+    ) -> GoldenRun:
+        rt = FaultRuntime(MODE_COUNT)
+        vm, fired = self._prepare_vm(rt, bindings_factory)
+        output = runner(vm)
+        return GoldenRun(
+            output=output,
+            dynamic_sites=rt.dynamic_count,
+            dynamic_instructions=vm.stats.total,
+            detector_fired=fired(),
+        )
+
+    def experiment(
+        self,
+        runner: Runner,
+        rng: Random,
+        bindings_factory: BindingsFactory | None = None,
+        golden: GoldenRun | None = None,
+    ) -> ExperimentResult:
+        """Run one complete fault-injection experiment.
+
+        ``golden`` may be passed in when the caller reuses one input for
+        many experiments (the detector study does); otherwise the golden
+        run is performed here, as in the paper's two-execution protocol.
+        """
+        if golden is None:
+            golden = self.golden(runner, bindings_factory)
+        if golden.detector_fired:
+            raise InjectionError(
+                "detector fired during the golden run: the invariants are "
+                "wrong or the program is miscompiled"
+            )
+        n = golden.dynamic_sites
+        if n == 0:
+            raise InjectionError(
+                f"program exercised no dynamic fault sites in category "
+                f"{self.category!r}"
+            )
+        k = rng.randint(1, n)
+
+        rt = FaultRuntime(MODE_INJECT, target_index=k, rng=rng)
+        vm, fired = self._prepare_vm(rt, bindings_factory)
+        try:
+            output = runner(vm)
+        except VMTrap as trap:
+            return ExperimentResult(
+                outcome=Outcome.CRASH,
+                crash_kind=trap.kind,
+                detected=fired(),
+                injection=rt.record,
+                dynamic_sites=n,
+                target_index=k,
+                site_categories=self._categories_of(rt),
+                golden_dynamic_instructions=golden.dynamic_instructions,
+            )
+        detected = fired()
+        if rt.record is None:
+            raise InjectionError(
+                f"faulty run never reached dynamic site {k} of {n}; "
+                "the program is nondeterministic"
+            )
+        outcome = (
+            Outcome.BENIGN if outputs_equal(golden.output, output) else Outcome.SDC
+        )
+        return ExperimentResult(
+            outcome=outcome,
+            detected=detected,
+            injection=rt.record,
+            dynamic_sites=n,
+            target_index=k,
+            site_categories=self._categories_of(rt),
+            golden_dynamic_instructions=golden.dynamic_instructions,
+        )
+
+    def _categories_of(self, rt: FaultRuntime) -> frozenset[str]:
+        if rt.record is None:
+            return frozenset()
+        site = self._site_by_id.get(rt.record.site_id)
+        return site.categories if site is not None else frozenset()

@@ -1,0 +1,176 @@
+"""VULFI's instrumentation pass (paper §II-D, Figs 4-5).
+
+For every selected fault site the pass splices a call to the runtime API
+into the def-use graph:
+
+* **scalar Lvalue** — ``%inj = call @injectFault<Ty>Ty(%v, active, id)``
+  right after the defining instruction; all other users of ``%v`` are
+  redirected to ``%inj``;
+* **vector Lvalue** — the Fig.-4 workflow: walk the lanes of a clone,
+  ``extractelement`` each scalar, pass it (with its execution-mask lane)
+  to the runtime, ``insertelement`` the result back, and finally replace
+  every user of the original register with the instrumented clone;
+* **store value** (plain ``store``, ``maskstore``, ``scatter``) — the same
+  chain inserted *before* the store, rewriting only the store's operand
+  (§II-B: the value is considered for injection prior to the store).
+
+Masked intrinsics get their per-lane ``active`` flag decoded from the mask
+operand using the intrinsic registry's convention (sign-bit for AVX,
+``i1`` for the generic masked ops) — the distinction §II calls "crucial in
+deciding whether or not to target a particular vector lane".
+
+Pointers are bit-flipped as 64-bit integers via a ``ptrtoint`` /
+``inttoptr`` sandwich.
+
+All instructions the pass creates carry ``meta['vulfi']`` so they are never
+themselves enumerated as fault sites.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import InjectionError
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Call, Instruction, Store
+from ..ir.intrinsics import MASK_I1, MASK_SIGN
+from ..ir.module import Module
+from ..ir.types import I32, I64, PointerType, Type, pointer, vector
+from ..ir.values import Value, const_int
+from .runtime import api_name_for, declare_api
+from .sites import MaskSpec, StaticSite
+
+
+class Instrumentor:
+    """Rewrites a module in place; returns the sites with ids assigned.
+
+    ``respect_masks=False`` is an ablation switch: it instruments masked
+    intrinsics as if every lane were always active (``active=1``), i.e. a
+    mask-unaware injector in the style of pre-VULFI scalar tools.  §II calls
+    the masked/unmasked distinction "crucial in deciding whether or not to
+    target a particular vector lane"; the ablation benchmark quantifies what
+    ignoring it does to the outcome distribution.
+    """
+
+    def __init__(self, module: Module, respect_masks: bool = True):
+        self.module = module
+        self.respect_masks = respect_masks
+        declare_api(module)
+        self._next_id = 0
+
+    # -- public -----------------------------------------------------------------
+
+    def instrument(self, sites: list[StaticSite]) -> list[StaticSite]:
+        # Group the per-lane sites of one register so the whole vector is
+        # cloned once, lanes in order (Fig. 4).
+        groups: dict[tuple[int, int | None], list[StaticSite]] = defaultdict(list)
+        order: list[tuple[int, int | None]] = []
+        for site in sites:
+            key = (id(site.instr), site.operand_index)
+            if key not in groups:
+                order.append(key)
+            groups[key].append(site)
+        for key in order:
+            group = sorted(groups[key], key=lambda s: (s.lane is not None, s.lane or 0))
+            self._instrument_group(group)
+        return sites
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _mark(self, value: Value) -> Value:
+        if isinstance(value, Instruction):
+            value.meta["vulfi"] = True
+        return value
+
+    def _api(self, scalar_type: Type):
+        return self.module.get_function(api_name_for(scalar_type))
+
+    def _lane_active(
+        self, b: IRBuilder, mask_value: Value | None, spec: MaskSpec | None, lane: int | None
+    ) -> Value:
+        """The i32 ``active`` flag for one lane."""
+        if spec is None or mask_value is None or not self.respect_masks:
+            return const_int(I32, 1)
+        assert lane is not None, "masked sites are always vector lanes"
+        ext = self._mark(b.extractelement(mask_value, lane, "extmask"))
+        lane_ty = mask_value.type.scalar_type
+        if spec.convention == MASK_I1:
+            return self._mark(b.zext(ext, I32, "active"))
+        # Sign-bit convention: active iff the lane's sign bit is set.
+        if lane_ty.is_float():
+            as_int = self._mark(b.bitcast(ext, I32, "maskbits"))
+        else:
+            as_int = ext
+        return self._mark(b.lshr(as_int, const_int(I32, 31), "active"))
+
+    def _inject_scalar(self, b: IRBuilder, value: Value, site: StaticSite) -> Value:
+        """Wrap one scalar value in a runtime call (with pointer casts)."""
+        active = self._lane_active(
+            b,
+            site.instr.operands[site.mask.operand_index] if site.mask else None,
+            site.mask,
+            site.lane,
+        )
+        sid = const_int(I32, site.site_id)
+        if isinstance(site.scalar_type, PointerType):
+            as_int = self._mark(b.cast("ptrtoint", value, I64, "ptrbits"))
+            injected = self._mark(
+                b.call(self._api(site.scalar_type), [as_int, active, sid], "injptr")
+            )
+            return self._mark(
+                b.cast("inttoptr", injected, site.scalar_type, "inj")
+            )
+        return self._mark(
+            b.call(self._api(site.scalar_type), [value, active, sid], "inj")
+        )
+
+    # -- per-register instrumentation --------------------------------------------------
+
+    def _instrument_group(self, group: list[StaticSite]) -> None:
+        first = group[0]
+        instr = first.instr
+        if instr.parent is None:
+            raise InjectionError("cannot instrument a detached instruction")
+        for site in group:
+            site.site_id = self._next_id
+            self._next_id += 1
+
+        b = IRBuilder()
+        if first.targets_store_value:
+            b.position_before(instr)
+            target_value = instr.operands[first.operand_index]
+            new_value = self._build_chain(b, target_value, group)
+            instr.set_operand(first.operand_index, new_value)
+        else:
+            # Lvalue target: remember the existing users, build the chain
+            # after the definition, then redirect exactly those users.
+            uses_before = list(instr.uses)
+            b.position_after(instr)
+            new_value = self._build_chain(b, instr, group)
+            for user, index in uses_before:
+                user.set_operand(index, new_value)
+
+    def _build_chain(self, b: IRBuilder, value: Value, group: list[StaticSite]) -> Value:
+        first = group[0]
+        if first.lane is None:
+            (site,) = group
+            return self._inject_scalar(b, value, site)
+        # Vector register: clone-and-walk (Fig. 4).  Lanes not selected by
+        # the site filter are left untouched.
+        current = value
+        for site in group:
+            ext = self._mark(
+                b.extractelement(current, site.lane, f"ext{site.lane}")
+            )
+            inj = self._inject_scalar(b, ext, site)
+            current = self._mark(
+                b.insertelement(current, inj, site.lane, f"ins{site.lane}")
+            )
+        return current
+
+
+def instrument_module(
+    module: Module, sites: list[StaticSite], respect_masks: bool = True
+) -> list[StaticSite]:
+    """Convenience wrapper: instrument ``module`` in place for ``sites``."""
+    return Instrumentor(module, respect_masks=respect_masks).instrument(sites)

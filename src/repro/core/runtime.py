@@ -1,0 +1,166 @@
+"""VULFI's runtime fault-injection API.
+
+The instrumentor (:mod:`repro.core.instrument`) rewrites every fault site
+into a call to one of the ``injectFault<Ty>Ty`` entry points below, passing
+``(value, active, site_id)``.  ``active`` is 1 when the lane's execution
+mask is on (always 1 for unmasked sites) — an inactive lane's call returns
+the value untouched and does **not** count as a dynamic fault site, matching
+§II's treatment of masked vector instructions.
+
+A :class:`FaultRuntime` instance is bound into the interpreter for one
+program execution and operates in one of two modes:
+
+* ``count``  — the golden run: count dynamic sites, perturb nothing;
+* ``inject`` — flip one uniformly random bit of the ``target_index``-th
+  dynamic site (1-based), chosen by the campaign driver as
+  ``U{1..N}`` with ``N`` from the count run (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..errors import InjectionError
+from ..ir.types import F32, F64, FunctionType, I1, I32, I64
+from ..ir.module import Module
+from ..vm.bits import flip_bit_float, flip_bit_int
+
+MODE_COUNT = "count"
+MODE_INJECT = "inject"
+
+#: name -> (value IR type, bit width, is_float)
+API = {
+    "injectFaultBoolTy": (I1, 1, False),
+    "injectFaultIntTy": (I32, 32, False),
+    "injectFaultInt64Ty": (I64, 64, False),
+    "injectFaultFloatTy": (F32, 32, True),
+    "injectFaultDoubleTy": (F64, 64, True),
+}
+
+
+def api_name_for(scalar_type) -> str:
+    """Runtime entry point for a scalar IR type (pointers go via i64)."""
+    if scalar_type.is_pointer():
+        return "injectFaultInt64Ty"
+    if scalar_type.is_float():
+        return "injectFaultFloatTy" if scalar_type.bits == 32 else "injectFaultDoubleTy"
+    if scalar_type.bits == 1:
+        return "injectFaultBoolTy"
+    if scalar_type.bits == 64:
+        return "injectFaultInt64Ty"
+    return "injectFaultIntTy"
+
+
+def declare_api(module: Module) -> None:
+    """Declare all runtime entry points in ``module``."""
+    for name, (vty, _bits, _isf) in API.items():
+        module.declare_function(
+            name, FunctionType(vty, (vty, I32, I32)), attributes=("vulfi-runtime",)
+        )
+
+
+@dataclass
+class InjectionRecord:
+    """What a single injection actually did."""
+
+    site_id: int
+    dynamic_index: int
+    bit: int
+    type_name: str
+    original: float | int
+    corrupted: float | int
+
+
+class FaultRuntime:
+    """Per-execution injection state; bind with :meth:`bindings`.
+
+    The paper's fault model injects exactly one single-bit flip per
+    execution (``target_index``).  As an extension, ``target_indices`` may
+    supply *several* dynamic-site indices to corrupt in one run — a
+    multiple-fault model for studying detector behaviour under burst upsets
+    (each hit still flips one uniformly chosen bit).
+    """
+
+    def __init__(
+        self,
+        mode: str = MODE_COUNT,
+        target_index: int | None = None,
+        rng: Random | None = None,
+        bit: int | None = None,
+        target_indices: list[int] | None = None,
+    ):
+        if mode not in (MODE_COUNT, MODE_INJECT):
+            raise InjectionError(f"unknown runtime mode {mode!r}")
+        if target_indices is not None and target_index is not None:
+            raise InjectionError("pass target_index or target_indices, not both")
+        if mode == MODE_INJECT:
+            if target_indices is not None:
+                if not target_indices or min(target_indices) < 1:
+                    raise InjectionError("target_indices must be 1-based and non-empty")
+            elif target_index is None or target_index < 1:
+                raise InjectionError("inject mode needs a 1-based target_index")
+            if rng is None and bit is None:
+                raise InjectionError("inject mode needs an rng or a fixed bit")
+        self.mode = mode
+        self.targets = (
+            frozenset(target_indices)
+            if target_indices is not None
+            else (frozenset({target_index}) if target_index is not None else frozenset())
+        )
+        self.target_index = target_index
+        self.rng = rng
+        self.fixed_bit = bit
+        self.dynamic_count = 0
+        self.records: list[InjectionRecord] = []
+
+    @property
+    def record(self) -> InjectionRecord | None:
+        """The first (paper model: only) injection performed this run."""
+        return self.records[0] if self.records else None
+
+    # -- entry point factory ---------------------------------------------------
+
+    def _entry(self, bits: int, is_float: bool, type_name: str):
+        def inject(value, active, site_id):
+            if not active:
+                return value
+            self.dynamic_count += 1
+            if self.mode == MODE_INJECT and self.dynamic_count in self.targets:
+                # A fixed bit position wraps modulo the value's width so bit
+                # sweeps remain well-defined when a site is narrower (an i1
+                # mask lane during an f32 sweep, say).
+                bit = (
+                    self.fixed_bit % bits
+                    if self.fixed_bit is not None
+                    else self.rng.randrange(bits)
+                )
+                corrupted = (
+                    flip_bit_float(value, bit, bits)
+                    if is_float
+                    else flip_bit_int(value, bit, bits)
+                )
+                self.records.append(
+                    InjectionRecord(
+                        site_id=site_id,
+                        dynamic_index=self.dynamic_count,
+                        bit=bit,
+                        type_name=type_name,
+                        original=value,
+                        corrupted=corrupted,
+                    )
+                )
+                return corrupted
+            return value
+
+        return inject
+
+    def bindings(self) -> dict:
+        return {
+            name: self._entry(bits, is_float, name.replace("injectFault", "").replace("Ty", ""))
+            for name, (_ty, bits, is_float) in API.items()
+        }
+
+    @property
+    def injected(self) -> bool:
+        return bool(self.records)

@@ -1,0 +1,166 @@
+"""Static fault-site enumeration (paper §II-B).
+
+A *fault site* is a scalar register that can receive a single-bit flip:
+
+* the Lvalue of any instruction producing an integer, float, or pointer —
+  for a vector Lvalue, **each scalar lane is its own site** (§II-B: "a
+  systematic approach is developed to allow each of these scalar registers
+  to be treated independently during fault injection");
+* the value operand of a ``store`` (stores have no Lvalue; the value is
+  intercepted just before the store executes), including the stored-value
+  operand of masked-store/scatter intrinsics.
+
+Masked vector operations contribute *potential* sites for every lane; the
+decision whether a lane is really a fault site is made at **runtime** from
+the execution mask (an inactive lane never counts as a dynamic site), which
+is why each site records how to locate its mask.
+
+Exclusions: phi nodes (register shuffling handled at block entry; their
+inputs are other instructions' Lvalues which are themselves sites), allocas
+(compile-time constants of the stack layout), VULFI's own injected runtime
+calls, and detector instructions — marked by ``meta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instructions import Alloca, Call, Instruction, Phi, Store
+from ..ir.intrinsics import IntrinsicInfo, intrinsic_info_for_call
+from ..ir.module import Function, Module
+from ..ir.types import Type
+from .classify import classify_instruction
+
+#: Site category names, as in the paper.
+PURE_DATA = "pure-data"
+CONTROL = "control"
+ADDRESS = "address"
+CATEGORIES = (PURE_DATA, CONTROL, ADDRESS)
+
+
+@dataclass(frozen=True)
+class MaskSpec:
+    """How to obtain the execution-mask lane for a masked site."""
+
+    operand_index: int  # operand of the call that carries the mask
+    convention: str  # MASK_I1 or MASK_SIGN
+
+
+@dataclass
+class StaticSite:
+    """One scalar lane of one instrumentable register."""
+
+    instr: Instruction
+    lane: int | None  # None for scalar registers
+    scalar_type: Type
+    categories: frozenset[str]
+    # None → target the Lvalue; otherwise the operand index of a store-like
+    # value (plain store: 0; maskstore/scatter: the intrinsic's data operand).
+    operand_index: int | None = None
+    mask: MaskSpec | None = None
+    site_id: int = -1  # assigned by the instrumentor
+
+    @property
+    def is_vector_lane(self) -> bool:
+        return self.lane is not None
+
+    @property
+    def targets_store_value(self) -> bool:
+        return self.operand_index is not None
+
+    def describe(self) -> str:
+        lane = f"[lane {self.lane}]" if self.lane is not None else ""
+        what = "store-value of" if self.targets_store_value else "lvalue of"
+        fn = self.instr.function
+        where = f"@{fn.name}" if fn else "?"
+        return (
+            f"site #{self.site_id} {what} '{self.instr.opcode}'{lane} "
+            f"({self.scalar_type}) in {where} {{{', '.join(sorted(self.categories))}}}"
+        )
+
+
+def _is_excluded(instr: Instruction) -> bool:
+    if instr.meta.get("vulfi") or instr.meta.get("detector"):
+        return True
+    if isinstance(instr, (Phi, Alloca)):
+        return True
+    return False
+
+
+def _expand(
+    instr: Instruction,
+    value_type: Type,
+    categories: frozenset[str],
+    operand_index: int | None,
+    mask: MaskSpec | None,
+) -> list[StaticSite]:
+    if value_type.is_vector():
+        elem = value_type.scalar_type
+        return [
+            StaticSite(instr, lane, elem, categories, operand_index, mask)
+            for lane in range(value_type.vector_length)
+        ]
+    return [StaticSite(instr, None, value_type, categories, operand_index, mask)]
+
+
+def enumerate_sites(fn: Function) -> list[StaticSite]:
+    """All static fault sites of a function, in program order."""
+    from ..ir.intrinsics import MASK_I1
+
+    sites: list[StaticSite] = []
+    for instr in fn.instructions():
+        if _is_excluded(instr):
+            continue
+
+        info: IntrinsicInfo | None = None
+        if isinstance(instr, Call):
+            info = intrinsic_info_for_call(instr)
+
+        # Store-like: target the value operand, before the store happens.
+        if isinstance(instr, Store):
+            vt = instr.value.type
+            if vt.is_first_class():
+                cats = classify_instruction(instr, as_store_value=True)
+                sites.extend(_expand(instr, vt, cats, 0, None))
+            continue
+        if info is not None and info.stored_value_index is not None:
+            vt = info.function_type.params[info.stored_value_index]
+            cats = classify_instruction(instr, as_store_value=True)
+            mask = (
+                MaskSpec(info.mask_index, info.mask_convention)
+                if info.masked and info.mask_index is not None
+                else None
+            )
+            sites.extend(_expand(instr, vt, cats, info.stored_value_index, mask))
+            continue
+
+        # Ordinary Lvalue target.
+        if not instr.has_lvalue() or not instr.type.is_first_class():
+            continue
+        cats = classify_instruction(instr)
+        mask = None
+        if info is not None and info.masked and info.mask_index is not None:
+            mask = MaskSpec(info.mask_index, info.mask_convention)
+        sites.extend(_expand(instr, instr.type, cats, None, mask))
+    return sites
+
+
+def enumerate_module_sites(
+    module: Module, functions: list[str] | None = None
+) -> list[StaticSite]:
+    """Sites across the module's defined functions (optionally restricted)."""
+    sites: list[StaticSite] = []
+    for fn in module.defined_functions():
+        if functions is not None and fn.name not in functions:
+            continue
+        sites.extend(enumerate_sites(fn))
+    return sites
+
+
+def filter_sites(sites: list[StaticSite], category: str) -> list[StaticSite]:
+    """Apply one of the §II-C site-selection heuristics."""
+    if category == "all":
+        return list(sites)
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown site category {category!r}")
+    return [s for s in sites if category in s.categories]

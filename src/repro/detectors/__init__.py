@@ -1,0 +1,41 @@
+"""Compiler-invariant error detectors (paper §III)."""
+
+from .foreach_invariants import (
+    CHECK_BLOCK_NAME,
+    has_foreach_detector,
+    insert_foreach_detectors,
+)
+from .runtime import (
+    DET_FOREACH,
+    DET_UNIFORM_BROADCAST,
+    DETECTOR_API_NAMES,
+    DetectionFiring,
+    DetectorRuntime,
+    FOREACH_CHECK,
+    REPORT_DETECTION,
+    declare_detector_api,
+    detector_bindings_factory,
+)
+from .uniform_broadcast import (
+    FAIL_BLOCK_NAME,
+    has_uniform_detector,
+    insert_uniform_broadcast_detectors,
+)
+
+__all__ = [
+    "CHECK_BLOCK_NAME",
+    "has_foreach_detector",
+    "insert_foreach_detectors",
+    "DET_FOREACH",
+    "DET_UNIFORM_BROADCAST",
+    "DETECTOR_API_NAMES",
+    "DetectionFiring",
+    "DetectorRuntime",
+    "FOREACH_CHECK",
+    "REPORT_DETECTION",
+    "declare_detector_api",
+    "detector_bindings_factory",
+    "FAIL_BLOCK_NAME",
+    "has_uniform_detector",
+    "insert_uniform_broadcast_detectors",
+]

@@ -1,0 +1,105 @@
+"""Runtime side of the compiler-invariant error detectors.
+
+The detector passes insert IR that calls into this API:
+
+* ``checkInvariantsForeachFullBody(new_counter, aligned_end, Vl)`` — the
+  paper Fig. 7/8 detector block, invoked once on foreach-loop exit;
+* ``reportDetection(detector_id)`` — invoked from the uniform-broadcast
+  XOR checker's failure arm (§III-B).
+
+A :class:`DetectorRuntime` records firings without aborting execution, so
+an experiment still produces an SDC/Benign/Crash outcome and the detection
+flag is reported alongside it — matching Fig. 12, which reports the SDC
+rate *and* the fraction of SDCs detected.  Set ``halt_on_detection=True``
+to model a deployment that traps instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DetectionEvent
+from ..ir.module import Module
+from ..ir.types import FunctionType, I32, VOID
+
+FOREACH_CHECK = "checkInvariantsForeachFullBody"
+REPORT_DETECTION = "reportDetection"
+
+#: Detector ids used by reportDetection.
+DET_FOREACH = 1
+DET_UNIFORM_BROADCAST = 2
+
+DETECTOR_API_NAMES = frozenset({FOREACH_CHECK, REPORT_DETECTION})
+
+
+def declare_detector_api(module: Module) -> None:
+    module.declare_function(
+        FOREACH_CHECK,
+        FunctionType(VOID, (I32, I32, I32)),
+        attributes=("detector-runtime",),
+    )
+    module.declare_function(
+        REPORT_DETECTION,
+        FunctionType(VOID, (I32,)),
+        attributes=("detector-runtime",),
+    )
+
+
+@dataclass
+class DetectionFiring:
+    detector: str
+    detail: str
+
+
+@dataclass
+class DetectorRuntime:
+    halt_on_detection: bool = False
+    firings: list[DetectionFiring] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.firings)
+
+    def _record(self, detector: str, detail: str) -> None:
+        self.firings.append(DetectionFiring(detector, detail))
+        if self.halt_on_detection:
+            raise DetectionEvent(detector, detail)
+
+    # -- entry points bound into the interpreter --------------------------------
+
+    def check_foreach_invariants(self, new_counter: int, aligned_end: int, vl: int) -> None:
+        """Paper Fig. 8: Invariant 1: new_counter >= 0; Invariant 2:
+        new_counter <= aligned_end; Invariant 3: new_counter % Vl == 0."""
+        violations = []
+        if new_counter < 0:
+            violations.append(f"new_counter={new_counter} < 0")
+        if new_counter > aligned_end:
+            violations.append(f"new_counter={new_counter} > aligned_end={aligned_end}")
+        if vl <= 0 or new_counter % vl != 0:
+            violations.append(f"new_counter={new_counter} % Vl={vl} != 0")
+        if violations:
+            self._record("foreach-invariants", "; ".join(violations))
+
+    def report_detection(self, detector_id: int) -> None:
+        name = {
+            DET_FOREACH: "foreach-invariants",
+            DET_UNIFORM_BROADCAST: "uniform-broadcast",
+        }.get(detector_id, f"detector-{detector_id}")
+        self._record(name, "reportDetection")
+
+    def bindings(self) -> dict:
+        return {
+            FOREACH_CHECK: self.check_foreach_invariants,
+            REPORT_DETECTION: self.report_detection,
+        }
+
+
+def detector_bindings_factory(halt_on_detection: bool = False):
+    """A :data:`~repro.core.injector.BindingsFactory` for detector-enabled
+    modules: returns fresh per-run bindings plus the fired probe."""
+
+    def factory():
+        rt = DetectorRuntime(halt_on_detection=halt_on_detection)
+        return rt.bindings(), lambda: rt.fired
+
+    return factory

@@ -1,0 +1,51 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1 [--scale smoke|quick|full]
+    python -m repro.experiments fig10
+    python -m repro.experiments fig11 [--scale full] [--benchmark stencil ...]
+    python -m repro.experiments fig12 [--scale full]
+    python -m repro.experiments all [--json-dir results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    parser.add_argument("--scale", choices=("smoke", "quick", "full"), default="quick")
+    parser.add_argument(
+        "--benchmark",
+        action="append",
+        help="restrict fig11 to specific benchmarks (repeatable)",
+    )
+    parser.add_argument("--json-dir", type=Path, help="also dump JSON reports here")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        mod = EXPERIMENTS[name]
+        t0 = time.time()
+        if name == "fig11":
+            report = mod.run(args.scale, benchmarks=args.benchmark)
+        else:
+            report = mod.run(args.scale)
+        print(mod.render(report))
+        print(f"\n[{name} completed in {time.time() - t0:.1f}s at scale={args.scale}]\n")
+        if args.json_dir:
+            args.json_dir.mkdir(parents=True, exist_ok=True)
+            report.save(args.json_dir / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Bit-position sensitivity study (extension beyond the paper's figures).
+
+The paper's fault model draws the flipped bit uniformly; this study instead
+sweeps the bit position deterministically and reports, per position, the
+outcome distribution over many dynamic sites — the classic "which bits
+matter" view of an injection campaign.  For IEEE-754 data the expectation
+is a strong gradient (mantissa LSBs mostly benign or tolerable, exponent
+and sign bits violently SDC/crash-prone); for integer loop state the high
+bits crash (wild addresses / runaway loops) while low bits silently corrupt.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..analysis.report import pct, render_table
+from ..core.campaign import CampaignStats
+from ..core.injector import FaultInjector
+from ..core.outcomes import ExperimentResult, Outcome, outputs_equal
+from ..core.runtime import FaultRuntime, MODE_INJECT
+from ..errors import VMTrap
+from ..workloads.registry import get_workload
+from .common import ExperimentReport, cell_seed
+
+#: experiments per (workload, category, bit) cell per scale
+_PER_BIT = {"smoke": 4, "quick": 12, "full": 60}
+
+
+def run_cell(
+    workload_name: str,
+    category: str,
+    bits: range,
+    experiments_per_bit: int,
+    target: str = "avx",
+) -> list[dict]:
+    w = get_workload(workload_name)
+    module = w.compile(target)
+    injector = FaultInjector(module, category=category)
+    rows = []
+    for bit in bits:
+        rng = Random(cell_seed("bitpos", workload_name, category, bit))
+        stats = CampaignStats()
+        for _ in range(experiments_per_bit):
+            runner = w.make_runner(w.sample_input(rng))
+            golden = injector.golden(runner)
+            k = rng.randint(1, golden.dynamic_sites)
+            rt = FaultRuntime(MODE_INJECT, target_index=k, bit=bit)
+            vm, _fired = injector._prepare_vm(rt, None)
+            try:
+                output = runner(vm)
+            except VMTrap as trap:
+                stats.add(ExperimentResult(outcome=Outcome.CRASH, crash_kind=trap.kind))
+                continue
+            assert rt.record is not None  # fixed bits wrap modulo the width
+            outcome = (
+                Outcome.BENIGN
+                if outputs_equal(golden.output, output)
+                else Outcome.SDC
+            )
+            stats.add(ExperimentResult(outcome=outcome))
+        rows.append(
+            {
+                "workload": workload_name,
+                "category": category,
+                "bit": bit,
+                "experiments": stats.total,
+                "sdc": stats.rate("sdc"),
+                "benign": stats.rate("benign"),
+                "crash": stats.rate("crash"),
+            }
+        )
+    return rows
+
+
+def run(scale: str = "quick") -> ExperimentReport:
+    per_bit = _PER_BIT[scale]
+    report = ExperimentReport(
+        name="bitpos",
+        scale=scale,
+        headers=["workload", "category", "bit", "n", "SDC", "benign", "crash"],
+    )
+    # Float data path: dot product pure-data sites are f32 values.
+    report.rows.extend(
+        run_cell("dot_product", "pure-data", range(0, 32, 4), per_bit)
+    )
+    # Integer/control path: vcopy control sites are loop state.
+    report.rows.extend(run_cell("vcopy", "control", range(0, 32, 4), per_bit))
+    report.notes.append(
+        "f32 pure-data: mantissa LSB flips are far more benign than "
+        "exponent/sign flips; i32 control: high-bit flips crash or derail "
+        "the loop, low bits silently corrupt."
+    )
+    return report
+
+
+def render(report: ExperimentReport) -> str:
+    rows = [
+        [
+            r["workload"],
+            r["category"],
+            r["bit"],
+            r["experiments"],
+            pct(r["sdc"]),
+            pct(r["benign"]),
+            pct(r["crash"]),
+        ]
+        for r in report.rows
+    ]
+    return (
+        render_table(report.headers, rows, title="Bit-position sensitivity (extension)")
+        + "\n\n"
+        + "\n".join(report.notes)
+    )

@@ -1,0 +1,23 @@
+"""MiniISPC: an ISPC-like SPMD compiler targeting the vector IR."""
+
+from .codegen import CodeGenerator, generate_module
+from .driver import compile_source
+from .lexer import tokenize
+from .parser import parse_source
+from .sema import analyze
+from .target import AVX, AVX512, SSE, TARGETS, Target, get_target
+
+__all__ = [
+    "CodeGenerator",
+    "generate_module",
+    "compile_source",
+    "tokenize",
+    "parse_source",
+    "analyze",
+    "AVX",
+    "AVX512",
+    "SSE",
+    "TARGETS",
+    "Target",
+    "get_target",
+]

@@ -1,0 +1,209 @@
+"""AST node definitions for MiniISPC.
+
+Nodes are plain dataclasses.  Semantic analysis (:mod:`repro.frontend.sema`)
+annotates expression nodes in place with ``ty`` (``"int" | "float" | "bool"``)
+and ``vb`` (``"uniform" | "varying"``); the code generator relies on those
+annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+UNIFORM = "uniform"
+VARYING = "varying"
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    # Filled by sema:
+    ty: str = field(default="", kw_only=True)
+    vb: str = field(default="", kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: NameRef = None  # arrays are always named parameters
+    index: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    target: str = ""  # 'int' | 'float' | 'bool'
+    value: Expr = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr = None
+    on_true: Expr = None
+    on_false: Expr = None
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    qualifier: str = ""  # uniform | varying
+    type: str = ""  # int | float | bool
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # NameRef or IndexExpr
+    op: str = "="  # '=', '+=', '-=', '*=', '/=', '%='
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then_body: Stmt = None
+    else_body: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: Stmt = None
+
+
+@dataclass
+class ForeachDim:
+    """One `var = start ... end` dimension of a foreach statement."""
+
+    var: str
+    start: "Expr"
+    end: "Expr"
+
+
+@dataclass
+class ForeachStmt(Stmt):
+    """`foreach (j = a ... b, i = c ... d) body`.
+
+    The innermost (last) dimension is vectorized across lanes; outer
+    dimensions become uniform loops around it (ISPC's common lowering; the
+    paper's footnote 4 notes its findings carry over to the multi-
+    dimensional form).  `var`/`start`/`end` mirror the innermost dimension
+    for single-dimension convenience.
+    """
+
+    var: str = ""
+    start: Expr = None
+    end: Expr = None
+    body: Stmt = None
+    dims: list["ForeachDim"] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- declarations ----------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    qualifier: str = ""
+    type: str = ""
+    name: str = ""
+    is_array: bool = False
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    return_qualifier: str = ""
+    return_type: str = "void"
+    params: list[Param] = field(default_factory=list)
+    body: Block = None
+    export: bool = False
+
+
+@dataclass
+class Program(Node):
+    functions: list[FuncDecl] = field(default_factory=list)

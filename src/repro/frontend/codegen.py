@@ -1,0 +1,945 @@
+"""Vectorizing code generator: MiniISPC AST → vector IR.
+
+Reproduces the code-generation discipline the paper reverse-engineered from
+ISPC (§III), because the error detectors are synthesized *from* it:
+
+* ``foreach`` lowers to the Fig.-7 skeleton — an ``allocas`` entry region
+  computing ``nextras = n % Vl`` and ``aligned_end = n - nextras``, a rotated
+  ``foreach_full_body`` loop stepping ``new_counter = counter + Vl`` with all
+  lanes active, and a ``partial_inner_only`` tail executing the remaining
+  ``n % Vl`` iterations under a lane mask;
+* uniform values entering varying contexts are broadcast with the Fig.-9
+  ``insertelement`` + ``shufflevector`` idiom;
+* masked memory traffic uses the AVX x86 intrinsics (sign-bit masks) or the
+  generic ``llvm.masked.*`` intrinsics (i1 masks) depending on the target;
+* varying control flow is compiled to mask arithmetic with ``any(mask)``
+  early-outs, the standard SPMD-on-SIMD lowering.
+
+The generator marks the foreach latch branch, ``new_counter`` and
+``aligned_end`` values with metadata so the detector pass
+(:mod:`repro.detectors.foreach_invariants`) can find the invariants without
+fragile name matching — modelling the "compiler explicates its invariants"
+collaboration the paper advocates.
+
+Local variables are emitted as allocas; run :func:`repro.passes.optimize`
+afterwards to obtain the pruned-SSA form the paper analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FrontendError
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Alloca, Instruction
+from ..ir.intrinsics import declare_intrinsic
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import F32, FunctionType, I1, I8, I32, Type, VOID, pointer, vector
+from ..ir.values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantVector,
+    Value,
+    const_int,
+    splat,
+    zeroinitializer,
+)
+from . import ast
+from .ast import UNIFORM, VARYING
+from .target import Target
+
+_SCALAR_IR = {"int": I32, "float": F32, "bool": I1}
+
+
+@dataclass
+class VarSlot:
+    """A mutable local variable backed by an alloca."""
+
+    addr: Value
+    ir_type: Type
+    qualifier: str
+    src_type: str
+
+
+@dataclass
+class ArraySlot:
+    """A uniform array parameter (a pointer)."""
+
+    pointer: Value
+    elem_type: str
+
+
+@dataclass
+class ValueSlot:
+    """A read-only SSA binding (the foreach dimension variable)."""
+
+    value: Value
+    src_type: str
+    qualifier: str
+
+
+Slot = VarSlot | ArraySlot | ValueSlot
+
+
+@dataclass
+class ForeachContext:
+    """Live while generating one copy of a foreach body."""
+
+    var: str
+    idx0: Value  # uniform i32: the source index of lane 0
+
+
+class CodeGenerator:
+    def __init__(self, program: ast.Program, target: Target, module_name: str = "miniispc"):
+        self.program = program
+        self.target = target
+        self.module = Module(module_name)
+        self.fn_map: dict[str, Function] = {}
+
+    # -- type mapping ------------------------------------------------------------
+
+    def scalar_ir(self, ty: str) -> Type:
+        return _SCALAR_IR[ty]
+
+    def ir_type(self, ty: str, vb: str) -> Type:
+        scalar = self.scalar_ir(ty)
+        if vb == VARYING:
+            return vector(scalar, self.target.vector_width)
+        return scalar
+
+    # -- driver -----------------------------------------------------------------
+
+    def generate(self) -> Module:
+        for fn in self.program.functions:
+            params: list[Type] = []
+            names: list[str] = []
+            for p in fn.params:
+                if p.is_array:
+                    params.append(pointer(self.scalar_ir(p.type)))
+                else:
+                    params.append(self.ir_type(p.type, p.qualifier))
+                names.append(p.name)
+            ret = (
+                VOID
+                if fn.return_type == "void"
+                else self.ir_type(fn.return_type, fn.return_qualifier)
+            )
+            ir_fn = self.module.add_function(
+                fn.name, FunctionType(ret, tuple(params)), names
+            )
+            if fn.export:
+                ir_fn.attributes.add("export")
+            self.fn_map[fn.name] = ir_fn
+        for fn in self.program.functions:
+            _FunctionEmitter(self, fn).emit()
+        return self.module
+
+
+class _FunctionEmitter:
+    def __init__(self, cg: CodeGenerator, decl: ast.FuncDecl):
+        self.cg = cg
+        self.target = cg.target
+        self.module = cg.module
+        self.decl = decl
+        self.fn = cg.fn_map[decl.name]
+        self.builder = IRBuilder()
+        self.scopes: list[dict[str, Slot]] = []
+        self.mask: Value | None = None  # None == all lanes active
+        self.foreach: ForeachContext | None = None
+        self.loop_stack: list[tuple[BasicBlock, BasicBlock]] = []  # (break, continue)
+        self._entry_block: BasicBlock | None = None
+        self._alloca_count = 0
+        self._foreach_count = 0
+
+    # -- small helpers --------------------------------------------------------------
+
+    @property
+    def vl(self) -> int:
+        return self.target.vector_width
+
+    def iota(self) -> ConstantVector:
+        return ConstantVector([const_int(I32, i) for i in range(self.vl)])
+
+    def all_true(self) -> ConstantVector:
+        return splat(const_int(I1, 1), self.vl)
+
+    def current_mask(self) -> Value:
+        return self.mask if self.mask is not None else self.all_true()
+
+    def new_alloca(self, ir_type: Type, name: str) -> Value:
+        """Allocas live at the top of the entry block ('allocas', as in the
+        paper's Fig. 7) regardless of where codegen currently is."""
+        assert self._entry_block is not None
+        instr = Alloca(ir_type, 1, name)
+        self._entry_block.insert(self._alloca_count, instr)
+        instr.parent = self._entry_block
+        self._alloca_count += 1
+        return instr
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def bind(self, name: str, slot: Slot) -> None:
+        self.scopes[-1][name] = slot
+
+    def lookup(self, name: str) -> Slot:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise FrontendError(f"codegen: unbound name {name!r}")
+
+    def intrinsic(self, name: str) -> Function:
+        return declare_intrinsic(self.module, name)
+
+    def broadcast(self, scalar: Value, name: str = "") -> Value:
+        return self.builder.broadcast(scalar, self.vl, name or scalar.name or "u")
+
+    def as_varying(self, value: Value, ty: str, vb: str, name: str = "") -> Value:
+        if vb == VARYING:
+            return value
+        return self.broadcast(value, name)
+
+    # -- function body ----------------------------------------------------------------
+
+    def emit(self) -> None:
+        entry = self.fn.add_block("allocas")
+        self._entry_block = entry
+        self.builder.position_at_end(entry)
+        self.push_scope()
+        for p, arg in zip(self.decl.params, self.fn.args):
+            if p.is_array:
+                self.bind(p.name, ArraySlot(arg, p.type))
+            else:
+                # Parameters are mutable in C; give them a slot.
+                slot = VarSlot(
+                    self.new_alloca(self.cg.ir_type(p.type, p.qualifier), p.name + ".addr"),
+                    self.cg.ir_type(p.type, p.qualifier),
+                    p.qualifier,
+                    p.type,
+                )
+                self.builder.store(arg, slot.addr)
+                self.bind(p.name, slot)
+        self.gen_stmt(self.decl.body)
+        if not self.builder.block.is_terminated:
+            if self.decl.return_type == "void":
+                self.builder.ret()
+            else:
+                raise FrontendError(
+                    f"@{self.decl.name}: control reaches end of non-void function",
+                    self.decl.line,
+                )
+        self.pop_scope()
+
+    # -- statements ----------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if self.builder.block.is_terminated:
+            return  # unreachable source code after return/break
+        if isinstance(stmt, ast.Block):
+            self.push_scope()
+            for s in stmt.statements:
+                self.gen_stmt(s)
+            self.pop_scope()
+        elif isinstance(stmt, ast.VarDecl):
+            self.gen_vardecl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.ForeachStmt):
+            self.gen_foreach(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.builder.ret()
+            else:
+                self.builder.ret(self.gen_expr(stmt.value))
+        elif isinstance(stmt, ast.BreakStmt):
+            self.builder.br(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.builder.br(self.loop_stack[-1][1])
+        else:  # pragma: no cover
+            raise FrontendError(f"codegen: unknown statement {type(stmt).__name__}")
+
+    def gen_vardecl(self, stmt: ast.VarDecl) -> None:
+        ir_ty = self.cg.ir_type(stmt.type, stmt.qualifier)
+        addr = self.new_alloca(ir_ty, stmt.name)
+        slot = VarSlot(addr, ir_ty, stmt.qualifier, stmt.type)
+        value = self.gen_expr(stmt.init)
+        if stmt.qualifier == VARYING and stmt.init.vb == UNIFORM:
+            value = self.broadcast(value, stmt.name)
+        # A fresh variable is initialized in all lanes, mask or not.
+        self.builder.store(value, addr)
+        self.bind(stmt.name, slot)
+
+    def _apply_compound(self, op: str, ty: str, vb: str, old: Value, rhs: Value) -> Value:
+        expr_op = op[0]
+        b = self.builder
+        if ty == "float":
+            return {"+": b.fadd, "-": b.fsub, "*": b.fmul, "/": b.fdiv}[expr_op](old, rhs)
+        return {"+": b.add, "-": b.sub, "*": b.mul, "/": b.sdiv, "%": b.srem}[expr_op](
+            old, rhs
+        )
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.NameRef):
+            slot = self.lookup(target.name)
+            if not isinstance(slot, VarSlot):
+                raise FrontendError(f"cannot assign to {target.name!r}", stmt.line)
+            value = self.gen_expr(stmt.value)
+            if slot.qualifier == VARYING and stmt.value.vb == UNIFORM:
+                value = self.broadcast(value)
+            if stmt.op != "=":
+                old = self.builder.load(slot.addr, target.name)
+                value = self._apply_compound(
+                    stmt.op, slot.src_type, slot.qualifier, old, value
+                )
+            if slot.qualifier == VARYING and self.mask is not None:
+                old = self.builder.load(slot.addr, target.name)
+                value = self.builder.select(self.mask, value, old)
+            self.builder.store(value, slot.addr)
+            return
+        assert isinstance(target, ast.IndexExpr)
+        value = self.gen_expr(stmt.value)
+        if target.vb == VARYING and stmt.value.vb == UNIFORM:
+            value = self.broadcast(value)
+        if stmt.op != "=":
+            old = self.gen_index_load(target)
+            value = self._apply_compound(stmt.op, target.ty, target.vb, old, value)
+        self.gen_index_store(target, value)
+
+    # -- control flow -----------------------------------------------------------------------
+
+    def gen_if(self, stmt: ast.IfStmt) -> None:
+        if stmt.cond.vb == UNIFORM:
+            cond = self.gen_expr(stmt.cond)
+            then_bb = self.fn.add_block("if.then")
+            end_bb = self.fn.add_block("if.end")
+            else_bb = self.fn.add_block("if.else") if stmt.else_body else end_bb
+            self.builder.condbr(cond, then_bb, else_bb)
+            self.builder.position_at_end(then_bb)
+            self.gen_stmt(stmt.then_body)
+            if not self.builder.block.is_terminated:
+                self.builder.br(end_bb)
+            if stmt.else_body is not None:
+                self.builder.position_at_end(else_bb)
+                self.gen_stmt(stmt.else_body)
+                if not self.builder.block.is_terminated:
+                    self.builder.br(end_bb)
+            self.builder.position_at_end(end_bb)
+            return
+
+        # Varying if: mask arithmetic with any() early-outs.
+        cond_vec = self.gen_expr(stmt.cond)
+        outer = self.mask
+        m_then = (
+            cond_vec if outer is None else self.builder.and_(outer, cond_vec, "mask.then")
+        )
+        saved = self.mask
+
+        then_bb = self.fn.add_block("vif.then")
+        then_done = self.fn.add_block("vif.then.done")
+        any_then = self._any(m_then)
+        self.builder.condbr(any_then, then_bb, then_done)
+        self.builder.position_at_end(then_bb)
+        self.mask = m_then
+        self.gen_stmt(stmt.then_body)
+        self.mask = saved
+        self.builder.br(then_done)
+        self.builder.position_at_end(then_done)
+
+        if stmt.else_body is not None:
+            not_cond = self.builder.xor(cond_vec, self.all_true(), "cond.not")
+            m_else = (
+                not_cond
+                if outer is None
+                else self.builder.and_(outer, not_cond, "mask.else")
+            )
+            else_bb = self.fn.add_block("vif.else")
+            end_bb = self.fn.add_block("vif.end")
+            any_else = self._any(m_else)
+            self.builder.condbr(any_else, else_bb, end_bb)
+            self.builder.position_at_end(else_bb)
+            self.mask = m_else
+            self.gen_stmt(stmt.else_body)
+            self.mask = saved
+            self.builder.br(end_bb)
+            self.builder.position_at_end(end_bb)
+
+    def gen_while(self, stmt: ast.WhileStmt) -> None:
+        if stmt.cond.vb == UNIFORM:
+            header = self.fn.add_block("while.cond")
+            body = self.fn.add_block("while.body")
+            end = self.fn.add_block("while.end")
+            self.builder.br(header)
+            self.builder.position_at_end(header)
+            cond = self.gen_expr(stmt.cond)
+            self.builder.condbr(cond, body, end)
+            self.builder.position_at_end(body)
+            self.loop_stack.append((end, header))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            if not self.builder.block.is_terminated:
+                self.builder.br(header)
+            self.builder.position_at_end(end)
+            return
+
+        # Varying while: lanes drop out as their condition fails.
+        mask_ty = vector(I1, self.vl)
+        mask_var = self.new_alloca(mask_ty, "while.mask")
+        self.builder.store(self.current_mask(), mask_var)
+        header = self.fn.add_block("vwhile.cond")
+        body = self.fn.add_block("vwhile.body")
+        end = self.fn.add_block("vwhile.end")
+        saved = self.mask
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        live = self.builder.load(mask_var, "live.mask")
+        self.mask = live
+        cond_vec = self.gen_expr(stmt.cond)
+        m = self.builder.and_(live, cond_vec, "loop.mask")
+        self.builder.store(m, mask_var)
+        self.builder.condbr(self._any(m), body, end)
+        self.builder.position_at_end(body)
+        self.mask = m
+        self.gen_stmt(stmt.body)
+        self.mask = saved
+        if not self.builder.block.is_terminated:
+            self.builder.br(header)
+        self.builder.position_at_end(end)
+
+    def gen_for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        header = self.fn.add_block("for.cond")
+        body = self.fn.add_block("for.body")
+        step_bb = self.fn.add_block("for.inc")
+        end = self.fn.add_block("for.end")
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        if stmt.cond is not None:
+            cond = self.gen_expr(stmt.cond)
+            self.builder.condbr(cond, body, end)
+        else:
+            self.builder.br(body)
+        self.builder.position_at_end(body)
+        self.loop_stack.append((end, step_bb))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(step_bb)
+        self.builder.position_at_end(step_bb)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.builder.br(header)
+        self.builder.position_at_end(end)
+        self.pop_scope()
+
+    # -- foreach (paper Figs 6-8) --------------------------------------------------------------
+
+    def gen_foreach(self, stmt: ast.ForeachStmt) -> None:
+        dims = stmt.dims or [ast.ForeachDim(stmt.var, stmt.start, stmt.end)]
+        if len(dims) > 1:
+            self._gen_foreach_outer(dims, stmt)
+            return
+        self._gen_foreach_inner(dims[-1], stmt)
+
+    def _gen_foreach_outer(self, dims: list, stmt: ast.ForeachStmt) -> None:
+        """Outer foreach dimensions: uniform counted loops wrapping the
+        vectorized innermost dimension (paper footnote 4's generalization)."""
+        b = self.builder
+        dim = dims[0]
+        start_v = self.gen_expr(dim.start)
+        end_v = self.gen_expr(dim.end)
+        counter = self.new_alloca(I32, dim.var + ".outer")
+        b.store(start_v, counter)
+        header = self.fn.add_block(f"foreach_{dim.var}.cond")
+        body = self.fn.add_block(f"foreach_{dim.var}.body")
+        done = self.fn.add_block(f"foreach_{dim.var}.end")
+        b.br(header)
+        b.position_at_end(header)
+        cur = b.load(counter, dim.var)
+        b.condbr(b.icmp("slt", cur, end_v), body, done)
+        b.position_at_end(body)
+        self.push_scope()
+        self.bind(dim.var, ValueSlot(cur, "int", UNIFORM))
+        rest = dims[1:]
+        if len(rest) > 1:
+            self._gen_foreach_outer(rest, stmt)
+        else:
+            self._gen_foreach_inner(rest[0], stmt)
+        self.pop_scope()
+        b.store(b.add(cur, b.i32(1)), counter)
+        b.br(header)
+        b.position_at_end(done)
+
+    def _gen_foreach_inner(self, dim, stmt: ast.ForeachStmt) -> None:
+        b = self.builder
+        vl = self.vl
+        loop_id = self._foreach_count
+        self._foreach_count += 1
+
+        start_v = self.gen_expr(stmt.start)
+        end_v = self.gen_expr(stmt.end)
+        n_total = b.sub(end_v, start_v, "foreach_n")
+        nextras = b.srem(n_total, b.i32(vl), "nextras")
+        aligned_end = b.sub(n_total, nextras, "aligned_end")
+        aligned_end.meta["foreach_role"] = "aligned_end"
+        aligned_end.meta["foreach_id"] = loop_id
+
+        counter_var = self.new_alloca(I32, "counter")
+        b.store(b.i32(0), counter_var)
+
+        lr_ph = self.fn.add_block("foreach_full_body.lr.ph")
+        full = self.fn.add_block("foreach_full_body")
+        partial_outer = self.fn.add_block("partial_inner_all_outer")
+        partial = self.fn.add_block("partial_inner_only")
+        reset = self.fn.add_block("foreach_reset")
+
+        have_full = b.icmp("sgt", aligned_end, b.i32(0), "have_full")
+        b.condbr(have_full, lr_ph, partial_outer)
+
+        b.position_at_end(lr_ph)
+        b.br(full)
+
+        # Full body: all Vl lanes active, unit-stride memory where possible.
+        b.position_at_end(full)
+        c = b.load(counter_var, "counter")
+        idx0 = b.add(c, start_v, "base_index")
+        dim_bc = self.broadcast(idx0, "dim")
+        dim_vec = b.add(dim_bc, self.iota(), stmt.var)
+        self.push_scope()
+        self.bind(stmt.var, ValueSlot(dim_vec, "int", VARYING))
+        saved_fe, saved_mask = self.foreach, self.mask
+        self.foreach = ForeachContext(stmt.var, idx0)
+        self.mask = None
+        self.gen_stmt(stmt.body)
+        self.foreach, self.mask = saved_fe, saved_mask
+        self.pop_scope()
+        new_counter = b.add(c, b.i32(vl), "new_counter")
+        new_counter.meta["foreach_role"] = "new_counter"
+        new_counter.meta["foreach_id"] = loop_id
+        b.store(new_counter, counter_var)
+        more = b.icmp("slt", new_counter, aligned_end, "more_full")
+        latch = b.condbr(more, full, partial_outer)
+        latch.meta["foreach_role"] = "latch"
+        latch.meta["foreach_id"] = loop_id
+        latch.meta["foreach_new_counter"] = new_counter
+        latch.meta["foreach_aligned_end"] = aligned_end
+        latch.meta["foreach_vl"] = vl
+
+        # Remainder: the last n % Vl iterations under a lane mask.
+        b.position_at_end(partial_outer)
+        have_extras = b.icmp("sgt", nextras, b.i32(0), "have_extras")
+        b.condbr(have_extras, partial, reset)
+
+        b.position_at_end(partial)
+        idx0p = b.add(aligned_end, start_v, "partial_base_index")
+        dim_bcp = self.broadcast(idx0p, "dim_partial")
+        dim_vecp = b.add(dim_bcp, self.iota(), stmt.var)
+        cnt_bc = self.broadcast(aligned_end, "cnt")
+        cnt_vec = b.add(cnt_bc, self.iota(), "cntvec")
+        n_bc = self.broadcast(n_total, "ntot")
+        pmask = b.icmp("slt", cnt_vec, n_bc, "partial_mask")
+        self.push_scope()
+        self.bind(stmt.var, ValueSlot(dim_vecp, "int", VARYING))
+        self.foreach = ForeachContext(stmt.var, idx0p)
+        self.mask = pmask
+        self.gen_stmt(stmt.body)
+        self.foreach, self.mask = saved_fe, saved_mask
+        self.pop_scope()
+        b.br(reset)
+
+        b.position_at_end(reset)
+
+    # -- array access -------------------------------------------------------------------------
+
+    def _linear_offset(self, expr: ast.Expr) -> ast.Expr | None:
+        """If ``expr == dimvar + offset`` with a uniform ``offset``, return the
+        offset AST (annotated uniform int); otherwise None."""
+        if self.foreach is None:
+            return None
+        dim = self.foreach.var
+        if isinstance(expr, ast.NameRef) and expr.name == dim:
+            zero = ast.IntLit(value=0, line=expr.line)
+            zero.ty, zero.vb = "int", UNIFORM
+            return zero
+        if isinstance(expr, ast.BinaryExpr) and expr.op in ("+", "-"):
+            lhs_lin = (
+                self._linear_offset(expr.lhs) if expr.lhs.vb == VARYING else None
+            )
+            if lhs_lin is not None and expr.rhs.vb == UNIFORM and expr.rhs.ty == "int":
+                return self._combine(expr.op, lhs_lin, expr.rhs)
+            if expr.op == "+" and expr.lhs.vb == UNIFORM and expr.lhs.ty == "int":
+                rhs_lin = (
+                    self._linear_offset(expr.rhs) if expr.rhs.vb == VARYING else None
+                )
+                if rhs_lin is not None:
+                    return self._combine("+", rhs_lin, expr.lhs)
+        return None
+
+    @staticmethod
+    def _combine(op: str, a: ast.Expr, b: ast.Expr) -> ast.Expr:
+        if isinstance(a, ast.IntLit) and a.value == 0 and op == "+":
+            return b
+        node = ast.BinaryExpr(op=op, lhs=a, rhs=b, line=a.line)
+        node.ty, node.vb = "int", UNIFORM
+        return node
+
+    def _elem_ir(self, ty: str) -> Type:
+        return self.cg.scalar_ir(ty)
+
+    def _mask_operand_x86(self, mask: Value, elem: Type) -> Value:
+        """Convert an <N x i1> mask to the AVX sign-bit convention."""
+        b = self.builder
+        ivec = b.sext(mask, vector(I32, self.vl), "maski32")
+        if elem.is_float():
+            return b.bitcast(ivec, vector(F32, self.vl), "floatmask.i")
+        return ivec
+
+    def gen_index_load(self, expr: ast.IndexExpr) -> Value:
+        slot = self.lookup(expr.base.name)
+        assert isinstance(slot, ArraySlot)
+        elem = self._elem_ir(slot.elem_type)
+        b = self.builder
+
+        if expr.vb == UNIFORM:
+            idx = self.gen_expr(expr.index)
+            p = b.gep(slot.pointer, idx)
+            return b.load(p, expr.base.name + "_ld")
+
+        offset = self._linear_offset(expr.index)
+        vec_ty = vector(elem, self.vl)
+        if offset is not None:
+            base_idx = self._scalar_index(offset)
+            p = b.gep(slot.pointer, base_idx, expr.base.name + "_ld_addr")
+            if self.mask is None:
+                vp = b.bitcast(p, pointer(vec_ty))
+                return b.load(vp, expr.base.name + "_vld")
+            return self._masked_load(p, elem, self.mask, expr.base.name)
+        # Arbitrary varying index: gather.
+        idx_vec = self.gen_varying_expr(expr.index)
+        ptrs = b.gep(slot.pointer, idx_vec, expr.base.name + "_gather_addr")
+        gather = self.intrinsic(self.target.gather_name(elem))
+        passthru = zeroinitializer(vec_ty)
+        return b.call(
+            gather, [ptrs, self.current_mask(), passthru], expr.base.name + "_gather"
+        )
+
+    def gen_index_store(self, expr: ast.IndexExpr, value: Value) -> None:
+        slot = self.lookup(expr.base.name)
+        assert isinstance(slot, ArraySlot)
+        elem = self._elem_ir(slot.elem_type)
+        b = self.builder
+
+        if expr.vb == UNIFORM:
+            idx = self.gen_expr(expr.index)
+            p = b.gep(slot.pointer, idx)
+            b.store(value, p)
+            return
+
+        offset = self._linear_offset(expr.index)
+        vec_ty = vector(elem, self.vl)
+        if offset is not None:
+            base_idx = self._scalar_index(offset)
+            p = b.gep(slot.pointer, base_idx, expr.base.name + "_str_addr")
+            if self.mask is None:
+                vp = b.bitcast(p, pointer(vec_ty))
+                b.store(value, vp)
+                return
+            self._masked_store(p, elem, self.mask, value)
+            return
+        idx_vec = self.gen_varying_expr(expr.index)
+        ptrs = b.gep(slot.pointer, idx_vec, expr.base.name + "_scatter_addr")
+        scatter = self.intrinsic(self.target.scatter_name(elem))
+        b.call(scatter, [value, ptrs, self.current_mask()])
+
+    def _scalar_index(self, offset: ast.Expr) -> Value:
+        assert self.foreach is not None
+        off_v = self.gen_expr(offset)
+        if isinstance(off_v, ConstantInt) and off_v.value == 0:
+            return self.foreach.idx0
+        return self.builder.add(self.foreach.idx0, off_v)
+
+    def _masked_load(self, p: Value, elem: Type, mask: Value, name: str) -> Value:
+        b = self.builder
+        if self.target.mask_style == "x86-sign":
+            fn = self.intrinsic(self.target.masked_load_name(elem))
+            i8p = b.bitcast(p, pointer(I8))
+            m = self._mask_operand_x86(mask, elem)
+            return b.call(fn, [i8p, m], name + "_mld")
+        fn = self.intrinsic(self.target.masked_load_name(elem))
+        vec_ty = vector(elem, self.vl)
+        vp = b.bitcast(p, pointer(vec_ty))
+        return b.call(fn, [vp, mask, zeroinitializer(vec_ty)], name + "_mld")
+
+    def _masked_store(self, p: Value, elem: Type, mask: Value, value: Value) -> None:
+        b = self.builder
+        if self.target.mask_style == "x86-sign":
+            fn = self.intrinsic(self.target.masked_store_name(elem))
+            i8p = b.bitcast(p, pointer(I8))
+            m = self._mask_operand_x86(mask, elem)
+            b.call(fn, [i8p, m, value])
+            return
+        fn = self.intrinsic(self.target.masked_store_name(elem))
+        vec_ty = vector(elem, self.vl)
+        vp = b.bitcast(p, pointer(vec_ty))
+        b.call(fn, [value, vp, mask])
+
+    # -- expressions --------------------------------------------------------------------------------
+
+    def gen_varying_expr(self, expr: ast.Expr) -> Value:
+        value = self.gen_expr(expr)
+        if expr.vb == UNIFORM:
+            value = self.broadcast(value)
+        return value
+
+    def gen_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return const_int(I32, expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return ConstantFloat(F32, expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return const_int(I1, int(expr.value))
+        if isinstance(expr, ast.NameRef):
+            return self.gen_name(expr)
+        if isinstance(expr, ast.IndexExpr):
+            return self.gen_index_load(expr)
+        if isinstance(expr, ast.CastExpr):
+            return self.gen_cast(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.TernaryExpr):
+            return self.gen_ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.gen_call(expr)
+        raise FrontendError(f"codegen: unknown expression {type(expr).__name__}")
+
+    def gen_name(self, expr: ast.NameRef) -> Value:
+        if expr.name == "programIndex":
+            return self.iota()
+        if expr.name == "programCount":
+            return const_int(I32, self.vl)
+        slot = self.lookup(expr.name)
+        if isinstance(slot, ValueSlot):
+            return slot.value
+        if isinstance(slot, ArraySlot):
+            return slot.pointer
+        return self.builder.load(slot.addr, expr.name)
+
+    def gen_cast(self, expr: ast.CastExpr) -> Value:
+        value = self.gen_expr(expr.value)
+        src, dst = expr.value.ty, expr.target
+        if src == dst:
+            return value
+        b = self.builder
+        varying = expr.value.vb == VARYING
+        result_ty = self.cg.ir_type(dst, expr.value.vb)
+        if src == "int" and dst == "float":
+            return b.sitofp(value, result_ty)
+        if src == "float" and dst == "int":
+            return b.fptosi(value, result_ty)
+        if src == "bool" and dst == "int":
+            return b.zext(value, result_ty)
+        if src == "int" and dst == "bool":
+            zero = self._zero_like(expr.value)
+            return b.icmp("ne", value, zero)
+        if src == "bool" and dst == "float":
+            as_int = b.zext(value, self.cg.ir_type("int", expr.value.vb))
+            return b.sitofp(as_int, result_ty)
+        if src == "float" and dst == "bool":
+            zero = (
+                splat(ConstantFloat(F32, 0.0), self.vl)
+                if varying
+                else ConstantFloat(F32, 0.0)
+            )
+            return b.fcmp("one", value, zero)
+        raise FrontendError(f"cannot cast {src} to {dst}", expr.line)
+
+    def _zero_like(self, expr: ast.Expr):
+        scalar = self.cg.scalar_ir(expr.ty)
+        if expr.vb == VARYING:
+            return zeroinitializer(vector(scalar, self.vl))
+        return zeroinitializer(scalar)
+
+    def gen_unary(self, expr: ast.UnaryExpr) -> Value:
+        v = self.gen_expr(expr.operand)
+        b = self.builder
+        if expr.op == "-":
+            if expr.ty == "float":
+                return b.fneg(v)
+            return b.sub(self._zero_like(expr.operand), v)
+        if expr.op == "!":
+            ones = (
+                self.all_true() if expr.operand.vb == VARYING else const_int(I1, 1)
+            )
+            return b.xor(v, ones)
+        if expr.op == "~":
+            minus1 = (
+                splat(const_int(I32, -1), self.vl)
+                if expr.operand.vb == VARYING
+                else const_int(I32, -1)
+            )
+            return b.xor(v, minus1)
+        raise FrontendError(f"codegen: unknown unary {expr.op}")
+
+    _ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+    _FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+    _IBIN = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "/": "sdiv",
+        "%": "srem",
+        "<<": "shl",
+        ">>": "ashr",
+        "&": "and",
+        "|": "or",
+        "^": "xor",
+    }
+    _FBIN = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def gen_binary(self, expr: ast.BinaryExpr) -> Value:
+        b = self.builder
+        varying = expr.vb == VARYING or (
+            expr.ty == "bool" and VARYING in (expr.lhs.vb, expr.rhs.vb)
+        )
+        if varying:
+            lhs = self.gen_varying_expr(expr.lhs)
+            rhs = self.gen_varying_expr(expr.rhs)
+        else:
+            lhs = self.gen_expr(expr.lhs)
+            rhs = self.gen_expr(expr.rhs)
+        op = expr.op
+        operand_ty = expr.lhs.ty
+        if op in ("&&", "||"):
+            return b.and_(lhs, rhs) if op == "&&" else b.or_(lhs, rhs)
+        if op in self._ICMP and operand_ty in ("int", "bool"):
+            return b.icmp(self._ICMP[op], lhs, rhs)
+        if op in self._FCMP and operand_ty == "float" and expr.ty == "bool":
+            return b.fcmp(self._FCMP[op], lhs, rhs)
+        if operand_ty == "float":
+            return b.binop(self._FBIN[op], lhs, rhs)
+        if operand_ty == "bool" and op in ("&", "|", "^"):
+            return b.binop(self._IBIN[op], lhs, rhs)
+        return b.binop(self._IBIN[op], lhs, rhs)
+
+    def gen_ternary(self, expr: ast.TernaryExpr) -> Value:
+        b = self.builder
+        cond = self.gen_expr(expr.cond)
+        if expr.vb == VARYING:
+            on_true = self.gen_varying_expr(expr.on_true)
+            on_false = self.gen_varying_expr(expr.on_false)
+            if expr.cond.vb == UNIFORM:
+                # Scalar i1 condition selecting between whole vectors.
+                return b.select(cond, on_true, on_false)
+            return b.select(cond, on_true, on_false)
+        return b.select(cond, self.gen_expr(expr.on_true), self.gen_expr(expr.on_false))
+
+    # -- calls ------------------------------------------------------------------------------------------
+
+    _MATH_1 = {"sqrt", "exp", "log", "sin", "cos", "floor", "ceil"}
+
+    def gen_call(self, expr: ast.CallExpr) -> Value:
+        b = self.builder
+        name = expr.name
+        if name in self._MATH_1:
+            arg = self.gen_expr(expr.args[0])
+            varying = expr.args[0].vb == VARYING
+            fn = self.intrinsic(self.target.math_name(name, F32, varying))
+            return b.call(fn, [arg], name)
+        if name == "abs":
+            arg = self.gen_expr(expr.args[0])
+            varying = expr.args[0].vb == VARYING
+            if expr.ty == "float":
+                fn = self.intrinsic(self.target.math_name("fabs", F32, varying))
+                return b.call(fn, [arg], "abs")
+            zero = self._zero_like(expr.args[0])
+            neg = b.sub(zero, arg)
+            is_neg = b.icmp("slt", arg, zero)
+            return b.select(is_neg, neg, arg, "abs")
+        if name == "pow":
+            a0 = self.gen_expr(expr.args[0])
+            a1 = self.gen_expr(expr.args[1])
+            varying = expr.vb == VARYING
+            if varying:
+                if expr.args[0].vb == UNIFORM:
+                    a0 = self.broadcast(a0)
+                if expr.args[1].vb == UNIFORM:
+                    a1 = self.broadcast(a1)
+            fn = self.intrinsic(self.target.math_name("pow", F32, varying))
+            return b.call(fn, [a0, a1], "pow")
+        if name in ("min", "max"):
+            a0 = self.gen_expr(expr.args[0])
+            a1 = self.gen_expr(expr.args[1])
+            varying = expr.vb == VARYING
+            if varying:
+                if expr.args[0].vb == UNIFORM:
+                    a0 = self.broadcast(a0)
+                if expr.args[1].vb == UNIFORM:
+                    a1 = self.broadcast(a1)
+            if expr.ty == "float":
+                op = "minnum" if name == "min" else "maxnum"
+                fn = self.intrinsic(self.target.math_name(op, F32, varying))
+                return b.call(fn, [a0, a1], name)
+            pred = "slt" if name == "min" else "sgt"
+            cmp = b.icmp(pred, a0, a1)
+            return b.select(cmp, a0, a1, name)
+        if name == "reduce_add":
+            arg = self.gen_expr(expr.args[0])
+            if expr.ty == "float":
+                fn = self.intrinsic(self.target.reduce_name("fadd", F32))
+                return b.call(fn, [ConstantFloat(F32, 0.0), arg], "reduce_add")
+            fn = self.intrinsic(self.target.reduce_name("add", I32))
+            return b.call(fn, [arg], "reduce_add")
+        if name in ("reduce_min", "reduce_max"):
+            arg = self.gen_expr(expr.args[0])
+            if expr.ty == "float":
+                op = "fmin" if name == "reduce_min" else "fmax"
+                fn = self.intrinsic(self.target.reduce_name(op, F32))
+            else:
+                op = "smin" if name == "reduce_min" else "smax"
+                fn = self.intrinsic(self.target.reduce_name(op, I32))
+            return b.call(fn, [arg], name)
+        if name in ("any", "all"):
+            arg = self.gen_expr(expr.args[0])
+            op = "or" if name == "any" else "and"
+            fn = self.intrinsic(self.target.mask_reduce_name(op))
+            return b.call(fn, [arg], name)
+
+        # User function call.
+        callee = self.cg.fn_map[name]
+        sig_params = self.cg.program.functions
+        decl = next(f for f in sig_params if f.name == name)
+        args: list[Value] = []
+        for arg_expr, param in zip(expr.args, decl.params):
+            if param.is_array:
+                slot = self.lookup(arg_expr.base.name if isinstance(arg_expr, ast.IndexExpr) else arg_expr.name)  # type: ignore[union-attr]
+                assert isinstance(slot, ArraySlot)
+                args.append(slot.pointer)
+                continue
+            v = self.gen_expr(arg_expr)
+            if param.qualifier == VARYING and arg_expr.vb == UNIFORM:
+                v = self.broadcast(v)
+            args.append(v)
+        return b.call(callee, args, name if expr.ty != "void" else "")
+
+    def _any(self, mask: Value) -> Value:
+        fn = self.intrinsic(self.target.mask_reduce_name("or"))
+        return self.builder.call(fn, [mask], "any")
+
+
+def generate_module(program: ast.Program, target: Target, name: str = "miniispc") -> Module:
+    return CodeGenerator(program, target, name).generate()

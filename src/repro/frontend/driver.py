@@ -1,0 +1,57 @@
+"""Convenience pipeline: MiniISPC source text → verified, optimized IR.
+
+This is the equivalent of running ``ispc -O3 --emit-llvm`` in the paper's
+workflow (Fig. 1's "Compiler Frontend" box): parse, type-check, vectorize,
+then run the mid-end pipeline so the module is in the pruned-SSA shape that
+VULFI's site selector analyses.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..passes.manager import optimize
+from .codegen import generate_module
+from .parser import parse_source
+from .sema import analyze
+from .target import Target, get_target
+
+
+def compile_source(
+    source: str,
+    target: Target | str = "avx",
+    name: str = "miniispc",
+    optimize_ir: bool = True,
+    verify: bool = True,
+    foreach_detectors: bool = False,
+    uniform_detectors: bool = False,
+) -> Module:
+    """Compile MiniISPC ``source`` for ``target`` ('avx' or 'sse').
+
+    ``foreach_detectors`` / ``uniform_detectors`` insert the §III error
+    detectors between code generation and optimization — the point where
+    the codegen's invariant metadata is authoritative.
+    """
+    if isinstance(target, str):
+        target = get_target(target)
+    program = analyze(parse_source(source))
+    module = generate_module(program, target, name)
+    if verify:
+        verify_module(module)
+    if foreach_detectors:
+        from ..detectors.foreach_invariants import insert_foreach_detectors
+
+        insert_foreach_detectors(module)
+        if verify:
+            verify_module(module)
+    if uniform_detectors:
+        from ..detectors.uniform_broadcast import insert_uniform_broadcast_detectors
+
+        insert_uniform_broadcast_detectors(module)
+        if verify:
+            verify_module(module)
+    if optimize_ir:
+        optimize(module)
+        if verify:
+            verify_module(module)
+    return module

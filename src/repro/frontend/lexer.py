@@ -1,0 +1,102 @@
+"""Hand-written lexer for MiniISPC.
+
+Supports ``//`` line comments and ``/* */`` block comments, decimal integer
+and float literals (with optional exponent and ``f`` suffix, C-style), and
+the operator set in :mod:`repro.frontend.tokens`.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, OPERATORS, Token
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        # Whitespace ---------------------------------------------------------
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments -----------------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Numbers --------------------------------------------------------------
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == ".":
+                # Not the '...' range operator.
+                if not source.startswith("...", i):
+                    is_float = True
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            if i < n and source[i] in "fF":
+                i += 1
+                is_float = True
+            tokens.append(Token("float" if is_float else "int", text, line, col))
+            col += i - start
+            continue
+        # Identifiers / keywords --------------------------------------------------
+        if c.isalpha() or c == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Operators -------------------------------------------------------------------
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {c!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,374 @@
+"""Recursive-descent parser for MiniISPC.
+
+Grammar (C-like, ISPC-flavoured):
+
+    program   := function*
+    function  := 'export'? qual? type IDENT '(' params? ')' block
+    param     := qual? type IDENT ('[' ']')?
+    block     := '{' stmt* '}'
+    stmt      := vardecl | ifstmt | whilestmt | forstmt | foreachstmt
+               | returnstmt | breakstmt | continuestmt | block
+               | assign-or-expr ';'
+    vardecl   := qual? type IDENT ('=' expr)? (',' IDENT ('=' expr)?)* ';'
+    foreach   := 'foreach' '(' dim (',' dim)* ')' stmt
+    dim       := IDENT '=' expr '...' expr
+    expr      := ternary; usual C precedence below that.
+
+Casts are function-style: ``float(x)``, ``int(x)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token
+
+_TYPE_NAMES = {"void", "int", "float", "bool", "double"}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, got {tok.text!r}", tok.line, tok.col)
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    # -- program / functions -----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self.at("eof"):
+            functions.append(self.parse_function())
+        return ast.Program(functions=functions)
+
+    def parse_function(self) -> ast.FuncDecl:
+        line = self.peek().line
+        export = bool(self.accept("keyword", "export"))
+        # Like ISPC, an unqualified return type is varying by default;
+        # kernels that reduce to a scalar declare `uniform T` explicitly.
+        qual = "varying"
+        if self.at("keyword", "uniform") or self.at("keyword", "varying"):
+            qual = self.next().text
+        rtype = self.expect("keyword").text
+        if rtype not in _TYPE_NAMES:
+            raise ParseError(f"expected a return type, got {rtype!r}", line)
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDecl(
+            name=name,
+            return_qualifier=qual,
+            return_type=rtype,
+            params=params,
+            body=body,
+            export=export,
+            line=line,
+        )
+
+    def parse_param(self) -> ast.Param:
+        line = self.peek().line
+        qual = "varying"
+        if self.at("keyword", "uniform") or self.at("keyword", "varying"):
+            qual = self.next().text
+        ptype = self.expect("keyword").text
+        if ptype not in _TYPE_NAMES or ptype == "void":
+            raise ParseError(f"bad parameter type {ptype!r}", line)
+        name = self.expect("ident").text
+        is_array = False
+        if self.accept("op", "["):
+            self.expect("op", "]")
+            is_array = True
+        return ast.Param(qualifier=qual, type=ptype, name=name, is_array=is_array, line=line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect("op", "{").line
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_statement())
+        return ast.Block(statements=stmts, line=line)
+
+    def _at_decl_start(self) -> bool:
+        tok = self.peek()
+        if tok.kind != "keyword":
+            return False
+        if tok.text in ("uniform", "varying"):
+            return True
+        return tok.text in ("int", "float", "bool", "double")
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self.parse_block()
+        if self._at_decl_start():
+            return self.parse_vardecl()
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "foreach":
+                return self.parse_foreach()
+            if tok.text == "return":
+                self.next()
+                value = None
+                if not self.at("op", ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return ast.ReturnStmt(value=value, line=tok.line)
+            if tok.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return ast.BreakStmt(line=tok.line)
+            if tok.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ast.ContinueStmt(line=tok.line)
+        stmt = self.parse_assign_or_expr()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_vardecl(self, require_semicolon: bool = True) -> ast.Stmt:
+        line = self.peek().line
+        qual = "varying"
+        if self.at("keyword", "uniform") or self.at("keyword", "varying"):
+            qual = self.next().text
+        vtype = self.expect("keyword").text
+        if vtype not in ("int", "float", "bool", "double"):
+            raise ParseError(f"bad variable type {vtype!r}", line)
+        decls: list[ast.Stmt] = []
+        while True:
+            name = self.expect("ident").text
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expr()
+            decls.append(
+                ast.VarDecl(qualifier=qual, type=vtype, name=name, init=init, line=line)
+            )
+            if not self.accept("op", ","):
+                break
+        if require_semicolon:
+            self.expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(statements=decls, line=line)
+
+    def parse_assign_or_expr(self) -> ast.Stmt:
+        line = self.peek().line
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.NameRef, ast.IndexExpr)):
+                raise ParseError("left side of assignment is not assignable", tok.line)
+            self.next()
+            value = self.parse_expr()
+            return ast.Assign(target=expr, op=tok.text, value=value, line=line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            if not isinstance(expr, (ast.NameRef, ast.IndexExpr)):
+                raise ParseError("operand of ++/-- is not assignable", tok.line)
+            self.next()
+            one = ast.IntLit(value=1, line=tok.line)
+            op = "+=" if tok.text == "++" else "-="
+            return ast.Assign(target=expr, op=op, value=one, line=line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    def parse_if(self) -> ast.IfStmt:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.accept("keyword", "else"):
+            else_body = self.parse_statement()
+        return ast.IfStmt(cond=cond, then_body=then_body, else_body=else_body, line=line)
+
+    def parse_while(self) -> ast.WhileStmt:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.WhileStmt(cond=cond, body=body, line=line)
+
+    def parse_for(self) -> ast.ForStmt:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self.accept("op", ";"):
+            if self._at_decl_start():
+                init = self.parse_vardecl(require_semicolon=False)
+                self.expect("op", ";")
+            else:
+                init = self.parse_assign_or_expr()
+                self.expect("op", ";")
+        cond: ast.Expr | None = None
+        if not self.at("op", ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step: ast.Stmt | None = None
+        if not self.at("op", ")"):
+            step = self.parse_assign_or_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.ForStmt(init=init, cond=cond, step=step, body=body, line=line)
+
+    def parse_foreach(self) -> ast.ForeachStmt:
+        line = self.expect("keyword", "foreach").line
+        self.expect("op", "(")
+        dims: list[ast.ForeachDim] = []
+        while True:
+            var = self.expect("ident").text
+            self.expect("op", "=")
+            start = self.parse_expr()
+            self.expect("op", "...")
+            end = self.parse_expr()
+            dims.append(ast.ForeachDim(var=var, start=start, end=end))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        body = self.parse_statement()
+        inner = dims[-1]
+        return ast.ForeachStmt(
+            var=inner.var, start=inner.start, end=inner.end, body=body,
+            dims=dims, line=line,
+        )
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            on_true = self.parse_expr()
+            self.expect("op", ":")
+            on_false = self.parse_ternary()
+            return ast.TernaryExpr(
+                cond=cond, on_true=on_true, on_false=on_false, line=cond.line
+            )
+        return cond
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        lhs = self.parse_binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.next().text
+            rhs = self.parse_binary(level + 1)
+            lhs = ast.BinaryExpr(op=op, lhs=lhs, rhs=rhs, line=lhs.line)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.UnaryExpr(op=tok.text, operand=operand, line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("op", "["):
+                if not isinstance(expr, ast.NameRef):
+                    raise ParseError("only named arrays can be indexed", self.peek().line)
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.IndexExpr(base=expr, index=index, line=expr.line)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return ast.IntLit(value=int(tok.text), line=tok.line)
+        if tok.kind == "float":
+            text = tok.text.rstrip("fF")
+            return ast.FloatLit(value=float(text), line=tok.line)
+        if tok.kind == "keyword" and tok.text in ("true", "false"):
+            return ast.BoolLit(value=tok.text == "true", line=tok.line)
+        if tok.kind == "keyword" and tok.text in ("int", "float", "bool"):
+            # Function-style cast: float(x)
+            self.expect("op", "(")
+            value = self.parse_expr()
+            self.expect("op", ")")
+            return ast.CastExpr(target=tok.text, value=value, line=tok.line)
+        if tok.kind == "ident":
+            if self.at("op", "("):
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return ast.CallExpr(name=tok.text, args=args, line=tok.line)
+            return ast.NameRef(name=tok.text, line=tok.line)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse_source(source: str) -> ast.Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,559 @@
+"""Semantic analysis for MiniISPC: types and uniform/varying qualifiers.
+
+Annotates every expression node with ``ty`` (``int``/``float``/``bool``,
+or ``T[]`` for array parameters) and ``vb`` (``uniform``/``varying``), checks
+ISPC's qualifier rules, and inserts implicit ``int → float`` casts so the
+code generator never has to coerce.
+
+Key rules enforced (all mirror ISPC semantics, some conservatively):
+
+* a varying value cannot be assigned to a uniform variable;
+* a varying-indexed store must store a varying value (gather/scatter lane
+  discipline); a uniform-indexed store must store a uniform value;
+* ``foreach`` may not appear inside varying control flow or another foreach;
+* ``break``/``continue``/``return`` may not appear under varying control flow;
+* calls to user functions may not appear under varying control flow (the
+  execution mask is not threaded through calls in this subset);
+* the foreach dimension variable is read-only inside the loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SemaError
+from . import ast
+from .ast import UNIFORM, VARYING
+
+_NUMERIC = ("int", "float")
+_SCALARS = ("int", "float", "bool")
+
+
+@dataclass
+class Symbol:
+    qualifier: str
+    type: str  # 'int' | 'float' | 'bool', or element type for arrays
+    is_array: bool = False
+    read_only: bool = False
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_qualifier: str
+    return_type: str
+    params: list[ast.Param]
+
+
+#: Builtin scalar math functions: name -> (arg types accepted, result rule)
+_MATH_1 = {"sqrt", "exp", "log", "sin", "cos", "floor", "ceil"}
+_MATH_2 = {"pow", "atan2"}
+_MINMAX = {"min", "max"}
+_REDUCE = {"reduce_add", "reduce_min", "reduce_max"}
+_MASKOPS = {"any", "all"}
+
+BUILTIN_NAMES = _MATH_1 | _MATH_2 | _MINMAX | _REDUCE | _MASKOPS | {"abs"}
+BUILTIN_VALUES = {"programIndex", "programCount"}
+
+
+def _join_vb(*vbs: str) -> str:
+    return VARYING if VARYING in vbs else UNIFORM
+
+
+class SemanticAnalyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions: dict[str, FunctionSignature] = {}
+        self.scopes: list[dict[str, Symbol]] = []
+        self.current: FunctionSignature | None = None
+        # Control-context tracking.
+        self.varying_depth = 0
+        self.foreach_depth = 0
+        self.uniform_loop_depth = 0
+        # Loop depth *at entry of* innermost uniform loop, to validate break.
+        self._loop_varying_depths: list[int] = []
+
+    # -- scope helpers ----------------------------------------------------------
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, symbol: Symbol, line: int) -> None:
+        if name in self.scopes[-1]:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        if name in BUILTIN_VALUES or name in BUILTIN_NAMES:
+            raise SemaError(f"{name!r} shadows a builtin", line)
+        self.scopes[-1][name] = symbol
+
+    def lookup(self, name: str, line: int) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise SemaError(f"use of undeclared identifier {name!r}", line)
+
+    # -- entry point -------------------------------------------------------------
+
+    def analyze(self) -> ast.Program:
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemaError(f"redefinition of function {fn.name!r}", fn.line)
+            if fn.name in BUILTIN_NAMES or fn.name in BUILTIN_VALUES:
+                raise SemaError(f"function {fn.name!r} shadows a builtin", fn.line)
+            if fn.return_type == "double":
+                raise SemaError("double is not supported in MiniISPC", fn.line)
+            self.functions[fn.name] = FunctionSignature(
+                fn.name, fn.return_qualifier, fn.return_type, fn.params
+            )
+        for fn in self.program.functions:
+            self._analyze_function(fn)
+        return self.program
+
+    def _analyze_function(self, fn: ast.FuncDecl) -> None:
+        self.current = self.functions[fn.name]
+        self.varying_depth = 0
+        self.foreach_depth = 0
+        self.push_scope()
+        for p in fn.params:
+            if p.type == "double":
+                raise SemaError("double is not supported in MiniISPC", p.line)
+            if p.is_array and p.qualifier != UNIFORM:
+                raise SemaError(
+                    f"array parameter {p.name!r} must be uniform", p.line
+                )
+            if not p.is_array and p.qualifier == VARYING and fn.export:
+                raise SemaError(
+                    f"export function parameter {p.name!r} must be uniform "
+                    "(called from scalar host code)",
+                    p.line,
+                )
+            self.declare(
+                p.name,
+                Symbol(p.qualifier, p.type, is_array=p.is_array, read_only=p.is_array),
+                p.line,
+            )
+        self._stmt(fn.body)
+        self.pop_scope()
+        self.current = None
+
+    # -- statements -----------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.push_scope()
+            for s in stmt.statements:
+                self._stmt(s)
+            self.pop_scope()
+        elif isinstance(stmt, ast.VarDecl):
+            self._vardecl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._for(stmt)
+        elif isinstance(stmt, ast.ForeachStmt):
+            self._foreach(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._return(stmt)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            kw = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
+            if not self._loop_varying_depths:
+                raise SemaError(f"{kw} outside a loop", stmt.line)
+            if self.varying_depth != self._loop_varying_depths[-1]:
+                raise SemaError(f"{kw} under varying control flow", stmt.line)
+        else:  # pragma: no cover
+            raise SemaError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _vardecl(self, stmt: ast.VarDecl) -> None:
+        if stmt.type == "double":
+            raise SemaError("double is not supported in MiniISPC", stmt.line)
+        if stmt.qualifier == UNIFORM and self.varying_depth > 0 and stmt.init is not None:
+            # Declaring+initializing a uniform under varying control is fine
+            # only if the initializer is uniform (checked below anyway).
+            pass
+        if stmt.init is not None:
+            self._expr(stmt.init)
+            stmt.init = self._coerce(stmt.init, stmt.type, stmt.line)
+            if stmt.qualifier == UNIFORM and stmt.init.vb == VARYING:
+                raise SemaError(
+                    f"cannot initialize uniform {stmt.name!r} with a varying value",
+                    stmt.line,
+                )
+        else:
+            raise SemaError(
+                f"variable {stmt.name!r} must be initialized (MiniISPC has no "
+                "default initialization)",
+                stmt.line,
+            )
+        self.declare(stmt.name, Symbol(stmt.qualifier, stmt.type), stmt.line)
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        self._expr(stmt.value)
+        if isinstance(target, ast.NameRef):
+            sym = self.lookup(target.name, stmt.line)
+            if sym.is_array:
+                raise SemaError(f"cannot assign to array {target.name!r}", stmt.line)
+            if sym.read_only:
+                raise SemaError(f"{target.name!r} is read-only here", stmt.line)
+            target.ty = sym.type
+            target.vb = sym.qualifier
+            stmt.value = self._coerce(stmt.value, sym.type, stmt.line)
+            if sym.qualifier == UNIFORM:
+                if stmt.value.vb == VARYING:
+                    raise SemaError(
+                        f"cannot assign a varying value to uniform {target.name!r}",
+                        stmt.line,
+                    )
+                if self.varying_depth > 0:
+                    raise SemaError(
+                        f"cannot assign to uniform {target.name!r} under varying "
+                        "control flow",
+                        stmt.line,
+                    )
+        elif isinstance(target, ast.IndexExpr):
+            self._index(target)
+            stmt.value = self._coerce(stmt.value, target.ty, stmt.line)
+            if target.vb == UNIFORM and stmt.value.vb == VARYING:
+                raise SemaError(
+                    "cannot store a varying value through a uniform index "
+                    "(all lanes would collide)",
+                    stmt.line,
+                )
+            if target.vb == UNIFORM and self.varying_depth > 0:
+                raise SemaError(
+                    "cannot store through a uniform index under varying control flow",
+                    stmt.line,
+                )
+        else:
+            raise SemaError("assignment target is not assignable", stmt.line)
+        if stmt.op != "=":
+            base_op = stmt.op[0]
+            if target.ty == "bool":
+                raise SemaError(f"{stmt.op} not defined for bool", stmt.line)
+            if base_op == "%" and target.ty != "int":
+                raise SemaError("% requires int operands", stmt.line)
+
+    def _if(self, stmt: ast.IfStmt) -> None:
+        self._expr(stmt.cond)
+        if stmt.cond.ty != "bool":
+            raise SemaError("if condition must be bool", stmt.line)
+        if stmt.cond.vb == VARYING:
+            self.varying_depth += 1
+            self._stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._stmt(stmt.else_body)
+            self.varying_depth -= 1
+        else:
+            self._stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._stmt(stmt.else_body)
+
+    def _while(self, stmt: ast.WhileStmt) -> None:
+        self._expr(stmt.cond)
+        if stmt.cond.ty != "bool":
+            raise SemaError("while condition must be bool", stmt.line)
+        if stmt.cond.vb == VARYING:
+            self.varying_depth += 1
+            self._stmt(stmt.body)
+            self.varying_depth -= 1
+        else:
+            self._loop_varying_depths.append(self.varying_depth)
+            self._stmt(stmt.body)
+            self._loop_varying_depths.pop()
+
+    def _for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        if stmt.cond is not None:
+            self._expr(stmt.cond)
+            if stmt.cond.ty != "bool":
+                raise SemaError("for condition must be bool", stmt.line)
+            if stmt.cond.vb == VARYING:
+                raise SemaError(
+                    "for condition must be uniform (use foreach or a varying "
+                    "while for per-lane loops)",
+                    stmt.line,
+                )
+        self._loop_varying_depths.append(self.varying_depth)
+        self._stmt(stmt.body)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._loop_varying_depths.pop()
+        self.pop_scope()
+
+    def _foreach(self, stmt: ast.ForeachStmt) -> None:
+        if self.varying_depth > 0:
+            raise SemaError("foreach under varying control flow", stmt.line)
+        if self.foreach_depth > 0:
+            raise SemaError("nested foreach is not supported", stmt.line)
+        dims = stmt.dims or [ast.ForeachDim(stmt.var, stmt.start, stmt.end)]
+        seen_vars: set[str] = set()
+        for dim in dims:
+            if dim.var in seen_vars:
+                raise SemaError(
+                    f"duplicate foreach dimension variable {dim.var!r}", stmt.line
+                )
+            seen_vars.add(dim.var)
+            for bound, label in ((dim.start, "start"), (dim.end, "end")):
+                self._expr(bound)
+                if bound.ty != "int" or bound.vb != UNIFORM:
+                    raise SemaError(
+                        f"foreach {label} bound must be a uniform int", stmt.line
+                    )
+        self.push_scope()
+        # Outer dimensions lower to uniform loops (one value for all lanes);
+        # only the innermost dimension distributes across lanes.
+        for dim in dims[:-1]:
+            self.declare(dim.var, Symbol(UNIFORM, "int", read_only=True), stmt.line)
+        self.declare(
+            dims[-1].var, Symbol(VARYING, "int", read_only=True), stmt.line
+        )
+        self.foreach_depth += 1
+        self._stmt(stmt.body)
+        self.foreach_depth -= 1
+        self.pop_scope()
+
+    def _return(self, stmt: ast.ReturnStmt) -> None:
+        assert self.current is not None
+        if self.varying_depth > 0:
+            raise SemaError("return under varying control flow", stmt.line)
+        if self.foreach_depth > 0:
+            raise SemaError("return inside foreach", stmt.line)
+        if self.current.return_type == "void":
+            if stmt.value is not None:
+                raise SemaError("void function returns a value", stmt.line)
+            return
+        if stmt.value is None:
+            raise SemaError("non-void function must return a value", stmt.line)
+        self._expr(stmt.value)
+        stmt.value = self._coerce(stmt.value, self.current.return_type, stmt.line)
+        if self.current.return_qualifier == UNIFORM and stmt.value.vb == VARYING:
+            raise SemaError("returning a varying value from a uniform function", stmt.line)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            expr.ty, expr.vb = "int", UNIFORM
+        elif isinstance(expr, ast.FloatLit):
+            expr.ty, expr.vb = "float", UNIFORM
+        elif isinstance(expr, ast.BoolLit):
+            expr.ty, expr.vb = "bool", UNIFORM
+        elif isinstance(expr, ast.NameRef):
+            self._name(expr)
+        elif isinstance(expr, ast.IndexExpr):
+            self._index(expr)
+        elif isinstance(expr, ast.CastExpr):
+            self._expr(expr.value)
+            if expr.value.ty not in _SCALARS:
+                raise SemaError(f"cannot cast {expr.value.ty}", expr.line)
+            expr.ty, expr.vb = expr.target, expr.value.vb
+        elif isinstance(expr, ast.UnaryExpr):
+            self._unary(expr)
+        elif isinstance(expr, ast.BinaryExpr):
+            self._binary(expr)
+        elif isinstance(expr, ast.TernaryExpr):
+            self._ternary(expr)
+        elif isinstance(expr, ast.CallExpr):
+            self._call(expr)
+        else:  # pragma: no cover
+            raise SemaError(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _name(self, expr: ast.NameRef) -> None:
+        if expr.name == "programIndex":
+            expr.ty, expr.vb = "int", VARYING
+            return
+        if expr.name == "programCount":
+            expr.ty, expr.vb = "int", UNIFORM
+            return
+        sym = self.lookup(expr.name, expr.line)
+        expr.ty = f"{sym.type}[]" if sym.is_array else sym.type
+        expr.vb = sym.qualifier
+
+    def _index(self, expr: ast.IndexExpr) -> None:
+        self._name(expr.base)
+        if not expr.base.ty.endswith("[]"):
+            raise SemaError(f"{expr.base.name!r} is not an array", expr.line)
+        self._expr(expr.index)
+        if expr.index.ty != "int":
+            raise SemaError("array index must be an int", expr.line)
+        expr.ty = expr.base.ty[:-2]
+        expr.vb = expr.index.vb
+
+    def _unary(self, expr: ast.UnaryExpr) -> None:
+        self._expr(expr.operand)
+        op = expr.op
+        ty = expr.operand.ty
+        if op == "-":
+            if ty not in _NUMERIC:
+                raise SemaError("unary - requires a numeric operand", expr.line)
+        elif op == "!":
+            if ty != "bool":
+                raise SemaError("! requires a bool operand", expr.line)
+        elif op == "~":
+            if ty != "int":
+                raise SemaError("~ requires an int operand", expr.line)
+        expr.ty, expr.vb = ty, expr.operand.vb
+
+    _INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^"}
+    _CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+    _LOGICAL_OPS = {"&&", "||"}
+
+    def _binary(self, expr: ast.BinaryExpr) -> None:
+        self._expr(expr.lhs)
+        self._expr(expr.rhs)
+        op = expr.op
+        lt, rt = expr.lhs.ty, expr.rhs.ty
+        vb = _join_vb(expr.lhs.vb, expr.rhs.vb)
+        if op in self._LOGICAL_OPS:
+            if lt != "bool" or rt != "bool":
+                raise SemaError(f"{op} requires bool operands", expr.line)
+            expr.ty, expr.vb = "bool", vb
+            return
+        if op in self._INT_ONLY_OPS:
+            if lt == "bool" and op in ("&", "|", "^") and rt == "bool":
+                expr.ty, expr.vb = "bool", vb
+                return
+            if lt != "int" or rt != "int":
+                raise SemaError(f"{op} requires int operands", expr.line)
+            expr.ty, expr.vb = "int", vb
+            return
+        # Arithmetic / comparisons with int->float promotion.
+        if lt == "bool" or rt == "bool":
+            if op in ("==", "!=") and lt == rt == "bool":
+                expr.ty, expr.vb = "bool", vb
+                return
+            raise SemaError(f"{op} not defined for bool", expr.line)
+        common = "float" if "float" in (lt, rt) else "int"
+        expr.lhs = self._coerce(expr.lhs, common, expr.line)
+        expr.rhs = self._coerce(expr.rhs, common, expr.line)
+        if op in self._CMP_OPS:
+            expr.ty = "bool"
+        else:
+            expr.ty = common
+        expr.vb = vb
+
+    def _ternary(self, expr: ast.TernaryExpr) -> None:
+        self._expr(expr.cond)
+        if expr.cond.ty != "bool":
+            raise SemaError("?: condition must be bool", expr.line)
+        self._expr(expr.on_true)
+        self._expr(expr.on_false)
+        common = (
+            "float"
+            if "float" in (expr.on_true.ty, expr.on_false.ty)
+            else expr.on_true.ty
+        )
+        expr.on_true = self._coerce(expr.on_true, common, expr.line)
+        expr.on_false = self._coerce(expr.on_false, common, expr.line)
+        if expr.on_true.ty != expr.on_false.ty:
+            raise SemaError("?: arms have mismatched types", expr.line)
+        expr.ty = common
+        expr.vb = _join_vb(expr.cond.vb, expr.on_true.vb, expr.on_false.vb)
+        # A varying condition forces a varying blend even with uniform arms.
+        if expr.cond.vb == VARYING:
+            expr.vb = VARYING
+
+    def _call(self, expr: ast.CallExpr) -> None:
+        name = expr.name
+        for a in expr.args:
+            self._expr(a)
+
+        if name in _MATH_1:
+            self._expect_args(expr, 1)
+            expr.args[0] = self._coerce(expr.args[0], "float", expr.line)
+            expr.ty, expr.vb = "float", expr.args[0].vb
+            return
+        if name == "abs":
+            self._expect_args(expr, 1)
+            if expr.args[0].ty not in _NUMERIC:
+                raise SemaError("abs requires a numeric argument", expr.line)
+            expr.ty, expr.vb = expr.args[0].ty, expr.args[0].vb
+            return
+        if name in _MATH_2:
+            self._expect_args(expr, 2)
+            expr.args[0] = self._coerce(expr.args[0], "float", expr.line)
+            expr.args[1] = self._coerce(expr.args[1], "float", expr.line)
+            expr.ty = "float"
+            expr.vb = _join_vb(expr.args[0].vb, expr.args[1].vb)
+            return
+        if name in _MINMAX:
+            self._expect_args(expr, 2)
+            common = "float" if "float" in (expr.args[0].ty, expr.args[1].ty) else "int"
+            expr.args[0] = self._coerce(expr.args[0], common, expr.line)
+            expr.args[1] = self._coerce(expr.args[1], common, expr.line)
+            expr.ty = common
+            expr.vb = _join_vb(expr.args[0].vb, expr.args[1].vb)
+            return
+        if name in _REDUCE:
+            self._expect_args(expr, 1)
+            if expr.args[0].vb != VARYING or expr.args[0].ty not in _NUMERIC:
+                raise SemaError(f"{name} requires a varying numeric argument", expr.line)
+            expr.ty, expr.vb = expr.args[0].ty, UNIFORM
+            return
+        if name in _MASKOPS:
+            self._expect_args(expr, 1)
+            if expr.args[0].vb != VARYING or expr.args[0].ty != "bool":
+                raise SemaError(f"{name} requires a varying bool argument", expr.line)
+            expr.ty, expr.vb = "bool", UNIFORM
+            return
+
+        sig = self.functions.get(name)
+        if sig is None:
+            raise SemaError(f"call to unknown function {name!r}", expr.line)
+        if self.varying_depth > 0:
+            raise SemaError(
+                f"call to {name!r} under varying control flow is not supported",
+                expr.line,
+            )
+        if len(expr.args) != len(sig.params):
+            raise SemaError(
+                f"{name} expects {len(sig.params)} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        for i, (arg, param) in enumerate(zip(expr.args, sig.params)):
+            if param.is_array:
+                if arg.ty != f"{param.type}[]":
+                    raise SemaError(
+                        f"argument {i} of {name} must be a {param.type} array",
+                        expr.line,
+                    )
+                continue
+            expr.args[i] = self._coerce(expr.args[i], param.type, expr.line)
+            if param.qualifier == UNIFORM and expr.args[i].vb == VARYING:
+                raise SemaError(
+                    f"argument {i} of {name} must be uniform", expr.line
+                )
+        expr.ty = sig.return_type
+        expr.vb = sig.return_qualifier
+
+    @staticmethod
+    def _expect_args(expr: ast.CallExpr, n: int) -> None:
+        if len(expr.args) != n:
+            raise SemaError(f"{expr.name} expects {n} argument(s)", expr.line)
+
+    # -- conversions -----------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(expr: ast.Expr, target: str, line: int) -> ast.Expr:
+        """Insert an implicit int→float cast when needed; reject narrowing."""
+        if expr.ty == target:
+            return expr
+        if expr.ty == "int" and target == "float":
+            cast = ast.CastExpr(target="float", value=expr, line=line)
+            cast.ty, cast.vb = "float", expr.vb
+            return cast
+        raise SemaError(f"cannot implicitly convert {expr.ty} to {target}", line)
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    return SemanticAnalyzer(program).analyze()

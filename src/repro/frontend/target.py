@@ -1,0 +1,101 @@
+"""Target descriptors: the AVX/SSE axis of the paper's evaluation.
+
+At IR level the difference between the two instruction sets is (a) the
+vector length ``Vl`` (8 × 32-bit lanes for AVX, 4 for SSE) and (b) how
+masked memory operations are expressed:
+
+* **AVX** uses the x86 intrinsics of paper Fig. 5
+  (``llvm.x86.avx.maskload.ps.256`` / ``llvm.x86.avx2.maskload.d.256`` ...),
+  whose execution masks are float/i32 vectors interpreted by *sign bit*;
+* **SSE** (SSE4 has no masked moves) uses the generic ``llvm.masked.*``
+  intrinsics with ``<4 x i1>`` masks — the blend-based lowering ISPC emits
+  for that ISA, expressed at IR level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FrontendError
+from ..ir.types import FloatType, IntType, Type
+
+
+@dataclass(frozen=True)
+class Target:
+    name: str
+    vector_width: int  # Vl for 32-bit lanes
+    mask_style: str  # 'x86-sign' | 'i1'
+
+    def masked_load_name(self, elem: Type) -> str:
+        if self.mask_style == "x86-sign":
+            if isinstance(elem, FloatType) and elem.bits == 32:
+                return (
+                    "llvm.x86.avx.maskload.ps.256"
+                    if self.vector_width == 8
+                    else "llvm.x86.avx.maskload.ps"
+                )
+            if isinstance(elem, IntType) and elem.bits == 32:
+                return (
+                    "llvm.x86.avx2.maskload.d.256"
+                    if self.vector_width == 8
+                    else "llvm.x86.avx2.maskload.d"
+                )
+            raise FrontendError(f"no {self.name} masked load for element {elem}")
+        return f"llvm.masked.load.{self._suffix(elem)}"
+
+    def masked_store_name(self, elem: Type) -> str:
+        if self.mask_style == "x86-sign":
+            if isinstance(elem, FloatType) and elem.bits == 32:
+                return (
+                    "llvm.x86.avx.maskstore.ps.256"
+                    if self.vector_width == 8
+                    else "llvm.x86.avx.maskstore.ps"
+                )
+            if isinstance(elem, IntType) and elem.bits == 32:
+                return (
+                    "llvm.x86.avx2.maskstore.d.256"
+                    if self.vector_width == 8
+                    else "llvm.x86.avx2.maskstore.d"
+                )
+            raise FrontendError(f"no {self.name} masked store for element {elem}")
+        return f"llvm.masked.store.{self._suffix(elem)}"
+
+    def gather_name(self, elem: Type) -> str:
+        return f"llvm.masked.gather.{self._suffix(elem)}"
+
+    def scatter_name(self, elem: Type) -> str:
+        return f"llvm.masked.scatter.{self._suffix(elem)}"
+
+    def math_name(self, op: str, elem: Type, varying: bool) -> str:
+        if varying:
+            return f"llvm.{op}.{self._suffix(elem)}"
+        kind = "f" if isinstance(elem, FloatType) else "i"
+        return f"llvm.{op}.{kind}{elem.bits}"
+
+    def reduce_name(self, op: str, elem: Type) -> str:
+        return f"llvm.vector.reduce.{op}.{self._suffix(elem)}"
+
+    def mask_reduce_name(self, op: str) -> str:
+        return f"llvm.vector.reduce.{op}.v{self.vector_width}i1"
+
+    def _suffix(self, elem: Type) -> str:
+        kind = "f" if isinstance(elem, FloatType) else "i"
+        return f"v{self.vector_width}{kind}{elem.bits}"
+
+
+AVX = Target("avx", 8, "x86-sign")
+SSE = Target("sse", 4, "i1")
+#: Extension beyond the paper's AVX/SSE axis (§I promises the injector
+#: "could be easily extended to support multiple vector formats"): an
+#: AVX-512-style target — 16 x 32-bit lanes with native predicate masks,
+#: which at IR level are exactly the generic ``llvm.masked.*`` i1 form.
+AVX512 = Target("avx512", 16, "i1")
+
+TARGETS: dict[str, Target] = {"avx": AVX, "sse": SSE, "avx512": AVX512}
+
+
+def get_target(name: str) -> Target:
+    try:
+        return TARGETS[name.lower()]
+    except KeyError:
+        raise FrontendError(f"unknown target {name!r} (expected avx or sse)") from None

@@ -1,0 +1,84 @@
+"""Token definitions for MiniISPC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "export",
+        "uniform",
+        "varying",
+        "void",
+        "int",
+        "float",
+        "bool",
+        "double",
+        "if",
+        "else",
+        "while",
+        "for",
+        "foreach",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character operators, longest first (the lexer tries these in order).
+OPERATORS = (
+    "...",
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"

@@ -1,0 +1,262 @@
+"""IRBuilder: convenience layer for constructing IR.
+
+Mirrors LLVM's ``IRBuilder``: keeps an insertion point (a block, appending at
+its end, or a position before an anchor instruction) and offers one method
+per opcode.  Both the MiniISPC code generator and VULFI's instrumentor build
+IR exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import IRError
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function
+from .types import I32, IntType, Type, VectorType, vector
+from .values import (
+    Constant,
+    ConstantInt,
+    UndefValue,
+    Value,
+    const_int,
+)
+
+
+class IRBuilder:
+    def __init__(self, block: BasicBlock | None = None):
+        self._block: BasicBlock | None = block
+        self._anchor: Instruction | None = None  # insert before this, if set
+
+    # -- positioning ---------------------------------------------------------
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("builder has no insertion block")
+        return self._block
+
+    @property
+    def function(self) -> Function:
+        fn = self.block.parent
+        if fn is None:
+            raise IRError("insertion block is detached from any function")
+        return fn
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+        self._anchor = None
+
+    def position_before(self, instr: Instruction) -> None:
+        if instr.parent is None:
+            raise IRError("cannot position before a detached instruction")
+        self._block = instr.parent
+        self._anchor = instr
+
+    def position_after(self, instr: Instruction) -> None:
+        """Insert subsequent instructions immediately after ``instr``."""
+        if instr.parent is None:
+            raise IRError("cannot position after a detached instruction")
+        block = instr.parent
+        idx = block.instructions.index(instr)
+        if idx + 1 < len(block.instructions):
+            self.position_before(block.instructions[idx + 1])
+        else:
+            self.position_at_end(block)
+
+    def _insert(self, instr: Instruction) -> Instruction:
+        if self._anchor is not None:
+            self.block.insert_before(self._anchor, instr)
+        else:
+            self.block.append(instr)
+        return instr
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(BinaryOp(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("shl", lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("ashr", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("lshr", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def fneg(self, value: Value, name: str = "") -> Value:
+        return self._insert(FNeg(value, name))
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(CompareOp("icmp", predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(CompareOp("fcmp", predicate, lhs, rhs, name))
+
+    def select(self, cond: Value, on_true: Value, on_false: Value, name: str = "") -> Value:
+        return self._insert(Select(cond, on_true, on_false, name))
+
+    def cast(self, opcode: str, value: Value, target: Type, name: str = "") -> Value:
+        return self._insert(CastOp(opcode, value, target, name))
+
+    def bitcast(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("bitcast", value, target, name)
+
+    def sext(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("sext", value, target, name)
+
+    def zext(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("zext", value, target, name)
+
+    def trunc(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("trunc", value, target, name)
+
+    def sitofp(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("sitofp", value, target, name)
+
+    def fptosi(self, value: Value, target: Type, name: str = "") -> Value:
+        return self.cast("fptosi", value, target, name)
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, count: int = 1, name: str = "") -> Value:
+        return self._insert(Alloca(allocated_type, count, name))
+
+    def load(self, ptr: Value, name: str = "") -> Value:
+        return self._insert(Load(ptr, name))
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        return self._insert(Store(value, ptr))
+
+    def gep(self, base: Value, index: Value, name: str = "") -> Value:
+        return self._insert(GetElementPtr(base, index, name))
+
+    # -- vectors ---------------------------------------------------------------
+
+    def extractelement(self, vec: Value, index: Value | int, name: str = "") -> Value:
+        if isinstance(index, int):
+            index = const_int(I32, index)
+        return self._insert(ExtractElement(vec, index, name))
+
+    def insertelement(
+        self, vec: Value, element: Value, index: Value | int, name: str = ""
+    ) -> Value:
+        if isinstance(index, int):
+            index = const_int(I32, index)
+        return self._insert(InsertElement(vec, element, index, name))
+
+    def shufflevector(
+        self, v1: Value, v2: Value, mask: Iterable[int], name: str = ""
+    ) -> Value:
+        return self._insert(ShuffleVector(v1, v2, mask, name))
+
+    def broadcast(self, scalar: Value, length: int, name: str = "") -> Value:
+        """Emit the paper-Fig.-9 idiom: insert into lane 0 of undef, then
+        shuffle with an all-zero mask."""
+        vec_ty = vector(scalar.type, length)
+        init = self.insertelement(
+            UndefValue(vec_ty), scalar, 0, name=f"{name or scalar.name}_broadcast_init"
+        )
+        return self.shufflevector(
+            init, UndefValue(vec_ty), [0] * length, name=f"{name or scalar.name}_broadcast"
+        )
+
+    # -- control flow ------------------------------------------------------------
+
+    def phi(self, type: Type, name: str = "") -> Phi:
+        phi = Phi(type, name)
+        self.block.insert(self.block.first_non_phi_index(), phi)
+        phi.parent = self.block
+        return phi
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._insert(Branch(target))
+
+    def condbr(self, cond: Value, t: BasicBlock, f: BasicBlock) -> Instruction:
+        return self._insert(CondBranch(cond, t, f))
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        return self._insert(Return(value))
+
+    def unreachable(self) -> Instruction:
+        return self._insert(Unreachable())
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Value:
+        return self._insert(Call(callee, args, name))
+
+    # -- constants (sugar) ---------------------------------------------------------
+
+    @staticmethod
+    def i32(value: int) -> ConstantInt:
+        return const_int(I32, value)
+
+    @staticmethod
+    def int_const(type: IntType, value: int) -> ConstantInt:
+        return const_int(type, value)
+
+    @staticmethod
+    def undef(type: Type) -> UndefValue:
+        return UndefValue(type)
+
+    @staticmethod
+    def splat_const(element: Constant, length: int) -> Constant:
+        from .values import splat
+
+        return splat(element, length)

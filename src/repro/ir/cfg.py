@@ -1,0 +1,130 @@
+"""Control-flow-graph utilities: successors/predecessors, reverse post
+order, dominator tree (Cooper–Harvey–Kennedy), and dominance frontiers.
+
+The dominator machinery serves the mem2reg pass (SSA construction), which in
+turn gives the site classifier clean def-use chains to slice — ISPC's -O3
+output, which the paper analyses, is likewise in pruned SSA form.
+"""
+
+from __future__ import annotations
+
+from .module import BasicBlock, Function
+
+
+def reverse_post_order(fn: Function) -> list[BasicBlock]:
+    """Blocks in reverse post order from the entry (unreachable blocks are
+    excluded)."""
+    seen: set[int] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        # Iterative DFS to keep recursion depth independent of CFG size.
+        stack: list[tuple[BasicBlock, int]] = [(block, 0)]
+        seen.add(id(block))
+        while stack:
+            current, idx = stack[-1]
+            succs = current.successors()
+            if idx < len(succs):
+                stack[-1] = (current, idx + 1)
+                nxt = succs[idx]
+                if id(nxt) not in seen:
+                    seen.add(id(nxt))
+                    stack.append((nxt, 0))
+            else:
+                order.append(current)
+                stack.pop()
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    """Immediate dominators + dominance frontiers for one function."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.rpo = reverse_post_order(fn)
+        self._index = {id(b): i for i, b in enumerate(self.rpo)}
+        self.idom: dict[int, BasicBlock] = {}
+        self._compute_idoms()
+        self.frontiers: dict[int, list[BasicBlock]] = {}
+        self._compute_frontiers()
+
+    # -- Cooper-Harvey-Kennedy "engineered" iterative algorithm -------------
+
+    def _intersect(self, b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+        f1, f2 = b1, b2
+        while f1 is not f2:
+            while self._index[id(f1)] > self._index[id(f2)]:
+                f1 = self.idom[id(f1)]
+            while self._index[id(f2)] > self._index[id(f1)]:
+                f2 = self.idom[id(f2)]
+        return f1
+
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry
+        self.idom[id(entry)] = entry
+        changed = True
+        preds_of = {
+            id(b): [p for p in b.predecessors() if id(p) in self._index]
+            for b in self.rpo
+        }
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in preds_of[id(block)] if id(p) in self.idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(id(block)) is not new_idom:
+                    self.idom[id(block)] = new_idom
+                    changed = True
+
+    def _compute_frontiers(self) -> None:
+        for block in self.rpo:
+            self.frontiers[id(block)] = []
+        for block in self.rpo:
+            preds = [p for p in block.predecessors() if id(p) in self._index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[id(block)]:
+                    front = self.frontiers[id(runner)]
+                    if block not in front:
+                        front.append(block)
+                    runner = self.idom[id(runner)]
+
+    # -- queries ----------------------------------------------------------------
+
+    def immediate_dominator(self, block: BasicBlock) -> BasicBlock | None:
+        if block is self.function.entry:
+            return None
+        return self.idom.get(id(block))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Whether ``a`` dominates ``b`` (reflexive)."""
+        runner: BasicBlock | None = b
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is self.function.entry:
+                return False
+            runner = self.idom.get(id(runner))
+        return False
+
+    def frontier(self, block: BasicBlock) -> list[BasicBlock]:
+        return list(self.frontiers.get(id(block), []))
+
+    def children(self, block: BasicBlock) -> list[BasicBlock]:
+        """Blocks immediately dominated by ``block``."""
+        return [
+            b
+            for b in self.rpo
+            if b is not self.function.entry and self.idom.get(id(b)) is block
+        ]

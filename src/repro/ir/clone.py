@@ -1,0 +1,170 @@
+"""Structural deep-copy of IR modules.
+
+Unlike the print→parse round trip, cloning preserves instruction ``meta``
+(the foreach invariant markers, detector/VULFI exclusion flags) — any meta
+entry that references an IR value of the same function is remapped to its
+clone.  The fault-injection engine clones the module it instruments so the
+caller's IR is never mutated.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import Constant, Value
+
+
+def clone_module(module: Module, name: str | None = None) -> Module:
+    new = Module(name if name is not None else module.name)
+    fn_map: dict[int, Function] = {}
+    for fn in module:
+        clone = new.add_function(
+            fn.name, fn.function_type, [a.name for a in fn.args]
+        ) if not fn.is_declaration else new.declare_function(
+            fn.name, fn.function_type
+        )
+        clone.attributes = set(fn.attributes)
+        fn_map[id(fn)] = clone
+    for fn in module:
+        if not fn.is_declaration:
+            _clone_body(fn, fn_map[id(fn)], fn_map)
+    return new
+
+
+def _clone_body(src: Function, dst: Function, fn_map: dict[int, Function]) -> None:
+    vmap: dict[int, Value] = {}
+    for a_old, a_new in zip(src.args, dst.args):
+        vmap[id(a_old)] = a_new
+    bmap: dict[int, BasicBlock] = {}
+    for block in src.blocks:
+        nb = BasicBlock(block.name, dst)
+        dst.blocks.append(nb)
+        bmap[id(block)] = nb
+
+    def map_value(v: Value) -> Value:
+        if isinstance(v, Constant):
+            return v  # constants are immutable and safely shared
+        mapped = vmap.get(id(v))
+        if mapped is None:
+            raise IRError(
+                f"clone: value {v.ref()} used before being defined "
+                f"(non-SSA input to clone?)"
+            )
+        return mapped
+
+    # Visit blocks in dominator-tree preorder so every non-phi use sees its
+    # definition already cloned (defs dominate uses in valid SSA); the block
+    # *layout* order of the clone is preserved via bmap regardless.
+    from .cfg import DominatorTree
+
+    dom = DominatorTree(src)
+    order: list[BasicBlock] = []
+    stack = [src.entry]
+    while stack:
+        blk = stack.pop()
+        order.append(blk)
+        stack.extend(reversed(dom.children(blk)))
+    reachable = {id(b) for b in order}
+    order.extend(b for b in src.blocks if id(b) not in reachable)
+
+    # Phis may reference values defined later (loop back edges): two passes.
+    pending_phis: list[tuple[Phi, Phi]] = []
+    for block in order:
+        nb = bmap[id(block)]
+        for instr in block.instructions:
+            cloned = _clone_instruction(instr, map_value, bmap, fn_map, pending_phis)
+            cloned.name = instr.name
+            cloned.meta = dict(instr.meta)
+            nb.instructions.append(cloned)
+            cloned.parent = nb
+            if instr.has_lvalue():
+                vmap[id(instr)] = cloned
+    for old_phi, new_phi in pending_phis:
+        for value, inc_block in old_phi.incoming():
+            new_phi.add_incoming(map_value(value), bmap[id(inc_block)])
+    # Remap meta entries that point at values of this function.
+    for block in dst.blocks:
+        for instr in block.instructions:
+            for key, val in list(instr.meta.items()):
+                if isinstance(val, Value) and id(val) in vmap:
+                    instr.meta[key] = vmap[id(val)]
+
+
+def _clone_instruction(
+    instr: Instruction,
+    mv,
+    bmap: dict[int, BasicBlock],
+    fn_map: dict[int, Function],
+    pending_phis: list,
+) -> Instruction:
+    if isinstance(instr, BinaryOp):
+        return BinaryOp(instr.opcode, mv(instr.lhs), mv(instr.rhs))
+    if isinstance(instr, FNeg):
+        return FNeg(mv(instr.operands[0]))
+    if isinstance(instr, CompareOp):
+        return CompareOp(instr.opcode, instr.predicate, mv(instr.lhs), mv(instr.rhs))
+    if isinstance(instr, Select):
+        a, b, c = instr.operands
+        return Select(mv(a), mv(b), mv(c))
+    if isinstance(instr, CastOp):
+        return CastOp(instr.opcode, mv(instr.operands[0]), instr.type)
+    if isinstance(instr, Alloca):
+        return Alloca(instr.allocated_type, instr.count)
+    if isinstance(instr, Load):
+        return Load(mv(instr.pointer))
+    if isinstance(instr, Store):
+        return Store(mv(instr.value), mv(instr.pointer))
+    if isinstance(instr, GetElementPtr):
+        return GetElementPtr(mv(instr.base), mv(instr.index))
+    if isinstance(instr, ExtractElement):
+        return ExtractElement(mv(instr.vector_operand), mv(instr.index))
+    if isinstance(instr, InsertElement):
+        return InsertElement(
+            mv(instr.vector_operand), mv(instr.element), mv(instr.index)
+        )
+    if isinstance(instr, ShuffleVector):
+        return ShuffleVector(mv(instr.operands[0]), mv(instr.operands[1]), instr.mask)
+    if isinstance(instr, Phi):
+        new_phi = Phi(instr.type)
+        pending_phis.append((instr, new_phi))
+        return new_phi
+    if isinstance(instr, Call):
+        callee = fn_map.get(id(instr.callee))
+        if callee is None:
+            raise IRError(f"clone: call to @{instr.callee.name} outside the module")
+        return Call(callee, [mv(a) for a in instr.operands])
+    if isinstance(instr, Branch):
+        return Branch(bmap[id(instr.target)])
+    if isinstance(instr, CondBranch):
+        return CondBranch(
+            mv(instr.condition),
+            bmap[id(instr.true_target)],
+            bmap[id(instr.false_target)],
+        )
+    if isinstance(instr, Return):
+        rv = instr.return_value
+        return Return(mv(rv) if rv is not None else None)
+    if isinstance(instr, Unreachable):
+        return Unreachable()
+    raise IRError(f"clone: unhandled opcode {instr.opcode}")

@@ -1,0 +1,94 @@
+"""Def-use dataflow queries, chiefly the *forward slice* of §II-C.
+
+The forward slice of a value is the set of instructions transitively reachable
+through SSA def-use edges starting at the value's direct users.  VULFI
+classifies a fault site by inspecting its slice:
+
+* slice contains a ``getelementptr``            → **address site**
+* slice contains a control-flow instruction     → **control site**
+* neither                                        → **pure-data site**
+
+The slice follows registers only (not through memory); this matches an
+IR-level slicer over SSA form.  Stores are *included* in the slice as
+members (a faulty value flowing into a store is still pure data unless the
+address side is involved) but the slice does not continue from a store to
+the loads that may read the location.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .instructions import Instruction
+from .values import Value
+
+
+def forward_slice(value: Value) -> list[Instruction]:
+    """All instructions transitively data-dependent on ``value``.
+
+    The returned list is in BFS order and does not include ``value`` itself
+    (even when it is an instruction).
+    """
+    seen: set[int] = set()
+    order: list[Instruction] = []
+    frontier: list[Value] = [value]
+    while frontier:
+        current = frontier.pop()
+        for user in current.users():
+            if id(user) in seen:
+                continue
+            seen.add(id(user))
+            order.append(user)
+            # Continue through the user's own result, if it has one.
+            if user.has_lvalue():
+                frontier.append(user)
+    return order
+
+
+def slice_contains(value: Value, predicate: Callable[[Instruction], bool]) -> bool:
+    """Early-exit test: does any instruction in the forward slice satisfy
+    ``predicate``?  Equivalent to ``any(map(predicate, forward_slice(value)))``
+    but does not materialize the slice."""
+    seen: set[int] = set()
+    frontier: list[Value] = [value]
+    while frontier:
+        current = frontier.pop()
+        for user in current.users():
+            if id(user) in seen:
+                continue
+            seen.add(id(user))
+            if predicate(user):
+                return True
+            if user.has_lvalue():
+                frontier.append(user)
+    return False
+
+
+def defs_used_by(instr: Instruction) -> list[Instruction]:
+    """Instruction operands of ``instr`` (its immediate data dependencies)."""
+    return [op for op in instr.operands if isinstance(op, Instruction)]
+
+
+def backward_slice(instr: Instruction) -> list[Instruction]:
+    """All instructions ``instr`` transitively depends on (registers only)."""
+    seen: set[int] = set()
+    order: list[Instruction] = []
+    frontier: list[Instruction] = [instr]
+    while frontier:
+        current = frontier.pop()
+        for dep in defs_used_by(current):
+            if id(dep) in seen:
+                continue
+            seen.add(id(dep))
+            order.append(dep)
+            frontier.append(dep)
+    return order
+
+
+def transitive_users(values: Iterable[Value]) -> set[int]:
+    """ids of every instruction in the union of the values' forward slices."""
+    result: set[int] = set()
+    for v in values:
+        for instr in forward_slice(v):
+            result.add(id(instr))
+    return result

@@ -1,0 +1,603 @@
+"""Instruction set of the vector IR.
+
+The opcodes mirror the LLVM 3.2 subset that the paper's tooling manipulates:
+integer/float arithmetic, comparisons, ``select``, memory operations
+(``alloca``/``load``/``store``/``getelementptr``), the vector shuffles
+(``extractelement``/``insertelement``/``shufflevector``), casts, control flow
+(``br``/``ret``/``phi``) and ``call`` — which also carries every intrinsic,
+including the masked AVX/SSE vector loads and stores of paper Fig. 5.
+
+Instructions *are* values (their Lvalue result), so use-def bookkeeping lives
+in :class:`~repro.ir.values.Value`.  Every instruction carries a ``meta``
+dict that passes use for bookkeeping; VULFI marks its own injected calls with
+``meta["vulfi"] = True`` so they are never themselves treated as fault sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..errors import IRError
+from .types import (
+    I1,
+    I64,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VOID,
+    pointer,
+    vector,
+)
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import BasicBlock, Function
+
+
+INT_BINARY_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "sdiv",
+        "udiv",
+        "srem",
+        "urem",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+    }
+)
+FLOAT_BINARY_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "frem"})
+ICMP_PREDICATES = frozenset(
+    {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+)
+FCMP_PREDICATES = frozenset(
+    {"oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno", "ueq", "une",
+     "ult", "ule", "ugt", "uge"}
+)
+CAST_OPS = frozenset(
+    {
+        "bitcast",
+        "zext",
+        "sext",
+        "trunc",
+        "sitofp",
+        "uitofp",
+        "fptosi",
+        "fptoui",
+        "fpext",
+        "fptrunc",
+        "ptrtoint",
+        "inttoptr",
+    }
+)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise IRError(message)
+
+
+class Instruction(Value):
+    """Base class of all IR instructions."""
+
+    __slots__ = ("opcode", "operands", "parent", "meta")
+
+    opcode: str
+
+    def __init__(self, opcode: str, type: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type, name)
+        self.opcode = opcode
+        self.parent: "BasicBlock | None" = None
+        self.meta: dict = {}
+        self.operands: list[Value] = []
+        for op in operands:
+            self._append_operand(op)
+
+    # -- operand management --------------------------------------------------
+
+    def _append_operand(self, value: Value) -> None:
+        _require(isinstance(value, Value), f"operand of {self.opcode} must be a Value")
+        index = len(self.operands)
+        self.operands.append(value)
+        value._add_use(self, index)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        old._remove_use(self, index)
+        self.operands[index] = value
+        value._add_use(self, index)
+
+    def drop_all_references(self) -> None:
+        """Detach from all operands (used when erasing an instruction)."""
+        for index, op in enumerate(self.operands):
+            op._remove_use(self, index)
+        self.operands = []
+
+    # -- classification hooks --------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def is_control_flow(self) -> bool:
+        """Whether this instruction *decides* control flow from a data value.
+
+        Used by the §II-C forward-slice classifier: a fault site whose slice
+        reaches a control-flow instruction is a *control site*.  Only
+        conditional branches qualify — an unconditional ``br`` consumes no
+        value and a ``ret``'s value does not select a successor.
+        """
+        return False
+
+    @property
+    def has_side_effects(self) -> bool:
+        return False
+
+    @property
+    def is_vector_instruction(self) -> bool:
+        """Paper §II-A: an instruction with at least one vector-typed operand
+        (or a vector result)."""
+        if self.type.is_vector():
+            return True
+        return any(op.type.is_vector() for op in self.operands)
+
+    def has_lvalue(self) -> bool:
+        """Whether the instruction produces a register result."""
+        return not self.type.is_void()
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def function(self) -> "Function | None":
+        return self.parent.parent if self.parent is not None else None
+
+    def erase(self) -> None:
+        """Remove from the parent block and drop operand references."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_all_references()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import format_instruction
+
+        try:
+            return f"<{format_instruction(self)}>"
+        except Exception:
+            return f"<{self.opcode} {self.ref()}>"
+
+
+class BinaryOp(Instruction):
+    """Integer and floating binary arithmetic, scalar or elementwise vector."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        _require(
+            opcode in INT_BINARY_OPS or opcode in FLOAT_BINARY_OPS,
+            f"unknown binary opcode {opcode}",
+        )
+        _require(lhs.type == rhs.type, f"{opcode}: operand types differ ({lhs.type} vs {rhs.type})")
+        scalar = lhs.type.scalar_type
+        if opcode in INT_BINARY_OPS:
+            _require(scalar.is_integer(), f"{opcode} requires integer operands, got {lhs.type}")
+        else:
+            _require(scalar.is_float(), f"{opcode} requires float operands, got {lhs.type}")
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FNeg(Instruction):
+    __slots__ = ()
+
+    def __init__(self, operand: Value, name: str = ""):
+        _require(operand.type.scalar_type.is_float(), "fneg requires float operand")
+        super().__init__("fneg", operand.type, [operand], name)
+
+
+class CompareOp(Instruction):
+    """``icmp``/``fcmp``; result is i1 or a vector of i1 (a lane mask)."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, opcode: str, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        _require(opcode in ("icmp", "fcmp"), f"bad compare opcode {opcode}")
+        preds = ICMP_PREDICATES if opcode == "icmp" else FCMP_PREDICATES
+        _require(predicate in preds, f"{opcode}: unknown predicate {predicate}")
+        _require(lhs.type == rhs.type, f"{opcode}: operand types differ")
+        scalar = lhs.type.scalar_type
+        if opcode == "icmp":
+            _require(
+                scalar.is_integer() or scalar.is_pointer(),
+                f"icmp requires int/pointer operands, got {lhs.type}",
+            )
+        else:
+            _require(scalar.is_float(), f"fcmp requires float operands, got {lhs.type}")
+        if lhs.type.is_vector():
+            result: Type = vector(I1, lhs.type.vector_length)
+        else:
+            result = I1
+        super().__init__(opcode, result, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Select(Instruction):
+    """``select cond, a, b``; a vector i1 condition blends per lane."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, on_true: Value, on_false: Value, name: str = ""):
+        _require(on_true.type == on_false.type, "select arms must share a type")
+        if cond.type == I1:
+            pass
+        elif cond.type.is_vector() and cond.type.scalar_type == I1:
+            _require(
+                on_true.type.is_vector()
+                and on_true.type.vector_length == cond.type.vector_length,
+                "vector select: arm/cond lane counts differ",
+            )
+        else:
+            raise IRError(f"select condition must be i1 or <N x i1>, got {cond.type}")
+        super().__init__("select", on_true.type, [cond, on_true, on_false], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+
+class CastOp(Instruction):
+    __slots__ = ()
+
+    def __init__(self, opcode: str, operand: Value, target: Type, name: str = ""):
+        _require(opcode in CAST_OPS, f"unknown cast {opcode}")
+        src, dst = operand.type, target
+        _require(
+            src.vector_length == dst.vector_length,
+            f"{opcode}: lane count changes ({src} -> {dst})",
+        )
+        s, d = src.scalar_type, dst.scalar_type
+        ok = {
+            "bitcast": (s.is_pointer() and d.is_pointer())
+            or (not s.is_pointer() and not d.is_pointer() and s.store_size() == d.store_size()),
+            "zext": s.is_integer() and d.is_integer() and d.bits > s.bits,
+            "sext": s.is_integer() and d.is_integer() and d.bits > s.bits,
+            "trunc": s.is_integer() and d.is_integer() and d.bits < s.bits,
+            "sitofp": s.is_integer() and d.is_float(),
+            "uitofp": s.is_integer() and d.is_float(),
+            "fptosi": s.is_float() and d.is_integer(),
+            "fptoui": s.is_float() and d.is_integer(),
+            "fpext": s.is_float() and d.is_float() and d.bits > s.bits,
+            "fptrunc": s.is_float() and d.is_float() and d.bits < s.bits,
+            "ptrtoint": s.is_pointer() and d.is_integer(),
+            "inttoptr": s.is_integer() and d.is_pointer(),
+        }[opcode]
+        _require(ok, f"invalid {opcode} from {src} to {dst}")
+        super().__init__(opcode, target, [operand], name)
+
+
+class Alloca(Instruction):
+    """Stack allocation; result is a pointer to ``allocated_type``."""
+
+    __slots__ = ("allocated_type", "count")
+
+    def __init__(self, allocated_type: Type, count: int = 1, name: str = ""):
+        _require(allocated_type.is_first_class(), f"cannot alloca {allocated_type}")
+        _require(count >= 1, "alloca count must be >= 1")
+        super().__init__("alloca", pointer(allocated_type), [], name)
+        self.allocated_type = allocated_type
+        self.count = count
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+
+class Load(Instruction):
+    """Scalar or whole-vector load through a scalar pointer."""
+
+    __slots__ = ()
+
+    def __init__(self, ptr: Value, name: str = ""):
+        _require(ptr.type.is_pointer(), f"load requires pointer operand, got {ptr.type}")
+        pointee = ptr.type.pointee
+        _require(pointee.is_first_class(), f"cannot load {pointee}")
+        super().__init__("load", pointee, [ptr], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """``store value, ptr`` — no Lvalue; VULFI injects into the value operand
+    *before* the store executes (paper §II-B)."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, ptr: Value):
+        _require(ptr.type.is_pointer(), f"store requires pointer operand, got {ptr.type}")
+        _require(
+            ptr.type.pointee == value.type,
+            f"store type mismatch: {value.type} into {ptr.type}",
+        )
+        super().__init__("store", VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+
+class GetElementPtr(Instruction):
+    """Address arithmetic: ``gep T* %base, idx`` → ``T*`` (element stride).
+
+    A vector index produces a vector of pointers (the address stream of a
+    gather/scatter).  This is the instruction whose presence in a forward
+    slice makes a fault site an *address site* (paper §II-C).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        _require(base.type.is_pointer(), f"gep base must be a pointer, got {base.type}")
+        _require(
+            index.type.scalar_type.is_integer(),
+            f"gep index must be integer, got {index.type}",
+        )
+        if index.type.is_vector():
+            result: Type = vector(base.type, index.type.vector_length)
+        else:
+            result = base.type
+        super().__init__("getelementptr", result, [base, index], name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class ExtractElement(Instruction):
+    __slots__ = ()
+
+    def __init__(self, vec: Value, index: Value, name: str = ""):
+        _require(vec.type.is_vector(), f"extractelement requires vector, got {vec.type}")
+        _require(index.type.is_integer(), "extractelement index must be integer")
+        super().__init__("extractelement", vec.type.scalar_type, [vec, index], name)
+
+    @property
+    def vector_operand(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class InsertElement(Instruction):
+    __slots__ = ()
+
+    def __init__(self, vec: Value, element: Value, index: Value, name: str = ""):
+        _require(vec.type.is_vector(), f"insertelement requires vector, got {vec.type}")
+        _require(
+            vec.type.scalar_type == element.type,
+            f"insertelement type mismatch: {element.type} into {vec.type}",
+        )
+        _require(index.type.is_integer(), "insertelement index must be integer")
+        super().__init__("insertelement", vec.type, [vec, element, index], name)
+
+    @property
+    def vector_operand(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def element(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[2]
+
+
+class ShuffleVector(Instruction):
+    """``shufflevector v1, v2, mask`` with a static integer mask.
+
+    Lane ``i`` of the result takes element ``mask[i]`` from the concatenation
+    of ``v1`` and ``v2``.  A mask of all zeros against an ``undef`` second
+    operand is the canonical uniform-value broadcast (paper Fig. 9).
+    """
+
+    __slots__ = ("mask",)
+
+    def __init__(self, v1: Value, v2: Value, mask: Iterable[int], name: str = ""):
+        _require(v1.type.is_vector(), "shufflevector requires vector operands")
+        _require(v1.type == v2.type, "shufflevector operands must share a type")
+        mask = tuple(int(m) for m in mask)
+        limit = 2 * v1.type.vector_length
+        _require(
+            all(0 <= m < limit for m in mask),
+            f"shuffle mask indices must be in [0,{limit})",
+        )
+        result = vector(v1.type.scalar_type, len(mask))
+        super().__init__("shufflevector", result, [v1, v2], name)
+        self.mask = mask
+
+    @classmethod
+    def is_broadcast(cls, instr: "Instruction") -> bool:
+        """Recognize the broadcast idiom of paper Fig. 9: a shuffle whose mask
+        is all-zero and whose first operand got lane 0 from an insertelement."""
+        return (
+            isinstance(instr, cls)
+            and all(m == 0 for m in instr.mask)
+            and isinstance(instr.operands[0], InsertElement)
+        )
+
+
+class Phi(Instruction):
+    """SSA phi node; incoming blocks tracked parallel to operands."""
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type: Type, name: str = ""):
+        super().__init__("phi", type, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        _require(value.type == self.type, f"phi incoming type {value.type} != {self.type}")
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, b in self.incoming():
+            if b is block:
+                return value
+        raise IRError(f"phi {self.ref()} has no incoming value for block {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, b in enumerate(self.incoming_blocks):
+            if b is block:
+                op = self.operands[i]
+                op._remove_use(self, i)
+                # Reindex the remaining uses of later operands.
+                for j in range(i + 1, len(self.operands)):
+                    self.operands[j]._remove_use(self, j)
+                del self.operands[i]
+                del self.incoming_blocks[i]
+                for j in range(i, len(self.operands)):
+                    self.operands[j]._add_use(self, j)
+                return
+        raise IRError(f"phi has no incoming edge from {block.name}")
+
+
+class Call(Instruction):
+    """Direct call to a :class:`~repro.ir.module.Function` (incl. intrinsics)."""
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        ftype = callee.function_type
+        if not ftype.varargs:
+            _require(
+                len(args) == len(ftype.params),
+                f"call to @{callee.name}: expected {len(ftype.params)} args, got {len(args)}",
+            )
+        for i, (arg, pty) in enumerate(zip(args, ftype.params)):
+            _require(
+                arg.type == pty,
+                f"call to @{callee.name}: arg {i} has type {arg.type}, expected {pty}",
+            )
+        super().__init__("call", ftype.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+
+class Branch(Instruction):
+    __slots__ = ("target",)
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__("br", VOID, [])
+        self.target = target
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+
+class CondBranch(Instruction):
+    __slots__ = ("true_target", "false_target")
+
+    def __init__(self, cond: Value, true_target: "BasicBlock", false_target: "BasicBlock"):
+        _require(cond.type == I1, f"condbr condition must be i1, got {cond.type}")
+        super().__init__("condbr", VOID, [cond])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def is_control_flow(self) -> bool:
+        return True
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.true_target, self.false_target]
+
+
+class Return(Instruction):
+    __slots__ = ()
+
+    def __init__(self, value: Value | None = None):
+        super().__init__("ret", VOID, [] if value is None else [value])
+
+    @property
+    def return_value(self) -> Value | None:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+class Unreachable(Instruction):
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("unreachable", VOID, [])
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+TERMINATOR_OPCODES = frozenset({"br", "condbr", "ret", "unreachable"})

@@ -1,0 +1,214 @@
+"""Intrinsic registry with masked-operation classification.
+
+Paper §II-D: *"VULFI maintains an inbuilt list of x86 intrinsics, which
+classifies whether any given intrinsic performs a masked vector operation"* —
+that list is this module.  For every intrinsic we record whether it is
+masked, which operand carries the execution mask, the mask *convention*
+(x86 AVX mask loads/stores read the **sign bit** of each float/i32 lane;
+generic ``llvm.masked.*`` intrinsics use ``<N x i1>``), and which operand or
+result carries the data that the instrumentor must target.
+
+Two families are provided:
+
+* x86 AVX intrinsics (``llvm.x86.avx.maskload.ps.256`` ...) used by the AVX
+  target — these are exactly the names in paper Fig. 5;
+* generic suffix-typed intrinsics (``llvm.masked.load.v4f32``,
+  ``llvm.sqrt.v8f32``, ``llvm.vector.reduce.fadd.v8f32`` ...) used by the SSE
+  target and by both targets for math/reductions/gathers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import IRError
+from .module import Function, Module
+from .types import (
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    I64,
+    IntType,
+    Type,
+    VOID,
+    pointer,
+    vector,
+)
+
+MASK_I1 = "i1"  # <N x i1>, lane active when the bit is 1
+MASK_SIGN = "sign"  # float/int lanes, lane active when the sign bit is set
+
+
+@dataclass(frozen=True)
+class IntrinsicInfo:
+    """Static description of one intrinsic."""
+
+    name: str
+    function_type: FunctionType
+    kind: str  # maskload | maskstore | gather | scatter | math | reduce | mask-reduce
+    masked: bool = False
+    mask_index: int | None = None  # operand index of the execution mask
+    mask_convention: str | None = None
+    # For store-like intrinsics: operand index of the value being stored
+    # (the fault-injection target, since stores have no Lvalue — §II-B).
+    stored_value_index: int | None = None
+    # For load-like intrinsics the data is the call result (the Lvalue).
+
+    @property
+    def lanes(self) -> int:
+        """Vector length of the data payload (1 for scalar math)."""
+        if self.stored_value_index is not None:
+            return self.function_type.params[self.stored_value_index].vector_length
+        return self.function_type.return_type.vector_length
+
+
+def _suffix_type(suffix: str) -> Type:
+    """Decode a type suffix: ``f32``, ``f64``, ``i32``, ``v8f32``, ``v4i1``..."""
+    m = re.fullmatch(r"v(\d+)([fi])(\d+)", suffix)
+    if m:
+        n, kind, bits = int(m.group(1)), m.group(2), int(m.group(3))
+        elem: Type = FloatType(bits) if kind == "f" else IntType(bits)
+        return vector(elem, n)
+    m = re.fullmatch(r"([fi])(\d+)", suffix)
+    if m:
+        kind, bits = m.group(1), int(m.group(2))
+        return FloatType(bits) if kind == "f" else IntType(bits)
+    raise IRError(f"bad intrinsic type suffix {suffix!r}")
+
+
+# -- x86 AVX masked moves (paper Fig. 5 names; sign-bit mask convention) -----
+
+_X86_TABLE: dict[str, IntrinsicInfo] = {}
+
+
+def _x86(name: str, ftype: FunctionType, kind: str, mask_index: int,
+         stored_value_index: int | None = None) -> None:
+    _X86_TABLE[name] = IntrinsicInfo(
+        name=name,
+        function_type=ftype,
+        kind=kind,
+        masked=True,
+        mask_index=mask_index,
+        mask_convention=MASK_SIGN,
+        stored_value_index=stored_value_index,
+    )
+
+
+_i8p = pointer(I8)
+_v8f32 = vector(F32, 8)
+_v8i32 = vector(I32, 8)
+_v4f32 = vector(F32, 4)
+_v4i32 = vector(I32, 4)
+
+_x86("llvm.x86.avx.maskload.ps.256", FunctionType(_v8f32, (_i8p, _v8f32)), "maskload", 1)
+_x86("llvm.x86.avx.maskstore.ps.256", FunctionType(VOID, (_i8p, _v8f32, _v8f32)), "maskstore", 1, 2)
+_x86("llvm.x86.avx2.maskload.d.256", FunctionType(_v8i32, (_i8p, _v8i32)), "maskload", 1)
+_x86("llvm.x86.avx2.maskstore.d.256", FunctionType(VOID, (_i8p, _v8i32, _v8i32)), "maskstore", 1, 2)
+# 128-bit AVX masked moves (used for SSE-width data on AVX hardware).
+_x86("llvm.x86.avx.maskload.ps", FunctionType(_v4f32, (_i8p, _v4f32)), "maskload", 1)
+_x86("llvm.x86.avx.maskstore.ps", FunctionType(VOID, (_i8p, _v4f32, _v4f32)), "maskstore", 1, 2)
+_x86("llvm.x86.avx2.maskload.d", FunctionType(_v4i32, (_i8p, _v4i32)), "maskload", 1)
+_x86("llvm.x86.avx2.maskstore.d", FunctionType(VOID, (_i8p, _v4i32, _v4i32)), "maskstore", 1, 2)
+
+
+_MATH_UNARY = {"sqrt", "fabs", "exp", "log", "sin", "cos", "floor", "ceil"}
+_MATH_BINARY = {"pow", "minnum", "maxnum", "copysign"}
+
+
+@lru_cache(maxsize=None)
+def get_intrinsic(name: str) -> IntrinsicInfo:
+    """Resolve an intrinsic name to its :class:`IntrinsicInfo`.
+
+    Raises :class:`~repro.errors.IRError` for unknown names — VULFI treats a
+    call to an unknown ``@llvm.*`` function as a configuration error rather
+    than silently skipping it.
+    """
+    if name in _X86_TABLE:
+        return _X86_TABLE[name]
+
+    parts = name.split(".")
+    if parts[0] != "llvm":
+        raise IRError(f"not an intrinsic name: @{name}")
+
+    # llvm.masked.load.vNT / llvm.masked.store.vNT
+    if name.startswith("llvm.masked.load."):
+        data = _suffix_type(parts[-1])
+        if not data.is_vector():
+            raise IRError(f"{name}: payload must be a vector type")
+        mask = vector(I1, data.vector_length)
+        ftype = FunctionType(data, (pointer(data), mask, data))
+        return IntrinsicInfo(name, ftype, "maskload", True, 1, MASK_I1)
+    if name.startswith("llvm.masked.store."):
+        data = _suffix_type(parts[-1])
+        if not data.is_vector():
+            raise IRError(f"{name}: payload must be a vector type")
+        mask = vector(I1, data.vector_length)
+        ftype = FunctionType(VOID, (data, pointer(data), mask))
+        return IntrinsicInfo(name, ftype, "maskstore", True, 2, MASK_I1, stored_value_index=0)
+    if name.startswith("llvm.masked.gather."):
+        data = _suffix_type(parts[-1])
+        ptrs = vector(pointer(data.scalar_type), data.vector_length)
+        mask = vector(I1, data.vector_length)
+        ftype = FunctionType(data, (ptrs, mask, data))
+        return IntrinsicInfo(name, ftype, "gather", True, 1, MASK_I1)
+    if name.startswith("llvm.masked.scatter."):
+        data = _suffix_type(parts[-1])
+        ptrs = vector(pointer(data.scalar_type), data.vector_length)
+        mask = vector(I1, data.vector_length)
+        ftype = FunctionType(VOID, (data, ptrs, mask))
+        return IntrinsicInfo(name, ftype, "scatter", True, 2, MASK_I1, stored_value_index=0)
+
+    # llvm.vector.reduce.<op>.vNT
+    if name.startswith("llvm.vector.reduce."):
+        op = parts[3]
+        data = _suffix_type(parts[-1])
+        if not data.is_vector():
+            raise IRError(f"{name}: operand must be a vector type")
+        elem = data.scalar_type
+        if op in ("fadd", "fmul"):
+            ftype = FunctionType(elem, (elem, data))  # (start accumulator, vector)
+        elif op in ("add", "mul", "and", "or", "xor", "smax", "smin",
+                    "umax", "umin", "fmax", "fmin"):
+            ftype = FunctionType(elem, (data,))
+        else:
+            raise IRError(f"unknown vector reduction llvm.vector.reduce.{op}")
+        kind = "mask-reduce" if elem == I1 else "reduce"
+        return IntrinsicInfo(name, ftype, kind)
+
+    # llvm.<mathop>.T  (scalar or elementwise vector math)
+    op = parts[1]
+    if op in _MATH_UNARY and len(parts) == 3:
+        t = _suffix_type(parts[2])
+        return IntrinsicInfo(name, FunctionType(t, (t,)), "math")
+    if op in _MATH_BINARY and len(parts) == 3:
+        t = _suffix_type(parts[2])
+        return IntrinsicInfo(name, FunctionType(t, (t, t)), "math")
+
+    raise IRError(f"unknown intrinsic @{name}")
+
+
+def is_intrinsic_name(name: str) -> bool:
+    """Paper §II-A: all LLVM intrinsics start with the ``llvm.`` prefix."""
+    return name.startswith("llvm.")
+
+
+def declare_intrinsic(module: Module, name: str) -> Function:
+    """Declare (or fetch) an intrinsic in ``module`` with its canonical type."""
+    info = get_intrinsic(name)
+    fn = module.declare_function(name, info.function_type, attributes=("intrinsic",))
+    return fn
+
+
+def intrinsic_info_for_call(call) -> IntrinsicInfo | None:
+    """Return the IntrinsicInfo for a Call instruction, or None if the callee
+    is not an intrinsic."""
+    name = call.callee.name
+    if not is_intrinsic_name(name):
+        return None
+    return get_intrinsic(name)

@@ -1,0 +1,559 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Together the pair enables the *text rewriting* workflow: print a module,
+transform the text (or store it on disk as a ``.ll``-like artifact), and
+re-parse it into in-memory IR.  The grammar is the LLVM-flavoured subset the
+printer produces; see that module for the per-opcode syntax.
+
+Forward references (SSA values used before their textual definition — loop
+phis, most prominently) are handled with placeholder values that are patched
+once the definition is seen.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import IRParseError
+from .instructions import (
+    CAST_OPS,
+    FLOAT_BINARY_OPS,
+    INT_BINARY_OPS,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    pointer,
+    vector,
+)
+from .values import (
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    UndefValue,
+    Value,
+    zeroinitializer,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>;[^\n]*)
+  | (?P<newline>\n)
+  | (?P<local>%[A-Za-z0-9._$-]+)
+  | (?P<global>@[A-Za-z0-9._$-]+)
+  | (?P<number>-?(?:\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+|inf|nan))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9._]*)
+  | (?P<punct>[{}()\[\]<>,=*:x]|\.\.\.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{self.kind}:{self.text!r}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise IRParseError(f"unexpected character {text[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup or ""
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Token(kind, m.group(), line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _ForwardRef(Value):
+    """Placeholder for a local used before its definition."""
+
+    __slots__ = ()
+
+
+class IRParser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise IRParseError(f"expected {want!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- types ---------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        tok = self.peek()
+        base: Type
+        if tok.kind == "punct" and tok.text == "<":
+            self.next()
+            n = int(self.expect("number").text)
+            x = self.next()
+            if x.text != "x":
+                raise IRParseError(f"expected 'x' in vector type, got {x.text!r}", x.line)
+            elem = self.parse_type()
+            self.expect("punct", ">")
+            base = vector(elem, n)
+        elif tok.kind == "ident":
+            self.next()
+            if tok.text == "void":
+                base = VOID
+            elif tok.text == "float":
+                base = F32
+            elif tok.text == "double":
+                base = F64
+            elif re.fullmatch(r"i\d+", tok.text):
+                base = IntType(int(tok.text[1:]))
+            else:
+                raise IRParseError(f"unknown type {tok.text!r}", tok.line)
+        else:
+            raise IRParseError(f"expected a type, got {tok.text!r}", tok.line)
+        while self.accept("punct", "*"):
+            base = pointer(base)
+        return base
+
+    # -- module --------------------------------------------------------------
+
+    def parse_module(self, name: str = "parsed") -> Module:
+        module = Module(name)
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                break
+            if tok.kind == "ident" and tok.text == "declare":
+                self._parse_declare(module)
+            elif tok.kind == "ident" and tok.text == "define":
+                self._parse_define(module)
+            else:
+                raise IRParseError(
+                    f"expected 'define' or 'declare', got {tok.text!r}", tok.line
+                )
+        return module
+
+    def _parse_declare(self, module: Module) -> None:
+        self.expect("ident", "declare")
+        ret = self.parse_type()
+        name_tok = self.expect("global")
+        self.expect("punct", "(")
+        params: list[Type] = []
+        varargs = False
+        if not self.accept("punct", ")"):
+            while True:
+                if self.accept("punct", "..."):
+                    varargs = True
+                else:
+                    params.append(self.parse_type())
+                    # Parameter names are tolerated but ignored in declares.
+                    self.accept("local")
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        module.declare_function(name_tok.text[1:], FunctionType(ret, tuple(params), varargs))
+
+    def _parse_define(self, module: Module) -> None:
+        self.expect("ident", "define")
+        ret = self.parse_type()
+        name_tok = self.expect("global")
+        self.expect("punct", "(")
+        params: list[Type] = []
+        arg_names: list[str] = []
+        if not self.accept("punct", ")"):
+            while True:
+                params.append(self.parse_type())
+                arg = self.expect("local")
+                arg_names.append(arg.text[1:])
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        self.expect("punct", "{")
+
+        fn = module.add_function(
+            name_tok.text[1:], FunctionType(ret, tuple(params)), arg_names
+        )
+        _FunctionBodyParser(self, module, fn).parse()
+
+    def _parse_global_name(self) -> str:
+        return self.expect("global").text[1:]
+
+
+class _FunctionBodyParser:
+    """Parses one function body from '{' (already consumed) to '}'."""
+
+    def __init__(self, parser: IRParser, module: Module, fn: Function):
+        self.p = parser
+        self.module = module
+        self.fn = fn
+        self.locals: dict[str, Value] = {a.name: a for a in fn.args}
+        self.pending: dict[str, _ForwardRef] = {}
+        self.blocks: dict[str, BasicBlock] = {}
+        self.pending_blocks: dict[str, BasicBlock] = {}
+
+    # -- value helpers ---------------------------------------------------------
+
+    def _define_local(self, name: str, value: Value) -> None:
+        if name in self.locals:
+            raise IRParseError(f"redefinition of %{name}")
+        value.name = name
+        self.locals[name] = value
+        ref = self.pending.pop(name, None)
+        if ref is not None:
+            ref.replace_all_uses_with(value)
+
+    def _local(self, name: str, expected: Type, line: int) -> Value:
+        existing = self.locals.get(name)
+        if existing is not None:
+            if existing.type != expected:
+                raise IRParseError(
+                    f"%{name} has type {existing.type}, expected {expected}", line
+                )
+            return existing
+        ref = self.pending.get(name)
+        if ref is None:
+            ref = _ForwardRef(expected, name)
+            self.pending[name] = ref
+        elif ref.type != expected:
+            raise IRParseError(
+                f"%{name} used with conflicting types {ref.type} and {expected}", line
+            )
+        return ref
+
+    def _block(self, name: str) -> BasicBlock:
+        if name in self.blocks:
+            return self.blocks[name]
+        block = self.pending_blocks.get(name)
+        if block is None:
+            block = BasicBlock(name, self.fn)
+            self.pending_blocks[name] = block
+        return block
+
+    def _begin_block(self, name: str, line: int) -> BasicBlock:
+        if name in self.blocks:
+            raise IRParseError(f"duplicate block label {name}", line)
+        block = self.pending_blocks.pop(name, None)
+        if block is None:
+            block = BasicBlock(name, self.fn)
+        self.blocks[name] = block
+        self.fn.blocks.append(block)
+        return block
+
+    def parse_operand(self, expected: Type) -> Value:
+        """Parse a value reference of the given type (constants included)."""
+        p = self.p
+        tok = p.peek()
+        if tok.kind == "local":
+            p.next()
+            return self._local(tok.text[1:], expected, tok.line)
+        if tok.kind == "number":
+            p.next()
+            text = tok.text
+            if isinstance(expected, FloatType) or "." in text or "e" in text or "E" in text \
+               or text.lstrip("-") in ("inf", "nan"):
+                if not isinstance(expected, FloatType):
+                    raise IRParseError(f"float literal for {expected}", tok.line)
+                return ConstantFloat(expected, float(text))
+            if not isinstance(expected, IntType):
+                raise IRParseError(f"integer literal for {expected}", tok.line)
+            return ConstantInt(expected, int(text))
+        if tok.kind == "ident":
+            if tok.text in ("true", "false"):
+                p.next()
+                if not isinstance(expected, IntType) or expected.bits != 1:
+                    raise IRParseError(f"bool literal for {expected}", tok.line)
+                return ConstantInt(expected, 1 if tok.text == "true" else 0)
+            if tok.text == "undef":
+                p.next()
+                return UndefValue(expected)
+            if tok.text == "null":
+                p.next()
+                if not isinstance(expected, PointerType):
+                    raise IRParseError(f"null literal for {expected}", tok.line)
+                return ConstantPointerNull(expected)
+            if tok.text == "zeroinitializer":
+                p.next()
+                return zeroinitializer(expected)
+            if tok.text in ("inf", "nan"):
+                p.next()
+                if not isinstance(expected, FloatType):
+                    raise IRParseError(f"float literal for {expected}", tok.line)
+                return ConstantFloat(expected, float(tok.text))
+        if tok.kind == "punct" and tok.text == "<":
+            # Vector constant: <i32 1, i32 2, ...>
+            p.next()
+            elements: list[Constant] = []
+            while True:
+                ety = p.parse_type()
+                val = self.parse_operand(ety)
+                if not isinstance(val, Constant):
+                    raise IRParseError("vector constant element must be constant", tok.line)
+                elements.append(val)
+                if not p.accept("punct", ","):
+                    break
+            p.expect("punct", ">")
+            cv = ConstantVector(elements)
+            if cv.type != expected:
+                raise IRParseError(
+                    f"vector constant has type {cv.type}, expected {expected}", tok.line
+                )
+            return cv
+        raise IRParseError(f"expected operand, got {tok.text!r}", tok.line)
+
+    def parse_typed_operand(self) -> Value:
+        ty = self.p.parse_type()
+        return self.parse_operand(ty)
+
+    # -- body ----------------------------------------------------------------
+
+    def parse(self) -> None:
+        p = self.p
+        current: BasicBlock | None = None
+        while True:
+            tok = p.peek()
+            if tok.kind == "punct" and tok.text == "}":
+                p.next()
+                break
+            # Block label: IDENT ':'  (numbers are legal labels too)
+            if (
+                tok.kind in ("ident", "number")
+                and p.peek(1).kind == "punct"
+                and p.peek(1).text == ":"
+            ):
+                p.next()
+                p.next()
+                current = self._begin_block(tok.text, tok.line)
+                continue
+            if current is None:
+                raise IRParseError("instruction outside any block", tok.line)
+            instr = self.parse_instruction()
+            current.append(instr)
+
+        if self.pending:
+            names = ", ".join(sorted(self.pending))
+            raise IRParseError(f"@{self.fn.name}: undefined locals: {names}")
+        if self.pending_blocks:
+            names = ", ".join(sorted(self.pending_blocks))
+            raise IRParseError(f"@{self.fn.name}: undefined labels: {names}")
+
+    def parse_instruction(self) -> Instruction:
+        p = self.p
+        tok = p.peek()
+        result_name: str | None = None
+        if tok.kind == "local":
+            p.next()
+            p.expect("punct", "=")
+            result_name = tok.text[1:]
+        op_tok = p.expect("ident")
+        op = op_tok.text
+        line = op_tok.line
+
+        instr = self._dispatch(op, line)
+        if result_name is not None:
+            if not instr.has_lvalue():
+                raise IRParseError(f"{op} produces no result", line)
+            self._define_local(result_name, instr)
+        return instr
+
+    def _dispatch(self, op: str, line: int) -> Instruction:
+        p = self.p
+        if op in INT_BINARY_OPS or op in FLOAT_BINARY_OPS:
+            ty = p.parse_type()
+            lhs = self.parse_operand(ty)
+            p.expect("punct", ",")
+            rhs = self.parse_operand(ty)
+            return BinaryOp(op, lhs, rhs)
+        if op == "fneg":
+            return FNeg(self.parse_typed_operand())
+        if op in ("icmp", "fcmp"):
+            pred = p.expect("ident").text
+            ty = p.parse_type()
+            lhs = self.parse_operand(ty)
+            p.expect("punct", ",")
+            rhs = self.parse_operand(ty)
+            return CompareOp(op, pred, lhs, rhs)
+        if op == "select":
+            cond = self.parse_typed_operand()
+            p.expect("punct", ",")
+            a = self.parse_typed_operand()
+            p.expect("punct", ",")
+            b = self.parse_typed_operand()
+            return Select(cond, a, b)
+        if op in CAST_OPS:
+            value = self.parse_typed_operand()
+            p.expect("ident", "to")
+            target = p.parse_type()
+            return CastOp(op, value, target)
+        if op == "alloca":
+            ty = p.parse_type()
+            count = 1
+            if p.accept("punct", ","):
+                p.parse_type()
+                count = int(p.expect("number").text)
+            return Alloca(ty, count)
+        if op == "load":
+            p.parse_type()  # result type (redundant with pointer pointee)
+            p.expect("punct", ",")
+            ptr = self.parse_typed_operand()
+            return Load(ptr)
+        if op == "store":
+            value = self.parse_typed_operand()
+            p.expect("punct", ",")
+            ptr = self.parse_typed_operand()
+            return Store(value, ptr)
+        if op == "getelementptr":
+            p.parse_type()  # pointee type
+            p.expect("punct", ",")
+            base = self.parse_typed_operand()
+            p.expect("punct", ",")
+            index = self.parse_typed_operand()
+            return GetElementPtr(base, index)
+        if op == "extractelement":
+            vec = self.parse_typed_operand()
+            p.expect("punct", ",")
+            idx = self.parse_typed_operand()
+            return ExtractElement(vec, idx)
+        if op == "insertelement":
+            vec = self.parse_typed_operand()
+            p.expect("punct", ",")
+            elem = self.parse_typed_operand()
+            p.expect("punct", ",")
+            idx = self.parse_typed_operand()
+            return InsertElement(vec, elem, idx)
+        if op == "shufflevector":
+            v1 = self.parse_typed_operand()
+            p.expect("punct", ",")
+            v2 = self.parse_typed_operand()
+            p.expect("punct", ",")
+            mask_ty = p.parse_type()
+            mask_val = self.parse_operand(mask_ty)
+            if not isinstance(mask_val, ConstantVector):
+                raise IRParseError("shuffle mask must be a constant vector", line)
+            mask = [e.value for e in mask_val.elements]  # type: ignore[union-attr]
+            return ShuffleVector(v1, v2, mask)
+        if op == "phi":
+            ty = p.parse_type()
+            phi = Phi(ty)
+            edges: list[tuple[Value, BasicBlock]] = []
+            while True:
+                p.expect("punct", "[")
+                value = self.parse_operand(ty)
+                p.expect("punct", ",")
+                blk_tok = p.expect("local")
+                edges.append((value, self._block(blk_tok.text[1:])))
+                p.expect("punct", "]")
+                if not p.accept("punct", ","):
+                    break
+            for value, block in edges:
+                phi.add_incoming(value, block)
+            return phi
+        if op == "call":
+            p.parse_type()  # return type
+            callee_tok = p.expect("global")
+            p.expect("punct", "(")
+            args: list[Value] = []
+            if not p.accept("punct", ")"):
+                while True:
+                    args.append(self.parse_typed_operand())
+                    if not p.accept("punct", ","):
+                        break
+                p.expect("punct", ")")
+            callee_name = callee_tok.text[1:]
+            if callee_name in self.module.functions:
+                callee = self.module.functions[callee_name]
+            else:
+                # Auto-declare intrinsics; anything else must be declared.
+                from .intrinsics import declare_intrinsic, is_intrinsic_name
+
+                if not is_intrinsic_name(callee_name):
+                    raise IRParseError(f"call to undeclared @{callee_name}", line)
+                callee = declare_intrinsic(self.module, callee_name)
+            return Call(callee, args)
+        if op == "br":
+            if p.peek().text == "label":
+                p.expect("ident", "label")
+                target = p.expect("local")
+                return Branch(self._block(target.text[1:]))
+            cond = self.parse_typed_operand()
+            p.expect("punct", ",")
+            p.expect("ident", "label")
+            t = p.expect("local")
+            p.expect("punct", ",")
+            p.expect("ident", "label")
+            f = p.expect("local")
+            return CondBranch(cond, self._block(t.text[1:]), self._block(f.text[1:]))
+        if op == "ret":
+            if p.peek().text == "void":
+                p.next()
+                return Return(None)
+            return Return(self.parse_typed_operand())
+        if op == "unreachable":
+            return Unreachable()
+        raise IRParseError(f"unknown opcode {op!r}", line)
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse textual IR into a :class:`~repro.ir.module.Module`."""
+    return IRParser(text).parse_module(name)

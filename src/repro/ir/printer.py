@@ -1,0 +1,142 @@
+"""Textual IR emission, LLVM-flavoured.
+
+Output round-trips through :mod:`repro.ir.parser` — this pair is the "IR
+text rewriting" path: tools can print a module, edit the text, and re-parse
+it, in addition to rewriting in-memory IR directly.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import I32
+from .values import Value
+
+
+def _op(value: Value) -> str:
+    """Print an operand as ``type ref``."""
+    return f"{value.type} {value.ref()}"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (no indentation, no trailing newline)."""
+    lhs = f"%{instr.name} = " if instr.has_lvalue() else ""
+
+    if isinstance(instr, BinaryOp):
+        return f"{lhs}{instr.opcode} {instr.type} {instr.lhs.ref()}, {instr.rhs.ref()}"
+    if isinstance(instr, FNeg):
+        return f"{lhs}fneg {_op(instr.operands[0])}"
+    if isinstance(instr, CompareOp):
+        return (
+            f"{lhs}{instr.opcode} {instr.predicate} "
+            f"{instr.lhs.type} {instr.lhs.ref()}, {instr.rhs.ref()}"
+        )
+    if isinstance(instr, Select):
+        cond, a, b = instr.operands
+        return f"{lhs}select {_op(cond)}, {_op(a)}, {_op(b)}"
+    if isinstance(instr, CastOp):
+        return f"{lhs}{instr.opcode} {_op(instr.operands[0])} to {instr.type}"
+    if isinstance(instr, Alloca):
+        suffix = f", i32 {instr.count}" if instr.count != 1 else ""
+        return f"{lhs}alloca {instr.allocated_type}{suffix}"
+    if isinstance(instr, Load):
+        return f"{lhs}load {instr.type}, {_op(instr.pointer)}"
+    if isinstance(instr, Store):
+        return f"store {_op(instr.value)}, {_op(instr.pointer)}"
+    if isinstance(instr, GetElementPtr):
+        base = instr.base
+        return (
+            f"{lhs}getelementptr {base.type.pointee}, {_op(base)}, {_op(instr.index)}"
+        )
+    if isinstance(instr, ExtractElement):
+        return f"{lhs}extractelement {_op(instr.vector_operand)}, {_op(instr.index)}"
+    if isinstance(instr, InsertElement):
+        return (
+            f"{lhs}insertelement {_op(instr.vector_operand)}, "
+            f"{_op(instr.element)}, {_op(instr.index)}"
+        )
+    if isinstance(instr, ShuffleVector):
+        mask = ", ".join(f"i32 {m}" for m in instr.mask)
+        return (
+            f"{lhs}shufflevector {_op(instr.operands[0])}, "
+            f"{_op(instr.operands[1])}, <{len(instr.mask)} x i32> <{mask}>"
+        )
+    if isinstance(instr, Phi):
+        pairs = ", ".join(
+            f"[ {value.ref()}, %{block.name} ]" for value, block in instr.incoming()
+        )
+        return f"{lhs}phi {instr.type} {pairs}"
+    if isinstance(instr, Call):
+        args = ", ".join(_op(a) for a in instr.operands)
+        callee = instr.callee
+        if instr.type.is_void():
+            return f"call void @{callee.name}({args})"
+        return f"{lhs}call {instr.type} @{callee.name}({args})"
+    if isinstance(instr, Branch):
+        return f"br label %{instr.target.name}"
+    if isinstance(instr, CondBranch):
+        return (
+            f"br i1 {instr.condition.ref()}, label %{instr.true_target.name}, "
+            f"label %{instr.false_target.name}"
+        )
+    if isinstance(instr, Return):
+        value = instr.return_value
+        return "ret void" if value is None else f"ret {_op(value)}"
+    if isinstance(instr, Unreachable):
+        return "unreachable"
+    raise NotImplementedError(f"cannot print opcode {instr.opcode}")
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"@{fn.name}({params})"
+    if fn.is_declaration:
+        # Declarations print parameter types only, LLVM-style.
+        params = ", ".join(str(t) for t in fn.function_type.params)
+        return f"declare {fn.return_type} @{fn.name}({params})"
+    lines = [f"define {fn.return_type} {header} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    module.renumber()
+    parts = [f"; ModuleID = '{module.name}'"]
+    # Declarations first so a parse of the output never sees a call to a
+    # not-yet-declared function.
+    for fn in module:
+        if fn.is_declaration:
+            parts.append(format_function(fn))
+    for fn in module:
+        if not fn.is_declaration:
+            parts.append(format_function(fn))
+    return "\n\n".join(parts) + "\n"
+
+
+def print_module(module: Module) -> str:
+    """Alias matching common LLVM tooling vocabulary."""
+    return format_module(module)

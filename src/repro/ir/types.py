@@ -1,0 +1,197 @@
+"""Type system for the vector IR.
+
+Modelled on LLVM's first-class types, restricted to what the paper's code
+shapes need: fixed-width integers (i1/i8/i16/i32/i64), IEEE floats
+(float/double), pointers, fixed-length vectors of scalars, void, and function
+types.  Types are interned so identity comparison (`is`) works for the common
+types, but ``__eq__`` performs structural comparison and is what IR code uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class Type:
+    """Base class for IR types."""
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_scalar(self) -> bool:
+        """Integer, float, or pointer — the classes the fault model targets."""
+        return self.is_integer() or self.is_float() or self.is_pointer()
+
+    def is_first_class(self) -> bool:
+        return self.is_scalar() or self.is_vector()
+
+    @property
+    def scalar_type(self) -> "Type":
+        """The element type for vectors; the type itself for scalars."""
+        if isinstance(self, VectorType):
+            return self.element
+        return self
+
+    @property
+    def vector_length(self) -> int:
+        """Number of scalar lanes (1 for scalar types); the paper's ``Vl``."""
+        if isinstance(self, VectorType):
+            return self.length
+        return 1
+
+    def store_size(self) -> int:
+        """Size in bytes when stored to memory."""
+        raise NotImplementedError(f"type {self} has no store size")
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Fixed-width two's-complement integer; ``i1`` doubles as bool/mask lane."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width i{self.bits}")
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    def store_size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else -1
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 0
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE-754 binary32 (``float``) or binary64 (``double``)."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (32, 64):
+            raise ValueError(f"unsupported float width f{self.bits}")
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+    def store_size(self) -> int:
+        return self.bits // 8
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """Pointer to a pointee type.  Pointers are 64-bit in the VM."""
+
+    pointee: Type
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    def store_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """Fixed-length vector of scalar elements, printed ``<N x T>``."""
+
+    element: Type
+    length: int
+
+    def __post_init__(self) -> None:
+        if not self.element.is_scalar():
+            raise ValueError(f"vector element must be scalar, got {self.element}")
+        if self.length < 1:
+            raise ValueError("vector length must be positive")
+
+    def __str__(self) -> str:
+        return f"<{self.length} x {self.element}>"
+
+    def store_size(self) -> int:
+        return self.length * self.element.store_size()
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    return_type: Type
+    params: tuple[Type, ...]
+    varargs: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.params)
+        if self.varargs:
+            inner = inner + ", ..." if inner else "..."
+        return f"{self.return_type} ({inner})"
+
+
+# Interned singletons for the common types ---------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+@lru_cache(maxsize=None)
+def pointer(pointee: Type) -> PointerType:
+    return PointerType(pointee)
+
+
+@lru_cache(maxsize=None)
+def vector(element: Type, length: int) -> VectorType:
+    return VectorType(element, length)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type written in the printer's syntax (no function types)."""
+    text = text.strip()
+    if text.endswith("*"):
+        return pointer(parse_type(text[:-1]))
+    if text.startswith("<") and text.endswith(">"):
+        body = text[1:-1]
+        n_str, _, elem_str = body.partition(" x ")
+        return vector(parse_type(elem_str), int(n_str))
+    if text == "void":
+        return VOID
+    if text == "float":
+        return F32
+    if text == "double":
+        return F64
+    if text.startswith("i") and text[1:].isdigit():
+        return IntType(int(text[1:]))
+    raise ValueError(f"cannot parse type {text!r}")

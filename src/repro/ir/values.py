@@ -1,0 +1,252 @@
+"""Value hierarchy for the vector IR.
+
+Everything an instruction can reference is a :class:`Value`: constants,
+function arguments, instructions (their Lvalue results), functions, and
+undef.  Values track their *uses* — (user, operand-index) pairs — which is
+what both the instrumentor's "replace all users of the original vector
+register" step (paper §II-D) and the forward-slice classifier (§II-C) walk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+from .types import (
+    F32,
+    F64,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instructions import Instruction
+
+
+class Value:
+    """Base class of everything referenceable by an instruction operand."""
+
+    __slots__ = ("type", "name", "_uses")
+
+    def __init__(self, type: Type, name: str = ""):
+        self.type = type
+        self.name = name
+        # Each use is (user instruction, operand index).  A user may appear
+        # several times with different indices (e.g. `add %x, %x`).
+        self._uses: list[tuple["Instruction", int]] = []
+
+    # -- use tracking -------------------------------------------------------
+
+    @property
+    def uses(self) -> tuple[tuple["Instruction", int], ...]:
+        return tuple(self._uses)
+
+    def users(self) -> list["Instruction"]:
+        """Distinct instructions that use this value, in first-use order."""
+        seen: list[Instruction] = []
+        for user, _ in self._uses:
+            if user not in seen:
+                seen.append(user)
+        return seen
+
+    def _add_use(self, user: "Instruction", index: int) -> None:
+        self._uses.append((user, index))
+
+    def _remove_use(self, user: "Instruction", index: int) -> None:
+        self._uses.remove((user, index))
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Redirect every user of this value to ``new``.
+
+        This is the final step of VULFI's per-register instrumentation
+        workflow (paper Fig. 4): the cloned, instrumented register replaces
+        the original for all downstream users.
+        """
+        if new is self:
+            return
+        for user, index in list(self._uses):
+            user.set_operand(index, new)
+
+    # -- printing helpers ----------------------------------------------------
+
+    def ref(self) -> str:
+        """How this value is written when used as an operand."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.type} {self.ref()}>"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, type: Type, name: str, function=None):
+        super().__init__(type, name)
+        self.function = function
+
+
+class Constant(Value):
+    """Base class for immediate values."""
+
+    def ref(self) -> str:
+        raise NotImplementedError
+
+
+class ConstantInt(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, type: IntType, value: int):
+        if not isinstance(type, IntType):
+            raise TypeError(f"ConstantInt requires IntType, got {type}")
+        super().__init__(type)
+        # Canonicalize into the signed range of the width so equal bit
+        # patterns compare equal.
+        mask = type.max_unsigned
+        v = value & mask
+        if type.bits > 1 and v > type.max_signed:
+            v -= 1 << type.bits
+        self.value = v
+
+    def ref(self) -> str:
+        if self.type.bits == 1:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantFloat(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, type: FloatType, value: float):
+        if not isinstance(type, FloatType):
+            raise TypeError(f"ConstantFloat requires FloatType, got {type}")
+        super().__init__(type)
+        self.value = float(value)
+
+    def ref(self) -> str:
+        if math.isnan(self.value):
+            return "nan"
+        if math.isinf(self.value):
+            return "inf" if self.value > 0 else "-inf"
+        return repr(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type == self.type
+            and (
+                other.value == self.value
+                or (math.isnan(other.value) and math.isnan(self.value))
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantVector(Constant):
+    """A vector immediate: ``<i32 1, i32 2, ...>``."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[Constant]):
+        elements = tuple(elements)
+        if not elements:
+            raise ValueError("constant vector must not be empty")
+        elem_ty = elements[0].type
+        if any(e.type != elem_ty for e in elements):
+            raise TypeError("constant vector elements must share one type")
+        super().__init__(VectorType(elem_ty, len(elements)))
+        self.elements = elements
+
+    def ref(self) -> str:
+        inner = ", ".join(f"{e.type} {e.ref()}" for e in self.elements)
+        return f"<{inner}>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstantVector) and other.elements == self.elements
+
+    def __hash__(self) -> int:
+        return hash(self.elements)
+
+
+class UndefValue(Constant):
+    """LLVM ``undef`` — used to seed broadcast shuffles (paper Fig. 9)."""
+
+    def ref(self) -> str:
+        return "undef"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UndefValue) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("undef", self.type))
+
+
+class ConstantPointerNull(Constant):
+    def __init__(self, type: PointerType):
+        super().__init__(type)
+
+    def ref(self) -> str:
+        return "null"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstantPointerNull) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("null", self.type))
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def const_int(type: IntType, value: int) -> ConstantInt:
+    return ConstantInt(type, value)
+
+
+def const_float(value: float, type: FloatType = F32) -> ConstantFloat:
+    return ConstantFloat(type, value)
+
+
+def const_double(value: float) -> ConstantFloat:
+    return ConstantFloat(F64, value)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    from .types import I1
+
+    return ConstantInt(I1, int(bool(value)))
+
+
+def splat(element: Constant, length: int) -> ConstantVector:
+    """A constant vector with ``element`` in every lane."""
+    return ConstantVector([element] * length)
+
+
+def zeroinitializer(type: Type) -> Constant:
+    """The all-zero constant of ``type``."""
+    if isinstance(type, IntType):
+        return ConstantInt(type, 0)
+    if isinstance(type, FloatType):
+        return ConstantFloat(type, 0.0)
+    if isinstance(type, PointerType):
+        return ConstantPointerNull(type)
+    if isinstance(type, VectorType):
+        return ConstantVector(
+            [zeroinitializer(type.element) for _ in range(type.length)]
+        )
+    raise TypeError(f"no zero value for {type}")

@@ -1,0 +1,25 @@
+"""Mid-end optimization passes (the MiniISPC -O pipeline)."""
+
+from .constfold import constant_fold
+from .dce import dead_code_elimination
+from .manager import PassManager, default_pipeline, optimize
+from .mem2reg import promote_allocas
+from .simplifycfg import (
+    fold_single_incoming_phis,
+    merge_straightline_blocks,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+
+__all__ = [
+    "constant_fold",
+    "dead_code_elimination",
+    "PassManager",
+    "default_pipeline",
+    "optimize",
+    "promote_allocas",
+    "fold_single_incoming_phis",
+    "merge_straightline_blocks",
+    "remove_unreachable_blocks",
+    "simplify_cfg",
+]

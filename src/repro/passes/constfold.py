@@ -1,0 +1,120 @@
+"""Constant folding.
+
+Folds integer/float binary operations, comparisons, casts, and selects whose
+operands are all constants, and rewrites conditional branches on constant
+conditions into unconditional ones (simplifycfg then deletes the dead arm).
+Folding reuses the interpreter's scalar semantics so the compile-time and
+run-time value of an expression can never disagree — an important property
+for a fault-injection platform, where golden runs define ground truth.
+"""
+
+from __future__ import annotations
+
+from ..errors import VMTrap
+from ..ir.instructions import (
+    BinaryOp,
+    Branch,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    Instruction,
+    Select,
+)
+from ..ir.module import Function
+from ..ir.types import FloatType, IntType, VectorType
+from ..ir.values import (
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantVector,
+    Value,
+)
+
+
+def _to_constant(ir_type, py_value) -> Constant:
+    if isinstance(ir_type, VectorType):
+        return ConstantVector(
+            [_to_constant(ir_type.element, v) for v in py_value]
+        )
+    if isinstance(ir_type, IntType):
+        return ConstantInt(ir_type, py_value)
+    if isinstance(ir_type, FloatType):
+        return ConstantFloat(ir_type, py_value)
+    raise TypeError(f"cannot make constant of {ir_type}")
+
+
+class _Folder:
+    """Borrow the interpreter's scalar evaluators without a full VM."""
+
+    def __init__(self):
+        from ..vm.interpreter import Interpreter
+
+        self._interp = Interpreter.__new__(Interpreter)
+        self._interp._const_cache = {}
+
+    def const_value(self, c: Constant):
+        return self._interp._const(c)
+
+    def fold(self, instr: Instruction) -> Constant | None:
+        interp = self._interp
+        try:
+            vals = [self.const_value(op) for op in instr.operands]  # type: ignore[arg-type]
+            if isinstance(instr, BinaryOp):
+                result = interp._binop(instr, vals[0], vals[1])
+            elif isinstance(instr, CompareOp):
+                result = interp._compare(instr, vals[0], vals[1])
+                if isinstance(instr.lhs.type, VectorType):
+                    from ..ir.types import I1, vector
+
+                    return ConstantVector(
+                        [ConstantInt(I1, v) for v in result]
+                    )
+                from ..ir.types import I1
+
+                return ConstantInt(I1, result)
+            elif isinstance(instr, CastOp):
+                result = interp._cast(instr, vals[0])
+            elif isinstance(instr, Select):
+                cond, a, b = vals
+                if instr.condition.type.is_vector():
+                    result = [x if c else y for c, x, y in zip(cond, a, b)]
+                else:
+                    result = a if cond else b
+            else:
+                return None
+        except (VMTrap, TypeError, KeyError):
+            # Division by zero etc.: leave for runtime to trap.
+            return None
+        return _to_constant(instr.type, result)
+
+
+def constant_fold(fn: Function) -> bool:
+    folder = _Folder()
+    changed = False
+    for block in list(fn.blocks):
+        for instr in list(block.instructions):
+            if not isinstance(instr, (BinaryOp, CompareOp, CastOp, Select)):
+                continue
+            if not all(isinstance(op, Constant) for op in instr.operands):
+                continue
+            folded = folder.fold(instr)
+            if folded is None:
+                continue
+            instr.replace_all_uses_with(folded)
+            instr.erase()
+            changed = True
+
+    # Fold conditional branches with constant conditions.
+    for block in list(fn.blocks):
+        term = block.terminator
+        if isinstance(term, CondBranch) and isinstance(term.condition, ConstantInt):
+            taken = term.true_target if term.condition.value else term.false_target
+            dead = term.false_target if term.condition.value else term.true_target
+            term.erase()
+            block.append(Branch(taken))
+            if dead is not taken:
+                for phi in dead.phis():
+                    if block in phi.incoming_blocks:
+                        phi.remove_incoming(block)
+            changed = True
+    return changed

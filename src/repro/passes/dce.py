@@ -1,0 +1,44 @@
+"""Dead code elimination.
+
+Iteratively deletes instructions with no uses and no side effects.  Loads
+are treated as removable when dead (matching LLVM): a dead load's only
+observable behaviour would be a trap, and the optimized modules the paper
+studies have no dead loads to begin with.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction, Load, Phi
+from ..ir.module import Function
+
+
+def _is_trivially_dead(instr: Instruction) -> bool:
+    if instr.is_terminator:
+        return False
+    if not instr.has_lvalue():
+        return False  # stores / void calls have effects
+    if instr.uses:
+        return False
+    if instr.has_side_effects:
+        return False
+    return True
+
+
+def dead_code_elimination(fn: Function) -> bool:
+    changed = False
+    # Worklist over all instructions; erasing one can make its operands dead.
+    worklist: list[Instruction] = [i for b in fn.blocks for i in b.instructions]
+    in_list = {id(i) for i in worklist}
+    while worklist:
+        instr = worklist.pop()
+        in_list.discard(id(instr))
+        if instr.parent is None or not _is_trivially_dead(instr):
+            continue
+        operands = [op for op in instr.operands if isinstance(op, Instruction)]
+        instr.erase()
+        changed = True
+        for op in operands:
+            if id(op) not in in_list:
+                worklist.append(op)
+                in_list.add(id(op))
+    return changed

@@ -1,0 +1,63 @@
+"""Minimal pass manager.
+
+Passes are callables ``(Function) -> bool`` (returning whether they changed
+anything); the manager runs them over every defined function, optionally to a
+fixpoint, and re-verifies after each pass so a buggy transform is caught at
+the pass boundary rather than mid-campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_function
+
+FunctionPass = Callable[[Function], bool]
+
+
+class PassManager:
+    def __init__(self, passes: Sequence[FunctionPass], verify: bool = True,
+                 max_iterations: int = 8):
+        self.passes = list(passes)
+        self.verify = verify
+        self.max_iterations = max_iterations
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        for fn in module.defined_functions():
+            changed_any |= self.run_on_function(fn)
+        return changed_any
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = False
+            for p in self.passes:
+                if p(fn):
+                    changed = True
+                    if self.verify:
+                        verify_function(fn)
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any
+
+
+def default_pipeline() -> "PassManager":
+    """The -O pipeline MiniISPC runs: promote to SSA, then clean up —
+    approximating the shape of ISPC's -O3 output that the paper analyses."""
+    from .constfold import constant_fold
+    from .dce import dead_code_elimination
+    from .mem2reg import promote_allocas
+    from .simplifycfg import simplify_cfg
+
+    return PassManager(
+        [promote_allocas, constant_fold, simplify_cfg, dead_code_elimination]
+    )
+
+
+def optimize(module: Module) -> Module:
+    """Run the default pipeline in place and return the module."""
+    default_pipeline().run(module)
+    return module

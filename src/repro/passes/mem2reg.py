@@ -1,0 +1,132 @@
+"""Promote memory to registers (alloca → SSA phi), standard algorithm:
+
+1. find *promotable* allocas — scalar/vector first-class type, used only by
+   plain loads and stores (never as a stored value, gep base, or call
+   argument: those take the address);
+2. insert phi nodes at the iterated dominance frontier of the stores;
+3. rename along a dominator-tree walk, replacing loads with the reaching
+   definition and deleting the memory operations.
+
+The frontend emits every local variable as an alloca; this pass turns the
+result into the pruned-SSA shape whose def-use chains VULFI slices.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import DominatorTree
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value, zeroinitializer
+
+
+def _is_promotable(alloca: Alloca) -> bool:
+    if alloca.count != 1:
+        return False
+    for user, index in alloca.uses:
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and index == 1:  # used as the address
+            continue
+        return False
+    return True
+
+
+def promote_allocas(fn: Function) -> bool:
+    allocas = [
+        i for i in fn.instructions() if isinstance(i, Alloca) and _is_promotable(i)
+    ]
+    if not allocas:
+        return False
+
+    dom = DominatorTree(fn)
+    reachable = {id(b) for b in dom.rpo}
+
+    for alloca in allocas:
+        # Memory ops in unreachable blocks are simply dropped with the blocks
+        # later; skip promotion there to keep renaming sound.
+        loads = [u for u, _ in alloca.uses if isinstance(u, Load)]
+        stores = [u for u, i in alloca.uses if isinstance(u, Store) and i == 1]
+        if any(id(op.parent) not in reachable for op in loads + stores):
+            continue
+        _promote_one(fn, dom, alloca, loads, stores)
+    return True
+
+
+def _promote_one(
+    fn: Function,
+    dom: DominatorTree,
+    alloca: Alloca,
+    loads: list[Load],
+    stores: list[Store],
+) -> None:
+    var_type = alloca.allocated_type
+
+    # -- phase 1: phi placement at the iterated dominance frontier -----------
+    def_blocks = {id(s.parent): s.parent for s in stores}
+    phi_blocks: dict[int, Phi] = {}
+    work = list(def_blocks.values())
+    while work:
+        block = work.pop()
+        for frontier_block in dom.frontier(block):
+            if id(frontier_block) in phi_blocks:
+                continue
+            phi = Phi(var_type, name=alloca.name or "promoted")
+            frontier_block.insert(0, phi)
+            phi.parent = frontier_block
+            phi_blocks[id(frontier_block)] = phi
+            if id(frontier_block) not in def_blocks:
+                def_blocks[id(frontier_block)] = frontier_block
+                work.append(frontier_block)
+
+    load_set = {id(l) for l in loads}
+    store_set = {id(s) for s in stores}
+
+    # -- phase 2: renaming along the dominator tree ---------------------------
+    # The value on entry to the function is an unspecified zero (reading an
+    # uninitialized variable; MiniISPC's sema rejects that at the source
+    # level, so this default is only reachable through hand-written IR).
+    initial: Value = zeroinitializer(var_type)
+    replacements: dict[int, Value] = {}  # load -> reaching value
+
+    # Preorder walk of the dominator tree threading the reaching value.
+    def dom_walk() -> None:
+        stack: list[tuple[BasicBlock, Value]] = [(fn.entry, initial)]
+        while stack:
+            blk, val = stack.pop()
+            phi = phi_blocks.get(id(blk))
+            if phi is not None:
+                val = phi
+            for instr in blk.instructions:
+                if id(instr) in load_set:
+                    replacements[id(instr)] = val
+                elif id(instr) in store_set:
+                    val = instr.operands[0]
+            for succ in blk.successors():
+                succ_phi = phi_blocks.get(id(succ))
+                if succ_phi is not None:
+                    succ_phi.add_incoming(val, blk)
+            for child in dom.children(blk):
+                stack.append((child, val))
+
+    dom_walk()
+
+    # -- phase 3: rewrite and erase -------------------------------------------
+    for load in loads:
+        load.replace_all_uses_with(replacements[id(load)])
+        load.erase()
+    for store in stores:
+        store.erase()
+    alloca.erase()
+
+    # A phi may await incoming edges from unreachable predecessors; the
+    # verifier requires phi edges to match predecessors exactly, and
+    # unreachable-block removal (simplifycfg) restores that. Here we only
+    # handle the common case of a predecessor not walked because it is
+    # unreachable: give it the initial value so the structure stays valid.
+    for phi in phi_blocks.values():
+        block = phi.parent
+        assert block is not None
+        have = {id(b) for b in phi.incoming_blocks}
+        for pred in block.predecessors():
+            if id(pred) not in have:
+                phi.add_incoming(initial, pred)

@@ -1,0 +1,107 @@
+"""CFG cleanup: remove unreachable blocks, fold single-incoming phis, and
+merge straight-line block pairs.
+
+Runs after constant folding (which creates unreachable arms) and mem2reg
+(which can leave single-incoming phis).  Kept deliberately conservative —
+every transform preserves the execution trace of reachable code exactly.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Branch, Phi
+from ..ir.module import BasicBlock, Function
+
+
+def _reachable_blocks(fn: Function) -> set[int]:
+    seen = {id(fn.entry)}
+    work = [fn.entry]
+    while work:
+        block = work.pop()
+        for succ in block.successors():
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                work.append(succ)
+    return seen
+
+
+def remove_unreachable_blocks(fn: Function) -> bool:
+    reachable = _reachable_blocks(fn)
+    dead = [b for b in fn.blocks if id(b) not in reachable]
+    if not dead:
+        return False
+    dead_ids = {id(b) for b in dead}
+    # First fix phis in surviving blocks that mention dead predecessors.
+    for block in fn.blocks:
+        if id(block) in dead_ids:
+            continue
+        for phi in block.phis():
+            for inc in list(phi.incoming_blocks):
+                if id(inc) in dead_ids:
+                    phi.remove_incoming(inc)
+    # Two-phase erase: drop references first (dead blocks may reference each
+    # other cyclically), then remove.  Values defined in unreachable blocks
+    # cannot be used from reachable code in valid SSA, and the phi edges from
+    # dead predecessors were removed above.
+    for block in dead:
+        for instr in list(block.instructions):
+            instr.drop_all_references()
+            block.remove(instr)
+        fn.remove_block(block)
+    return True
+
+
+def fold_single_incoming_phis(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        for phi in list(block.phis()):
+            if len(phi.operands) == 1:
+                phi.replace_all_uses_with(phi.operands[0])
+                phi.erase()
+                changed = True
+    return changed
+
+
+def merge_straightline_blocks(fn: Function) -> bool:
+    """Merge B into A when A ends in `br B`, B is A's only successor, and A
+    is B's only predecessor."""
+    changed = True
+    any_change = False
+    while changed:
+        changed = False
+        for a in fn.blocks:
+            term = a.terminator
+            if not isinstance(term, Branch):
+                continue
+            b = term.target
+            if b is a or b is fn.entry:
+                continue
+            preds = b.predecessors()
+            if len(preds) != 1 or preds[0] is not a:
+                continue
+            if b.phis():
+                # Single-incoming phis are folded by the sibling transform
+                # first; if any remain, skip.
+                continue
+            term.erase()
+            for instr in list(b.instructions):
+                b.remove(instr)
+                a.instructions.append(instr)
+                instr.parent = a
+            # Phis in B's successors must re-point their incoming edge to A.
+            for succ in a.successors():
+                for phi in succ.phis():
+                    for i, inc in enumerate(phi.incoming_blocks):
+                        if inc is b:
+                            phi.incoming_blocks[i] = a
+            fn.remove_block(b)
+            changed = True
+            any_change = True
+            break
+    return any_change
+
+
+def simplify_cfg(fn: Function) -> bool:
+    changed = remove_unreachable_blocks(fn)
+    changed |= fold_single_incoming_phis(fn)
+    changed |= merge_straightline_blocks(fn)
+    return changed

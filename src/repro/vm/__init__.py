@@ -1,0 +1,35 @@
+"""Bit-accurate virtual machine executing the vector IR."""
+
+from .bits import (
+    bit_width,
+    bits_to_float,
+    flip_bit_float,
+    flip_bit_int,
+    flip_bit_scalar,
+    float_to_bits,
+    float_to_int_trunc,
+    round_f32,
+    to_unsigned,
+    wrap_int,
+)
+from .interpreter import DEFAULT_STEP_LIMIT, ExecutionStats, Interpreter
+from .memory import GUARD_GAP, HEAP_BASE, Memory
+
+__all__ = [
+    "bit_width",
+    "bits_to_float",
+    "flip_bit_float",
+    "flip_bit_int",
+    "flip_bit_scalar",
+    "float_to_bits",
+    "float_to_int_trunc",
+    "round_f32",
+    "to_unsigned",
+    "wrap_int",
+    "DEFAULT_STEP_LIMIT",
+    "ExecutionStats",
+    "Interpreter",
+    "GUARD_GAP",
+    "HEAP_BASE",
+    "Memory",
+]

@@ -1,0 +1,164 @@
+"""Bit-level value semantics for the simulated machine.
+
+The fault model (paper §II-B) flips a *single bit at a random bit position*
+of a register holding an integer or floating-point value, so the VM must
+give every runtime value a well-defined bit pattern:
+
+* integers are fixed-width two's complement (canonicalized to the signed
+  range, matching :class:`repro.ir.values.ConstantInt`);
+* ``float`` is IEEE-754 binary32 — every arithmetic result is re-rounded
+  through binary32 so flipped mantissa bits behave exactly as on hardware;
+* ``double`` is the native Python float (binary64).
+
+All helpers here are pure functions; the interpreter and the fault-injection
+runtime are the only callers.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from ..errors import InjectionError
+
+# -- integer helpers ---------------------------------------------------------
+
+
+def wrap_int(value: int, bits: int) -> int:
+    """Canonicalize ``value`` into the signed range of an ``bits``-wide int.
+
+    For i1 the canonical values are 0 and 1 (LLVM treats i1 as a boolean).
+    """
+    mask = (1 << bits) - 1
+    v = value & mask
+    if bits == 1:
+        return v
+    if v >= 1 << (bits - 1):
+        v -= 1 << bits
+    return v
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """The unsigned interpretation (bit pattern) of a canonical signed int."""
+    return value & ((1 << bits) - 1)
+
+
+def flip_bit_int(value: int, bit: int, bits: int) -> int:
+    """Flip bit ``bit`` (0 = LSB) of an integer's two's-complement pattern."""
+    if not 0 <= bit < bits:
+        raise InjectionError(f"bit {bit} out of range for i{bits}")
+    return wrap_int(to_unsigned(value, bits) ^ (1 << bit), bits)
+
+
+# -- float <-> bit-pattern conversions ----------------------------------------
+
+
+def float_to_bits(value: float, bits: int) -> int:
+    """IEEE-754 bit pattern of ``value`` (binary32 or binary64)."""
+    if bits == 32:
+        return struct.unpack("<I", struct.pack("<f", _clamp_f32(value)))[0]
+    if bits == 64:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    raise InjectionError(f"no float of width {bits}")
+
+
+def bits_to_float(pattern: int, bits: int) -> float:
+    if bits == 32:
+        return struct.unpack("<f", struct.pack("<I", pattern & 0xFFFFFFFF))[0]
+    if bits == 64:
+        return struct.unpack("<d", struct.pack("<Q", pattern & (2**64 - 1)))[0]
+    raise InjectionError(f"no float of width {bits}")
+
+
+def flip_bit_float(value: float, bit: int, bits: int) -> float:
+    """Flip one bit of the IEEE representation (0 = mantissa LSB)."""
+    if not 0 <= bit < bits:
+        raise InjectionError(f"bit {bit} out of range for f{bits}")
+    return bits_to_float(float_to_bits(value, bits) ^ (1 << bit), bits)
+
+
+# -- binary32 rounding ---------------------------------------------------------
+
+
+def _clamp_f32(value: float) -> float:
+    """Map overflowing magnitudes to ±inf so struct.pack('<f') never raises."""
+    if value != value or value in (math.inf, -math.inf):
+        return value
+    if value > 3.4028235677973366e38:
+        return math.inf
+    if value < -3.4028235677973366e38:
+        return -math.inf
+    return value
+
+
+def round_f32(value: float) -> float:
+    """Round a Python float to the nearest binary32 value (ties-to-even),
+    returning it widened back to a Python float."""
+    return struct.unpack("<f", struct.pack("<f", _clamp_f32(value)))[0]
+
+
+def round_float(value: float, bits: int) -> float:
+    return round_f32(value) if bits == 32 else value
+
+
+# -- fptosi with x86 semantics --------------------------------------------------
+
+
+def float_to_int_trunc(value: float, bits: int) -> int:
+    """Truncating float→signed-int conversion with x86 ``cvttss2si``
+    semantics: NaN and out-of-range inputs produce INT_MIN of the width
+    (the "integer indefinite" value) instead of raising.
+
+    LLVM leaves these cases undefined; a fault-injection VM must still pick a
+    deterministic behaviour, and the hardware the paper ran on picks this one.
+    """
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if value != value or value in (math.inf, -math.inf):
+        return lo
+    t = math.trunc(value)
+    if t < lo or t > hi:
+        return lo
+    return t
+
+
+def float_to_uint_trunc(value: float, bits: int) -> int:
+    """Truncating float→unsigned conversion; out-of-range yields the wrapped
+    two's-complement pattern of INT_MIN (canonical signed form)."""
+    if value != value or value in (math.inf, -math.inf):
+        return wrap_int(1 << (bits - 1), bits)
+    t = math.trunc(value)
+    if t < 0 or t > (1 << bits) - 1:
+        return wrap_int(1 << (bits - 1), bits)
+    return wrap_int(t, bits)
+
+
+# -- generic single-bit flips on typed values -------------------------------------
+
+
+def flip_bit_scalar(value, bit: int, ir_type) -> int | float:
+    """Flip one bit of a runtime scalar according to its IR type.
+
+    Pointers are treated as 64-bit integers — a flipped pointer is precisely
+    how address faults become wild accesses.
+    """
+    from ..ir.types import FloatType, IntType, PointerType
+
+    if isinstance(ir_type, IntType):
+        return flip_bit_int(value, bit, ir_type.bits)
+    if isinstance(ir_type, FloatType):
+        return flip_bit_float(value, bit, ir_type.bits)
+    if isinstance(ir_type, PointerType):
+        return flip_bit_int(value, bit, 64)
+    raise InjectionError(f"cannot flip bits of a value of type {ir_type}")
+
+
+def bit_width(ir_type) -> int:
+    """Number of flippable bits in a scalar of ``ir_type``."""
+    from ..ir.types import FloatType, IntType, PointerType
+
+    if isinstance(ir_type, (IntType, FloatType)):
+        return ir_type.bits
+    if isinstance(ir_type, PointerType):
+        return 64
+    raise InjectionError(f"type {ir_type} has no bit width")

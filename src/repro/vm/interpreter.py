@@ -1,0 +1,761 @@
+"""Bit-accurate interpreter for the vector IR — the simulated CPU.
+
+Semantics notes (all deliberate, all x86-flavoured, see DESIGN.md):
+
+* ``float`` arithmetic re-rounds every result through IEEE binary32;
+* integer division by zero (and ``INT_MIN / -1``) raises
+  :class:`~repro.errors.ArithmeticTrap` — the simulated SIGFPE;
+* shift counts are masked to the operand width (x86 behaviour) rather than
+  producing poison;
+* ``fptosi`` of NaN/out-of-range produces ``INT_MIN`` (``cvttss2si``);
+* masked vector intrinsics only touch memory in active lanes, so a masked
+  load of a partially out-of-bounds cache line does not fault — exactly why
+  ISPC's partial-iteration code is safe and why VULFI must respect masks;
+* every executed instruction counts toward the dynamic-instruction total
+  (Table I) and is classified scalar vs vector (Fig. 10's denominator).
+
+External functions (the VULFI runtime, detector runtime) are bound by name
+via :meth:`Interpreter.bind`; unbound declarations trap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import ArithmeticTrap, InvalidOperation, StepLimitExceeded
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo, get_intrinsic, is_intrinsic_name
+from ..ir.module import Function, Module
+from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    UndefValue,
+    Value,
+)
+from .bits import (
+    bits_to_float,
+    float_to_bits,
+    float_to_int_trunc,
+    float_to_uint_trunc,
+    round_f32,
+    to_unsigned,
+    wrap_int,
+)
+from .memory import Memory
+
+DEFAULT_STEP_LIMIT = 20_000_000
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic execution accounting for one program run."""
+
+    total: int = 0
+    scalar: int = 0
+    vector: int = 0
+    by_opcode: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.total = 0
+        self.scalar = 0
+        self.vector = 0
+        self.by_opcode.clear()
+
+
+def _sign_active(lane_value, lane_type: Type) -> bool:
+    """x86 mask convention: a lane is active when its sign bit is set."""
+    if isinstance(lane_type, FloatType):
+        return bool(float_to_bits(lane_value, lane_type.bits) >> (lane_type.bits - 1))
+    return lane_value < 0
+
+
+class Interpreter:
+    """Executes IR functions of one module against a fresh :class:`Memory`."""
+
+    def __init__(
+        self,
+        module: Module,
+        step_limit: int = DEFAULT_STEP_LIMIT,
+        count_opcodes: bool = False,
+        strict_alignment: bool = False,
+    ):
+        self.module = module
+        self.memory = Memory(strict_alignment=strict_alignment)
+        self.step_limit = step_limit
+        self.count_opcodes = count_opcodes
+        self.stats = ExecutionStats()
+        self.externals: dict[str, Callable] = {}
+        self._const_cache: dict[int, object] = {}
+        self._vec_cache: dict[int, bool] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def bind(self, name: str, fn: Callable) -> None:
+        """Bind a host callable to a declared function name."""
+        self.externals[name] = fn
+
+    def bind_all(self, bindings: dict[str, Callable]) -> None:
+        self.externals.update(bindings)
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, function: str | Function, args: Sequence) -> object:
+        """Execute ``function`` with the given argument values."""
+        fn = (
+            self.module.get_function(function)
+            if isinstance(function, str)
+            else function
+        )
+        if fn.is_declaration:
+            raise InvalidOperation(f"cannot run declaration @{fn.name}")
+        if len(args) != len(fn.args):
+            raise InvalidOperation(
+                f"@{fn.name} expects {len(fn.args)} args, got {len(args)}"
+            )
+        return self._exec_function(fn, list(args))
+
+    # -- value resolution -----------------------------------------------------------
+
+    def _const(self, c: Constant):
+        cached = self._const_cache.get(id(c))
+        if cached is not None:
+            return cached
+        if isinstance(c, ConstantInt):
+            v: object = c.value
+        elif isinstance(c, ConstantFloat):
+            v = round_f32(c.value) if c.type.bits == 32 else c.value
+        elif isinstance(c, ConstantVector):
+            v = [self._const(e) for e in c.elements]
+        elif isinstance(c, ConstantPointerNull):
+            v = 0
+        elif isinstance(c, UndefValue):
+            # Deterministic zero for undef: fault campaigns must be replayable.
+            if isinstance(c.type, VectorType):
+                v = [0.0 if c.type.element.is_float() else 0] * c.type.length
+            elif c.type.is_float():
+                v = 0.0
+            else:
+                v = 0
+        else:
+            raise InvalidOperation(f"cannot evaluate constant {c!r}")
+        self._const_cache[id(c)] = v
+        return v
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def _exec_function(self, fn: Function, args: list):
+        regs: dict[Value, object] = {}
+        for formal, actual in zip(fn.args, args):
+            regs[formal] = actual
+
+        const = self._const
+        stats = self.stats
+        vec_cache = self._vec_cache
+        block = fn.entry
+        prev_block = None
+
+        while True:
+            instructions = block.instructions
+            n = len(instructions)
+            index = 0
+
+            # Phi nodes evaluate in parallel against the predecessor edge.
+            if instructions and isinstance(instructions[0], Phi):
+                phi_values = []
+                while index < n and isinstance(instructions[index], Phi):
+                    phi = instructions[index]
+                    incoming = phi.incoming_for(prev_block)
+                    phi_values.append(
+                        (phi, const(incoming) if isinstance(incoming, Constant) else regs[incoming])
+                    )
+                    index += 1
+                for phi, value in phi_values:
+                    regs[phi] = value
+                stats.total += len(phi_values)
+                stats.scalar += len(phi_values)  # adjusted below for vector phis
+                for phi, _ in phi_values:
+                    if phi.type.is_vector():
+                        stats.scalar -= 1
+                        stats.vector += 1
+
+            while index < n:
+                instr = instructions[index]
+                index += 1
+
+                stats.total += 1
+                if stats.total > self.step_limit:
+                    raise StepLimitExceeded(
+                        f"@{fn.name}: exceeded {self.step_limit} dynamic instructions"
+                    )
+                isvec = vec_cache.get(id(instr))
+                if isvec is None:
+                    isvec = instr.is_vector_instruction
+                    vec_cache[id(instr)] = isvec
+                if isvec:
+                    stats.vector += 1
+                else:
+                    stats.scalar += 1
+                if self.count_opcodes:
+                    op = instr.opcode
+                    stats.by_opcode[op] = stats.by_opcode.get(op, 0) + 1
+
+                # Terminators --------------------------------------------------
+                if isinstance(instr, Branch):
+                    prev_block, block = block, instr.target
+                    break
+                if isinstance(instr, CondBranch):
+                    cond = instr.condition
+                    cv = const(cond) if isinstance(cond, Constant) else regs[cond]
+                    prev_block, block = (
+                        block,
+                        instr.true_target if cv else instr.false_target,
+                    )
+                    break
+                if isinstance(instr, Return):
+                    rv = instr.return_value
+                    if rv is None:
+                        return None
+                    return const(rv) if isinstance(rv, Constant) else regs[rv]
+                if isinstance(instr, Unreachable):
+                    raise InvalidOperation(f"@{fn.name}: reached 'unreachable'")
+
+                regs[instr] = self._exec_instruction(instr, regs)
+            else:
+                raise InvalidOperation(
+                    f"@{fn.name}:{block.name}: fell off the end of a block"
+                )
+
+    # -- instruction execution --------------------------------------------------------
+
+    def _exec_instruction(self, instr: Instruction, regs: dict):
+        const = self._const
+        ops = instr.operands
+        vals = [const(o) if isinstance(o, Constant) else regs[o] for o in ops]
+
+        if isinstance(instr, BinaryOp):
+            return self._binop(instr, vals[0], vals[1])
+        if isinstance(instr, CompareOp):
+            return self._compare(instr, vals[0], vals[1])
+        if isinstance(instr, Select):
+            cond, a, b = vals
+            if instr.condition.type.is_vector():
+                return [x if c else y for c, x, y in zip(cond, a, b)]
+            return a if cond else b
+        if isinstance(instr, CastOp):
+            return self._cast(instr, vals[0])
+        if isinstance(instr, GetElementPtr):
+            base, idx = vals
+            stride = instr.base.type.pointee.store_size()
+            if isinstance(instr.index.type, VectorType):
+                return [base + i * stride for i in idx]
+            return base + idx * stride
+        if isinstance(instr, Load):
+            return self.memory.read_value(instr.type, vals[0])
+        if isinstance(instr, Store):
+            self.memory.write_value(instr.value.type, vals[1], vals[0])
+            return None
+        if isinstance(instr, Alloca):
+            return self.memory.alloc_typed(
+                instr.allocated_type, instr.count, label=instr.name or "alloca"
+            )
+        if isinstance(instr, ExtractElement):
+            vec, i = vals
+            i = int(i)
+            if not 0 <= i < len(vec):
+                # LLVM: poison. Deterministic choice: wrap modulo length.
+                i %= len(vec)
+            return vec[i]
+        if isinstance(instr, InsertElement):
+            vec, elem, i = vals
+            i = int(i)
+            out = list(vec)
+            if not 0 <= i < len(out):
+                i %= len(out)
+            out[i] = elem
+            return out
+        if isinstance(instr, ShuffleVector):
+            v1, v2 = vals
+            joined = list(v1) + list(v2)
+            return [joined[m] for m in instr.mask]
+        if isinstance(instr, FNeg):
+            v = vals[0]
+            if instr.type.is_vector():
+                return [-x for x in v]
+            return -v
+        if isinstance(instr, Call):
+            return self._call(instr, vals)
+        raise InvalidOperation(f"cannot execute opcode {instr.opcode}")
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def _binop(self, instr: BinaryOp, a, b):
+        # Dispatch the opcode once per instruction; vector ops then apply
+        # one pre-selected scalar function per lane (the naive per-lane
+        # string dispatch dominated the profile on vector-heavy kernels).
+        ty = instr.type
+        if isinstance(ty, VectorType):
+            fn = instr.meta.get("_vm_fn")
+            if fn is None:
+                elem = ty.element
+                op = instr.opcode
+                # _scalar_binop uses no interpreter state; bind it unbound so
+                # the cached closure never pins an Interpreter instance.
+                fn = lambda x, y, _op=op, _e=elem: Interpreter._scalar_binop(
+                    _op, _e, x, y
+                )
+                if isinstance(elem, FloatType):
+                    if elem.bits == 32:
+                        simple = {
+                            "fadd": lambda x, y: round_f32(x + y),
+                            "fsub": lambda x, y: round_f32(x - y),
+                            "fmul": lambda x, y: round_f32(x * y),
+                        }.get(op)
+                    else:
+                        simple = {
+                            "fadd": lambda x, y: x + y,
+                            "fsub": lambda x, y: x - y,
+                            "fmul": lambda x, y: x * y,
+                        }.get(op)
+                    if simple is not None:
+                        fn = simple
+                elif isinstance(elem, IntType):
+                    bits = elem.bits
+                    simple = {
+                        "add": lambda x, y: wrap_int(x + y, bits),
+                        "sub": lambda x, y: wrap_int(x - y, bits),
+                        "mul": lambda x, y: wrap_int(x * y, bits),
+                        # Bitwise ops on canonical two's-complement values
+                        # stay in range; no re-wrap needed.
+                        "and": lambda x, y: x & y,
+                        "or": lambda x, y: x | y,
+                        "xor": lambda x, y: wrap_int(x ^ y, bits),
+                    }.get(op)
+                    if simple is not None:
+                        fn = simple
+                instr.meta["_vm_fn"] = fn
+            return [fn(x, y) for x, y in zip(a, b)]
+        return self._scalar_binop(instr.opcode, ty, a, b)
+
+    @staticmethod
+    def _scalar_binop(op: str, ty: Type, a, b):
+        if isinstance(ty, FloatType):
+            if op == "fadd":
+                r = a + b
+            elif op == "fsub":
+                r = a - b
+            elif op == "fmul":
+                r = a * b
+            elif op == "fdiv":
+                r = Interpreter._fdiv(a, b)
+            elif op == "frem":
+                r = math.fmod(a, b) if b != 0 and not math.isnan(a) and not math.isinf(a) else float("nan")
+            else:  # pragma: no cover - constructor prevents this
+                raise InvalidOperation(f"bad float op {op}")
+            return round_f32(r) if ty.bits == 32 else r
+
+        bits = ty.bits
+        if op == "add":
+            return wrap_int(a + b, bits)
+        if op == "sub":
+            return wrap_int(a - b, bits)
+        if op == "mul":
+            return wrap_int(a * b, bits)
+        if op == "sdiv":
+            if b == 0:
+                raise ArithmeticTrap("signed division by zero")
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            if q > (1 << (bits - 1)) - 1:
+                raise ArithmeticTrap("signed division overflow (INT_MIN / -1)")
+            return wrap_int(q, bits)
+        if op == "srem":
+            if b == 0:
+                raise ArithmeticTrap("signed remainder by zero")
+            r = abs(a) % abs(b)
+            return wrap_int(-r if a < 0 else r, bits)
+        if op == "udiv":
+            if b == 0:
+                raise ArithmeticTrap("unsigned division by zero")
+            return wrap_int(to_unsigned(a, bits) // to_unsigned(b, bits), bits)
+        if op == "urem":
+            if b == 0:
+                raise ArithmeticTrap("unsigned remainder by zero")
+            return wrap_int(to_unsigned(a, bits) % to_unsigned(b, bits), bits)
+        if op == "and":
+            return wrap_int(a & b, bits)
+        if op == "or":
+            return wrap_int(a | b, bits)
+        if op == "xor":
+            return wrap_int(a ^ b, bits)
+        # x86 semantics: the shift count is masked to the operand width.
+        if op == "shl":
+            return wrap_int(a << (b & (bits - 1)), bits)
+        if op == "lshr":
+            return wrap_int(to_unsigned(a, bits) >> (b & (bits - 1)), bits)
+        if op == "ashr":
+            return wrap_int(a >> (b & (bits - 1)), bits)
+        raise InvalidOperation(f"bad int op {op}")  # pragma: no cover
+
+    @staticmethod
+    def _fdiv(a: float, b: float) -> float:
+        if b == 0.0:
+            if a != a or a == 0.0:
+                return float("nan")
+            sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+            return math.inf * sign
+        return a / b
+
+    def _compare(self, instr: CompareOp, a, b):
+        pred = instr.predicate
+        operand_ty = instr.lhs.type
+        if isinstance(operand_ty, VectorType):
+            elem = operand_ty.element
+            return [
+                int(self._scalar_compare(instr.opcode, pred, elem, x, y))
+                for x, y in zip(a, b)
+            ]
+        return int(self._scalar_compare(instr.opcode, pred, operand_ty, a, b))
+
+    def _scalar_compare(self, opcode: str, pred: str, ty: Type, a, b) -> bool:
+        if opcode == "icmp":
+            if isinstance(ty, PointerType):
+                ua, ub = a & (2**64 - 1), b & (2**64 - 1)
+            else:
+                ua, ub = to_unsigned(a, ty.bits), to_unsigned(b, ty.bits)
+            return {
+                "eq": a == b,
+                "ne": a != b,
+                "slt": a < b,
+                "sle": a <= b,
+                "sgt": a > b,
+                "sge": a >= b,
+                "ult": ua < ub,
+                "ule": ua <= ub,
+                "ugt": ua > ub,
+                "uge": ua >= ub,
+            }[pred]
+        # fcmp: o* are false on NaN, u* are true on NaN.
+        nan = (a != a) or (b != b)
+        if pred == "ord":
+            return not nan
+        if pred == "uno":
+            return nan
+        ordered = pred.startswith("o")
+        if nan:
+            return not ordered
+        rel = pred[1:]
+        return {
+            "eq": a == b,
+            "ne": a != b,
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+        }[rel]
+
+    # -- casts ------------------------------------------------------------------------
+
+    def _cast(self, instr: CastOp, v):
+        src_ty = instr.operands[0].type
+        dst_ty = instr.type
+        if isinstance(dst_ty, VectorType):
+            src_elem = src_ty.scalar_type
+            dst_elem = dst_ty.element
+            return [
+                self._scalar_cast(instr.opcode, src_elem, dst_elem, x) for x in v
+            ]
+        return self._scalar_cast(instr.opcode, src_ty, dst_ty, v)
+
+    def _scalar_cast(self, op: str, src: Type, dst: Type, v):
+        if op == "bitcast":
+            if src.is_pointer() and dst.is_pointer():
+                return v
+            if src.is_integer() and dst.is_float():
+                return bits_to_float(to_unsigned(v, src.bits), dst.bits)
+            if src.is_float() and dst.is_integer():
+                return wrap_int(float_to_bits(v, src.bits), dst.bits)
+            if src.is_integer() and dst.is_integer():
+                return wrap_int(v, dst.bits)
+            if src.is_float() and dst.is_float():
+                return v
+            raise InvalidOperation(f"bad bitcast {src} -> {dst}")
+        if op == "zext":
+            return wrap_int(to_unsigned(v, src.bits), dst.bits)
+        if op == "sext":
+            # i1 is canonicalized as 0/1; its sign-extension is 0/-1.
+            if src.bits == 1:
+                return wrap_int(-v, dst.bits)
+            return wrap_int(v, dst.bits)
+        if op == "trunc":
+            return wrap_int(v, dst.bits)
+        if op == "sitofp":
+            r = float(v)
+            return round_f32(r) if dst.bits == 32 else r
+        if op == "uitofp":
+            r = float(to_unsigned(v, src.bits))
+            return round_f32(r) if dst.bits == 32 else r
+        if op == "fptosi":
+            return float_to_int_trunc(v, dst.bits)
+        if op == "fptoui":
+            return float_to_uint_trunc(v, dst.bits)
+        if op == "fpext":
+            return v
+        if op == "fptrunc":
+            return round_f32(v)
+        if op == "ptrtoint":
+            return wrap_int(v, dst.bits)
+        if op == "inttoptr":
+            return to_unsigned(v, 64)
+        raise InvalidOperation(f"bad cast {op}")  # pragma: no cover
+
+    # -- calls & intrinsics --------------------------------------------------------------
+
+    def _call(self, instr: Call, args: list):
+        callee = instr.callee
+        name = callee.name
+        if not callee.is_declaration:
+            return self._exec_function(callee, args)
+        if is_intrinsic_name(name):
+            return self._intrinsic(get_intrinsic(name), instr, args)
+        ext = self.externals.get(name)
+        if ext is None:
+            raise InvalidOperation(f"call to unbound external @{name}")
+        return ext(*args)
+
+    def _intrinsic(self, info: IntrinsicInfo, instr: Call, args: list):
+        kind = info.kind
+        if kind == "math":
+            return self._math(instr.callee.name, info, args)
+        if kind in ("reduce", "mask-reduce"):
+            return self._reduce(instr.callee.name, info, args)
+
+        mem = self.memory
+        if kind == "maskload":
+            data_ty = info.function_type.return_type
+            assert isinstance(data_ty, VectorType)
+            elem = data_ty.element
+            stride = elem.store_size()
+            addr = args[0]
+            mask = args[1]
+            mask_ty = info.function_type.params[info.mask_index]
+            active = self._active_lanes(mask, mask_ty, info.mask_convention)
+            if info.mask_convention == MASK_SIGN:
+                passthru = [0.0 if elem.is_float() else 0] * data_ty.length
+            else:
+                passthru = list(args[2])
+            out = []
+            for i in range(data_ty.length):
+                if active[i]:
+                    out.append(mem.read_scalar(elem, addr + i * stride))
+                else:
+                    out.append(passthru[i])
+            return out
+        if kind == "maskstore":
+            data_ty = info.function_type.params[info.stored_value_index]
+            assert isinstance(data_ty, VectorType)
+            elem = data_ty.element
+            stride = elem.store_size()
+            mask_ty = info.function_type.params[info.mask_index]
+            active = self._active_lanes(
+                args[info.mask_index], mask_ty, info.mask_convention
+            )
+            if info.mask_convention == MASK_SIGN:
+                addr = args[0]
+                data = args[2]
+            else:
+                data = args[0]
+                addr = args[1]
+            for i in range(data_ty.length):
+                if active[i]:
+                    mem.write_scalar(elem, addr + i * stride, data[i])
+            return None
+        if kind == "gather":
+            data_ty = info.function_type.return_type
+            assert isinstance(data_ty, VectorType)
+            elem = data_ty.element
+            ptrs, mask, passthru = args
+            out = []
+            for i in range(data_ty.length):
+                out.append(
+                    mem.read_scalar(elem, ptrs[i]) if mask[i] else passthru[i]
+                )
+            return out
+        if kind == "scatter":
+            data, ptrs, mask = args
+            data_ty = info.function_type.params[0]
+            assert isinstance(data_ty, VectorType)
+            elem = data_ty.element
+            for i in range(data_ty.length):
+                if mask[i]:
+                    mem.write_scalar(elem, ptrs[i], data[i])
+            return None
+        raise InvalidOperation(f"unhandled intrinsic kind {kind}")  # pragma: no cover
+
+    @staticmethod
+    def _active_lanes(mask, mask_ty: Type, convention: str | None) -> list[bool]:
+        if convention == MASK_SIGN:
+            elem = mask_ty.scalar_type
+            return [_sign_active(m, elem) for m in mask]
+        return [bool(m) for m in mask]
+
+    _MATH_FNS = {
+        "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+        "fabs": math.fabs,
+        "exp": lambda x: _safe_exp(x),
+        "log": lambda x: _safe_log(x),
+        "sin": math.sin,
+        "cos": math.cos,
+        "floor": math.floor,
+        "ceil": math.ceil,
+        "pow": lambda x, y: _safe_pow(x, y),
+        "minnum": lambda x, y: _ieee_min(x, y),
+        "maxnum": lambda x, y: _ieee_max(x, y),
+        "copysign": math.copysign,
+    }
+
+    def _math(self, name: str, info: IntrinsicInfo, args: list):
+        op = name.split(".")[1]
+        fn = self._MATH_FNS[op]
+        ty = info.function_type.return_type
+        if isinstance(ty, VectorType):
+            elem_bits = ty.element.bits  # type: ignore[union-attr]
+            if len(args) == 1:
+                out = [fn(x) for x in args[0]]
+            else:
+                out = [fn(x, y) for x, y in zip(args[0], args[1])]
+            if elem_bits == 32:
+                out = [round_f32(x) for x in out]
+            return out
+        r = fn(*args)
+        return round_f32(r) if ty.bits == 32 else r  # type: ignore[union-attr]
+
+    def _reduce(self, name: str, info: IntrinsicInfo, args: list):
+        op = name.split(".")[3]
+        ret = info.function_type.return_type
+        f32 = isinstance(ret, FloatType) and ret.bits == 32
+        if op == "fadd":
+            acc = args[0]
+            for x in args[1]:
+                acc = acc + x
+                if f32:
+                    acc = round_f32(acc)
+            return acc
+        if op == "fmul":
+            acc = args[0]
+            for x in args[1]:
+                acc = acc * x
+                if f32:
+                    acc = round_f32(acc)
+            return acc
+        vec = args[0]
+        if isinstance(ret, IntType):
+            bits = ret.bits
+            if op == "add":
+                return wrap_int(sum(vec), bits)
+            if op == "mul":
+                acc = 1
+                for x in vec:
+                    acc = wrap_int(acc * x, bits)
+                return acc
+            if op == "and":
+                acc = -1 if bits > 1 else 1
+                for x in vec:
+                    acc &= x
+                return wrap_int(acc, bits)
+            if op == "or":
+                acc = 0
+                for x in vec:
+                    acc |= x
+                return wrap_int(acc, bits)
+            if op == "xor":
+                acc = 0
+                for x in vec:
+                    acc ^= x
+                return wrap_int(acc, bits)
+            if op == "smax":
+                return max(vec)
+            if op == "smin":
+                return min(vec)
+            if op == "umax":
+                return wrap_int(max(to_unsigned(x, bits) for x in vec), bits)
+            if op == "umin":
+                return wrap_int(min(to_unsigned(x, bits) for x in vec), bits)
+        if op == "fmax":
+            return _reduce_fminmax(vec, _ieee_max, f32)
+        if op == "fmin":
+            return _reduce_fminmax(vec, _ieee_min, f32)
+        raise InvalidOperation(f"unhandled reduction {name}")
+
+
+def _safe_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def _safe_log(x: float) -> float:
+    if x > 0:
+        return math.log(x)
+    if x == 0:
+        return -math.inf
+    return float("nan")
+
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        r = math.pow(x, y)
+    except (OverflowError, ValueError):
+        return float("nan") if x < 0 else math.inf
+    return r
+
+
+def _ieee_min(x: float, y: float) -> float:
+    if x != x:
+        return y
+    if y != y:
+        return x
+    return min(x, y)
+
+
+def _ieee_max(x: float, y: float) -> float:
+    if x != x:
+        return y
+    if y != y:
+        return x
+    return max(x, y)
+
+
+def _reduce_fminmax(vec, fn, f32: bool) -> float:
+    acc = vec[0]
+    for x in vec[1:]:
+        acc = fn(acc, x)
+    return round_f32(acc) if f32 else acc

@@ -1,0 +1,205 @@
+"""Byte-addressable memory for the VM.
+
+Allocations are placed sparsely in a large flat address space with guard
+gaps between them.  Any access that does not fall entirely inside a live
+allocation raises :class:`~repro.errors.MemoryFault` (the simulated SIGSEGV)
+— this is what turns bit-flipped addresses into *Crash* outcomes, while
+flips in the low bits of an address can still land inside a mapped buffer
+and silently corrupt data (an SDC), mirroring real hardware behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import MemoryFault
+from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
+from .bits import bits_to_float, float_to_bits, to_unsigned, wrap_int
+
+#: Base of the simulated heap; low addresses (incl. null) are never mapped.
+HEAP_BASE = 0x10000
+#: Guard gap between allocations, in bytes.
+GUARD_GAP = 4096
+
+
+class Allocation:
+    __slots__ = ("base", "size", "data", "label")
+
+    def __init__(self, base: int, size: int, label: str = ""):
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.label = label
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Allocation {self.label or hex(self.base)} size={self.size}>"
+
+
+class Memory:
+    """Flat simulated memory with bump allocation and bounds checking.
+
+    ``strict_alignment=True`` additionally requires natural alignment on
+    every typed scalar access and raises
+    :class:`~repro.errors.AlignmentFault` otherwise — modelling ISAs (or
+    aligned-move encodings like ``vmovaps``) where a bit-flipped address is
+    more likely to trap than on permissive x86 unaligned accesses.  The
+    default is x86-like: unaligned accesses succeed.
+    """
+
+    def __init__(self, strict_alignment: bool = False):
+        self._allocations: list[Allocation] = []
+        self._bases: list[int] = []  # sorted, parallel to _allocations
+        self._next = HEAP_BASE
+        self.bytes_allocated = 0
+        self.strict_alignment = strict_alignment
+
+    def _check_alignment(self, addr: int, size: int) -> None:
+        if self.strict_alignment and size > 1 and addr % size != 0:
+            from ..errors import AlignmentFault
+
+            raise AlignmentFault(
+                f"misaligned {size}-byte access at {hex(addr)}"
+            )
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, size: int, label: str = "") -> int:
+        """Allocate ``size`` bytes, returning the base address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        alloc = Allocation(self._next, size, label)
+        self._allocations.append(alloc)
+        self._bases.append(alloc.base)
+        self._next = alloc.end + GUARD_GAP
+        self.bytes_allocated += size
+        return alloc.base
+
+    def alloc_typed(self, type: Type, count: int = 1, label: str = "") -> int:
+        return self.alloc(type.store_size() * count, label)
+
+    def _find(self, addr: int, size: int) -> Allocation:
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            alloc = self._allocations[i]
+            if alloc.base <= addr and addr + size <= alloc.end:
+                return alloc
+        raise MemoryFault(
+            f"invalid {size}-byte access at {hex(addr) if addr >= 0 else addr}"
+        )
+
+    def check_range(self, addr: int, size: int) -> None:
+        self._find(addr, size)
+
+    # -- raw bytes --------------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        alloc = self._find(addr, size)
+        off = addr - alloc.base
+        return bytes(alloc.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        alloc = self._find(addr, len(data))
+        off = addr - alloc.base
+        alloc.data[off : off + len(data)] = data
+
+    # -- typed scalar access -------------------------------------------------------
+
+    def read_scalar(self, type: Type, addr: int):
+        size = type.store_size()
+        self._check_alignment(addr, size)
+        raw = self.read_bytes(addr, size)
+        if isinstance(type, IntType):
+            return wrap_int(int.from_bytes(raw, "little"), type.bits)
+        if isinstance(type, FloatType):
+            return bits_to_float(int.from_bytes(raw, "little"), type.bits)
+        if isinstance(type, PointerType):
+            return int.from_bytes(raw, "little")
+        raise MemoryFault(f"cannot read scalar of type {type}")
+
+    def write_scalar(self, type: Type, addr: int, value) -> None:
+        size = type.store_size()
+        self._check_alignment(addr, size)
+        if isinstance(type, IntType):
+            raw = to_unsigned(int(value), size * 8).to_bytes(size, "little")
+        elif isinstance(type, FloatType):
+            raw = float_to_bits(float(value), type.bits).to_bytes(size, "little")
+        elif isinstance(type, PointerType):
+            raw = (int(value) & (2**64 - 1)).to_bytes(size, "little")
+        else:
+            raise MemoryFault(f"cannot write scalar of type {type}")
+        self.write_bytes(addr, raw)
+
+    # -- typed vector access ---------------------------------------------------------
+
+    def read_vector(self, type: VectorType, addr: int) -> list:
+        elem = type.element
+        stride = elem.store_size()
+        return [
+            self.read_scalar(elem, addr + i * stride) for i in range(type.length)
+        ]
+
+    def write_vector(self, type: VectorType, addr: int, values: Sequence) -> None:
+        elem = type.element
+        stride = elem.store_size()
+        for i, v in enumerate(values):
+            self.write_scalar(elem, addr + i * stride, v)
+
+    def read_value(self, type: Type, addr: int):
+        if isinstance(type, VectorType):
+            return self.read_vector(type, addr)
+        return self.read_scalar(type, addr)
+
+    def write_value(self, type: Type, addr: int, value) -> None:
+        if isinstance(type, VectorType):
+            self.write_vector(type, addr, value)
+        else:
+            self.write_scalar(type, addr, value)
+
+    # -- numpy bridging (harness convenience) --------------------------------------------
+
+    _NP_DTYPES = {
+        (True, 32): np.int32,
+        (True, 64): np.int64,
+        (False, 32): np.float32,
+        (False, 64): np.float64,
+    }
+
+    def store_array(self, elem_type: Type, values, label: str = "") -> int:
+        """Allocate an array, fill it from a Python/NumPy sequence, and
+        return its base address."""
+        values = np.asarray(values)
+        addr = self.alloc_typed(elem_type, int(values.size), label)
+        if isinstance(elem_type, IntType) and elem_type.bits in (32, 64):
+            dtype = self._NP_DTYPES[(True, elem_type.bits)]
+        elif isinstance(elem_type, FloatType):
+            dtype = self._NP_DTYPES[(False, elem_type.bits)]
+        else:
+            for i, v in enumerate(values.tolist()):
+                self.write_scalar(elem_type, addr + i * elem_type.store_size(), v)
+            return addr
+        raw = np.ascontiguousarray(values.astype(dtype)).tobytes()
+        self.write_bytes(addr, raw)
+        return addr
+
+    def load_array(self, elem_type: Type, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` elements starting at ``addr`` as a NumPy array."""
+        size = elem_type.store_size() * count
+        raw = self.read_bytes(addr, size)
+        if isinstance(elem_type, IntType) and elem_type.bits in (32, 64):
+            return np.frombuffer(raw, dtype=self._NP_DTYPES[(True, elem_type.bits)]).copy()
+        if isinstance(elem_type, FloatType):
+            return np.frombuffer(raw, dtype=self._NP_DTYPES[(False, elem_type.bits)]).copy()
+        return np.array(
+            [
+                self.read_scalar(elem_type, addr + i * elem_type.store_size())
+                for i in range(count)
+            ]
+        )

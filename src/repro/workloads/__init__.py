@@ -1,0 +1,27 @@
+"""The paper's nine vector benchmarks plus the §IV-E micro-benchmarks."""
+
+from .registry import (
+    ISPC_SUITE,
+    MICRO,
+    PARVEC,
+    SCL,
+    Workload,
+    all_workloads,
+    benchmark_workloads,
+    get_workload,
+    micro_workloads,
+    register,
+)
+
+__all__ = [
+    "ISPC_SUITE",
+    "MICRO",
+    "PARVEC",
+    "SCL",
+    "Workload",
+    "all_workloads",
+    "benchmark_workloads",
+    "get_workload",
+    "micro_workloads",
+    "register",
+]

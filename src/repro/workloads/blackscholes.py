@@ -1,0 +1,94 @@
+"""Blackscholes: European option pricing (ISPC suite benchmark).
+
+The classic Black-Scholes closed-form priced per option across vector
+lanes, with the Abramowitz-Stegun polynomial CNDF — the same computation
+the ISPC example distribution vectorizes.  Exercises: varying math
+intrinsics (log/exp/sqrt), a non-export helper with varying parameters,
+ternary blends.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32
+from .registry import ISPC_SUITE, Workload, register
+
+SOURCE = """
+// Cumulative normal distribution, Abramowitz-Stegun 26.2.17.
+float cndf(float d) {
+    float ad = abs(d);
+    float k = 1.0 / (1.0 + 0.2316419 * ad);
+    float poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+               + k * (-1.821255978 + k * 1.330274429))));
+    float pdf = 0.39894228 * exp(-0.5 * ad * ad);
+    float w = 1.0 - pdf * poly;
+    if (d < 0.0) {
+        w = 1.0 - w;
+    }
+    return w;
+}
+
+export void blackscholes_ispc(uniform float sptprice[], uniform float strike[],
+                              uniform float time[], uniform float rate,
+                              uniform float volatility, uniform float prices[],
+                              uniform int n) {
+    foreach (i = 0 ... n) {
+        float s = sptprice[i];
+        float k = strike[i];
+        float t = time[i];
+        float sqrt_t = sqrt(t);
+        float d1 = (log(s / k) + (rate + 0.5 * volatility * volatility) * t)
+                 / (volatility * sqrt_t);
+        float d2 = d1 - volatility * sqrt_t;
+        float call = s * cndf(d1) - k * exp(-rate * t) * cndf(d2);
+        prices[i] = call;
+    }
+}
+"""
+
+#: Option-batch sizes standing in for the ISPC suite's small/medium/large
+#: simulation inputs (Table I), scaled to interpreter speed.
+_SIZES = (18, 35, 67)
+
+
+def _sample(rng: Random) -> dict:
+    return {"n": rng.choice(_SIZES), "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    n = params["n"]
+    rng = np.random.default_rng(params["seed"])
+    spot = f32(rng.uniform(20.0, 120.0, n))
+    strike = f32(rng.uniform(20.0, 120.0, n))
+    time = f32(rng.uniform(0.1, 2.0, n))
+    rate = float(np.float32(0.05))
+    vol = float(np.float32(0.2))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        ps = args.in_f32(spot, "spot")
+        pk = args.in_f32(strike, "strike")
+        pt = args.in_f32(time, "time")
+        pp = args.out_f32("prices", n)
+        vm.run("blackscholes_ispc", [ps, pk, pt, rate, vol, pp, n])
+        return args.collect()
+
+    return runner
+
+
+BLACKSCHOLES = register(
+    Workload(
+        name="blackscholes",
+        suite=ISPC_SUITE,
+        language="ISPC",
+        description="Black-Scholes European option pricing",
+        source=SOURCE,
+        entry="blackscholes_ispc",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"option batch: {list(_SIZES)} (sim_small/medium/large, scaled)",
+    )
+)

@@ -1,0 +1,96 @@
+"""Chebyshev (SCL benchmark): coefficient projection + Clenshaw evaluation.
+
+MiniISPC port of Burkardt's scientific-computing-library Chebyshev routines
+(the paper's own ISPC ports of SCL are not distributed): compute the
+Chebyshev coefficients of a sampled function on its nodes, then evaluate
+the expansion at a batch of points with Clenshaw recurrence.  Exercises:
+``cos`` across lanes, reduction loops, a lane-carried recurrence inside
+foreach, uniform-indexed coefficient loads.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32
+from .registry import SCL, Workload, register
+
+SOURCE = """
+export void chebyshev_coeffs(uniform float fx[], uniform float c[],
+                             uniform int n) {
+    uniform float pi = 3.14159265;
+    for (uniform int j = 0; j < n; j++) {
+        varying float acc = 0.0;
+        foreach (k = 0 ... n) {
+            float angle = pi * float(j) * (float(k) + 0.5) / float(n);
+            acc += fx[k] * cos(angle);
+        }
+        c[j] = 2.0 * reduce_add(acc) / float(n);
+    }
+}
+
+export void chebyshev_eval(uniform float c[], uniform float x[],
+                           uniform float y[], uniform int degree,
+                           uniform int npts) {
+    foreach (i = 0 ... npts) {
+        float xi = x[i];
+        float b0 = 0.0;
+        float b1 = 0.0;
+        for (uniform int j = degree - 1; j >= 1; j = j - 1) {
+            uniform float cj = c[j];
+            float tmp = 2.0 * xi * b0 - b1 + cj;
+            b1 = b0;
+            b0 = tmp;
+        }
+        // Clenshaw tail with the halved c0 convention.
+        y[i] = xi * b0 - b1 + 0.5 * c[0];
+    }
+}
+"""
+
+#: Degrees standing in for Table I's [1, 256].
+_DEGREES = (9, 17, 33)
+_NPTS = 27
+
+
+def _sample(rng: Random) -> dict:
+    return {"degree": rng.choice(_DEGREES), "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    n = params["degree"]
+    rng = np.random.default_rng(params["seed"])
+    # Sample exp(x) at the Chebyshev nodes of [-1, 1].
+    k = np.arange(n)
+    nodes = np.cos(np.pi * (k + 0.5) / n)
+    fx = f32(np.exp(nodes))
+    xs = f32(rng.uniform(-1.0, 1.0, _NPTS))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pfx = args.in_f32(fx, "fx")
+        pc = args.out_f32("coeffs", n)
+        vm.run("chebyshev_coeffs", [pfx, pc, n])
+        px = args.in_f32(xs, "x")
+        py = args.out_f32("y", _NPTS)
+        vm.run("chebyshev_eval", [pc, px, py, n, _NPTS])
+        return args.collect()
+
+    return runner
+
+
+CHEBYSHEV = register(
+    Workload(
+        name="chebyshev",
+        suite=SCL,
+        language="ISPC",
+        description="Chebyshev coefficient projection and Clenshaw evaluation",
+        source=SOURCE,
+        entry="chebyshev_coeffs",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"degree: {list(_DEGREES)} ([1,256] scaled), {_NPTS} eval points",
+    )
+)

@@ -1,0 +1,50 @@
+"""Shared helpers for workload runner construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.types import F32, I32
+from ..vm.interpreter import Interpreter
+
+
+def f32(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float32)
+
+
+def i32(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int32)
+
+
+class ArrayArgs:
+    """Builds kernel arguments against one VM and reads back outputs."""
+
+    def __init__(self, vm: Interpreter):
+        self.vm = vm
+        self._outputs: list[tuple[str, object, int, object]] = []
+
+    def in_f32(self, data: np.ndarray, label: str = "in") -> int:
+        return self.vm.memory.store_array(F32, f32(data), label)
+
+    def in_i32(self, data: np.ndarray, label: str = "in") -> int:
+        return self.vm.memory.store_array(I32, i32(data), label)
+
+    def out_f32(self, name: str, size: int, init: np.ndarray | None = None) -> int:
+        data = f32(np.zeros(size)) if init is None else f32(init)
+        addr = self.vm.memory.store_array(F32, data, name)
+        self._outputs.append((name, F32, size, addr))
+        return addr
+
+    def out_i32(self, name: str, size: int, init: np.ndarray | None = None) -> int:
+        data = i32(np.zeros(size)) if init is None else i32(init)
+        addr = self.vm.memory.store_array(I32, data, name)
+        self._outputs.append((name, I32, size, addr))
+        return addr
+
+    def collect(self, extra: dict | None = None) -> dict:
+        out: dict = {}
+        for name, elem, size, addr in self._outputs:
+            out[name] = self.vm.memory.load_array(elem, addr, size)
+        if extra:
+            out.update(extra)
+        return out

@@ -1,0 +1,94 @@
+"""Jacobi (SCL benchmark): Jacobi relaxation sweeps on a 2D Poisson grid.
+
+MiniISPC port of the SCL Jacobi iteration: fixed boundary values, a source
+term, ping-pong buffers, and a per-sweep residual computed with a varying
+accumulator — the classic SCL shape.  The residual is part of the output so
+faults that perturb convergence bookkeeping (not just the grid) count as
+SDCs, as they would for a scientific user.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32
+from .registry import SCL, Workload, register
+
+SOURCE = """
+export void jacobi_ispc(uniform float u[], uniform float unew[],
+                        uniform float f[], uniform float resid[],
+                        uniform int rows, uniform int cols,
+                        uniform int sweeps) {
+    for (uniform int t = 0; t < sweeps; t++) {
+        varying float rs = 0.0;
+        for (uniform int r = 1; r < rows - 1; r++) {
+            if (t % 2 == 0) {
+                foreach (i = 1 ... cols - 1) {
+                    float v = 0.25 * (u[r*cols + i - 1] + u[r*cols + i + 1]
+                            + u[(r-1)*cols + i] + u[(r+1)*cols + i]
+                            + f[r*cols + i]);
+                    unew[r*cols + i] = v;
+                    float d = v - u[r*cols + i];
+                    rs += d * d;
+                }
+            } else {
+                foreach (i = 1 ... cols - 1) {
+                    float v = 0.25 * (unew[r*cols + i - 1] + unew[r*cols + i + 1]
+                            + unew[(r-1)*cols + i] + unew[(r+1)*cols + i]
+                            + f[r*cols + i]);
+                    u[r*cols + i] = v;
+                    float d = v - unew[r*cols + i];
+                    rs += d * d;
+                }
+            }
+        }
+        resid[t] = sqrt(reduce_add(rs));
+    }
+}
+"""
+
+#: Grid shapes standing in for Table I's 32x32..192x192.
+_DIMS = ((8, 11), (10, 13), (13, 14))
+_SWEEPS = 4
+
+
+def _sample(rng: Random) -> dict:
+    rows, cols = rng.choice(_DIMS)
+    return {"rows": rows, "cols": cols, "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    rows, cols = params["rows"], params["cols"]
+    rng = np.random.default_rng(params["seed"])
+    u0 = f32(np.zeros(rows * cols))
+    # Fixed hot boundary on the first row, random source term.
+    u0[:cols] = 1.0
+    src = f32(rng.uniform(0.0, 0.1, rows * cols))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pu = args.out_f32("u", rows * cols, init=u0)
+        pn = args.out_f32("unew", rows * cols, init=u0)
+        pf = args.in_f32(src, "f")
+        pr = args.out_f32("resid", _SWEEPS)
+        vm.run("jacobi_ispc", [pu, pn, pf, pr, rows, cols, _SWEEPS])
+        return args.collect()
+
+    return runner
+
+
+JACOBI = register(
+    Workload(
+        name="jacobi",
+        suite=SCL,
+        language="ISPC",
+        description="Jacobi relaxation with residual tracking",
+        source=SOURCE,
+        entry="jacobi_ispc",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"2D grid: {list(_DIMS)} x {_SWEEPS} sweeps (32x32..192x192 scaled)",
+    )
+)

@@ -1,0 +1,139 @@
+"""§IV-E micro-benchmarks: vector copy, vector dot product, vector sum.
+
+``vcopy`` is the paper's Fig. 6 verbatim (modulo MiniISPC's mandatory
+initializers).  These three drive the detector study of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32, i32
+from .registry import MICRO, Workload, register
+
+VCOPY_SOURCE = """
+// Paper Fig. 6: ISPC implementation of vector copy.
+export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
+    foreach (i = 0 ... n) {
+        a2[i] = a1[i];
+    }
+    return;
+}
+"""
+
+DOT_SOURCE = """
+export uniform float dot_ispc(uniform float a[], uniform float b[],
+                              uniform int n) {
+    varying float sum = 0.0;
+    foreach (i = 0 ... n) {
+        sum += a[i] * b[i];
+    }
+    return reduce_add(sum);
+}
+"""
+
+VSUM_SOURCE = """
+export uniform float vsum_ispc(uniform float a[], uniform int n) {
+    varying float sum = 0.0;
+    foreach (i = 0 ... n) {
+        sum += a[i];
+    }
+    return reduce_add(sum);
+}
+"""
+
+#: Predefined input lengths; deliberately not multiples of Vl so the partial
+#: (masked) path is always exercised.
+_LENGTHS = (67, 93, 131, 185)
+
+
+def _sample(rng: Random) -> dict:
+    return {"n": rng.choice(_LENGTHS), "seed": rng.randrange(2**31)}
+
+
+def _vcopy_runner(params: dict):
+    n = params["n"]
+    data = i32(np.random.default_rng(params["seed"]).integers(-1000, 1000, n))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        a1 = args.in_i32(data, "a1")
+        a2 = args.out_i32("a2", n)
+        vm.run("vcopy_ispc", [a1, a2, n])
+        return args.collect()
+
+    return runner
+
+
+def _dot_runner(params: dict):
+    n = params["n"]
+    rng = np.random.default_rng(params["seed"])
+    a = f32(rng.uniform(-1, 1, n))
+    b = f32(rng.uniform(-1, 1, n))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pa = args.in_f32(a, "a")
+        pb = args.in_f32(b, "b")
+        result = vm.run("dot_ispc", [pa, pb, n])
+        return {"dot": float(result)}
+
+    return runner
+
+
+def _vsum_runner(params: dict):
+    n = params["n"]
+    a = f32(np.random.default_rng(params["seed"]).uniform(-1, 1, n))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pa = args.in_f32(a, "a")
+        result = vm.run("vsum_ispc", [pa, n])
+        return {"sum": float(result)}
+
+    return runner
+
+
+VCOPY = register(
+    Workload(
+        name="vcopy",
+        suite=MICRO,
+        language="ISPC",
+        description="Vector copy micro-benchmark (paper Fig. 6)",
+        source=VCOPY_SOURCE,
+        entry="vcopy_ispc",
+        sample_input=_sample,
+        make_runner=_vcopy_runner,
+        input_summary=f"1D array length: {list(_LENGTHS)}",
+    )
+)
+
+DOT_PRODUCT = register(
+    Workload(
+        name="dot_product",
+        suite=MICRO,
+        language="ISPC",
+        description="Vector dot product micro-benchmark",
+        source=DOT_SOURCE,
+        entry="dot_ispc",
+        sample_input=_sample,
+        make_runner=_dot_runner,
+        input_summary=f"1D array length: {list(_LENGTHS)}",
+    )
+)
+
+VECTOR_SUM = register(
+    Workload(
+        name="vector_sum",
+        suite=MICRO,
+        language="ISPC",
+        description="Vector sum micro-benchmark",
+        source=VSUM_SOURCE,
+        entry="vsum_ispc",
+        sample_input=_sample,
+        make_runner=_vsum_runner,
+        input_summary=f"1D array length: {list(_LENGTHS)}",
+    )
+)

@@ -1,0 +1,127 @@
+"""Ray tracing (ISPC suite benchmark): sphere-scene primary-ray renderer.
+
+One ray per lane over image columns; every sphere is tested with varying
+control flow (discriminant test, depth test) and the closest hit is shaded
+with a fixed directional light.  The paper's camera inputs (Sponza, Teapot,
+Cornell) are replaced by three fixed sphere scenes of increasing size —
+the substitution keeps the code path identical (per-lane traversal +
+varying branching); only the scene description differs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32
+from .registry import ISPC_SUITE, Workload, register
+
+SOURCE = """
+export void raytrace_ispc(uniform float cx[], uniform float cy[],
+                          uniform float cz[], uniform float cr[],
+                          uniform int nspheres, uniform float img[],
+                          uniform int width, uniform int height) {
+    for (uniform int y = 0; y < height; y++) {
+        uniform float py = (float(y) + 0.5) / float(height) - 0.5;
+        foreach (x = 0 ... width) {
+            float px = (float(x) + 0.5) / float(width) - 0.5;
+            // Normalized ray direction through the pixel, camera at origin.
+            float inv = 1.0 / sqrt(px * px + py * py + 1.0);
+            float rx = px * inv;
+            float ry = py * inv;
+            float rz = inv;
+            float tmin = 1.0e30;
+            float shade = 0.0;
+            for (uniform int s = 0; s < nspheres; s++) {
+                uniform float sx = cx[s];
+                uniform float sy = cy[s];
+                uniform float sz = cz[s];
+                uniform float sr = cr[s];
+                float b = rx * sx + ry * sy + rz * sz;
+                float c = sx * sx + sy * sy + sz * sz - sr * sr;
+                float disc = b * b - c;
+                if (disc > 0.0) {
+                    float t = b - sqrt(disc);
+                    if (t > 0.001 && t < tmin) {
+                        tmin = t;
+                        float nx = (t * rx - sx) / sr;
+                        float ny = (t * ry - sy) / sr;
+                        float nz = (t * rz - sz) / sr;
+                        shade = max(0.0, 0.577 * nx + 0.577 * ny - 0.577 * nz);
+                    }
+                }
+            }
+            img[y*width + x] = shade;
+        }
+    }
+}
+"""
+
+
+def _scene(kind: str) -> dict:
+    """Three fixed scenes standing in for the paper's camera inputs."""
+    if kind == "teapot":  # one dominant object
+        c = [(0.0, 0.0, 3.0, 1.0)]
+    elif kind == "cornell":  # a small box of objects
+        c = [
+            (-0.8, -0.4, 3.5, 0.6),
+            (0.8, -0.4, 3.5, 0.6),
+            (0.0, 0.7, 4.0, 0.8),
+        ]
+    else:  # 'sponza': many occluding objects
+        c = [
+            (-1.2, 0.0, 4.0, 0.5),
+            (-0.4, 0.2, 3.0, 0.4),
+            (0.4, -0.2, 3.5, 0.45),
+            (1.2, 0.1, 4.5, 0.55),
+            (0.0, 0.0, 5.0, 1.0),
+        ]
+    arr = np.array(c, dtype=np.float32)
+    return {
+        "cx": arr[:, 0],
+        "cy": arr[:, 1],
+        "cz": arr[:, 2],
+        "cr": arr[:, 3],
+    }
+
+
+_SCENES = ("sponza", "teapot", "cornell")
+_IMAGE = (10, 7)  # width, height
+
+
+def _sample(rng: Random) -> dict:
+    return {"scene": rng.choice(_SCENES)}
+
+
+def _make_runner(params: dict):
+    scene = _scene(params["scene"])
+    width, height = _IMAGE
+    n = len(scene["cx"])
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pcx = args.in_f32(scene["cx"], "cx")
+        pcy = args.in_f32(scene["cy"], "cy")
+        pcz = args.in_f32(scene["cz"], "cz")
+        pcr = args.in_f32(scene["cr"], "cr")
+        img = args.out_f32("img", width * height)
+        vm.run("raytrace_ispc", [pcx, pcy, pcz, pcr, n, img, width, height])
+        return args.collect()
+
+    return runner
+
+
+RAYTRACING = register(
+    Workload(
+        name="raytracing",
+        suite=ISPC_SUITE,
+        language="ISPC",
+        description="Primary-ray sphere renderer with per-lane traversal",
+        source=SOURCE,
+        entry="raytrace_ispc",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"camera input: {list(_SCENES)} at {_IMAGE[0]}x{_IMAGE[1]}",
+    )
+)

@@ -1,0 +1,149 @@
+"""Workload registry: the paper's nine benchmarks plus the §IV-E micros.
+
+A :class:`Workload` bundles MiniISPC source, an entry point, a *predefined
+input space* (§IV-B draws each experiment's input at random from such a
+set), and a runner builder that allocates inputs in a fresh VM, invokes the
+kernel, and collects the output arrays that define SDC equality.
+
+Compiled modules are cached per (workload, target, detector flags) — the
+engine clones before instrumenting, so cached modules stay pristine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from ..frontend.driver import compile_source
+from ..frontend.target import Target, get_target
+from ..ir.module import Module
+from ..vm.interpreter import Interpreter
+
+#: suite labels used in Table I
+PARVEC = "Parvec"
+ISPC_SUITE = "ISPC"
+SCL = "SCL"
+MICRO = "Micro"
+
+
+@dataclass
+class Workload:
+    name: str
+    suite: str
+    language: str
+    description: str
+    source: str
+    entry: str
+    #: Draw one input instance (a plain dict of parameters) from the
+    #: predefined input space.
+    sample_input: Callable[[Random], dict]
+    #: Build a deterministic runner for one input instance.
+    make_runner: Callable[[dict], Callable[[Interpreter], dict]]
+    #: Human-readable summary of the input space (Table I's "Test Input").
+    input_summary: str = ""
+    _module_cache: dict = field(default_factory=dict, repr=False)
+
+    def compile(
+        self,
+        target: Target | str = "avx",
+        foreach_detectors: bool = False,
+        uniform_detectors: bool = False,
+    ) -> Module:
+        tgt = get_target(target) if isinstance(target, str) else target
+        key = (tgt.name, foreach_detectors, uniform_detectors)
+        module = self._module_cache.get(key)
+        if module is None:
+            module = compile_source(
+                self.source,
+                tgt,
+                name=f"{self.name}-{tgt.name}",
+                foreach_detectors=foreach_detectors,
+                uniform_detectors=uniform_detectors,
+            )
+            self._module_cache[key] = module
+        return module
+
+    def runner_factory(self) -> Callable[[Random], Callable[[Interpreter], dict]]:
+        def factory(rng: Random):
+            return self.make_runner(self.sample_input(rng))
+
+        return factory
+
+    def reference_runner(self, seed: int = 0):
+        """A runner for a fixed representative input (docs/examples)."""
+        return self.make_runner(self.sample_input(Random(seed)))
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads(suite: str | None = None) -> list[Workload]:
+    _ensure_loaded()
+    ws = list(_REGISTRY.values())
+    if suite is not None:
+        ws = [w for w in ws if w.suite == suite]
+    return ws
+
+
+def benchmark_workloads() -> list[Workload]:
+    """The nine Table-I benchmarks, in the paper's order."""
+    _ensure_loaded()
+    order = [
+        "fluidanimate",
+        "swaptions",
+        "blackscholes",
+        "sorting",
+        "stencil",
+        "raytracing",
+        "chebyshev",
+        "jacobi",
+        "cg",
+    ]
+    return [_REGISTRY[n] for n in order]
+
+
+def micro_workloads() -> list[Workload]:
+    """The §IV-E micro-benchmarks: vector copy, dot product, vector sum."""
+    _ensure_loaded()
+    return [_REGISTRY[n] for n in ("vcopy", "dot_product", "vector_sum")]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Import for registration side effects.
+    from . import (  # noqa: F401
+        blackscholes,
+        cg,
+        chebyshev,
+        fluidanimate,
+        jacobi,
+        micro,
+        raytracing,
+        sorting,
+        stencil,
+        swaptions,
+    )

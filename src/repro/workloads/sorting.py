@@ -1,0 +1,70 @@
+"""Sorting (ISPC suite benchmark): vectorized rank sort.
+
+Each lane computes the final position (rank) of one element by comparing it
+against the whole array, then scatters the element to its rank — the
+data-parallel sort shape the ISPC ``sort`` example uses for its histogram
+phases.  Exercises: gathers, scatters with a *computed* (non-linear) varying
+index, varying comparisons, uniform inner loops inside foreach.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, i32
+from .registry import ISPC_SUITE, Workload, register
+
+SOURCE = """
+export void sort_ispc(uniform int a[], uniform int out[], uniform int n) {
+    foreach (i = 0 ... n) {
+        int v = a[i];
+        int rank = 0;
+        for (uniform int j = 0; j < n; j++) {
+            uniform int w = a[j];
+            // Stable rank: equal keys are ordered by original index.
+            if (w < v || (w == v && j < i)) {
+                rank += 1;
+            }
+        }
+        out[rank] = v;
+    }
+}
+"""
+
+#: Array lengths standing in for Table I's [1000, 100000], scaled ~30x down.
+_LENGTHS = (21, 34, 55)
+
+
+def _sample(rng: Random) -> dict:
+    return {"n": rng.choice(_LENGTHS), "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    n = params["n"]
+    data = i32(np.random.default_rng(params["seed"]).integers(0, 500, n))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pa = args.in_i32(data, "a")
+        pout = args.out_i32("sorted", n)
+        vm.run("sort_ispc", [pa, pout, n])
+        return args.collect()
+
+    return runner
+
+
+SORTING = register(
+    Workload(
+        name="sorting",
+        suite=ISPC_SUITE,
+        language="ISPC",
+        description="Vectorized rank sort (scatter to computed positions)",
+        source=SOURCE,
+        entry="sort_ispc",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"1D array length: {list(_LENGTHS)} ([1000,100000] scaled)",
+    )
+)

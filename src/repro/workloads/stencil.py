@@ -1,0 +1,80 @@
+"""Stencil (ISPC suite benchmark): iterated 2D 5-point stencil.
+
+Ping-pong time stepping over a flattened 2D grid; the inner dimension is
+vectorized with ``foreach`` so the loads at ``i-1``/``i+1`` exercise the
+unit-stride-with-offset path and every row ends in a masked partial
+iteration.  This is the array-intensive, address-heavy kernel the paper
+reports among the highest SDC rates.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from .common import ArrayArgs, f32
+from .registry import ISPC_SUITE, Workload, register
+
+SOURCE = """
+export void stencil_ispc(uniform float a[], uniform float b[],
+                         uniform int rows, uniform int cols,
+                         uniform int steps) {
+    for (uniform int t = 0; t < steps; t++) {
+        for (uniform int r = 1; r < rows - 1; r++) {
+            if (t % 2 == 0) {
+                foreach (i = 1 ... cols - 1) {
+                    b[r*cols + i] = 0.2 * (a[r*cols + i]
+                                  + a[r*cols + i - 1] + a[r*cols + i + 1]
+                                  + a[(r-1)*cols + i] + a[(r+1)*cols + i]);
+                }
+            } else {
+                foreach (i = 1 ... cols - 1) {
+                    a[r*cols + i] = 0.2 * (b[r*cols + i]
+                                  + b[r*cols + i - 1] + b[r*cols + i + 1]
+                                  + b[(r-1)*cols + i] + b[(r+1)*cols + i]);
+                }
+            }
+        }
+    }
+}
+"""
+
+#: Grid shapes standing in for Table I's 16x16..64x64.
+_DIMS = ((8, 11), (10, 13), (12, 15))
+_STEPS = 2
+
+
+def _sample(rng: Random) -> dict:
+    rows, cols = rng.choice(_DIMS)
+    return {"rows": rows, "cols": cols, "steps": _STEPS, "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    rows, cols, steps = params["rows"], params["cols"], params["steps"]
+    rng = np.random.default_rng(params["seed"])
+    grid = f32(rng.uniform(0.0, 1.0, rows * cols))
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pa = args.out_f32("a", rows * cols, init=grid)
+        pb = args.out_f32("b", rows * cols, init=grid)
+        vm.run("stencil_ispc", [pa, pb, rows, cols, steps])
+        return args.collect()
+
+    return runner
+
+
+STENCIL = register(
+    Workload(
+        name="stencil",
+        suite=ISPC_SUITE,
+        language="ISPC",
+        description="Iterated 2D 5-point stencil with ping-pong buffers",
+        source=SOURCE,
+        entry="stencil_ispc",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"2D grid: {list(_DIMS)} x {_STEPS} steps (16x16..64x64 scaled)",
+    )
+)

@@ -1,0 +1,145 @@
+"""Campaign statistics against closed-form values, plus report rendering."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as sps
+
+from repro.analysis import (
+    MixEntry,
+    confidence_interval,
+    estimate_rate,
+    instruction_mix,
+    is_near_normal,
+    margin_of_error,
+    pct,
+    render_table,
+    wilson_interval,
+)
+
+
+class TestMarginOfError:
+    def test_matches_closed_form(self):
+        samples = [0.10, 0.12, 0.08, 0.11, 0.09]
+        n = len(samples)
+        s = np.std(samples, ddof=1)
+        t_star = sps.t.ppf(0.975, df=n - 1)
+        assert margin_of_error(samples) == pytest.approx(t_star * s / math.sqrt(n))
+
+    def test_constant_samples_zero_margin(self):
+        assert margin_of_error([0.5] * 10) == 0.0
+
+    def test_single_sample_infinite(self):
+        assert margin_of_error([0.5]) == math.inf
+
+    def test_higher_confidence_wider(self):
+        samples = [0.1, 0.2, 0.15, 0.12, 0.18]
+        assert margin_of_error(samples, 0.99) > margin_of_error(samples, 0.95)
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=3, max_size=30),
+    )
+    def test_margin_nonnegative(self, samples):
+        assert margin_of_error(samples) >= 0
+
+    def test_paper_protocol_reachable(self):
+        """20 campaigns of a tight-ish distribution reach ±3% at 95%."""
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.45, 0.05, 20)
+        assert margin_of_error(samples) <= 0.03
+
+
+class TestIntervals:
+    def test_confidence_interval_centered(self):
+        lo, hi = confidence_interval([0.4, 0.5, 0.6])
+        assert lo < 0.5 < hi
+        assert (lo + hi) / 2 == pytest.approx(0.5)
+
+    def test_estimate_rate(self):
+        est = estimate_rate([0.1, 0.2, 0.3])
+        assert est.mean == pytest.approx(0.2)
+        assert est.interval[0] < 0.2 < est.interval[1]
+        assert "%" in str(est)
+
+    def test_wilson_interval_contains_p(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extreme_counts(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi < 0.15
+        lo, hi = wilson_interval(50, 50)
+        assert lo > 0.85 and hi == 1.0
+
+    def test_wilson_no_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestNormality:
+    def test_normal_samples_pass(self):
+        rng = np.random.default_rng(1)
+        assert is_near_normal(rng.normal(0.5, 0.1, 40))
+
+    def test_bimodal_samples_fail(self):
+        samples = [0.0] * 20 + [1.0] * 20
+        assert not is_near_normal(samples)
+
+    def test_degenerate_samples_pass(self):
+        assert is_near_normal([0.5, 0.5, 0.5])
+        assert is_near_normal([0.5, 0.6])  # too few to test
+
+
+class TestRenderTable:
+    def test_alignment_and_rows(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert any("long-name" in l for l in lines)
+        assert any("2.500" in l for l in lines)
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(float("nan")) == "-"
+
+
+class TestInstructionMix:
+    def test_mix_entry_fraction(self):
+        e = MixEntry(scalar=3, vector=1)
+        assert e.total == 4
+        assert e.vector_fraction == 0.25
+        assert MixEntry().vector_fraction != MixEntry().vector_fraction  # NaN
+
+    def test_mix_counts_instructions_once_per_category(self):
+        from repro.frontend import compile_source
+
+        m = compile_source(
+            """
+            export void k(uniform int a[], uniform int n) {
+                foreach (i = 0 ... n) { a[i] = a[i] + 1; }
+            }
+            """,
+            "avx",
+        )
+        mix = instruction_mix(m)
+        assert set(mix) == {"pure-data", "control", "address"}
+        # A vector kernel must have vector pure-data instructions...
+        assert mix["pure-data"].vector > 0
+        # ...and scalar loop-control instructions.
+        assert mix["control"].scalar > 0
+
+    def test_paper_shape_pure_data_more_vector_than_address(self):
+        """Fig. 10's qualitative claim on every benchmark."""
+        from repro.workloads import benchmark_workloads
+
+        for w in benchmark_workloads():
+            mix = instruction_mix(w.compile("avx"))
+            pd = mix["pure-data"].vector_fraction
+            addr = mix["address"].vector_fraction
+            if addr == addr and pd == pd:  # both defined
+                assert pd >= addr, w.name

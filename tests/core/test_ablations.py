@@ -1,0 +1,140 @@
+"""Ablation switches: mask-unaware injection and per-iteration checking."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import FaultInjector, FaultRuntime, MODE_COUNT
+from repro.detectors import DetectorRuntime, insert_foreach_detectors
+from repro.frontend import compile_source
+from repro.frontend.codegen import generate_module
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+from repro.frontend.target import AVX
+from repro.ir import verify_module
+from repro.ir.types import I32
+from repro.passes import optimize
+from repro.vm import Interpreter
+
+KERNEL = """
+export void k(uniform int a[], uniform int b[], uniform int n) {
+    foreach (i = 0 ... n) { b[i] = a[i] + 1; }
+}
+"""
+
+
+def make_runner(n=13, seed=0):
+    data = np.random.default_rng(seed).integers(-50, 50, n).astype(np.int32)
+
+    def runner(vm):
+        pa = vm.memory.store_array(I32, data, "a")
+        pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32), "b")
+        vm.run("k", [pa, pb, n])
+        return {"b": vm.memory.load_array(I32, pb, n)}
+
+    return runner
+
+
+class TestMaskUnawareAblation:
+    def test_more_dynamic_sites_when_masks_ignored(self):
+        """Ignoring masks counts inactive remainder lanes as sites."""
+        m = compile_source(KERNEL, "avx")
+        aware = FaultInjector(m, category="all", respect_masks=True)
+        unaware = FaultInjector(m, category="all", respect_masks=False)
+        runner = make_runner(n=13)  # 5-lane remainder: 3 lanes inactive
+        n_aware = aware.golden(runner).dynamic_sites
+        n_unaware = unaware.golden(runner).dynamic_sites
+        assert n_unaware > n_aware
+
+    def test_equal_when_no_remainder(self):
+        m = compile_source(KERNEL, "avx")
+        aware = FaultInjector(m, category="all", respect_masks=True)
+        unaware = FaultInjector(m, category="all", respect_masks=False)
+        runner = make_runner(n=16)  # exactly two full vectors
+        assert (
+            aware.golden(runner).dynamic_sites
+            == unaware.golden(runner).dynamic_sites
+        )
+
+    def test_mask_unaware_semantics_still_golden_clean(self):
+        """Count-mode runs are still fault-free under the ablation."""
+        m = compile_source(KERNEL, "avx")
+        unaware = FaultInjector(m, category="all", respect_masks=False)
+        runner = make_runner(n=13)
+        golden = unaware.golden(runner)
+        direct = runner(Interpreter(m))
+        assert (golden.output["b"] == direct["b"]).all()
+
+    def test_unaware_injections_include_dead_lanes(self):
+        """Some mask-unaware injections land on lanes whose value is masked
+        out downstream — inflating the benign rate, which is exactly the
+        distortion §II's lane gating avoids."""
+        m = compile_source(KERNEL, "avx")
+        rng_a, rng_u = Random(3), Random(3)
+        aware = FaultInjector(m, category="pure-data", respect_masks=True)
+        unaware = FaultInjector(m, category="pure-data", respect_masks=False)
+        n_runs = 80
+        benign_aware = sum(
+            aware.experiment(make_runner(n=11, seed=i % 3), rng_a).is_benign
+            for i in range(n_runs)
+        )
+        benign_unaware = sum(
+            unaware.experiment(make_runner(n=11, seed=i % 3), rng_u).is_benign
+            for i in range(n_runs)
+        )
+        # n=11 on AVX: 8 full lanes + 3 active of 8 remainder lanes; almost
+        # half the remainder's "sites" are dead under the ablation.
+        assert benign_unaware >= benign_aware
+
+
+class TestPerIterationDetectorAblation:
+    def _module(self, every_iteration):
+        program = analyze(parse_source(KERNEL))
+        m = generate_module(program, AVX)
+        insert_foreach_detectors(m, every_iteration=every_iteration)
+        verify_module(m)
+        optimize(m)
+        verify_module(m)
+        return m
+
+    def _golden_stats(self, m, n=61):
+        vm = Interpreter(m)
+        rt = DetectorRuntime()
+        vm.bind_all(rt.bindings())
+        data = np.arange(n, dtype=np.int32)
+        pa = vm.memory.store_array(I32, data)
+        pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32))
+        vm.run("k", [pa, pb, n])
+        assert (vm.memory.load_array(I32, pb, n) == data + 1).all()
+        return vm.stats.total, rt
+
+    def test_per_iteration_costs_more(self):
+        exit_only, _ = self._golden_stats(self._module(False))
+        per_iter, _ = self._golden_stats(self._module(True))
+        assert per_iter > exit_only
+
+    def test_per_iteration_never_fires_golden(self):
+        _, rt = self._golden_stats(self._module(True))
+        assert not rt.fired
+
+    def test_detection_at_least_as_good(self):
+        """Per-iteration checking detects everything exit-only does (the
+        invariants are monotone), at higher cost — the trade the paper
+        resolves in favour of exit-only checks."""
+        from repro.detectors import detector_bindings_factory
+
+        rates = {}
+        for every in (False, True):
+            m = self._module(every)
+            inj = FaultInjector(m, category="control")
+            factory = detector_bindings_factory()
+            rng = Random(9)
+            detected = sum(
+                inj.experiment(
+                    make_runner(n=29, seed=i % 3), rng, bindings_factory=factory
+                ).detected
+                for i in range(60)
+            )
+            rates[every] = detected
+        assert rates[True] >= rates[False]

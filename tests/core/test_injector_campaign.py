@@ -1,0 +1,243 @@
+"""The two-execution injector, outcome classification, and campaigns."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CampaignConfig,
+    CampaignStats,
+    ExperimentResult,
+    FaultInjector,
+    Outcome,
+    outputs_equal,
+    run_campaigns,
+    values_equal,
+)
+from repro.errors import InjectionError
+from repro.frontend import compile_source
+from repro.ir.types import I32
+from repro.vm import Interpreter
+
+KERNEL = """
+export void k(uniform int a[], uniform int b[], uniform int n) {
+    foreach (i = 0 ... n) { b[i] = a[i] + 7; }
+}
+"""
+
+
+def make_runner(n=13, seed=0):
+    data = np.random.default_rng(seed).integers(-50, 50, n).astype(np.int32)
+
+    def runner(vm):
+        pa = vm.memory.store_array(I32, data, "a")
+        pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32), "b")
+        vm.run("k", [pa, pb, n])
+        return {"b": vm.memory.load_array(I32, pb, n)}
+
+    return runner
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_source(KERNEL, "avx")
+
+
+class TestOutcomeComparison:
+    def test_values_equal_arrays(self):
+        assert values_equal(np.array([1, 2]), np.array([1, 2]))
+        assert not values_equal(np.array([1, 2]), np.array([1, 3]))
+        assert not values_equal(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_nan_positions_equal(self):
+        a = np.array([1.0, np.nan], dtype=np.float32)
+        b = np.array([1.0, np.nan], dtype=np.float32)
+        assert values_equal(a, b)
+        assert not values_equal(a, np.array([np.nan, 1.0], dtype=np.float32))
+
+    def test_scalar_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+        assert not values_equal(float("nan"), 1.0)
+
+    def test_outputs_equal_keys(self):
+        assert outputs_equal({"x": 1}, {"x": 1})
+        assert not outputs_equal({"x": 1}, {"y": 1})
+        assert not outputs_equal({"x": 1}, {"x": 2})
+
+
+class TestInjector:
+    def test_original_module_never_mutated(self, module):
+        before = len(list(module.get_function("k").instructions()))
+        FaultInjector(module, category="all")
+        after = len(list(module.get_function("k").instructions()))
+        assert before == after
+
+    def test_golden_run_counts_sites(self, module):
+        inj = FaultInjector(module, category="all")
+        g = inj.golden(make_runner())
+        assert g.dynamic_sites > 0
+        assert g.dynamic_instructions > 0
+        assert not g.detector_fired
+        assert (g.output["b"] == make_runner()(Interpreter(module))["b"]).all()
+
+    def test_experiment_is_seed_deterministic(self, module):
+        inj = FaultInjector(module, category="all")
+        r1 = inj.experiment(make_runner(), Random(42))
+        r2 = inj.experiment(make_runner(), Random(42))
+        assert r1.outcome == r2.outcome
+        assert r1.target_index == r2.target_index
+        assert r1.injection.bit == r2.injection.bit
+        assert r1.injection.site_id == r2.injection.site_id
+
+    def test_experiment_fields_populated(self, module):
+        inj = FaultInjector(module, category="all")
+        r = inj.experiment(make_runner(), Random(7))
+        assert isinstance(r, ExperimentResult)
+        assert 1 <= r.target_index <= r.dynamic_sites
+        if r.outcome is not Outcome.CRASH:
+            assert r.injection is not None
+            assert r.site_categories
+
+    def test_no_sites_in_category_rejected(self):
+        # A kernel with no memory accesses has no address sites.
+        m = compile_source(
+            "export uniform int f(uniform int x) { return x * 2; }", "avx"
+        )
+        with pytest.raises(InjectionError):
+            FaultInjector(m, category="address")
+
+    def test_crash_outcomes_have_kind(self, module):
+        inj = FaultInjector(module, category="address")
+        kinds = set()
+        rng = Random(0)
+        for _ in range(30):
+            r = inj.experiment(make_runner(), rng)
+            if r.outcome is Outcome.CRASH:
+                kinds.add(r.crash_kind)
+        assert "segfault" in kinds
+
+    def test_address_faults_crash_more_than_pure_data(self, module):
+        rng = Random(1)
+        rates = {}
+        for cat in ("pure-data", "address"):
+            inj = FaultInjector(module, category=cat)
+            crashes = sum(
+                inj.experiment(make_runner(), rng).outcome is Outcome.CRASH
+                for _ in range(40)
+            )
+            rates[cat] = crashes / 40
+        assert rates["address"] > rates["pure-data"]
+
+    def test_step_limit_crash_is_timeout(self):
+        # A tiny step budget turns every run into a watchdog kill.
+        m = compile_source(KERNEL, "avx")
+        inj = FaultInjector(m, category="all", step_limit=10_000)
+        golden = inj.golden(make_runner())
+        assert golden.dynamic_instructions < 10_000  # sanity: golden fits
+        inj2 = FaultInjector(m, category="all", step_limit=50)
+        from repro.errors import VMTrap
+
+        with pytest.raises(VMTrap):
+            inj2.golden(make_runner())
+
+    def test_reused_golden(self, module):
+        inj = FaultInjector(module, category="all")
+        runner = make_runner()
+        golden = inj.golden(runner)
+        r = inj.experiment(runner, Random(3), golden=golden)
+        assert r.dynamic_sites == golden.dynamic_sites
+
+
+class TestCampaignStats:
+    def _result(self, outcome, detected=False):
+        return ExperimentResult(outcome=outcome, detected=detected)
+
+    def test_rates(self):
+        stats = CampaignStats()
+        for _ in range(6):
+            stats.add(self._result(Outcome.SDC))
+        for _ in range(3):
+            stats.add(self._result(Outcome.BENIGN))
+        stats.add(self._result(Outcome.CRASH))
+        assert stats.total == 10
+        assert stats.rate("sdc") == 0.6
+        assert stats.rate("benign") == 0.3
+        assert stats.rate("crash") == 0.1
+
+    def test_detection_rate_within_sdc(self):
+        stats = CampaignStats()
+        stats.add(self._result(Outcome.SDC, detected=True))
+        stats.add(self._result(Outcome.SDC, detected=False))
+        stats.add(self._result(Outcome.BENIGN, detected=True))
+        assert stats.sdc_detection_rate == 0.5
+        assert stats.detected_total == 2
+
+    def test_crash_kinds_tallied(self):
+        stats = CampaignStats()
+        r = ExperimentResult(outcome=Outcome.CRASH, crash_kind="segfault")
+        stats.add(r)
+        stats.add(r)
+        assert stats.crash_kinds == {"segfault": 2}
+
+    def test_empty_rate_is_nan(self):
+        assert CampaignStats().rate("sdc") != CampaignStats().rate("sdc")
+
+
+class TestCampaignDriver:
+    def test_runs_until_converged(self, module):
+        inj = FaultInjector(module, category="all")
+        config = CampaignConfig(
+            experiments_per_campaign=10,
+            max_campaigns=6,
+            min_campaigns=2,
+            margin_target=0.5,  # generous so it converges immediately
+        )
+        summary = run_campaigns(
+            inj, lambda rng: make_runner(seed=rng.randrange(4)), config, seed=0
+        )
+        assert summary.converged
+        assert summary.campaigns_run >= 2
+        assert summary.totals.total == summary.campaigns_run * 10
+
+    def test_respects_max_campaigns(self, module):
+        inj = FaultInjector(module, category="all")
+        config = CampaignConfig(
+            experiments_per_campaign=5,
+            max_campaigns=3,
+            min_campaigns=3,
+            margin_target=0.0,  # unreachable: forces max_campaigns
+        )
+        summary = run_campaigns(
+            inj, lambda rng: make_runner(seed=rng.randrange(4)), config, seed=0
+        )
+        assert summary.campaigns_run == 3
+
+    def test_rates_sum_to_one(self, module):
+        inj = FaultInjector(module, category="all")
+        config = CampaignConfig(
+            experiments_per_campaign=15, max_campaigns=2, min_campaigns=2,
+            margin_target=1.0,
+        )
+        summary = run_campaigns(
+            inj, lambda rng: make_runner(seed=rng.randrange(4)), config, seed=1
+        )
+        total = (
+            summary.sdc_rate.mean + summary.benign_rate.mean + summary.crash_rate.mean
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_seeded_reproducibility(self, module):
+        inj = FaultInjector(module, category="all")
+        config = CampaignConfig(
+            experiments_per_campaign=8, max_campaigns=2, min_campaigns=2,
+            margin_target=1.0,
+        )
+
+        def factory(rng):
+            return make_runner(seed=rng.randrange(4))
+
+        s1 = run_campaigns(inj, factory, config, seed=99)
+        s2 = run_campaigns(inj, factory, config, seed=99)
+        assert s1.sdc_rate.samples == s2.sdc_rate.samples
+        assert s1.totals.crash_kinds == s2.totals.crash_kinds

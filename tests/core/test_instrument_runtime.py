@@ -1,0 +1,220 @@
+"""Instrumentation (§II-D, Figs 4-5) and the runtime injection API."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FaultRuntime,
+    Instrumentor,
+    MODE_COUNT,
+    MODE_INJECT,
+    api_name_for,
+    declare_api,
+    enumerate_module_sites,
+    filter_sites,
+    instrument_module,
+)
+from repro.errors import InjectionError
+from repro.frontend import compile_source
+from repro.ir import F32, F64, I1, I32, I64, format_module, pointer, verify_module
+from repro.ir.instructions import Call
+from repro.ir.types import I32 as I32t
+from repro.vm import Interpreter
+
+KERNEL = """
+export void k(uniform int a[], uniform int b[], uniform int n) {
+    foreach (i = 0 ... n) { b[i] = a[i] * 3; }
+}
+"""
+
+
+def compile_and_instrument(category="all", target="avx", src=KERNEL):
+    m = compile_source(src, target)
+    sites = filter_sites(enumerate_module_sites(m), category)
+    instrument_module(m, sites)
+    return m, sites
+
+
+class TestInstrumentationStructure:
+    def test_verifies_after_instrumentation(self):
+        m, _ = compile_and_instrument()
+        verify_module(m)
+
+    def test_all_sites_get_unique_ids(self):
+        _, sites = compile_and_instrument()
+        ids = [s.site_id for s in sites]
+        assert sorted(ids) == list(range(len(ids)))
+
+    def test_vector_lvalue_gets_fig4_chain(self):
+        m, _ = compile_and_instrument()
+        text = format_module(m)
+        # Per-lane extract -> inject -> insert, as in Fig. 5's listing.
+        assert "extractelement" in text
+        assert "call i32 @injectFaultIntTy" in text
+        assert "insertelement" in text
+
+    def test_users_redirected_to_instrumented_clone(self):
+        m, sites = compile_and_instrument()
+        for site in sites:
+            if site.lane is not None and not site.targets_store_value:
+                # The original register's only non-VULFI users must be the
+                # instrumentation chain itself.
+                users = site.instr.users()
+                assert all(u.meta.get("vulfi") for u in users)
+
+    def test_masked_sites_pass_decoded_mask(self):
+        m, sites = compile_and_instrument()
+        masked = [s for s in sites if s.mask is not None]
+        assert masked
+        text = format_module(m)
+        assert "lshr" in text  # sign-bit decode for the AVX convention
+
+    def test_sse_masked_sites_use_zext(self):
+        m, _ = compile_and_instrument(target="sse")
+        text = format_module(m)
+        assert "zext i1" in text
+
+    def test_pointer_sites_sandwiched_with_casts(self):
+        m, _ = compile_and_instrument(category="address")
+        text = format_module(m)
+        assert "ptrtoint" in text
+        assert "call i64 @injectFaultInt64Ty" in text
+        assert "inttoptr" in text
+
+    def test_all_injected_instructions_marked(self):
+        m, sites = compile_and_instrument()
+        site_instrs = {id(s.instr) for s in sites}
+        for fn in m.defined_functions():
+            for instr in fn.instructions():
+                if isinstance(instr, Call) and instr.callee.name.startswith(
+                    "injectFault"
+                ):
+                    assert instr.meta.get("vulfi")
+
+    def test_detached_instruction_rejected(self):
+        m = compile_source(KERNEL, "avx")
+        sites = enumerate_module_sites(m)
+        site = sites[0]
+        site.instr.erase()
+        with pytest.raises(InjectionError):
+            instrument_module(m, [site])
+
+
+class TestRuntimeApi:
+    def test_api_name_mapping(self):
+        assert api_name_for(I32) == "injectFaultIntTy"
+        assert api_name_for(I64) == "injectFaultInt64Ty"
+        assert api_name_for(I1) == "injectFaultBoolTy"
+        assert api_name_for(F32) == "injectFaultFloatTy"
+        assert api_name_for(F64) == "injectFaultDoubleTy"
+        assert api_name_for(pointer(F32)) == "injectFaultInt64Ty"
+
+    def test_count_mode_counts_active_only(self):
+        rt = FaultRuntime(MODE_COUNT)
+        inject = rt.bindings()["injectFaultIntTy"]
+        assert inject(5, 1, 0) == 5
+        assert inject(5, 0, 0) == 5  # masked-off lane
+        assert rt.dynamic_count == 1
+
+    def test_inject_mode_flips_exactly_once(self):
+        rt = FaultRuntime(MODE_INJECT, target_index=2, rng=Random(0))
+        inject = rt.bindings()["injectFaultIntTy"]
+        v1 = inject(10, 1, 7)
+        v2 = inject(10, 1, 8)
+        v3 = inject(10, 1, 9)
+        assert v1 == 10 and v3 == 10
+        assert v2 != 10
+        assert rt.record.site_id == 8
+        assert rt.record.dynamic_index == 2
+        assert rt.record.original == 10 and rt.record.corrupted == v2
+
+    def test_fixed_bit(self):
+        rt = FaultRuntime(MODE_INJECT, target_index=1, bit=31)
+        inject = rt.bindings()["injectFaultIntTy"]
+        assert inject(0, 1, 0) == -(2**31)
+        assert rt.record.bit == 31
+
+    def test_float_entry_flips_float_bits(self):
+        rt = FaultRuntime(MODE_INJECT, target_index=1, bit=31)
+        inject = rt.bindings()["injectFaultFloatTy"]
+        assert inject(1.5, 1, 0) == -1.5
+
+    def test_bool_entry(self):
+        rt = FaultRuntime(MODE_INJECT, target_index=1, bit=0)
+        inject = rt.bindings()["injectFaultBoolTy"]
+        assert inject(1, 1, 0) == 0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(InjectionError):
+            FaultRuntime("weird")
+        with pytest.raises(InjectionError):
+            FaultRuntime(MODE_INJECT)  # no target
+        with pytest.raises(InjectionError):
+            FaultRuntime(MODE_INJECT, target_index=0, bit=0)
+        with pytest.raises(InjectionError):
+            FaultRuntime(MODE_INJECT, target_index=1)  # no rng, no bit
+
+    def test_declare_api_idempotent(self):
+        from repro.ir import Module
+
+        m = Module("t")
+        declare_api(m)
+        declare_api(m)
+        assert "injectFaultFloatTy" in m.functions
+
+
+class TestInstrumentedExecution:
+    def _run(self, module, n=13, mode=MODE_COUNT, **rt_kwargs):
+        vm = Interpreter(module)
+        rt = FaultRuntime(mode, **rt_kwargs)
+        vm.bind_all(rt.bindings())
+        data = np.arange(n, dtype=np.int32)
+        pa = vm.memory.store_array(I32t, data)
+        pb = vm.memory.store_array(I32t, np.zeros(n, dtype=np.int32))
+        vm.run("k", [pa, pb, n])
+        return vm.memory.load_array(I32t, pb, n), rt
+
+    def test_count_mode_preserves_semantics(self):
+        m, _ = compile_and_instrument()
+        out, rt = self._run(m)
+        assert (out == np.arange(13) * 3).all()
+        assert rt.dynamic_count > 0
+
+    def test_dynamic_count_deterministic(self):
+        m, _ = compile_and_instrument()
+        _, rt1 = self._run(m)
+        _, rt2 = self._run(m)
+        assert rt1.dynamic_count == rt2.dynamic_count
+
+    def test_masked_lanes_not_dynamic_sites(self):
+        """With n=8 (no remainder) vs n=13 (5-lane remainder), remainder
+        lanes 5..7 of masked ops must not be counted."""
+        m, sites = compile_and_instrument()
+        _, rt8 = self._run(m, n=8)
+        _, rt16 = self._run(m, n=16)
+        # Twice the full iterations => dynamic sites scale with work, and
+        # n=16 is exactly 2 full vectors: count(16) == 2*count(8) modulo the
+        # scalar loop-control sites.
+        assert rt16.dynamic_count > rt8.dynamic_count
+
+    def test_injection_perturbs_some_runs(self):
+        from repro.errors import VMTrap
+
+        m, _ = compile_and_instrument()
+        golden, rt_count = self._run(m)
+        n_sites = rt_count.dynamic_count
+        perturbed = 0
+        for k in range(1, min(n_sites, 12) + 1):
+            try:
+                out, rt_inj = self._run(
+                    m, mode=MODE_INJECT, target_index=k, rng=Random(k)
+                )
+            except VMTrap:
+                perturbed += 1  # a crash outcome also counts as an effect
+                continue
+            assert rt_inj.record is not None
+            if not (out == golden).all():
+                perturbed += 1
+        assert perturbed > 0, "no injection had any effect across 12 sites"

@@ -1,0 +1,85 @@
+"""Cross-cutting integration: instrumentation must be semantically
+transparent on every workload, target, and category."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import FaultInjector
+from repro.core.outcomes import outputs_equal
+from repro.detectors import detector_bindings_factory
+from repro.vm import Interpreter
+from repro.workloads import all_workloads, micro_workloads
+
+
+@pytest.mark.parametrize("target", ["avx", "sse"])
+def test_instrumented_golden_equals_uninstrumented(target):
+    """Count-mode instrumentation must never change program results —
+    the precondition for every outcome classification in the study."""
+    for w in all_workloads():
+        module = w.compile(target)
+        runner = w.reference_runner(5)
+        direct = runner(Interpreter(module))
+        injector = FaultInjector(module, category="all")
+        golden = injector.golden(runner)
+        assert outputs_equal(direct, golden.output), (w.name, target)
+        assert golden.dynamic_sites > 0, (w.name, target)
+
+
+@pytest.mark.parametrize("category", ["pure-data", "control", "address"])
+def test_every_workload_supports_every_category(category):
+    """All nine benchmarks (and micros) expose sites in all three §II-C
+    categories — the precondition for the Fig. 11 grid."""
+    for w in all_workloads():
+        module = w.compile("avx")
+        injector = FaultInjector(module, category=category)
+        assert injector.sites, (w.name, category)
+        r = injector.experiment(w.reference_runner(1), Random(3))
+        assert r.outcome is not None
+
+
+def test_detector_enabled_golden_matches_plain_golden():
+    """Inserting detectors must not perturb results, only add checks."""
+    for w in micro_workloads():
+        plain = w.compile("avx")
+        checked = w.compile("avx", foreach_detectors=True)
+        runner = w.reference_runner(2)
+        out_plain = runner(Interpreter(plain))
+        vm = Interpreter(checked)
+        bindings, fired = detector_bindings_factory()()
+        vm.bind_all(bindings)
+        out_checked = runner(vm)
+        assert outputs_equal(out_plain, out_checked), w.name
+        assert not fired()
+
+
+def test_dynamic_site_count_scales_with_input(seed=0):
+    """More work => more dynamic fault sites, for every micro."""
+    for w in micro_workloads():
+        module = w.compile("avx")
+        injector = FaultInjector(module, category="all")
+        sizes = []
+        for n in (67, 131):
+            params = {"n": n, "seed": seed}
+            sizes.append(injector.golden(w.make_runner(params)).dynamic_sites)
+        assert sizes[1] > sizes[0], w.name
+
+
+def test_seeded_experiment_grid_is_stable():
+    """A tiny seeded grid gives byte-identical outcome sequences across
+    process-internal reruns (the replayability claim of DESIGN.md)."""
+    w = next(x for x in all_workloads() if x.name == "stencil")
+    module = w.compile("avx")
+
+    def grid():
+        outcomes = []
+        for category in ("pure-data", "control", "address"):
+            injector = FaultInjector(module, category=category)
+            rng = Random(123)
+            for _ in range(4):
+                runner = w.make_runner(w.sample_input(rng))
+                outcomes.append(injector.experiment(runner, rng).outcome.value)
+        return outcomes
+
+    assert grid() == grid()

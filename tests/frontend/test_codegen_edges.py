@@ -1,0 +1,245 @@
+"""Edge cases of the MiniISPC lowering, executed against references."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.types import F32, I32
+from repro.vm import Interpreter
+
+TARGETS = ("avx", "sse", "avx512")
+
+
+def run_ints(src, entry, arrays, scalars, target="avx", out_index=0):
+    m = compile_source(src, target)
+    vm = Interpreter(m)
+    ptrs = [vm.memory.store_array(I32, a) for a in arrays]
+    vm.run(entry, [*ptrs, *scalars])
+    return vm.memory.load_array(I32, ptrs[out_index], len(arrays[out_index]))
+
+
+@pytest.mark.parametrize("target", TARGETS)
+class TestForeachBounds:
+    def test_empty_range_executes_nothing(self, target):
+        src = "export void k(uniform int a[], uniform int lo, uniform int hi)" \
+              "{ foreach (i = lo ... hi) { a[i] = 1; } }"
+        out = run_ints(src, "k", [np.zeros(8, dtype=np.int32)], [5, 2], target)
+        assert (out == 0).all()
+
+    def test_equal_bounds_empty(self, target):
+        src = "export void k(uniform int a[], uniform int lo, uniform int hi)" \
+              "{ foreach (i = lo ... hi) { a[i] = 1; } }"
+        out = run_ints(src, "k", [np.zeros(8, dtype=np.int32)], [3, 3], target)
+        assert (out == 0).all()
+
+    def test_expression_bounds(self, target):
+        src = """
+        export void k(uniform int a[], uniform int n) {
+            foreach (i = n / 4 ... n - n / 4) { a[i] = i; }
+        }
+        """
+        n = 16
+        out = run_ints(src, "k", [np.full(n, -1, dtype=np.int32)], [n], target)
+        ref = np.full(n, -1)
+        ref[4:12] = np.arange(4, 12)
+        assert (out == ref).all()
+
+    def test_two_sequential_foreach_loops(self, target):
+        src = """
+        export void k(uniform int a[], uniform int b[], uniform int n) {
+            foreach (i = 0 ... n) { a[i] = i * 2; }
+            foreach (j = 0 ... n) { b[j] = a[j] + 1; }
+        }
+        """
+        n = 13
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32))
+        pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32))
+        vm.run("k", [pa, pb, n])
+        assert (vm.memory.load_array(I32, pb, n) == np.arange(n) * 2 + 1).all()
+
+
+@pytest.mark.parametrize("target", TARGETS)
+class TestCompoundAndControl:
+    def test_compound_assignment_on_array(self, target):
+        src = "export void k(uniform int a[], uniform int n)" \
+              "{ foreach (i = 0 ... n) { a[i] += i; a[i] *= 2; } }"
+        n = 11
+        out = run_ints(src, "k", [np.arange(n, dtype=np.int32)], [n], target)
+        assert (out == (np.arange(n) * 2) * 2).all()
+
+    def test_compound_through_gather_scatter(self, target):
+        src = """
+        export void k(uniform int a[], uniform int idx[], uniform int n) {
+            foreach (i = 0 ... n) { a[idx[i]] += 10; }
+        }
+        """
+        n = 9
+        idx = np.array([8, 7, 6, 5, 4, 3, 2, 1, 0], dtype=np.int32)
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, np.arange(n, dtype=np.int32))
+        pidx = vm.memory.store_array(I32, idx)
+        vm.run("k", [pa, pidx, n])
+        assert (vm.memory.load_array(I32, pa, n) == np.arange(n) + 10).all()
+
+    def test_nested_varying_if_in_varying_while(self, target):
+        # Collatz-style per-lane loop with a varying branch inside.
+        src = """
+        export void k(uniform int a[], uniform int steps[], uniform int n) {
+            foreach (i = 0 ... n) {
+                int v = a[i];
+                int count = 0;
+                while (v != 1 && count < 50) {
+                    if (v % 2 == 0) { v = v / 2; }
+                    else { v = 3 * v + 1; }
+                    count += 1;
+                }
+                steps[i] = count;
+            }
+        }
+        """
+        n = 10
+        data = np.arange(1, n + 1, dtype=np.int32)
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, data)
+        ps = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32))
+        vm.run("k", [pa, ps, n])
+
+        def collatz(v):
+            count = 0
+            while v != 1 and count < 50:
+                v = v // 2 if v % 2 == 0 else 3 * v + 1
+                count += 1
+            return count
+
+        assert vm.memory.load_array(I32, ps, n).tolist() == [
+            collatz(int(v)) for v in data
+        ]
+
+    def test_uniform_if_inside_foreach(self, target):
+        src = """
+        export void k(uniform int a[], uniform int mode, uniform int n) {
+            foreach (i = 0 ... n) {
+                if (mode == 0) { a[i] = i; }
+                else { a[i] = 0 - i; }
+            }
+        }
+        """
+        n = 10
+        out0 = run_ints(src, "k", [np.zeros(n, dtype=np.int32)], [0, n], target)
+        out1 = run_ints(src, "k", [np.zeros(n, dtype=np.int32)], [1, n], target)
+        assert (out0 == np.arange(n)).all()
+        assert (out1 == -np.arange(n)).all()
+
+    def test_bool_varying_variable(self, target):
+        src = """
+        export void k(uniform int a[], uniform int out[], uniform int n) {
+            foreach (i = 0 ... n) {
+                bool big = a[i] > 5;
+                bool even = a[i] % 2 == 0;
+                out[i] = (big && !even) ? 1 : 0;
+            }
+        }
+        """
+        n = 12
+        data = np.arange(n, dtype=np.int32)
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, data)
+        po = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32))
+        vm.run("k", [pa, po, n])
+        ref = ((data > 5) & (data % 2 == 1)).astype(np.int32)
+        assert (vm.memory.load_array(I32, po, n) == ref).all()
+
+    def test_shift_and_bitops(self, target):
+        src = """
+        export void k(uniform int a[], uniform int n) {
+            foreach (i = 0 ... n) {
+                a[i] = ((a[i] << 2) | 1) & 255 ^ (a[i] >> 1);
+            }
+        }
+        """
+        n = 17
+        data = np.arange(-8, 9, dtype=np.int32)
+        out = run_ints(src, "k", [data.copy()], [n], target)
+        ref = (((data << 2) | 1) & 255) ^ (data >> 1)
+        assert (out == ref).all()
+
+
+@pytest.mark.parametrize("target", TARGETS)
+class TestFunctionsInKernels:
+    def test_varying_helper_called_from_foreach(self, target):
+        src = """
+        float square_plus(float x, uniform float c) { return x * x + c; }
+        export void k(uniform float a[], uniform int n) {
+            foreach (i = 0 ... n) { a[i] = square_plus(a[i], 1.0); }
+        }
+        """
+        n = 14
+        data = np.linspace(-2, 2, n).astype(np.float32)
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(F32, data)
+        vm.run("k", [pa, n])
+        out = vm.memory.load_array(F32, pa, n)
+        assert np.allclose(out, data * data + 1)
+
+    def test_function_with_array_param(self, target):
+        src = """
+        uniform float total(uniform float a[], uniform int n) {
+            varying float s = 0.0;
+            foreach (i = 0 ... n) { s += a[i]; }
+            return reduce_add(s);
+        }
+        export uniform float mean(uniform float a[], uniform int n) {
+            return total(a, n) / float(n);
+        }
+        """
+        n = 9
+        data = np.arange(n, dtype=np.float32)
+        m = compile_source(src, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(F32, data)
+        assert vm.run("mean", [pa, n]) == pytest.approx(float(data.mean()))
+
+    def test_recursive_uniform_function(self, target):
+        src = """
+        uniform int fib(uniform int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        export uniform int fib10() { return fib(10); }
+        """
+        m = compile_source(src, target)
+        assert Interpreter(m).run("fib10", []) == 55
+
+
+class TestProgramIndexOutsideForeach:
+    def test_program_index_usable_anywhere(self):
+        src = """
+        export void k(uniform int out[]) {
+            foreach (i = 0 ... programCount) {
+                out[i] = programIndex[0] * 0 + i;
+            }
+        }
+        """
+        # programIndex is not an array: indexing it must fail at sema.
+        from repro.errors import SemaError
+
+        with pytest.raises(SemaError):
+            compile_source(src, "avx")
+
+    def test_reduce_over_program_index(self):
+        src = """
+        export uniform int lanesum() {
+            int lanes = programIndex;
+            return reduce_add(lanes);
+        }
+        """
+        m = compile_source(src, "avx")
+        assert Interpreter(m).run("lanesum", []) == sum(range(8))
+        m = compile_source(src, "sse")
+        assert Interpreter(m).run("lanesum", []) == sum(range(4))

@@ -1,0 +1,151 @@
+"""Multi-dimensional foreach (paper footnote 4's generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultInjector
+from repro.detectors import DetectorRuntime, detector_bindings_factory
+from repro.errors import SemaError
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.types import F32, I32
+from repro.vm import Interpreter
+
+TRANSPOSE = """
+export void transpose_scale(uniform int a[], uniform int out[],
+                            uniform int rows, uniform int cols) {
+    foreach (r = 0 ... rows, i = 0 ... cols) {
+        out[i*rows + r] = a[r*cols + i] * 2;
+    }
+}
+"""
+
+
+@pytest.mark.parametrize("target", ["avx", "sse", "avx512"])
+class TestTwoDimensions:
+    def test_semantics(self, target):
+        m = compile_source(TRANSPOSE, target)
+        verify_module(m)
+        rows, cols = 5, 11
+        vm = Interpreter(m)
+        data = np.arange(rows * cols, dtype=np.int32)
+        pa = vm.memory.store_array(I32, data)
+        po = vm.memory.store_array(I32, np.zeros(rows * cols, dtype=np.int32))
+        vm.run("transpose_scale", [pa, po, rows, cols])
+        out = vm.memory.load_array(I32, po, rows * cols).reshape(cols, rows)
+        assert (out == (data.reshape(rows, cols) * 2).T).all()
+
+    def test_inner_dimension_stays_unit_stride(self, target):
+        from repro.ir import format_module
+
+        src = """
+        export void blur_rows(uniform float a[], uniform float b[],
+                              uniform int rows, uniform int cols) {
+            foreach (r = 0 ... rows, i = 1 ... cols - 1) {
+                b[r*cols + i] = 0.5 * (a[r*cols + i - 1] + a[r*cols + i + 1]);
+            }
+        }
+        """
+        m = compile_source(src, target)
+        assert "gather" not in format_module(m)
+
+    def test_zero_sized_outer_dimension(self, target):
+        m = compile_source(TRANSPOSE, target)
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, np.arange(4, dtype=np.int32))
+        po = vm.memory.store_array(I32, np.zeros(4, dtype=np.int32))
+        vm.run("transpose_scale", [pa, po, 0, 4])
+        assert (vm.memory.load_array(I32, po, 4) == 0).all()
+
+
+class TestThreeDimensions:
+    def test_semantics(self):
+        src = """
+        export void fill3(uniform int a[], uniform int nz, uniform int ny,
+                          uniform int nx) {
+            foreach (z = 0 ... nz, y = 0 ... ny, x = 0 ... nx) {
+                a[(z*ny + y)*nx + x] = z*100 + y*10 + x;
+            }
+        }
+        """
+        m = compile_source(src, "avx")
+        nz, ny, nx = 2, 3, 9
+        vm = Interpreter(m)
+        pa = vm.memory.store_array(I32, np.zeros(nz * ny * nx, dtype=np.int32))
+        vm.run("fill3", [pa, nz, ny, nx])
+        out = vm.memory.load_array(I32, pa, nz * ny * nx).reshape(nz, ny, nx)
+        z, y, x = np.meshgrid(
+            np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
+        )
+        assert (out == z * 100 + y * 10 + x).all()
+
+
+class TestSemaRules:
+    def test_outer_dims_are_uniform(self):
+        # Outer dimension variables are uniform ints: assigning them to a
+        # uniform variable must type-check.
+        compile_source(
+            """
+            export void k(uniform int a[], uniform int rows, uniform int cols) {
+                foreach (r = 0 ... rows, i = 0 ... cols) {
+                    uniform int rr = r;
+                    a[r*cols + i] = rr + i;
+                }
+            }
+            """,
+            "avx",
+        )
+
+    def test_duplicate_dimension_variable_rejected(self):
+        with pytest.raises(SemaError, match="duplicate"):
+            compile_source(
+                "export void k(uniform int n)"
+                "{ foreach (i = 0 ... n, i = 0 ... n) { } }",
+                "avx",
+            )
+
+    def test_dimension_variables_read_only(self):
+        with pytest.raises(SemaError, match="read-only"):
+            compile_source(
+                "export void k(uniform int n)"
+                "{ foreach (r = 0 ... n, i = 0 ... n) { r = 0; } }",
+                "avx",
+            )
+
+
+class TestDetectorAndInjection:
+    def test_detector_fires_once_per_outer_iteration(self):
+        m = compile_source(TRANSPOSE, "avx", foreach_detectors=True)
+        vm = Interpreter(m)
+        calls = []
+        vm.bind(
+            "checkInvariantsForeachFullBody",
+            lambda nc, ae, vl: calls.append((nc, ae, vl)),
+        )
+        rows, cols = 3, 17  # 2 full vectors per row + remainder
+        pa = vm.memory.store_array(I32, np.arange(rows * cols, dtype=np.int32))
+        po = vm.memory.store_array(I32, np.zeros(rows * cols, dtype=np.int32))
+        vm.run("transpose_scale", [pa, po, rows, cols])
+        assert calls == [(16, 16, 8)] * rows
+
+    def test_fault_injection_on_2d_kernel(self):
+        from random import Random
+
+        m = compile_source(TRANSPOSE, "avx", foreach_detectors=True)
+        inj = FaultInjector(m, category="control")
+        data = np.arange(33, dtype=np.int32)
+
+        def runner(vm):
+            pa = vm.memory.store_array(I32, data, "a")
+            po = vm.memory.store_array(I32, np.zeros(33, dtype=np.int32), "out")
+            vm.run("transpose_scale", [pa, po, 3, 11])
+            return {"out": vm.memory.load_array(I32, po, 33)}
+
+        rng = Random(4)
+        factory = detector_bindings_factory()
+        outcomes = [
+            inj.experiment(runner, rng, bindings_factory=factory) for _ in range(25)
+        ]
+        assert any(r.detected for r in outcomes) or any(
+            r.outcome.value == "crash" for r in outcomes
+        )

@@ -1,0 +1,141 @@
+"""MiniISPC lexing and parsing."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_source
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("foreach fore uniform uniformity")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            ("keyword", "foreach"),
+            ("ident", "fore"),
+            ("keyword", "uniform"),
+            ("ident", "uniformity"),
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 1e6 1.5e-3 3f 7.0f")
+        assert [t.kind for t in toks[:-1]] == [
+            "int", "float", "float", "float", "float", "float",
+        ]
+
+    def test_range_operator_not_a_float(self):
+        toks = tokenize("0 ... n")
+        assert [t.kind for t in toks[:-1]] == ["int", "op", "ident"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("a // line\n /* block\nstill */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_multichar_operators(self):
+        toks = tokenize("<= >= == != && || += <<")
+        assert [t.text for t in toks[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "+=", "<<",
+        ]
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_skeleton(self):
+        p = parse_source(
+            "export void f(uniform int a[], uniform int n) { return; }"
+        )
+        (fn,) = p.functions
+        assert fn.export and fn.name == "f"
+        assert fn.params[0].is_array and fn.params[0].type == "int"
+        assert not fn.params[1].is_array
+
+    def test_foreach(self):
+        p = parse_source(
+            "void f(uniform int n) { foreach (i = 0 ... n) { } }"
+        )
+        stmt = p.functions[0].body.statements[0]
+        assert isinstance(stmt, ast.ForeachStmt)
+        assert stmt.var == "i"
+        assert isinstance(stmt.start, ast.IntLit)
+
+    def test_precedence(self):
+        p = parse_source("void f() { uniform int x = 1 + 2 * 3; }")
+        init = p.functions[0].body.statements[0].init
+        assert isinstance(init, ast.BinaryExpr) and init.op == "+"
+        assert isinstance(init.rhs, ast.BinaryExpr) and init.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        p = parse_source("void f(uniform int n) { uniform bool b = n + 1 < 2; }")
+        init = p.functions[0].body.statements[0].init
+        assert init.op == "<"
+
+    def test_ternary(self):
+        p = parse_source("void f(uniform int n) { uniform int x = n > 0 ? 1 : 2; }")
+        init = p.functions[0].body.statements[0].init
+        assert isinstance(init, ast.TernaryExpr)
+
+    def test_compound_assignment(self):
+        p = parse_source("void f(uniform int n) { uniform int x = 0; x += n; }")
+        stmt = p.functions[0].body.statements[1]
+        assert isinstance(stmt, ast.Assign) and stmt.op == "+="
+
+    def test_increment_sugar(self):
+        p = parse_source(
+            "void f() { for (uniform int i = 0; i < 4; i++) { } }"
+        )
+        loop = p.functions[0].body.statements[0]
+        assert isinstance(loop.step, ast.Assign) and loop.step.op == "+="
+
+    def test_cast_syntax(self):
+        p = parse_source("void f(uniform int n) { uniform float x = float(n); }")
+        init = p.functions[0].body.statements[0].init
+        assert isinstance(init, ast.CastExpr) and init.target == "float"
+
+    def test_multi_declarator(self):
+        p = parse_source("void f() { uniform int a = 1, b = 2; }")
+        block = p.functions[0].body.statements[0]
+        assert isinstance(block, ast.Block) and len(block.statements) == 2
+
+    def test_if_else_chain(self):
+        p = parse_source(
+            "void f(uniform int n) { if (n > 0) { } else if (n < 0) { } else { } }"
+        )
+        stmt = p.functions[0].body.statements[0]
+        assert isinstance(stmt.else_body, ast.IfStmt)
+
+    def test_while_and_break(self):
+        p = parse_source("void f() { while (true) { break; } }")
+        loop = p.functions[0].body.statements[0]
+        assert isinstance(loop.body.statements[0], ast.BreakStmt)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { uniform int x = 1 }")
+
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { 1 = 2; }")
+
+    def test_index_of_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("void f(uniform int a[]) { uniform int x = (a + 0)[0]; }")
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { ")

@@ -1,0 +1,304 @@
+"""MiniISPC semantic analysis: types, qualifiers, and ISPC's rules."""
+
+import pytest
+
+from repro.errors import SemaError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import analyze
+
+
+def check(src):
+    return analyze(parse_source(src))
+
+
+def check_error(src, match):
+    with pytest.raises(SemaError, match=match):
+        check(src)
+
+
+class TestVariability:
+    def test_varying_propagates(self):
+        p = check(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    float v = a[i] * 2.0;
+                }
+            }
+            """
+        )
+        decl = p.functions[0].body.statements[0].body.statements[0]
+        assert decl.init.vb == "varying"
+
+    def test_uniform_stays_uniform(self):
+        p = check("void f(uniform int n) { uniform int m = n + 1; }")
+        decl = p.functions[0].body.statements[0]
+        assert decl.init.vb == "uniform"
+
+    def test_varying_to_uniform_assignment_rejected(self):
+        check_error(
+            """
+            void f(uniform int n) {
+                uniform int u = 0;
+                foreach (i = 0 ... n) { u = i; }
+            }
+            """,
+            "varying",
+        )
+
+    def test_varying_init_of_uniform_rejected(self):
+        check_error(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) { uniform float u = a[i]; }
+            }
+            """,
+            "varying",
+        )
+
+    def test_program_index_is_varying_int(self):
+        p = check("void f() { int v = programIndex; }")
+        decl = p.functions[0].body.statements[0]
+        assert decl.init.vb == "varying" and decl.init.ty == "int"
+
+    def test_program_count_is_uniform(self):
+        p = check("void f() { uniform int c = programCount; }")
+        assert p.functions[0].body.statements[0].init.vb == "uniform"
+
+
+class TestTypes:
+    def test_int_to_float_promotion_inserted(self):
+        p = check("void f(uniform int n) { uniform float x = n + 0.5; }")
+        init = p.functions[0].body.statements[0].init
+        assert init.ty == "float"
+        assert isinstance(init.lhs, ast.CastExpr)
+
+    def test_float_to_int_implicit_rejected(self):
+        check_error("void f() { uniform int x = 1.5; }", "convert")
+
+    def test_modulo_requires_ints(self):
+        check_error("void f() { uniform float x = 1.5 % 2.0; }", "int operands")
+
+    def test_logical_requires_bool(self):
+        check_error("void f(uniform int n) { uniform bool b = n && true; }", "bool")
+
+    def test_condition_must_be_bool(self):
+        check_error("void f(uniform int n) { if (n) { } }", "bool")
+
+    def test_arith_on_bool_rejected(self):
+        check_error("void f() { uniform bool b = true + false; }", "bool")
+
+    def test_shift_and_bitops_int_only(self):
+        check("void f(uniform int n) { uniform int x = (n << 2) ^ (n & 3); }")
+        check_error("void f() { uniform float x = 1.0 << 2; }", "int")
+
+    def test_uninitialized_variable_rejected(self):
+        check_error("void f() { uniform int x; }", "initialized")
+
+    def test_undeclared_identifier(self):
+        check_error("void f() { uniform int x = ghost; }", "undeclared")
+
+    def test_redeclaration_rejected(self):
+        check_error("void f() { uniform int x = 1; uniform int x = 2; }", "redeclaration")
+
+    def test_scoping_allows_shadowing_in_inner_block(self):
+        check("void f() { uniform int x = 1; { uniform int y = x; } uniform int z = x; }")
+
+    def test_inner_scope_names_do_not_leak(self):
+        check_error("void f() { { uniform int y = 1; } uniform int z = y; }", "undeclared")
+
+    def test_double_unsupported(self):
+        check_error("void f() { uniform double d = 1.0; }", "double")
+
+
+class TestArrays:
+    def test_array_index_variability_follows_index(self):
+        p = check(
+            """
+            void f(uniform float a[], uniform int n) {
+                uniform float u = a[0];
+                foreach (i = 0 ... n) { float v = a[i]; }
+            }
+            """
+        )
+        u_decl = p.functions[0].body.statements[0]
+        assert u_decl.init.vb == "uniform"
+
+    def test_varying_store_through_uniform_index_rejected(self):
+        check_error(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) { a[0] = float(i); }
+            }
+            """,
+            "collide|varying control",
+        )
+
+    def test_index_must_be_int(self):
+        check_error("void f(uniform float a[]) { uniform float x = a[1.5]; }", "int")
+
+    def test_indexing_non_array_rejected(self):
+        check_error("void f(uniform int n) { uniform int x = n[0]; }", "not an array")
+
+    def test_assigning_to_array_name_rejected(self):
+        check_error("void f(uniform int a[], uniform int b[]) { a = b; }", "assign")
+
+    def test_varying_array_param_rejected(self):
+        check_error("void f(varying int a[]) { }", "uniform")
+
+
+class TestControlRules:
+    def test_foreach_bounds_must_be_uniform_ints(self):
+        check_error(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    foreach (j = 0 ... i) { }
+                }
+            }
+            """,
+            "nested foreach|uniform int",
+        )
+
+    def test_nested_foreach_rejected(self):
+        check_error(
+            """
+            void f(uniform int n) {
+                foreach (i = 0 ... n) { foreach (j = 0 ... n) { } }
+            }
+            """,
+            "nested foreach",
+        )
+
+    def test_foreach_under_varying_if_rejected(self):
+        check_error(
+            """
+            void g(uniform float a[], uniform int n) {
+                float v = 1.0;
+                foreach (i = 0 ... n) { v = a[i]; }
+                if (v > 0.0) {
+                    foreach (j = 0 ... n) { }
+                }
+            }
+            """,
+            "varying control",
+        )
+
+    def test_dimension_variable_read_only(self):
+        check_error(
+            "void f(uniform int n) { foreach (i = 0 ... n) { i = 0; } }",
+            "read-only",
+        )
+
+    def test_break_in_varying_while_rejected(self):
+        check_error(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    float v = a[i];
+                    while (v > 0.0) { break; }
+                }
+            }
+            """,
+            "break",
+        )
+
+    def test_break_in_uniform_loop_ok(self):
+        check("void f() { for (uniform int i = 0; i < 4; i++) { break; } }")
+
+    def test_break_outside_loop_rejected(self):
+        check_error("void f() { break; }", "outside")
+
+    def test_return_under_varying_control_rejected(self):
+        check_error(
+            """
+            float f(float x) {
+                if (x > 0.0) { return x; }
+                return 0.0 - x;
+            }
+            """,
+            "varying control",
+        )
+
+    def test_for_condition_must_be_uniform(self):
+        check_error(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    for (uniform int j = 0; a[i] > 0.0; j++) { }
+                }
+            }
+            """,
+            "uniform",
+        )
+
+    def test_varying_while_allowed(self):
+        check(
+            """
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    float v = a[i];
+                    while (v > 1.0) { v = v * 0.5; }
+                    a[i] = v;
+                }
+            }
+            """
+        )
+
+
+class TestFunctions:
+    def test_export_requires_uniform_params(self):
+        check_error("export void f(varying int x) { }", "uniform")
+
+    def test_non_export_varying_params_ok(self):
+        check("float helper(float x) { return x * 2.0; }")
+
+    def test_call_type_checking(self):
+        check_error(
+            """
+            float helper(float x) { return x; }
+            void f(uniform int a[]) { uniform float y = helper(a); }
+            """,
+            "convert|array",
+        )
+
+    def test_call_under_varying_control_rejected(self):
+        check_error(
+            """
+            float helper(float x) { return x; }
+            void f(uniform float a[], uniform int n) {
+                foreach (i = 0 ... n) {
+                    if (a[i] > 0.0) { a[i] = helper(a[i]); }
+                }
+            }
+            """,
+            "varying control",
+        )
+
+    def test_unknown_function(self):
+        check_error("void f() { mystery(); }", "unknown function")
+
+    def test_arity_checked(self):
+        check_error(
+            "float h(float x) { return x; } void f() { uniform float y = h(); }",
+            "expects 1",
+        )
+
+    def test_reduce_add_requires_varying(self):
+        check_error(
+            "void f() { uniform float s = reduce_add(1.0); }", "varying"
+        )
+
+    def test_any_all_require_varying_bool(self):
+        check_error("void f() { uniform bool b = any(true); }", "varying bool")
+
+    def test_missing_return_type_mismatch(self):
+        check_error("uniform float f() { return; }", "must return")
+
+    def test_void_returning_value_rejected(self):
+        check_error("void f() { return 1; }", "void")
+
+    def test_builtin_shadowing_rejected(self):
+        check_error("void f() { uniform int sqrt = 1; }", "shadows")
+        check_error("void any() { }", "shadows")

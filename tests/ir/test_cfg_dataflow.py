@@ -1,0 +1,134 @@
+"""Dominators, dominance frontiers, and forward-slice dataflow."""
+
+from repro.ir import (
+    DominatorTree,
+    FunctionType,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    backward_slice,
+    forward_slice,
+    reverse_post_order,
+    slice_contains,
+)
+from repro.ir.instructions import CondBranch, GetElementPtr
+from repro.passes import optimize
+from tests.helpers import build_fig3_foo
+
+
+def build_diamond():
+    """entry -> (left | right) -> merge."""
+    m = Module("d")
+    fn = m.add_function("f", FunctionType(VOID, (I1,)), ["c"])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    b.condbr(fn.args[0], left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret()
+    return fn, entry, left, right, merge
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        fn, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(entry) is None
+        assert dom.immediate_dominator(left) is entry
+        assert dom.immediate_dominator(right) is entry
+        assert dom.immediate_dominator(merge) is entry
+
+    def test_diamond_frontiers(self):
+        fn, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(fn)
+        assert dom.frontier(left) == [merge]
+        assert dom.frontier(right) == [merge]
+        assert dom.frontier(entry) == []
+
+    def test_dominates_reflexive_and_entry(self):
+        fn, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(fn)
+        assert dom.dominates(entry, merge)
+        assert dom.dominates(left, left)
+        assert not dom.dominates(left, merge)
+        assert not dom.dominates(merge, entry)
+
+    def test_loop_idoms(self):
+        fn = build_fig3_foo().get_function("foo")
+        dom = DominatorTree(fn)
+        loop = fn.get_block("loop")
+        body = fn.get_block("body")
+        done = fn.get_block("done")
+        assert dom.immediate_dominator(body) is loop
+        assert dom.immediate_dominator(done) is loop
+        # The loop header is its own frontier (back edge).
+        assert loop in dom.frontier(body)
+
+    def test_rpo_starts_at_entry(self):
+        fn, entry, *_ = build_diamond()
+        order = reverse_post_order(fn)
+        assert order[0] is entry
+        assert len(order) == 4
+
+    def test_children_partition(self):
+        fn, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(fn)
+        assert set(map(id, dom.children(entry))) == {id(left), id(right), id(merge)}
+
+
+class TestForwardSlice:
+    def test_fig3_classification_inputs(self):
+        """The paper's Fig. 3: i's slice reaches control+address; s's doesn't."""
+        m = build_fig3_foo()
+        optimize(m)  # SSA form: i and s become phis
+        fn = m.get_function("foo")
+        phis = {p.name: p for p in fn.get_block("loop").phis()}
+        i_phi = phis["i"]
+        s_phi = phis["s"]
+        assert slice_contains(i_phi, lambda u: isinstance(u, CondBranch))
+        assert slice_contains(i_phi, lambda u: isinstance(u, GetElementPtr))
+        assert not slice_contains(s_phi, lambda u: isinstance(u, CondBranch))
+        assert not slice_contains(s_phi, lambda u: isinstance(u, GetElementPtr))
+
+    def test_slice_excludes_self(self):
+        m = build_fig3_foo()
+        optimize(m)
+        fn = m.get_function("foo")
+        gep = next(i for i in fn.instructions() if i.opcode == "getelementptr")
+        assert gep not in forward_slice(gep)
+
+    def test_slice_does_not_cross_stores(self):
+        """A value's slice contains the store but not the later loads."""
+        m = build_fig3_foo()  # unoptimized: loads/stores to allocas remain
+        fn = m.get_function("foo")
+        s2 = next(i for i in fn.instructions() if i.name == "s2")
+        sl = forward_slice(s2)
+        opcodes = {i.opcode for i in sl}
+        assert "store" in opcodes
+        assert "load" not in opcodes
+
+    def test_backward_slice(self):
+        m = build_fig3_foo()
+        optimize(m)
+        fn = m.get_function("foo")
+        store = next(i for i in fn.instructions() if i.opcode == "store")
+        deps = backward_slice(store)
+        assert any(d.opcode == "getelementptr" for d in deps)
+        assert any(d.opcode == "phi" for d in deps)
+
+    def test_cyclic_slices_terminate(self):
+        """Loop phis create def-use cycles; the slice walk must terminate."""
+        m = build_fig3_foo()
+        optimize(m)
+        fn = m.get_function("foo")
+        for instr in fn.instructions():
+            if instr.has_lvalue():
+                forward_slice(instr)  # must not hang

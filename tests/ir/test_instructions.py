@@ -1,0 +1,342 @@
+"""Constructor validation and classification hooks for every opcode."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ConstantInt,
+    ExtractElement,
+    F32,
+    FNeg,
+    FunctionType,
+    GetElementPtr,
+    I1,
+    I32,
+    I64,
+    InsertElement,
+    Load,
+    Module,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+    UndefValue,
+    VOID,
+    const_int,
+    pointer,
+    splat,
+    vector,
+)
+from repro.ir.module import BasicBlock
+from repro.ir.values import Argument
+
+
+def arg(t, name="a"):
+    return Argument(t, name)
+
+
+class TestBinaryOp:
+    def test_int_ops(self):
+        a, b = arg(I32), arg(I32, "b")
+        for op in ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
+                   "shl", "lshr", "ashr", "udiv", "urem"):
+            instr = BinaryOp(op, a, b)
+            assert instr.type == I32
+
+    def test_float_ops(self):
+        a, b = arg(F32), arg(F32, "b")
+        for op in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+            assert BinaryOp(op, a, b).type == F32
+
+    def test_vector_elementwise(self):
+        t = vector(F32, 8)
+        instr = BinaryOp("fadd", arg(t), arg(t, "b"))
+        assert instr.type == t
+        assert instr.is_vector_instruction
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", arg(I32), arg(I64, "b"))
+
+    def test_float_op_on_ints_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("fadd", arg(I32), arg(I32, "b"))
+
+    def test_int_op_on_floats_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", arg(F32), arg(F32, "b"))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("fancy", arg(I32), arg(I32, "b"))
+
+
+class TestCompare:
+    def test_icmp_result_i1(self):
+        assert CompareOp("icmp", "slt", arg(I32), arg(I32, "b")).type == I1
+
+    def test_vector_icmp_result_mask(self):
+        t = vector(I32, 4)
+        assert CompareOp("icmp", "eq", arg(t), arg(t, "b")).type == vector(I1, 4)
+
+    def test_fcmp_predicates(self):
+        a, b = arg(F32), arg(F32, "b")
+        for pred in ("oeq", "olt", "uno", "ord", "une"):
+            assert CompareOp("fcmp", pred, a, b).type == I1
+
+    def test_icmp_on_pointers(self):
+        t = pointer(I32)
+        assert CompareOp("icmp", "eq", arg(t), arg(t, "b")).type == I1
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(IRError):
+            CompareOp("icmp", "olt", arg(I32), arg(I32, "b"))
+
+    def test_fcmp_on_ints_rejected(self):
+        with pytest.raises(IRError):
+            CompareOp("fcmp", "oeq", arg(I32), arg(I32, "b"))
+
+    def test_is_control_flow_false(self):
+        assert not CompareOp("icmp", "slt", arg(I32), arg(I32, "b")).is_control_flow
+
+
+class TestSelect:
+    def test_scalar_cond_scalar_arms(self):
+        s = Select(arg(I1, "c"), arg(I32), arg(I32, "b"))
+        assert s.type == I32
+
+    def test_scalar_cond_vector_arms(self):
+        t = vector(F32, 8)
+        assert Select(arg(I1, "c"), arg(t), arg(t, "b")).type == t
+
+    def test_vector_cond_blends(self):
+        t = vector(F32, 4)
+        c = arg(vector(I1, 4), "c")
+        assert Select(c, arg(t), arg(t, "b")).type == t
+
+    def test_lane_mismatch_rejected(self):
+        c = arg(vector(I1, 4), "c")
+        t = vector(F32, 8)
+        with pytest.raises(IRError):
+            Select(c, arg(t), arg(t, "b"))
+
+    def test_arm_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            Select(arg(I1, "c"), arg(I32), arg(F32, "b"))
+
+
+class TestCasts:
+    @pytest.mark.parametrize(
+        "op,src,dst",
+        [
+            ("zext", I1, I32),
+            ("sext", I32, I64),
+            ("trunc", I64, I32),
+            ("sitofp", I32, F32),
+            ("fptosi", F32, I32),
+            ("bitcast", I32, F32),
+            ("bitcast", pointer(I32), pointer(F32)),
+            ("ptrtoint", pointer(F32), I64),
+            ("inttoptr", I64, pointer(F32)),
+        ],
+    )
+    def test_valid_casts(self, op, src, dst):
+        assert CastOp(op, arg(src), dst).type == dst
+
+    @pytest.mark.parametrize(
+        "op,src,dst",
+        [
+            ("zext", I32, I32),  # must widen
+            ("trunc", I32, I64),  # must narrow
+            ("bitcast", I32, I64),  # size mismatch
+            ("sitofp", F32, F32),
+            ("ptrtoint", I32, I64),
+        ],
+    )
+    def test_invalid_casts_rejected(self, op, src, dst):
+        with pytest.raises(IRError):
+            CastOp(op, arg(src), dst)
+
+    def test_vector_cast_keeps_lanes(self):
+        instr = CastOp("sext", arg(vector(I1, 8)), vector(I32, 8))
+        assert instr.type == vector(I32, 8)
+
+    def test_vector_cast_lane_change_rejected(self):
+        with pytest.raises(IRError):
+            CastOp("sext", arg(vector(I1, 8)), vector(I32, 4))
+
+
+class TestMemory:
+    def test_alloca_result_pointer(self):
+        a = Alloca(I32)
+        assert a.type == pointer(I32)
+        assert a.has_side_effects
+
+    def test_load_pointee(self):
+        assert Load(arg(pointer(F32), "p")).type == F32
+
+    def test_vector_load(self):
+        assert Load(arg(pointer(vector(F32, 8)), "p")).type == vector(F32, 8)
+
+    def test_load_non_pointer_rejected(self):
+        with pytest.raises(IRError):
+            Load(arg(I32))
+
+    def test_store_type_check(self):
+        Store(arg(F32, "v"), arg(pointer(F32), "p"))
+        with pytest.raises(IRError):
+            Store(arg(I32, "v"), arg(pointer(F32), "p"))
+
+    def test_store_has_no_lvalue(self):
+        s = Store(arg(F32, "v"), arg(pointer(F32), "p"))
+        assert not s.has_lvalue()
+        assert s.has_side_effects
+
+    def test_gep_scalar(self):
+        g = GetElementPtr(arg(pointer(F32), "p"), arg(I32, "i"))
+        assert g.type == pointer(F32)
+
+    def test_gep_vector_index_gives_pointer_vector(self):
+        g = GetElementPtr(arg(pointer(F32), "p"), arg(vector(I32, 4), "i"))
+        assert g.type == vector(pointer(F32), 4)
+        assert g.is_vector_instruction
+
+    def test_gep_float_index_rejected(self):
+        with pytest.raises(IRError):
+            GetElementPtr(arg(pointer(F32), "p"), arg(F32, "i"))
+
+
+class TestVectorOps:
+    def test_extractelement(self):
+        e = ExtractElement(arg(vector(F32, 8), "v"), const_int(I32, 3))
+        assert e.type == F32
+
+    def test_extract_from_scalar_rejected(self):
+        with pytest.raises(IRError):
+            ExtractElement(arg(F32, "v"), const_int(I32, 0))
+
+    def test_insertelement(self):
+        i = InsertElement(arg(vector(F32, 8), "v"), arg(F32, "e"), const_int(I32, 0))
+        assert i.type == vector(F32, 8)
+
+    def test_insert_wrong_element_type_rejected(self):
+        with pytest.raises(IRError):
+            InsertElement(arg(vector(F32, 8), "v"), arg(I32, "e"), const_int(I32, 0))
+
+    def test_shuffle_type_from_mask_length(self):
+        t = vector(F32, 8)
+        s = ShuffleVector(arg(t, "a"), arg(t, "b"), [0] * 4)
+        assert s.type == vector(F32, 4)
+
+    def test_shuffle_mask_bounds(self):
+        t = vector(F32, 4)
+        ShuffleVector(arg(t, "a"), arg(t, "b"), [7, 0, 1, 2])
+        with pytest.raises(IRError):
+            ShuffleVector(arg(t, "a"), arg(t, "b"), [8])
+
+    def test_broadcast_recognizer(self):
+        t = vector(F32, 8)
+        init = InsertElement(UndefValue(t), arg(F32, "u"), const_int(I32, 0))
+        bc = ShuffleVector(init, UndefValue(t), [0] * 8)
+        assert ShuffleVector.is_broadcast(bc)
+        not_bc = ShuffleVector(arg(t, "a"), arg(t, "b"), [0] * 8)
+        assert not ShuffleVector.is_broadcast(not_bc)
+
+
+class TestControlFlow:
+    def test_branch_successors(self):
+        b1 = BasicBlock("b1")
+        br = Branch(b1)
+        assert br.is_terminator and br.successors() == [b1]
+        assert not br.is_control_flow  # no data decides it
+
+    def test_condbr(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        cb = CondBranch(arg(I1, "c"), t, f)
+        assert cb.is_terminator and cb.is_control_flow
+        assert cb.successors() == [t, f]
+
+    def test_condbr_requires_i1(self):
+        with pytest.raises(IRError):
+            CondBranch(arg(I32, "c"), BasicBlock("t"), BasicBlock("f"))
+
+    def test_return(self):
+        r = Return(arg(I32))
+        assert r.is_terminator and r.successors() == []
+        assert Return(None).return_value is None
+
+    def test_unreachable(self):
+        assert Unreachable().is_terminator
+
+    def test_phi_incoming(self):
+        blk1, blk2 = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I32, "x")
+        phi.add_incoming(const_int(I32, 1), blk1)
+        phi.add_incoming(const_int(I32, 2), blk2)
+        assert phi.incoming_for(blk1).value == 1
+        assert phi.incoming_for(blk2).value == 2
+
+    def test_phi_type_mismatch_rejected(self):
+        phi = Phi(I32)
+        with pytest.raises(IRError):
+            phi.add_incoming(arg(F32), BasicBlock("a"))
+
+    def test_phi_remove_incoming_reindexes_uses(self):
+        blk1, blk2 = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I32, "x")
+        v1, v2 = arg(I32, "v1"), arg(I32, "v2")
+        phi.add_incoming(v1, blk1)
+        phi.add_incoming(v2, blk2)
+        phi.remove_incoming(blk1)
+        assert phi.incoming() == [(v2, blk2)]
+        assert (phi, 0) in v2.uses
+        assert not v1.uses
+
+
+class TestCall:
+    def make_callee(self):
+        m = Module("m")
+        return m.declare_function("f", FunctionType(F32, (F32, I32)))
+
+    def test_typed_args(self):
+        f = self.make_callee()
+        c = Call(f, [arg(F32, "x"), arg(I32, "n")])
+        assert c.type == F32
+        assert c.has_side_effects
+
+    def test_wrong_arity_rejected(self):
+        f = self.make_callee()
+        with pytest.raises(IRError):
+            Call(f, [arg(F32, "x")])
+
+    def test_wrong_arg_type_rejected(self):
+        f = self.make_callee()
+        with pytest.raises(IRError):
+            Call(f, [arg(I32, "x"), arg(I32, "n")])
+
+
+class TestVectorClassification:
+    def test_scalar_instruction(self):
+        assert not BinaryOp("add", arg(I32), arg(I32, "b")).is_vector_instruction
+
+    def test_vector_result(self):
+        t = vector(I32, 4)
+        assert BinaryOp("add", arg(t), arg(t, "b")).is_vector_instruction
+
+    def test_vector_operand_scalar_result(self):
+        # extractelement has a scalar result but a vector operand (§II-A).
+        e = ExtractElement(arg(vector(F32, 8), "v"), const_int(I32, 0))
+        assert e.is_vector_instruction
+
+    def test_store_of_vector(self):
+        s = Store(arg(vector(F32, 4), "v"), arg(pointer(vector(F32, 4)), "p"))
+        assert s.is_vector_instruction

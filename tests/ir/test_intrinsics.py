@@ -1,0 +1,126 @@
+"""The intrinsic registry — VULFI's 'inbuilt list' of masked operations."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    F32,
+    I1,
+    I32,
+    MASK_I1,
+    MASK_SIGN,
+    Module,
+    declare_intrinsic,
+    get_intrinsic,
+    is_intrinsic_name,
+    pointer,
+    vector,
+)
+
+
+class TestX86Masked:
+    def test_avx_maskload_ps(self):
+        info = get_intrinsic("llvm.x86.avx.maskload.ps.256")
+        assert info.masked
+        assert info.kind == "maskload"
+        assert info.mask_index == 1
+        assert info.mask_convention == MASK_SIGN
+        assert info.function_type.return_type == vector(F32, 8)
+        assert info.lanes == 8
+
+    def test_avx_maskstore_ps(self):
+        info = get_intrinsic("llvm.x86.avx.maskstore.ps.256")
+        assert info.masked and info.kind == "maskstore"
+        assert info.stored_value_index == 2
+        assert info.function_type.return_type.is_void()
+
+    def test_avx2_int_variants(self):
+        ld = get_intrinsic("llvm.x86.avx2.maskload.d.256")
+        st = get_intrinsic("llvm.x86.avx2.maskstore.d.256")
+        assert ld.function_type.return_type == vector(I32, 8)
+        assert st.stored_value_index == 2
+
+    def test_128bit_variants(self):
+        assert get_intrinsic("llvm.x86.avx.maskload.ps").lanes == 4
+        assert get_intrinsic("llvm.x86.avx2.maskstore.d").lanes == 4
+
+
+class TestGenericMasked:
+    def test_masked_load(self):
+        info = get_intrinsic("llvm.masked.load.v4f32")
+        assert info.masked and info.mask_convention == MASK_I1
+        assert info.function_type.params[0] == pointer(vector(F32, 4))
+        assert info.function_type.params[1] == vector(I1, 4)
+
+    def test_masked_store(self):
+        info = get_intrinsic("llvm.masked.store.v8i32")
+        assert info.stored_value_index == 0
+        assert info.mask_index == 2
+
+    def test_gather(self):
+        info = get_intrinsic("llvm.masked.gather.v8f32")
+        assert info.kind == "gather"
+        assert info.function_type.params[0] == vector(pointer(F32), 8)
+
+    def test_scatter(self):
+        info = get_intrinsic("llvm.masked.scatter.v4i32")
+        assert info.kind == "scatter"
+        assert info.stored_value_index == 0
+
+
+class TestMathAndReduce:
+    @pytest.mark.parametrize("name,lanes", [
+        ("llvm.sqrt.f32", 1),
+        ("llvm.sqrt.v8f32", 8),
+        ("llvm.exp.v4f32", 4),
+        ("llvm.minnum.v8f32", 8),
+        ("llvm.pow.f32", 1),
+    ])
+    def test_math_shapes(self, name, lanes):
+        info = get_intrinsic(name)
+        assert info.kind == "math"
+        assert not info.masked
+        assert info.lanes == lanes
+
+    def test_reduce_fadd_has_accumulator(self):
+        info = get_intrinsic("llvm.vector.reduce.fadd.v8f32")
+        assert info.function_type.params[0] == F32
+        assert info.function_type.return_type == F32
+
+    def test_reduce_add(self):
+        info = get_intrinsic("llvm.vector.reduce.add.v4i32")
+        assert len(info.function_type.params) == 1
+
+    def test_mask_reduce(self):
+        info = get_intrinsic("llvm.vector.reduce.or.v8i1")
+        assert info.kind == "mask-reduce"
+        assert info.function_type.return_type == I1
+
+
+class TestResolution:
+    def test_is_intrinsic_name(self):
+        assert is_intrinsic_name("llvm.sqrt.f32")
+        assert not is_intrinsic_name("checkInvariantsForeachFullBody")
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(IRError):
+            get_intrinsic("llvm.totally.made.up")
+
+    def test_non_intrinsic_rejected(self):
+        with pytest.raises(IRError):
+            get_intrinsic("printf")
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(IRError):
+            get_intrinsic("llvm.sqrt.q32")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(IRError):
+            get_intrinsic("llvm.vector.reduce.median.v4f32")
+
+    def test_declare_idempotent(self):
+        m = Module("m")
+        f1 = declare_intrinsic(m, "llvm.sqrt.f32")
+        f2 = declare_intrinsic(m, "llvm.sqrt.f32")
+        assert f1 is f2
+        assert "intrinsic" in f1.attributes

@@ -1,0 +1,175 @@
+"""Module/Function/BasicBlock containers and the IRBuilder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    F32,
+    FunctionType,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    pointer,
+    vector,
+)
+
+
+def make_fn(module=None, name="f", params=(I32,)):
+    m = module or Module("m")
+    return m.add_function(name, FunctionType(VOID, tuple(params)), None)
+
+
+class TestModule:
+    def test_add_and_get(self):
+        m = Module("m")
+        fn = make_fn(m)
+        assert m.get_function("f") is fn
+
+    def test_duplicate_definition_rejected(self):
+        m = Module("m")
+        make_fn(m)
+        with pytest.raises(IRError):
+            make_fn(m)
+
+    def test_missing_function(self):
+        with pytest.raises(IRError):
+            Module("m").get_function("nope")
+
+    def test_declare_idempotent(self):
+        m = Module("m")
+        d1 = m.declare_function("ext", FunctionType(F32, (F32,)))
+        d2 = m.declare_function("ext", FunctionType(F32, (F32,)))
+        assert d1 is d2
+
+    def test_declare_conflict_rejected(self):
+        m = Module("m")
+        m.declare_function("ext", FunctionType(F32, (F32,)))
+        with pytest.raises(IRError):
+            m.declare_function("ext", FunctionType(F32, (I32,)))
+
+    def test_defined_functions_excludes_declarations(self):
+        m = Module("m")
+        fn = make_fn(m)
+        fn.add_block("entry")
+        m.declare_function("ext", FunctionType(VOID, ()))
+        assert m.defined_functions() == [fn]
+
+
+class TestFunction:
+    def test_argument_names(self):
+        m = Module("m")
+        fn = m.add_function("g", FunctionType(VOID, (I32, F32)), ["n", "x"])
+        assert [a.name for a in fn.args] == ["n", "x"]
+        assert fn.args[1].type == F32
+
+    def test_arg_name_count_mismatch(self):
+        m = Module("m")
+        with pytest.raises(IRError):
+            m.add_function("g", FunctionType(VOID, (I32,)), ["a", "b"])
+
+    def test_entry_of_declaration_raises(self):
+        m = Module("m")
+        d = m.declare_function("ext", FunctionType(VOID, ()))
+        with pytest.raises(IRError):
+            d.entry
+
+    def test_block_name_uniquing(self):
+        fn = make_fn()
+        b1 = fn.add_block("loop")
+        b2 = fn.add_block("loop")
+        assert b1.name != b2.name
+
+    def test_add_block_after(self):
+        fn = make_fn()
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        b = fn.add_block("b", after=a)
+        assert fn.blocks == [a, b, c]
+
+    def test_renumber_gives_unique_names(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        v1 = b.add(fn.args[0], b.i32(1))
+        v2 = b.add(v1, b.i32(2))
+        v3 = b.add(v2, b.i32(3), "x")
+        v4 = b.add(v3, b.i32(4), "x")  # collides
+        b.ret()
+        fn.renumber()
+        names = [v1.name, v2.name, v3.name, v4.name]
+        assert len(set(names)) == 4
+        assert v3.name == "x"
+
+
+class TestBasicBlock:
+    def test_terminated_block_rejects_append(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        b.ret()
+        with pytest.raises(IRError):
+            b.ret()
+
+    def test_predecessors_successors(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        b = IRBuilder(entry)
+        cond = b.icmp("slt", fn.args[0], b.i32(0))
+        b.condbr(cond, left, right)
+        assert entry.successors() == [left, right]
+        assert left.predecessors() == [entry]
+
+    def test_phis_grouping(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        loop = fn.add_block("loop")
+        b = IRBuilder(entry)
+        b.br(loop)
+        b.position_at_end(loop)
+        phi = b.phi(I32, "i")
+        add = b.add(phi, b.i32(1))
+        phi2 = b.phi(I32, "j")  # phis always insert before non-phis
+        assert loop.phis() == [phi, phi2]
+        assert loop.instructions[2] is add
+
+
+class TestBuilder:
+    def test_position_before_and_after(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        first = b.add(fn.args[0], b.i32(1), "first")
+        last = b.add(first, b.i32(2), "last")
+        b.position_before(last)
+        mid = b.add(first, b.i32(3), "mid")
+        assert [i.name for i in entry.instructions] == ["first", "mid", "last"]
+        b.position_after(first)
+        after_first = b.add(first, b.i32(4), "afterfirst")
+        assert entry.instructions[1] is after_first
+
+    def test_broadcast_emits_fig9_idiom(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        vec = b.broadcast(fn.args[0], 8, "u")
+        assert vec.opcode == "shufflevector"
+        assert vec.mask == (0,) * 8
+        init = vec.operands[0]
+        assert init.opcode == "insertelement"
+        assert vec.type == vector(I32, 8)
+
+    def test_builder_without_block_raises(self):
+        b = IRBuilder()
+        with pytest.raises(IRError):
+            b.ret()
+
+    def test_extractelement_int_index_sugar(self):
+        fn = make_fn(params=(vector(F32, 4),))
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        e = b.extractelement(fn.args[0], 2)
+        assert e.index.value == 2

@@ -1,0 +1,199 @@
+"""Printer/parser round trips — the text-rewriting path."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir import (
+    format_instruction,
+    format_module,
+    parse_module,
+    verify_module,
+)
+from tests.helpers import build_axpy, build_fig3_foo
+
+
+def round_trip(module):
+    text = format_module(module)
+    reparsed = parse_module(text, name=module.name)
+    verify_module(reparsed)
+    assert format_module(reparsed) == text
+    return reparsed
+
+
+class TestRoundTrip:
+    def test_axpy(self):
+        round_trip(build_axpy())
+
+    def test_fig3(self):
+        round_trip(build_fig3_foo())
+
+    def test_vector_program(self):
+        text = """\
+declare <8 x float> @llvm.x86.avx.maskload.ps.256(i8*, <8 x float>)
+
+define void @kernel(float* %p, <8 x float> %v, i32 %n) {
+entry:
+  %mask = fcmp olt <8 x float> %v, zeroinitializer
+  %wide = sext <8 x i1> %mask to <8 x i32>
+  %fmask = bitcast <8 x i32> %wide to <8 x float>
+  %addr = bitcast float* %p to i8*
+  %ld = call <8 x float> @llvm.x86.avx.maskload.ps.256(i8* %addr, <8 x float> %fmask)
+  %e = extractelement <8 x float> %ld, i32 0
+  %i = insertelement <8 x float> %ld, float %e, i32 7
+  %s = shufflevector <8 x float> %i, <8 x float> undef, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0>
+  %sel = select i1 true, <8 x float> %s, <8 x float> %ld
+  ret void
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+        assert format_module(parse_module(format_module(m))) == format_module(m)
+
+    def test_all_compiled_workload_modules_round_trip(self):
+        from repro.workloads import all_workloads
+
+        for w in all_workloads():
+            for target in ("avx", "sse"):
+                round_trip(w.compile(target))
+
+
+class TestParserDetails:
+    def test_forward_reference_via_phi(self):
+        text = """\
+define i32 @count(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %next = add i32 %i, 1
+  %done = icmp sge i32 %next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i32 %next
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+
+    def test_undefined_local_rejected(self):
+        text = """\
+define void @f() {
+entry:
+  %x = add i32 %ghost, 1
+  ret void
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_undefined_label_rejected(self):
+        text = """\
+define void @f() {
+entry:
+  br label %nowhere
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_call_to_undeclared_function_rejected(self):
+        text = """\
+define void @f() {
+entry:
+  call void @mystery()
+  ret void
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_intrinsics_autodeclared(self):
+        text = """\
+define float @f(float %x) {
+entry:
+  %r = call float @llvm.sqrt.f32(float %x)
+  ret float %r
+}
+"""
+        m = parse_module(text)
+        assert "llvm.sqrt.f32" in m.functions
+
+    def test_type_mismatch_on_local_rejected(self):
+        text = """\
+define void @f(i32 %x) {
+entry:
+  %y = fadd float %x, 1.0
+  ret void
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_float_literals(self):
+        text = """\
+define float @f() {
+entry:
+  %a = fadd float 1.5, -2.5
+  %b = fadd float %a, 1e-06
+  %c = fadd float %b, inf
+  %d = fadd float %c, nan
+  ret float %d
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+        assert format_module(parse_module(format_module(m))) == format_module(m)
+
+    def test_redefinition_rejected(self):
+        text = """\
+define void @f() {
+entry:
+  %x = add i32 1, 2
+  %x = add i32 3, 4
+  ret void
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_comments_ignored(self):
+        text = """\
+; leading comment
+define void @f() { ; trailing
+entry:
+  ret void ; done
+}
+"""
+        parse_module(text)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_module("what even is this")
+
+
+class TestFormatInstruction:
+    def test_store_format(self):
+        m = build_axpy()
+        fn = m.get_function("axpy")
+        store = next(i for i in fn.instructions() if i.opcode == "store")
+        assert format_instruction(store) == "store float %s, float* %py"
+
+    def test_phi_format(self):
+        m = build_axpy()
+        fn = m.get_function("axpy")
+        phi = next(i for i in fn.instructions() if i.opcode == "phi")
+        assert format_instruction(phi) == (
+            "%i = phi i32 [ 0, %entry ], [ %inext, %body ]"
+        )
+
+    def test_declaration_format(self):
+        from repro.ir import format_function
+        from repro.ir.intrinsics import declare_intrinsic
+        from repro.ir import Module
+
+        m = Module("m")
+        fn = declare_intrinsic(m, "llvm.x86.avx.maskstore.ps.256")
+        assert format_function(fn) == (
+            "declare void @llvm.x86.avx.maskstore.ps.256"
+            "(i8*, <8 x float>, <8 x float>)"
+        )

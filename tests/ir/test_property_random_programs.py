@@ -1,0 +1,186 @@
+"""Property-based tests over randomly generated IR programs.
+
+A hypothesis strategy builds random straight-line functions mixing scalar
+and vector arithmetic, comparisons, selects, casts, and shuffles.  Four
+properties are checked on every generated program:
+
+1. the verifier accepts it;
+2. printing → parsing → printing is a fixpoint (text round trip);
+3. the structural clone computes the same result;
+4. constant folding + DCE preserve the computed result exactly
+   (including traps: both versions must trap identically).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VMTrap
+from repro.ir import (
+    F32,
+    FunctionType,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    format_module,
+    parse_module,
+    vector,
+    verify_module,
+)
+from repro.ir.clone import clone_module
+from repro.passes import constant_fold, dead_code_elimination
+from repro.vm import Interpreter
+
+V4I = vector(I32, 4)
+V4F = vector(F32, 4)
+
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "ashr", "sdiv", "srem"]
+_FLOAT_OPS = ["fadd", "fsub", "fmul", "fdiv"]
+_ICMP = ["eq", "ne", "slt", "sgt", "ule"]
+_FCMP = ["oeq", "olt", "oge", "une"]
+
+
+@st.composite
+def random_program(draw):
+    """Build a Module plus matching argument values."""
+    m = Module("random")
+    fn = m.add_function(
+        "f", FunctionType(I32, (I32, I32, F32, V4I)), ["a", "b", "x", "v"]
+    )
+    b = IRBuilder(fn.add_block("entry"))
+
+    ints = [fn.args[0], fn.args[1], b.i32(draw(st.integers(-100, 100)))]
+    floats = [fn.args[2]]
+    ivecs = [fn.args[3]]
+    bools = []
+
+    n_ops = draw(st.integers(3, 18))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["int", "float", "ivec", "cmp", "select",
+                                     "cast", "shuffle", "extract"]))
+        if kind == "int":
+            op = draw(st.sampled_from(_INT_OPS))
+            lhs = draw(st.sampled_from(ints))
+            rhs = draw(st.sampled_from(ints))
+            ints.append(b.binop(op, lhs, rhs))
+        elif kind == "float":
+            op = draw(st.sampled_from(_FLOAT_OPS))
+            floats.append(
+                b.binop(op, draw(st.sampled_from(floats)), draw(st.sampled_from(floats)))
+            )
+        elif kind == "ivec":
+            op = draw(st.sampled_from(["add", "sub", "mul", "xor"]))
+            ivecs.append(
+                b.binop(op, draw(st.sampled_from(ivecs)), draw(st.sampled_from(ivecs)))
+            )
+        elif kind == "cmp":
+            if draw(st.booleans()):
+                bools.append(
+                    b.icmp(
+                        draw(st.sampled_from(_ICMP)),
+                        draw(st.sampled_from(ints)),
+                        draw(st.sampled_from(ints)),
+                    )
+                )
+            else:
+                bools.append(
+                    b.fcmp(
+                        draw(st.sampled_from(_FCMP)),
+                        draw(st.sampled_from(floats)),
+                        draw(st.sampled_from(floats)),
+                    )
+                )
+        elif kind == "select" and bools:
+            cond = draw(st.sampled_from(bools))
+            ints.append(
+                b.select(cond, draw(st.sampled_from(ints)), draw(st.sampled_from(ints)))
+            )
+        elif kind == "cast":
+            which = draw(st.sampled_from(["sitofp", "fptosi", "bitcast"]))
+            if which == "sitofp":
+                floats.append(b.sitofp(draw(st.sampled_from(ints)), F32))
+            elif which == "fptosi":
+                ints.append(b.fptosi(draw(st.sampled_from(floats)), I32))
+            else:
+                floats.append(b.bitcast(draw(st.sampled_from(ints)), F32))
+        elif kind == "shuffle":
+            mask = draw(st.lists(st.integers(0, 7), min_size=4, max_size=4))
+            v1 = draw(st.sampled_from(ivecs))
+            v2 = draw(st.sampled_from(ivecs))
+            ivecs.append(b.shufflevector(v1, v2, mask))
+        elif kind == "extract":
+            lane = draw(st.integers(0, 3))
+            ints.append(b.extractelement(draw(st.sampled_from(ivecs)), lane))
+
+    result = draw(st.sampled_from(ints))
+    b.ret(result)
+
+    args = [
+        draw(st.integers(-(2**31), 2**31 - 1)),
+        draw(st.integers(-(2**31), 2**31 - 1)),
+        draw(st.floats(width=32, allow_nan=False, allow_infinity=False)),
+        draw(st.lists(st.integers(-1000, 1000), min_size=4, max_size=4)),
+    ]
+    return m, args
+
+
+def run_or_trap(module, args):
+    try:
+        return ("value", Interpreter(module).run("f", args))
+    except VMTrap as t:
+        return ("trap", t.kind)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_program())
+def test_random_programs_verify(prog):
+    m, _ = prog
+    verify_module(m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_program())
+def test_text_round_trip_is_fixpoint(prog):
+    m, _ = prog
+    text = format_module(m)
+    reparsed = parse_module(text, name="random")
+    verify_module(reparsed)
+    assert format_module(reparsed) == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program())
+def test_clone_and_reparse_execute_identically(prog):
+    m, args = prog
+    expected = run_or_trap(m, args)
+    assert run_or_trap(clone_module(m), args) == expected
+    reparsed = parse_module(format_module(m), name="random")
+    assert run_or_trap(reparsed, args) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program())
+def test_constfold_dce_preserve_behaviour(prog):
+    """Optimization preserves every *value-producing* execution exactly.
+
+    When the original traps, the optimized version may legitimately not:
+    DCE deletes a dead trapping division (undefined behaviour in LLVM, and
+    real optimizers do exactly this), which removes the trap.  What it must
+    never do is trap differently or change a successfully computed value.
+    """
+    m, args = prog
+    expected = run_or_trap(m, args)
+    c = clone_module(m)
+    fn = c.get_function("f")
+    constant_fold(fn)
+    constant_fold(fn)
+    dead_code_elimination(fn)
+    verify_module(c)
+    optimized = run_or_trap(c, args)
+    if expected[0] == "value":
+        assert optimized == expected
+    else:
+        assert optimized == expected or optimized[0] == "value"

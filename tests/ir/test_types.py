@@ -1,0 +1,132 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    VectorType,
+    VOID,
+    parse_type,
+    pointer,
+    vector,
+)
+
+
+class TestScalarTypes:
+    def test_int_widths(self):
+        assert I1.bits == 1
+        assert I32.bits == 32
+        assert I64.bits == 64
+
+    def test_invalid_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_invalid_float_width_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_str_forms(self):
+        assert str(I32) == "i32"
+        assert str(F32) == "float"
+        assert str(F64) == "double"
+        assert str(VOID) == "void"
+        assert str(pointer(F32)) == "float*"
+        assert str(vector(I32, 8)) == "<8 x i32>"
+
+    def test_store_sizes(self):
+        assert I1.store_size() == 1
+        assert I8.store_size() == 1
+        assert I16.store_size() == 2
+        assert I32.store_size() == 4
+        assert I64.store_size() == 8
+        assert F32.store_size() == 4
+        assert F64.store_size() == 8
+        assert pointer(I32).store_size() == 8
+        assert vector(F32, 8).store_size() == 32
+
+    def test_signed_ranges(self):
+        assert I32.min_signed == -(2**31)
+        assert I32.max_signed == 2**31 - 1
+        assert I32.max_unsigned == 2**32 - 1
+        assert I1.max_unsigned == 1
+
+    def test_classification_predicates(self):
+        assert I32.is_integer() and not I32.is_float()
+        assert F32.is_float() and not F32.is_integer()
+        assert pointer(I32).is_pointer()
+        assert vector(I32, 4).is_vector()
+        assert VOID.is_void()
+        assert I32.is_scalar() and F32.is_scalar() and pointer(I8).is_scalar()
+        assert not vector(I32, 4).is_scalar()
+        assert vector(I32, 4).is_first_class()
+        assert not VOID.is_first_class()
+
+
+class TestVectorTypes:
+    def test_lane_accessors(self):
+        v = vector(F32, 8)
+        assert v.scalar_type == F32
+        assert v.vector_length == 8
+
+    def test_scalar_lane_defaults(self):
+        assert I32.scalar_type is I32
+        assert I32.vector_length == 1
+
+    def test_vector_of_pointers_allowed(self):
+        v = vector(pointer(F32), 4)
+        assert v.element == pointer(F32)
+
+    def test_vector_of_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(vector(I32, 2), 2)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(I32, 0)
+
+    def test_interning(self):
+        assert vector(I32, 8) is vector(I32, 8)
+        assert pointer(F32) is pointer(F32)
+
+
+class TestFunctionTypes:
+    def test_str(self):
+        ft = FunctionType(VOID, (pointer(F32), I32))
+        assert str(ft) == "void (float*, i32)"
+
+    def test_varargs_str(self):
+        ft = FunctionType(I32, (I32,), varargs=True)
+        assert str(ft) == "i32 (i32, ...)"
+
+    def test_equality(self):
+        assert FunctionType(VOID, (I32,)) == FunctionType(VOID, (I32,))
+        assert FunctionType(VOID, (I32,)) != FunctionType(VOID, (I64,))
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text",
+        ["i1", "i8", "i32", "i64", "float", "double", "void", "i32*",
+         "float**", "<8 x float>", "<4 x i32>", "<8 x float>*", "<2 x i64*>"],
+    )
+    def test_round_trip(self, text):
+        assert str(parse_type(text)) == text
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("banana")
+
+    def test_nested_vector_pointer(self):
+        t = parse_type("<4 x i32*>")
+        assert t.is_vector() and t.scalar_type.is_pointer()

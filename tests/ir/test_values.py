@@ -1,0 +1,161 @@
+"""Unit tests for values, constants, and use-def bookkeeping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    BinaryOp,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    F32,
+    I1,
+    I8,
+    I32,
+    UndefValue,
+    const_bool,
+    const_int,
+    pointer,
+    splat,
+    vector,
+    zeroinitializer,
+)
+from repro.ir.values import Argument
+
+
+class TestConstantInt:
+    def test_canonicalization_wraps_to_signed(self):
+        assert ConstantInt(I32, 2**31).value == -(2**31)
+        assert ConstantInt(I32, -1).value == -1
+        assert ConstantInt(I8, 255).value == -1
+        assert ConstantInt(I8, 128).value == -128
+
+    def test_i1_canonical_zero_one(self):
+        assert ConstantInt(I1, 1).value == 1
+        assert ConstantInt(I1, 3).value == 1
+        assert ConstantInt(I1, 0).value == 0
+
+    def test_equality_and_hash(self):
+        assert ConstantInt(I32, 5) == ConstantInt(I32, 5)
+        assert ConstantInt(I32, 5) != ConstantInt(I8, 5)
+        assert hash(ConstantInt(I32, 5)) == hash(ConstantInt(I32, 2**32 + 5))
+
+    def test_refs(self):
+        assert ConstantInt(I32, -7).ref() == "-7"
+        assert const_bool(True).ref() == "true"
+        assert const_bool(False).ref() == "false"
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(F32, 1)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_canonical_in_range(self, v):
+        c = ConstantInt(I32, v)
+        assert -(2**31) <= c.value <= 2**31 - 1
+        # Same bit pattern as the input.
+        assert (c.value - v) % 2**32 == 0
+
+
+class TestConstantFloat:
+    def test_nan_equality(self):
+        a = ConstantFloat(F32, float("nan"))
+        b = ConstantFloat(F32, float("nan"))
+        assert a == b
+
+    def test_special_refs(self):
+        assert ConstantFloat(F32, float("inf")).ref() == "inf"
+        assert ConstantFloat(F32, float("-inf")).ref() == "-inf"
+        assert ConstantFloat(F32, float("nan")).ref() == "nan"
+
+    def test_requires_float_type(self):
+        with pytest.raises(TypeError):
+            ConstantFloat(I32, 1.0)
+
+
+class TestConstantVector:
+    def test_type_derivation(self):
+        cv = ConstantVector([const_int(I32, i) for i in range(4)])
+        assert cv.type == vector(I32, 4)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            ConstantVector([const_int(I32, 0), ConstantFloat(F32, 0.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantVector([])
+
+    def test_splat(self):
+        cv = splat(const_int(I32, 7), 8)
+        assert len(cv.elements) == 8
+        assert all(e.value == 7 for e in cv.elements)
+
+    def test_ref_format(self):
+        cv = ConstantVector([const_int(I32, 1), const_int(I32, 2)])
+        assert cv.ref() == "<i32 1, i32 2>"
+
+
+class TestZeroInitializer:
+    def test_scalar_zeros(self):
+        assert zeroinitializer(I32).value == 0
+        assert zeroinitializer(F32).value == 0.0
+        assert isinstance(zeroinitializer(pointer(I32)), ConstantPointerNull)
+
+    def test_vector_zero(self):
+        z = zeroinitializer(vector(F32, 4))
+        assert all(e.value == 0.0 for e in z.elements)
+
+    def test_undef_equality(self):
+        assert UndefValue(I32) == UndefValue(I32)
+        assert UndefValue(I32) != UndefValue(F32)
+
+
+class TestUseTracking:
+    def test_uses_recorded(self):
+        a = Argument(I32, "a")
+        b = Argument(I32, "b")
+        add = BinaryOp("add", a, b)
+        assert (add, 0) in a.uses
+        assert (add, 1) in b.uses
+
+    def test_same_value_twice(self):
+        a = Argument(I32, "a")
+        add = BinaryOp("add", a, a)
+        assert (add, 0) in a.uses and (add, 1) in a.uses
+        assert a.users() == [add]
+
+    def test_set_operand_moves_use(self):
+        a = Argument(I32, "a")
+        b = Argument(I32, "b")
+        c = Argument(I32, "c")
+        add = BinaryOp("add", a, b)
+        add.set_operand(1, c)
+        assert (add, 1) in c.uses
+        assert (add, 1) not in b.uses
+
+    def test_replace_all_uses_with(self):
+        a = Argument(I32, "a")
+        b = Argument(I32, "b")
+        c = Argument(I32, "c")
+        add1 = BinaryOp("add", a, b)
+        add2 = BinaryOp("add", a, a)
+        a.replace_all_uses_with(c)
+        assert add1.operands[0] is c
+        assert add2.operands[0] is c and add2.operands[1] is c
+        assert not a.uses
+
+    def test_replace_with_self_is_noop(self):
+        a = Argument(I32, "a")
+        add = BinaryOp("add", a, a)
+        a.replace_all_uses_with(a)
+        assert add.operands[0] is a
+
+    def test_drop_all_references(self):
+        a = Argument(I32, "a")
+        b = Argument(I32, "b")
+        add = BinaryOp("add", a, b)
+        add.drop_all_references()
+        assert not a.uses and not b.uses
+        assert add.operands == []

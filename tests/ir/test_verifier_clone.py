@@ -1,0 +1,184 @@
+"""Verifier failure modes and module cloning."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    Branch,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    format_module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.clone import clone_module
+from repro.ir.instructions import BinaryOp, Phi, Return
+from repro.ir.values import const_int
+from tests.helpers import build_axpy, build_fig3_foo
+
+
+def minimal_fn():
+    m = Module("m")
+    fn = m.add_function("f", FunctionType(VOID, (I32,)), ["n"])
+    return m, fn
+
+
+class TestVerifier:
+    def test_valid_modules_pass(self):
+        verify_module(build_axpy())
+        verify_module(build_fig3_foo())
+
+    def test_unterminated_block(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        IRBuilder(entry).add(fn.args[0], const_int(I32, 1))
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_module(m)
+
+    def test_function_without_blocks_is_declaration(self):
+        # add_function + no blocks = declaration; defined_functions skips it,
+        # so the module verifies trivially.
+        m, fn = minimal_fn()
+        verify_module(m)
+
+    def test_use_before_def_in_block(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        first = b.add(fn.args[0], const_int(I32, 1), "first")
+        second = b.add(fn.args[0], const_int(I32, 2), "second")
+        b.ret()
+        # Swap so 'first' uses 'second' before its definition.
+        first.set_operand(0, second)
+        with pytest.raises(VerificationError, match="before definition"):
+            verify_function(fn)
+
+    def test_def_does_not_dominate_use(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        c = b.icmp("sgt", fn.args[0], b.i32(0), "c")
+        b.condbr(c, left, right)
+        b.position_at_end(left)
+        v = b.add(fn.args[0], b.i32(1), "v")
+        b.br(merge)
+        b.position_at_end(right)
+        b.br(merge)
+        b.position_at_end(merge)
+        b.add(v, b.i32(1), "bad")  # v doesn't dominate merge
+        b.ret()
+        with pytest.raises(VerificationError, match="does not dominate"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        loop = fn.add_block("loop")
+        b = IRBuilder(entry)
+        b.br(loop)
+        b.position_at_end(loop)
+        phi = b.phi(I32, "x")
+        phi.add_incoming(const_int(I32, 0), entry)
+        phi.add_incoming(const_int(I32, 1), loop)  # loop is not a predecessor
+        b.ret()
+        with pytest.raises(VerificationError, match="phi"):
+            verify_function(fn)
+
+    def test_phi_after_non_phi(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        add = b.add(fn.args[0], b.i32(1))
+        phi = Phi(I32, "late")
+        entry.insert(1, phi)
+        phi.parent = entry
+        b.ret()
+        with pytest.raises(VerificationError, match="after non-phi"):
+            verify_function(fn)
+
+    def test_entry_with_predecessors(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        b.br(entry)
+        with pytest.raises(VerificationError, match="entry block has predecessors"):
+            verify_function(fn)
+
+    def test_detached_operand(self):
+        m, fn = minimal_fn()
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        v = b.add(fn.args[0], b.i32(1), "v")
+        use = b.add(v, b.i32(2), "use")
+        b.ret()
+        entry.remove(v)  # detach without erasing the use
+        with pytest.raises(VerificationError, match="detached"):
+            verify_function(fn)
+
+
+class TestClone:
+    def test_prints_identically(self):
+        m = build_axpy()
+        c = clone_module(m)
+        assert format_module(c) == format_module(m)
+
+    def test_clone_is_independent(self):
+        m = build_fig3_foo()
+        c = clone_module(m)
+        fn = c.get_function("foo")
+        # Mutate the clone; the original is unchanged.
+        instr = next(i for i in fn.instructions() if i.opcode == "mul")
+        instr.erase()
+        orig = m.get_function("foo")
+        assert any(i.opcode == "mul" for i in orig.instructions())
+
+    def test_clone_verifies(self):
+        for builder in (build_axpy, build_fig3_foo):
+            verify_module(clone_module(builder()))
+
+    def test_meta_copied_and_remapped(self):
+        from repro.frontend import compile_source
+
+        m = compile_source(
+            "export void k(uniform int a[], uniform int n)"
+            "{ foreach (i = 0 ... n) { a[i] = a[i] + 1; } }",
+            "avx",
+        )
+        c = clone_module(m)
+        fn = c.get_function("k")
+        latch = next(
+            i for i in fn.instructions() if i.meta.get("foreach_role") == "latch"
+        )
+        assert latch.meta["foreach_new_counter"].function is fn
+        assert latch.meta["foreach_aligned_end"].function is fn
+
+    def test_compiled_workloads_clone_faithfully(self):
+        from repro.workloads import get_workload
+
+        m = get_workload("blackscholes").compile("sse")
+        c = clone_module(m)
+        verify_module(c)
+        assert format_module(c) == format_module(m)
+
+    def test_clone_executes_identically(self):
+        import numpy as np
+
+        from repro.ir.types import I32 as I32t
+        from repro.vm import Interpreter
+
+        m = build_fig3_foo()
+        c = clone_module(m)
+        a = np.arange(10, dtype=np.int32)
+        outs = []
+        for mod in (m, c):
+            vm = Interpreter(mod)
+            pa = vm.memory.store_array(I32t, a, "a")
+            vm.run("foo", [pa, 10, 3])
+            outs.append(vm.memory.load_array(I32t, pa, 10))
+        assert (outs[0] == outs[1]).all()

@@ -1,0 +1,208 @@
+"""DCE, constant folding, simplifycfg, and the default pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ConstantFloat,
+    ConstantInt,
+    F32,
+    FunctionType,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    const_int,
+    verify_module,
+)
+from repro.passes import (
+    constant_fold,
+    dead_code_elimination,
+    default_pipeline,
+    simplify_cfg,
+)
+from repro.vm import Interpreter
+
+
+def fn_shell(params=(I32,), ret=VOID):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(ret, tuple(params)), None)
+    return m, fn, IRBuilder(fn.add_block("entry"))
+
+
+class TestDCE:
+    def test_unused_chain_removed(self):
+        m, fn, b = fn_shell()
+        dead1 = b.add(fn.args[0], b.i32(1), "dead1")
+        dead2 = b.mul(dead1, b.i32(2), "dead2")  # only user of dead1
+        b.ret()
+        assert dead_code_elimination(fn)
+        assert list(fn.instructions())[0].opcode == "ret"
+
+    def test_used_values_kept(self):
+        m, fn, b = fn_shell(ret=I32)
+        v = b.add(fn.args[0], b.i32(1), "v")
+        b.ret(v)
+        assert not dead_code_elimination(fn)
+        assert any(i.opcode == "add" for i in fn.instructions())
+
+    def test_stores_and_calls_kept(self):
+        m, fn, b = fn_shell(params=(I32,))
+        from repro.ir import pointer
+
+        m2, fn2, b2 = fn_shell(params=(pointer(I32), I32))
+        b2.store(fn2.args[1], fn2.args[0])
+        b2.ret()
+        assert not dead_code_elimination(fn2)
+        assert any(i.opcode == "store" for i in fn2.instructions())
+
+    def test_dead_load_removed(self):
+        from repro.ir import pointer
+
+        m, fn, b = fn_shell(params=(pointer(I32),))
+        b.load(fn.args[0], "unused")
+        b.ret()
+        assert dead_code_elimination(fn)
+        assert not any(i.opcode == "load" for i in fn.instructions())
+
+
+class TestConstantFold:
+    def test_arith_folds(self):
+        m, fn, b = fn_shell(ret=I32)
+        v = b.add(b.i32(2), b.i32(3), "v")
+        w = b.mul(v, b.i32(4), "w")
+        b.ret(w)
+        constant_fold(fn)
+        constant_fold(fn)
+        dead_code_elimination(fn)
+        ret = fn.entry.terminator
+        assert isinstance(ret.return_value, ConstantInt)
+        assert ret.return_value.value == 20
+
+    def test_compare_folds(self):
+        m, fn, b = fn_shell(ret=I1)
+        c = b.icmp("slt", b.i32(1), b.i32(2), "c")
+        b.ret(c)
+        constant_fold(fn)
+        assert fn.entry.terminator.return_value.value == 1
+
+    def test_division_by_zero_not_folded(self):
+        m, fn, b = fn_shell(ret=I32)
+        v = b.sdiv(b.i32(1), b.i32(0), "v")
+        b.ret(v)
+        constant_fold(fn)
+        # The trap must stay a runtime event.
+        assert any(i.opcode == "sdiv" for i in fn.instructions())
+
+    def test_constant_branch_rewritten(self):
+        m, fn, b = fn_shell()
+        taken = fn.add_block("taken")
+        dead = fn.add_block("dead")
+        b.condbr(const_int(I1, 1), taken, dead)
+        b.position_at_end(taken)
+        b.ret()
+        b.position_at_end(dead)
+        b.ret()
+        constant_fold(fn)
+        assert fn.entry.terminator.opcode == "br"
+        simplify_cfg(fn)
+        assert all(blk.name != "dead" for blk in fn.blocks)
+
+    def test_float_fold_uses_f32_rounding(self):
+        m, fn, b = fn_shell(ret=F32)
+        v = b.fadd(ConstantFloat(F32, 1e8), ConstantFloat(F32, 1.0), "v")
+        b.ret(v)
+        constant_fold(fn)
+        from repro.vm import round_f32
+
+        assert fn.entry.terminator.return_value.value == round_f32(1e8 + 1.0)
+
+
+class TestSimplifyCFG:
+    def test_unreachable_blocks_removed(self):
+        m, fn, b = fn_shell()
+        b.ret()
+        orphan = fn.add_block("orphan")
+        IRBuilder(orphan).ret()
+        assert simplify_cfg(fn)
+        assert len(fn.blocks) == 1
+
+    def test_phi_edges_from_dead_blocks_dropped(self):
+        m, fn, b = fn_shell(ret=I32)
+        merge = fn.add_block("merge")
+        orphan = fn.add_block("orphan")
+        b.br(merge)
+        ob = IRBuilder(orphan)
+        ob.br(merge)
+        mb = IRBuilder(merge)
+        phi = mb.phi(I32, "x")
+        phi.add_incoming(b.i32(1), fn.entry)
+        phi.add_incoming(b.i32(2), orphan)
+        mb.ret(phi)
+        simplify_cfg(fn)
+        verify_module(m)
+        assert Interpreter(m).run("f", [0]) == 1
+
+    def test_straightline_merge(self):
+        m, fn, b = fn_shell(ret=I32)
+        second = fn.add_block("second")
+        b.br(second)
+        sb = IRBuilder(second)
+        v = sb.add(fn.args[0], sb.i32(5), "v")
+        sb.ret(v)
+        assert simplify_cfg(fn)
+        assert len(fn.blocks) == 1
+        assert Interpreter(m).run("f", [10]) == 15
+
+    def test_merge_does_not_break_loops(self):
+        from tests.helpers import build_fig3_foo
+
+        m = build_fig3_foo()
+        fn = m.get_function("foo")
+        simplify_cfg(fn)
+        verify_module(m)
+        vm = Interpreter(m)
+        a = vm.memory.store_array(I32, np.arange(4, dtype=np.int32))
+        vm.run("foo", [a, 4, 1])
+
+
+class TestDefaultPipeline:
+    def test_verifies_all_workloads(self):
+        # compile() already runs the pipeline; re-running must be a fixpoint.
+        from repro.workloads import get_workload
+
+        w = get_workload("stencil")
+        module = w.compile("avx")
+        pm = default_pipeline()
+        pm.run(module)
+        verify_module(module)
+
+    def test_pipeline_preserves_semantics(self):
+        from repro.frontend.codegen import generate_module
+        from repro.frontend.parser import parse_source
+        from repro.frontend.sema import analyze
+        from repro.frontend.target import AVX
+        from repro.ir.types import I32 as I32t
+        from repro.passes import optimize
+
+        src = """
+        export void k(uniform int a[], uniform int n) {
+            foreach (i = 0 ... n) {
+                a[i] = a[i] * 3 + 1;
+            }
+        }
+        """
+        program = analyze(parse_source(src))
+        raw = generate_module(program, AVX)
+        opt = generate_module(analyze(parse_source(src)), AVX)
+        optimize(opt)
+        data = np.arange(-5, 14, dtype=np.int32)
+        outs = []
+        for mod in (raw, opt):
+            vm = Interpreter(mod)
+            pa = vm.memory.store_array(I32t, data)
+            vm.run("k", [pa, len(data)])
+            outs.append(vm.memory.load_array(I32t, pa, len(data)))
+        assert (outs[0] == outs[1]).all()
+        assert (outs[0] == data * 3 + 1).all()

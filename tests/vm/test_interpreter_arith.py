@@ -1,0 +1,254 @@
+"""Arithmetic/compare/cast semantics of the interpreter, scalar and vector."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArithmeticTrap
+from repro.ir import (
+    F32,
+    F64,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    vector,
+)
+from repro.vm import Interpreter, round_f32
+
+
+def eval_binop(op, ty, a, b):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(ty, (ty, ty)), ["a", "b"])
+    blk = fn.add_block("entry")
+    builder = IRBuilder(blk)
+    builder.ret(builder.binop(op, fn.args[0], fn.args[1]))
+    return Interpreter(m).run("f", [a, b])
+
+
+def eval_icmp(pred, ty, a, b):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I1, (ty, ty)), ["a", "b"])
+    blk = fn.add_block("entry")
+    builder = IRBuilder(blk)
+    builder.ret(builder.icmp(pred, fn.args[0], fn.args[1]))
+    return Interpreter(m).run("f", [a, b])
+
+
+def eval_fcmp(pred, a, b):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I1, (F32, F32)), ["a", "b"])
+    blk = fn.add_block("entry")
+    builder = IRBuilder(blk)
+    builder.ret(builder.fcmp(pred, fn.args[0], fn.args[1]))
+    return Interpreter(m).run("f", [a, b])
+
+
+def eval_cast(op, src, dst, v):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(dst, (src,)), ["v"])
+    blk = fn.add_block("entry")
+    builder = IRBuilder(blk)
+    builder.ret(builder.cast(op, fn.args[0], dst))
+    return Interpreter(m).run("f", [v])
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps(self):
+        assert eval_binop("add", I32, 2**31 - 1, 1) == -(2**31)
+
+    def test_sub_wraps(self):
+        assert eval_binop("sub", I32, -(2**31), 1) == 2**31 - 1
+
+    def test_mul_wraps(self):
+        assert eval_binop("mul", I32, 2**20, 2**20) == 0
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert eval_binop("sdiv", I32, 7, 2) == 3
+        assert eval_binop("sdiv", I32, -7, 2) == -3
+        assert eval_binop("sdiv", I32, 7, -2) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        assert eval_binop("srem", I32, 7, 3) == 1
+        assert eval_binop("srem", I32, -7, 3) == -1
+        assert eval_binop("srem", I32, 7, -3) == 1
+
+    def test_sdiv_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_binop("sdiv", I32, 1, 0)
+
+    def test_srem_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_binop("srem", I32, 1, 0)
+
+    def test_intmin_div_minus1_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_binop("sdiv", I32, -(2**31), -1)
+
+    def test_udiv_unsigned(self):
+        assert eval_binop("udiv", I32, -1, 2) == (2**32 - 1) // 2
+
+    def test_urem_unsigned(self):
+        assert eval_binop("urem", I32, -1, 10) == (2**32 - 1) % 10
+
+    def test_udiv_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_binop("udiv", I32, 1, 0)
+
+    def test_bitwise(self):
+        assert eval_binop("and", I32, 0b1100, 0b1010) == 0b1000
+        assert eval_binop("or", I32, 0b1100, 0b1010) == 0b1110
+        assert eval_binop("xor", I32, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert eval_binop("shl", I32, 1, 31) == -(2**31)
+        assert eval_binop("lshr", I32, -1, 28) == 0xF
+        assert eval_binop("ashr", I32, -16, 2) == -4
+
+    def test_shift_count_masked_x86(self):
+        # Shift counts wrap modulo the width, like x86.
+        assert eval_binop("shl", I32, 1, 33) == 2
+        assert eval_binop("ashr", I32, 8, 35) == 1
+
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    def test_add_matches_two_complement(self, a, b):
+        r = eval_binop("add", I32, a, b)
+        assert (r - (a + b)) % 2**32 == 0
+
+
+class TestFloatArithmetic:
+    def test_f32_rounding_applied(self):
+        # 1e8 + 1 is not representable in binary32.
+        assert eval_binop("fadd", F32, 1e8, 1.0) == round_f32(1e8 + 1.0)
+
+    def test_f64_not_rounded(self):
+        assert eval_binop("fadd", F64, 1e15, 1.0) == 1e15 + 1.0
+
+    def test_fdiv_by_zero_is_inf(self):
+        assert eval_binop("fdiv", F32, 1.0, 0.0) == math.inf
+        assert eval_binop("fdiv", F32, -1.0, 0.0) == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(eval_binop("fdiv", F32, 0.0, 0.0))
+
+    def test_inf_minus_inf_is_nan(self):
+        assert math.isnan(eval_binop("fsub", F32, math.inf, math.inf))
+
+    def test_overflow_to_inf(self):
+        assert eval_binop("fmul", F32, 1e38, 1e10) == math.inf
+
+    def test_frem(self):
+        assert eval_binop("frem", F32, 7.5, 2.0) == 1.5
+
+    @given(
+        st.floats(width=32, allow_nan=False, allow_infinity=False),
+        st.floats(width=32, allow_nan=False, allow_infinity=False),
+    )
+    def test_fadd_matches_numpy_f32(self, a, b):
+        import numpy as np
+
+        got = eval_binop("fadd", F32, a, b)
+        want = float(np.float32(a) + np.float32(b))
+        assert got == want or (math.isnan(got) and math.isnan(want))
+
+
+class TestCompares:
+    def test_signed_vs_unsigned(self):
+        assert eval_icmp("slt", I32, -1, 0) == 1
+        assert eval_icmp("ult", I32, -1, 0) == 0  # -1 is UINT_MAX
+
+    def test_eq_ne(self):
+        assert eval_icmp("eq", I32, 5, 5) == 1
+        assert eval_icmp("ne", I32, 5, 5) == 0
+
+    def test_ordered_fcmp_false_on_nan(self):
+        nan = float("nan")
+        for pred in ("oeq", "olt", "ole", "ogt", "oge"):
+            assert eval_fcmp(pred, nan, 1.0) == 0
+        assert eval_fcmp("one", nan, 1.0) == 0
+
+    def test_unordered_fcmp_true_on_nan(self):
+        nan = float("nan")
+        for pred in ("ueq", "ult", "une", "uge"):
+            assert eval_fcmp(pred, nan, 1.0) == 1
+
+    def test_ord_uno(self):
+        assert eval_fcmp("ord", 1.0, 2.0) == 1
+        assert eval_fcmp("uno", 1.0, float("nan")) == 1
+
+    def test_negative_zero_equals_zero(self):
+        assert eval_fcmp("oeq", -0.0, 0.0) == 1
+
+
+class TestCasts:
+    def test_zext_i1(self):
+        assert eval_cast("zext", I1, I32, 1) == 1
+
+    def test_sext_i1_gives_minus_one(self):
+        assert eval_cast("sext", I1, I32, 1) == -1
+        assert eval_cast("sext", I1, I32, 0) == 0
+
+    def test_sext_preserves_value(self):
+        assert eval_cast("sext", I8, I32, -5) == -5
+
+    def test_zext_uses_bit_pattern(self):
+        assert eval_cast("zext", I8, I32, -1) == 255
+
+    def test_trunc(self):
+        assert eval_cast("trunc", I32, I8, 0x1FF) == -1
+
+    def test_sitofp_rounds_to_f32(self):
+        assert eval_cast("sitofp", I32, F32, 2**24 + 1) == float(2**24)
+
+    def test_fptosi_truncates(self):
+        assert eval_cast("fptosi", F32, I32, -2.7) == -2
+
+    def test_fptosi_nan_gives_intmin(self):
+        assert eval_cast("fptosi", F32, I32, float("nan")) == -(2**31)
+
+    def test_bitcast_float_int(self):
+        assert eval_cast("bitcast", F32, I32, 1.0) == 0x3F800000
+        assert eval_cast("bitcast", I32, F32, 0x3F800000) == 1.0
+
+    def test_ptrtoint_inttoptr(self):
+        from repro.ir import pointer
+
+        assert eval_cast("ptrtoint", pointer(F32), I64, 0x1234) == 0x1234
+        assert eval_cast("inttoptr", I64, pointer(F32), 0x1234) == 0x1234
+
+    def test_fptrunc_fpext(self):
+        assert eval_cast("fptrunc", F64, F32, 0.1) == round_f32(0.1)
+        assert eval_cast("fpext", F32, F64, 1.5) == 1.5
+
+
+class TestVectorArithmetic:
+    def test_elementwise_binop(self):
+        t = vector(I32, 4)
+        assert eval_binop("add", t, [1, 2, 3, 4], [10, 20, 30, 40]) == [11, 22, 33, 44]
+
+    def test_vector_compare_gives_mask(self):
+        m = Module("t")
+        t = vector(I32, 4)
+        fn = m.add_function("f", FunctionType(vector(I1, 4), (t, t)), ["a", "b"])
+        blk = fn.add_block("entry")
+        b = IRBuilder(blk)
+        b.ret(b.icmp("slt", fn.args[0], fn.args[1]))
+        out = Interpreter(m).run("f", [[1, 5, 3, 0], [2, 2, 3, 1]])
+        assert out == [1, 0, 0, 1]
+
+    def test_vector_division_traps_on_any_lane(self):
+        t = vector(I32, 4)
+        with pytest.raises(ArithmeticTrap):
+            eval_binop("sdiv", t, [4, 4, 4, 4], [2, 0, 2, 2])
+
+    def test_vector_f32_rounding(self):
+        t = vector(F32, 2)
+        out = eval_binop("fadd", t, [1e8, 0.0], [1.0, 0.1])
+        assert out == [round_f32(1e8 + 1.0), round_f32(0.1)]

@@ -1,0 +1,199 @@
+"""Simulated memory: allocation, typed access, bounds checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.ir.types import F32, F64, I1, I8, I32, I64, pointer, vector
+from repro.vm.memory import GUARD_GAP, HEAP_BASE, Memory
+
+
+class TestAllocation:
+    def test_first_allocation_at_heap_base(self):
+        mem = Memory()
+        assert mem.alloc(16) == HEAP_BASE
+
+    def test_guard_gaps_between_allocations(self):
+        mem = Memory()
+        a = mem.alloc(16)
+        b = mem.alloc(16)
+        assert b >= a + 16 + GUARD_GAP
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().alloc(0)
+
+    def test_bytes_allocated_tracked(self):
+        mem = Memory()
+        mem.alloc(10)
+        mem.alloc(20)
+        assert mem.bytes_allocated == 30
+
+
+class TestBoundsChecking:
+    def test_null_deref_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_bytes(0, 4)
+
+    def test_low_memory_faults(self):
+        mem = Memory()
+        mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(HEAP_BASE - 4, 4)
+
+    def test_guard_gap_faults(self):
+        mem = Memory()
+        a = mem.alloc(16)
+        mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(a + 16, 4)
+
+    def test_straddling_end_faults(self):
+        mem = Memory()
+        a = mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(a + 14, 4)
+        mem.read_bytes(a + 12, 4)  # last word is fine
+
+    def test_wild_address_faults(self):
+        mem = Memory()
+        mem.alloc(16)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(1 << 40, 4)
+
+    def test_write_bounds_checked_too(self):
+        mem = Memory()
+        a = mem.alloc(8)
+        with pytest.raises(MemoryFault):
+            mem.write_bytes(a + 6, b"1234")
+
+    def test_flipped_low_bit_can_stay_mapped(self):
+        """Low-bit address flips may silently corrupt (SDC), not crash."""
+        mem = Memory()
+        a = mem.alloc_typed(I32, 16)
+        addr = a + 4
+        flipped = addr ^ (1 << 3)  # +/- 8 bytes: still inside
+        mem.read_scalar(I32, flipped)
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize(
+        "ty,value",
+        [
+            (I32, -123456),
+            (I32, 2**31 - 1),
+            (I64, -(2**62)),
+            (I8, -5),
+            (I1, 1),
+            (F32, 1.5),
+            (F64, -2.5e300),
+        ],
+    )
+    def test_scalar_round_trip(self, ty, value):
+        mem = Memory()
+        a = mem.alloc_typed(ty)
+        mem.write_scalar(ty, a, value)
+        assert mem.read_scalar(ty, a) == value
+
+    def test_pointer_round_trip(self):
+        mem = Memory()
+        pty = pointer(F32)
+        a = mem.alloc_typed(pty)
+        mem.write_scalar(pty, a, 0xDEADBEEF)
+        assert mem.read_scalar(pty, a) == 0xDEADBEEF
+
+    def test_f32_storage_rounds(self):
+        mem = Memory()
+        a = mem.alloc_typed(F32)
+        mem.write_scalar(F32, a, 0.1)  # not representable
+        assert mem.read_scalar(F32, a) == np.float32(0.1)
+
+    def test_vector_round_trip(self):
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc_typed(vty)
+        values = [float(i) * 0.5 for i in range(8)]
+        mem.write_vector(vty, a, values)
+        assert mem.read_vector(vty, a) == values
+
+    def test_read_write_value_dispatch(self):
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc_typed(vty)
+        mem.write_value(vty, a, [1, 2, 3, 4])
+        assert mem.read_value(vty, a) == [1, 2, 3, 4]
+        b = mem.alloc_typed(I32)
+        mem.write_value(I32, b, 9)
+        assert mem.read_value(I32, b) == 9
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=32))
+    def test_little_endian_layout(self, values):
+        """i32 arrays are byte-compatible with numpy int32 little-endian."""
+        mem = Memory()
+        a = mem.store_array(I32, np.array(values, dtype=np.int32))
+        raw = mem.read_bytes(a, 4 * len(values))
+        assert np.frombuffer(raw, dtype="<i4").tolist() == values
+
+
+class TestNumpyBridge:
+    def test_store_and_load_f32(self):
+        mem = Memory()
+        data = np.linspace(0, 1, 17, dtype=np.float32)
+        a = mem.store_array(F32, data)
+        out = mem.load_array(F32, a, 17)
+        assert (out == data).all()
+        assert out.dtype == np.float32
+
+    def test_store_and_load_i32(self):
+        mem = Memory()
+        data = np.arange(-5, 10, dtype=np.int32)
+        a = mem.store_array(I32, data)
+        assert (mem.load_array(I32, a, len(data)) == data).all()
+
+    def test_load_array_is_a_copy(self):
+        mem = Memory()
+        a = mem.store_array(I32, np.zeros(4, dtype=np.int32))
+        out = mem.load_array(I32, a, 4)
+        out[0] = 99
+        assert mem.read_scalar(I32, a) == 0
+
+    def test_store_casts_dtype(self):
+        mem = Memory()
+        a = mem.store_array(F32, np.array([1.0, 2.0]))  # float64 input
+        assert mem.read_scalar(F32, a) == 1.0
+
+
+class TestStrictAlignment:
+    def test_aligned_access_ok(self):
+        from repro.ir.types import F32 as F32t
+
+        mem = Memory(strict_alignment=True)
+        a = mem.alloc_typed(F32t, 4)
+        mem.write_scalar(F32t, a, 1.0)
+        assert mem.read_scalar(F32t, a) == 1.0
+
+    def test_misaligned_access_faults(self):
+        from repro.errors import AlignmentFault
+        from repro.ir.types import F32 as F32t
+
+        mem = Memory(strict_alignment=True)
+        a = mem.alloc_typed(F32t, 4)
+        with pytest.raises(AlignmentFault):
+            mem.read_scalar(F32t, a + 1)
+        with pytest.raises(AlignmentFault):
+            mem.write_scalar(F32t, a + 2, 1.0)
+
+    def test_byte_access_never_misaligned(self):
+        mem = Memory(strict_alignment=True)
+        a = mem.alloc_typed(I8, 4)
+        mem.write_scalar(I8, a + 3, 7)
+        assert mem.read_scalar(I8, a + 3) == 7
+
+    def test_default_is_permissive(self):
+        from repro.ir.types import F32 as F32t
+
+        mem = Memory()
+        a = mem.alloc(16)
+        mem.write_scalar(F32t, a + 1, 2.0)  # unaligned, x86-style OK
+        assert mem.read_scalar(F32t, a + 1) == 2.0

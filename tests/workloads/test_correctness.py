@@ -1,0 +1,241 @@
+"""Workload output correctness against independent NumPy/SciPy references."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.vm import Interpreter
+from repro.workloads import get_workload
+
+
+def run_workload(name, target="avx", seed=0):
+    w = get_workload(name)
+    runner = w.reference_runner(seed)
+    vm = Interpreter(w.compile(target))
+    return runner(vm), w
+
+
+class TestMicroBenchmarks:
+    def test_vcopy_is_identity(self):
+        out, w = run_workload("vcopy")
+        # Reconstruct the input from the workload's own sampler.
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        data = np.random.default_rng(params["seed"]).integers(
+            -1000, 1000, params["n"]
+        ).astype(np.int32)
+        assert (out["a2"] == data).all()
+
+    def test_dot_product_matches_numpy(self):
+        out, w = run_workload("dot_product")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        rng = np.random.default_rng(params["seed"])
+        a = rng.uniform(-1, 1, params["n"]).astype(np.float32)
+        b = rng.uniform(-1, 1, params["n"]).astype(np.float32)
+        assert abs(out["dot"] - float(np.dot(a.astype(np.float64), b))) < 1e-3
+
+    def test_vector_sum_matches_numpy(self):
+        out, w = run_workload("vector_sum")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        a = np.random.default_rng(params["seed"]).uniform(
+            -1, 1, params["n"]
+        ).astype(np.float32)
+        assert abs(out["sum"] - float(a.sum(dtype=np.float64))) < 1e-3
+
+
+class TestSorting:
+    @pytest.mark.parametrize("target", ["avx", "sse"])
+    def test_output_is_sorted_permutation(self, target):
+        out, w = run_workload("sorting", target)
+        result = out["sorted"]
+        assert (np.diff(result) >= 0).all()
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        data = np.random.default_rng(params["seed"]).integers(
+            0, 500, params["n"]
+        ).astype(np.int32)
+        assert sorted(result.tolist()) == sorted(data.tolist())
+        assert (result == np.sort(data)).all()
+
+
+class TestBlackscholes:
+    def test_matches_closed_form(self):
+        out, w = run_workload("blackscholes")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        rng = np.random.default_rng(params["seed"])
+        n = params["n"]
+        s = rng.uniform(20.0, 120.0, n).astype(np.float32)
+        k = rng.uniform(20.0, 120.0, n).astype(np.float32)
+        t = rng.uniform(0.1, 2.0, n).astype(np.float32)
+        r, v = 0.05, 0.2
+        d1 = (np.log(s / k) + (r + v * v / 2) * t) / (v * np.sqrt(t))
+        d2 = d1 - v * np.sqrt(t)
+        ref = s * sps.norm.cdf(d1) - k * np.exp(-r * t) * sps.norm.cdf(d2)
+        # The Abramowitz-Stegun polynomial is accurate to ~1e-4 in f32.
+        assert np.allclose(out["prices"], ref, atol=5e-2, rtol=1e-3)
+
+
+class TestLinearAlgebra:
+    def test_cg_solves_the_system(self):
+        out, w = run_workload("cg")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        n = params["n"]
+        rng = np.random.default_rng(params["seed"])
+        m = rng.uniform(-1.0, 1.0, (n, n))
+        a = (m.T @ m + n * np.eye(n)).astype(np.float32).astype(np.float64)
+        b = rng.uniform(-1.0, 1.0, n).astype(np.float32).astype(np.float64)
+        ref = np.linalg.solve(a, b)
+        assert np.allclose(out["x"], ref, atol=1e-3, rtol=1e-2)
+
+    def test_jacobi_matches_numpy_sweeps(self):
+        out, w = run_workload("jacobi")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        rows, cols = params["rows"], params["cols"]
+        rng = np.random.default_rng(params["seed"])
+        u = np.zeros((rows, cols), dtype=np.float32)
+        u[0, :] = 1.0
+        f = rng.uniform(0.0, 0.1, (rows, cols)).astype(np.float32)
+        buf = [u.copy(), u.copy()]
+        for t in range(4):
+            src, dst = buf[t % 2], buf[(t + 1) % 2]
+            nxt = src.copy()
+            nxt[1:-1, 1:-1] = 0.25 * (
+                src[1:-1, :-2] + src[1:-1, 2:] + src[:-2, 1:-1] + src[2:, 1:-1]
+                + f[1:-1, 1:-1]
+            )
+            buf[(t + 1) % 2] = nxt
+            buf[t % 2] = src
+        # Compare the grid that received the final sweep.
+        final = buf[0] if 4 % 2 == 0 else buf[1]
+        got = out["u"].reshape(rows, cols)
+        assert np.allclose(got, final, atol=1e-4)
+
+    def test_jacobi_residual_decreases(self):
+        out, _ = run_workload("jacobi")
+        resid = out["resid"]
+        assert resid[-1] <= resid[0]
+
+
+class TestStencil:
+    def test_matches_numpy_reference(self):
+        out, w = run_workload("stencil")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        rows, cols = params["rows"], params["cols"]
+        rng = np.random.default_rng(params["seed"])
+        grid = rng.uniform(0.0, 1.0, (rows, cols)).astype(np.float32)
+        a, b = grid.copy(), grid.copy()
+        for t in range(2):
+            src, dst = (a, b) if t % 2 == 0 else (b, a)
+            dst[1:-1, 1:-1] = (
+                0.2
+                * (
+                    src[1:-1, 1:-1]
+                    + src[1:-1, :-2]
+                    + src[1:-1, 2:]
+                    + src[:-2, 1:-1]
+                    + src[2:, 1:-1]
+                )
+            ).astype(np.float32)
+        assert np.allclose(out["b"].reshape(rows, cols), b, atol=1e-5)
+
+
+class TestRaytracing:
+    def test_image_shading_properties(self):
+        out, _ = run_workload("raytracing")
+        img = out["img"]
+        assert (img >= 0).all() and (img <= 1.0 + 1e-6).all()
+        assert img.max() > 0, "no sphere was hit"
+        assert (img == 0).any(), "background pixels must miss"
+
+    def test_scene_changes_image(self):
+        w = get_workload("raytracing")
+        images = {}
+        for scene in ("sponza", "teapot", "cornell"):
+            runner = w.make_runner({"scene": scene})
+            vm = Interpreter(w.compile("avx"))
+            images[scene] = runner(vm)["img"]
+        assert not np.array_equal(images["sponza"], images["teapot"])
+        assert not np.array_equal(images["teapot"], images["cornell"])
+
+
+class TestPhysics:
+    def test_fluidanimate_stays_above_ground(self):
+        out, _ = run_workload("fluidanimate")
+        assert (out["py"] >= 0).all()
+        assert np.isfinite(out["px"]).all()
+        assert (out["density"] > 0).all()  # self-contribution is positive
+
+    def test_swaptions_prices_nonnegative_and_finite(self):
+        out, _ = run_workload("swaptions")
+        assert (out["prices"] >= 0).all()
+        assert np.isfinite(out["prices"]).all()
+
+    def test_swaptions_matches_numpy_reference(self):
+        w = get_workload("swaptions")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        out = w.make_runner(params)(Interpreter(w.compile("avx")))
+        nswap, nsims, nsteps = params["nswaptions"], params["nsims"], 6
+        rng = np.random.default_rng(params["seed"])
+        shocks = rng.standard_normal(nswap * nsteps * nsims).astype(np.float32)
+        strikes = rng.uniform(0.03, 0.07, nswap).astype(np.float32)
+        z = shocks.reshape(nswap, nsteps, nsims)
+        r0, vol, dt = 0.05, 0.2, 0.1
+        sqrtdt = np.sqrt(np.float32(dt))
+        ref = []
+        for s in range(nswap):
+            rate = np.full(nsims, r0)
+            disc = np.zeros(nsims)
+            for t in range(nsteps):
+                rate = rate + vol * sqrtdt * z[s, t]
+                rate = np.maximum(rate, 0.0)
+                disc = disc + rate * dt
+            payoff = np.maximum(rate - strikes[s], 0.0)
+            ref.append(float(np.mean(np.exp(-disc) * payoff)))
+        assert np.allclose(out["prices"], ref, atol=1e-4)
+
+
+class TestChebyshev:
+    def test_expansion_approximates_exp(self):
+        out, w = run_workload("chebyshev")
+        from random import Random
+
+        params = w.sample_input(Random(0))
+        rng = np.random.default_rng(params["seed"])
+        xs = rng.uniform(-1.0, 1.0, 27).astype(np.float32)
+        # A degree>=9 Chebyshev expansion of exp is accurate to float32 eps.
+        assert np.allclose(out["y"], np.exp(xs), atol=1e-3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("target", ["avx", "sse"])
+    def test_every_workload_runs_deterministically(self, target):
+        from repro.workloads import all_workloads
+
+        for w in all_workloads():
+            runner = w.reference_runner(7)
+            outs = []
+            for _ in range(2):
+                vm = Interpreter(w.compile(target))
+                outs.append(runner(vm))
+            for key in outs[0]:
+                a, b = outs[0][key], outs[1][key]
+                if isinstance(a, np.ndarray):
+                    assert np.array_equal(a, b, equal_nan=True), (w.name, key)
+                else:
+                    assert a == b, (w.name, key)

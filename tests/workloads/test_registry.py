@@ -1,0 +1,91 @@
+"""Workload registry invariants."""
+
+from random import Random
+
+import pytest
+
+from repro.workloads import (
+    Workload,
+    all_workloads,
+    benchmark_workloads,
+    get_workload,
+    micro_workloads,
+)
+
+
+class TestRegistry:
+    def test_nine_benchmarks_in_paper_order(self):
+        names = [w.name for w in benchmark_workloads()]
+        assert names == [
+            "fluidanimate",
+            "swaptions",
+            "blackscholes",
+            "sorting",
+            "stencil",
+            "raytracing",
+            "chebyshev",
+            "jacobi",
+            "cg",
+        ]
+
+    def test_three_micro_benchmarks(self):
+        assert [w.name for w in micro_workloads()] == [
+            "vcopy",
+            "dot_product",
+            "vector_sum",
+        ]
+
+    def test_suites_match_table1(self):
+        suites = {w.name: w.suite for w in benchmark_workloads()}
+        assert suites["fluidanimate"] == "Parvec"
+        assert suites["swaptions"] == "Parvec"
+        assert suites["blackscholes"] == "ISPC"
+        assert suites["chebyshev"] == "SCL"
+        assert suites["jacobi"] == "SCL"
+        assert suites["cg"] == "SCL"
+
+    def test_languages_match_table1(self):
+        langs = {w.name: w.language for w in benchmark_workloads()}
+        assert langs["fluidanimate"] == "C++"
+        assert langs["swaptions"] == "C++"
+        assert all(
+            langs[n] == "ISPC"
+            for n in ("blackscholes", "sorting", "stencil", "raytracing")
+        )
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("pacman")
+
+    def test_module_cache_by_target_and_flags(self):
+        w = get_workload("vcopy")
+        m1 = w.compile("avx")
+        m2 = w.compile("avx")
+        m3 = w.compile("sse")
+        m4 = w.compile("avx", foreach_detectors=True)
+        assert m1 is m2
+        assert m1 is not m3
+        assert m1 is not m4
+
+    def test_sampling_stays_inside_input_space(self):
+        rng = Random(0)
+        for w in all_workloads():
+            for _ in range(5):
+                params = w.sample_input(rng)
+                assert isinstance(params, dict) and params
+
+    def test_input_summaries_present(self):
+        for w in all_workloads():
+            assert w.input_summary
+
+    def test_every_workload_has_entry_in_module(self):
+        for w in all_workloads():
+            m = w.compile("avx")
+            assert not m.get_function(w.entry).is_declaration
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads.registry import register
+
+        w = get_workload("vcopy")
+        with pytest.raises(ValueError):
+            register(w)
