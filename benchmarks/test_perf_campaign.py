@@ -1,0 +1,41 @@
+"""Campaign-throughput regression benchmark.
+
+Times the fixed seeded mini-campaign from :mod:`repro.experiments.perf`
+(vector_sum, seed 7, 4x50 experiments, unique- and pooled-input regimes)
+and writes ``BENCH_campaign.json`` next to the repo root: the pre-
+optimization baselines frozen in ``perf.BASELINE`` plus this run's numbers
+and speedups, so throughput history lives in-tree.
+
+Marked ``slow`` and excluded from tier-1 (``testpaths = ["tests"]``); run
+with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_campaign.py -m slow
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.perf import EXPECTED_TOTALS, bench_results
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.slow
+def test_campaign_throughput():
+    results = bench_results()
+    out = _REPO_ROOT / "BENCH_campaign.json"
+    out.write_text(json.dumps(results, indent=2, default=list) + "\n")
+
+    for regime, cell in results["regimes"].items():
+        # Outcome counts are the correctness half of the contract: a faster
+        # engine that drifts from the seed-commit numbers is a bug.
+        assert tuple(cell["totals"]) == EXPECTED_TOTALS[regime], (
+            f"{regime}: totals {cell['totals']} != frozen "
+            f"{EXPECTED_TOTALS[regime]}"
+        )
+        assert cell["speedup"] >= 3.0, (
+            f"{regime}: {cell['speedup']:.2f}x over the {cell['baseline_seconds']}s "
+            f"baseline is below the 3x floor (took {cell['seconds']:.3f}s)"
+        )

@@ -6,9 +6,16 @@ mask-aware per-lane instrumentation (§II-D), the two-execution injection
 strategy, outcome classification, and campaign statistics (§IV).
 """
 
-from .campaign import CampaignConfig, CampaignStats, CampaignSummary, run_campaigns
+from .campaign import (
+    CampaignConfig,
+    CampaignStats,
+    CampaignSummary,
+    run_batch,
+    run_campaigns,
+)
 from .classify import ADDRESS, CONTROL, PURE_DATA, classify_instruction
-from .injector import FaultInjector, GoldenRun, clone_module
+from .injector import FaultInjector, GoldenCache, GoldenRun, clone_module
+from .parallel import ExperimentPool, ScheduledExperiment, WorkerContext
 from .instrument import Instrumentor, instrument_module
 from .outcomes import ExperimentResult, Outcome, outputs_equal, values_equal
 from .runtime import (
@@ -33,7 +40,12 @@ __all__ = [
     "CampaignConfig",
     "CampaignStats",
     "CampaignSummary",
+    "run_batch",
     "run_campaigns",
+    "GoldenCache",
+    "ExperimentPool",
+    "ScheduledExperiment",
+    "WorkerContext",
     "ADDRESS",
     "CONTROL",
     "PURE_DATA",

@@ -9,10 +9,16 @@ or until ``max_campaigns``.
 
 Each experiment draws a program input at random from the workload's
 predefined input space (§IV-B) via the caller-supplied ``runner_factory``.
+
+With ``jobs > 1`` and a :class:`~repro.core.parallel.WorkerContext`, the
+faulty runs fan out over a worker pool while the parent pre-draws the
+schedule with the same ``Random(seed)`` stream — results are bit-identical
+to serial execution at any job count.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable
@@ -20,6 +26,7 @@ from typing import Callable
 from ..analysis.stats import RateEstimate, estimate_rate, is_near_normal, margin_of_error
 from .injector import BindingsFactory, FaultInjector, Runner
 from .outcomes import ExperimentResult, Outcome
+from .parallel import ExperimentPool, WorkerContext, make_schedule_entry
 
 
 @dataclass
@@ -41,7 +48,7 @@ class CampaignStats:
     crash: int = 0
     detected_sdc: int = 0
     detected_total: int = 0
-    crash_kinds: dict = field(default_factory=dict)
+    crash_kinds: Counter = field(default_factory=Counter)
 
     @property
     def total(self) -> int:
@@ -56,10 +63,23 @@ class CampaignStats:
             self.benign += 1
         else:
             self.crash += 1
-            kind = result.crash_kind or "unknown"
-            self.crash_kinds[kind] = self.crash_kinds.get(kind, 0) + 1
+            self.crash_kinds[result.crash_kind or "unknown"] += 1
         if result.detected:
             self.detected_total += 1
+
+    def merge(self, other: "CampaignStats") -> "CampaignStats":
+        """Fold another stats block into this one (returns self).
+
+        This is how per-worker / per-campaign partial counts combine into
+        totals without replaying results.
+        """
+        self.sdc += other.sdc
+        self.benign += other.benign
+        self.crash += other.crash
+        self.detected_sdc += other.detected_sdc
+        self.detected_total += other.detected_total
+        self.crash_kinds.update(other.crash_kinds)
+        return self
 
     def rate(self, what: str) -> float:
         if self.total == 0:
@@ -91,17 +111,82 @@ class CampaignSummary:
         return len(self.campaigns)
 
 
+def _campaign_results_serial(
+    injector: FaultInjector,
+    runner_factory: Callable[[Random], Runner],
+    count: int,
+    rng: Random,
+    bindings_factory: BindingsFactory | None,
+):
+    for _ in range(count):
+        runner = runner_factory(rng)
+        yield injector.experiment(runner, rng, bindings_factory=bindings_factory)
+
+
+def _campaign_results_parallel(
+    injector: FaultInjector,
+    runner_factory: Callable[[Random], Runner],
+    count: int,
+    rng: Random,
+    bindings_factory: BindingsFactory | None,
+    pool: ExperimentPool,
+):
+    def schedule():
+        for _ in range(count):
+            runner = runner_factory(rng)
+            yield make_schedule_entry(injector, runner, rng, bindings_factory)
+
+    # imap keeps the parent drawing goldens while workers run faulty halves,
+    # and returns results in schedule order — determinism needs the order,
+    # not the timing.
+    yield from pool.imap(schedule())
+
+
+def run_batch(
+    injector: FaultInjector,
+    runner_factory: Callable[[Random], Runner],
+    count: int,
+    rng: Random,
+    bindings_factory: BindingsFactory | None = None,
+    jobs: int = 1,
+    worker_context: WorkerContext | None = None,
+) -> CampaignStats:
+    """Run ``count`` experiments into one :class:`CampaignStats` block.
+
+    The flat (no convergence loop) driver used by the Fig. 12 detector
+    study; honors the same serial/parallel split as :func:`run_campaigns`.
+    """
+    stats = CampaignStats()
+    if jobs > 1 and worker_context is not None:
+        with ExperimentPool(jobs, worker_context) as pool:
+            for result in _campaign_results_parallel(
+                injector, runner_factory, count, rng, bindings_factory, pool
+            ):
+                stats.add(result)
+            pool.close()
+    else:
+        for result in _campaign_results_serial(
+            injector, runner_factory, count, rng, bindings_factory
+        ):
+            stats.add(result)
+    return stats
+
+
 def run_campaigns(
     injector: FaultInjector,
     runner_factory: Callable[[Random], Runner],
     config: CampaignConfig | None = None,
     seed: int = 0,
     bindings_factory: BindingsFactory | None = None,
+    jobs: int = 1,
+    worker_context: WorkerContext | None = None,
 ) -> CampaignSummary:
     """Run fault-injection campaigns to statistical convergence.
 
     ``runner_factory(rng)`` must return a *deterministic* runner for a
-    randomly drawn input (the rng is only used for the draw).
+    randomly drawn input (the rng is only used for the draw).  With
+    ``jobs > 1`` a ``worker_context`` is required; the summary is then
+    bit-identical to ``jobs=1`` with the same seed.
     """
     config = config or CampaignConfig()
     rng = Random(seed)
@@ -110,24 +195,50 @@ def run_campaigns(
     sdc_samples: list[float] = []
     converged = False
 
-    while len(campaigns) < config.max_campaigns:
-        stats = CampaignStats()
-        for _ in range(config.experiments_per_campaign):
-            runner = runner_factory(rng)
-            result = injector.experiment(
-                runner, rng, bindings_factory=bindings_factory
+    pool: ExperimentPool | None = None
+    if jobs > 1:
+        if worker_context is None:
+            raise ValueError(
+                "run_campaigns(jobs>1) needs a worker_context; build one via "
+                "experiments.common.campaign_worker_context or core.parallel"
             )
-            stats.add(result)
-            totals.add(result)
-        campaigns.append(stats)
-        sdc_samples.append(stats.rate("sdc"))
+        pool = ExperimentPool(jobs, worker_context)
 
-        if len(campaigns) >= config.min_campaigns:
-            moe_ok = margin_of_error(sdc_samples, config.confidence) <= config.margin_target
-            normal_ok = (not config.require_normality) or is_near_normal(sdc_samples)
-            if moe_ok and normal_ok:
-                converged = True
-                break
+    try:
+        while len(campaigns) < config.max_campaigns:
+            stats = CampaignStats()
+            if pool is not None:
+                results = _campaign_results_parallel(
+                    injector,
+                    runner_factory,
+                    config.experiments_per_campaign,
+                    rng,
+                    bindings_factory,
+                    pool,
+                )
+            else:
+                results = _campaign_results_serial(
+                    injector,
+                    runner_factory,
+                    config.experiments_per_campaign,
+                    rng,
+                    bindings_factory,
+                )
+            for result in results:
+                stats.add(result)
+            totals.merge(stats)
+            campaigns.append(stats)
+            sdc_samples.append(stats.rate("sdc"))
+
+            if len(campaigns) >= config.min_campaigns:
+                moe_ok = margin_of_error(sdc_samples, config.confidence) <= config.margin_target
+                normal_ok = (not config.require_normality) or is_near_normal(sdc_samples)
+                if moe_ok and normal_ok:
+                    converged = True
+                    break
+    finally:
+        if pool is not None:
+            pool.close()
 
     benign_samples = [c.rate("benign") for c in campaigns]
     crash_samples = [c.rate("crash") for c in campaigns]

@@ -21,9 +21,10 @@ injection state lives in the per-run :class:`~repro.core.runtime.FaultRuntime`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from random import Random
-from typing import Callable
+from typing import Callable, Hashable
 
 from ..errors import InjectionError, VMTrap
 from ..ir.clone import clone_module
@@ -50,6 +51,53 @@ class GoldenRun:
     dynamic_sites: int
     dynamic_instructions: int
     detector_fired: bool
+    #: Per-dynamic-site API bit widths (``site_widths[k-1]`` is site ``k``'s
+    #: width), recorded by the count run.  Lets the campaign driver pre-draw
+    #: the injected bit without executing the faulty run.  ``None`` on
+    #: hand-built GoldenRun objects; the engine then falls back to the lazy
+    #: in-run draw (which consumes the identical RNG value).
+    site_widths: bytes | None = None
+
+
+class GoldenCache:
+    """Input-keyed memo of golden runs (bounded LRU).
+
+    The paper's protocol pays a full golden execution per experiment; with a
+    predefined input space (§IV-B) the golden output and dynamic-site count
+    for one input never change per injector, so each distinct ``input_key``
+    is executed once and replayed from here afterwards.  Goldens observed
+    with a fired detector are never stored (see
+    :meth:`FaultInjector.cached_golden`).
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, GoldenRun] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> GoldenRun | None:
+        golden = self._entries.get(key)
+        if golden is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return golden
+
+    def put(self, key: Hashable, golden: GoldenRun) -> None:
+        self._entries[key] = golden
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 class FaultInjector:
@@ -63,10 +111,17 @@ class FaultInjector:
         step_limit: int = DEFAULT_STEP_LIMIT,
         clone: bool = True,
         respect_masks: bool = True,
+        golden_cache_size: int = 1024,
     ):
         self.category = category
+        self.functions = functions
         self.step_limit = step_limit
         self.respect_masks = respect_masks
+        #: The caller's pristine module — what a parallel worker needs to
+        #: rebuild this injector (instrumentation is deterministic, so the
+        #: rebuilt engine enumerates identical site ids).
+        self.source_module = module
+        self._cloned = clone
         self.module = clone_module(module) if clone else module
         all_sites = enumerate_module_sites(self.module, functions)
         self.sites: list[StaticSite] = filter_sites(all_sites, category)
@@ -76,6 +131,23 @@ class FaultInjector:
             )
         instrument_module(self.module, self.sites, respect_masks=respect_masks)
         self._site_by_id = {s.site_id: s for s in self.sites}
+        self.golden_cache = GoldenCache(maxsize=golden_cache_size)
+
+    def worker_payload(self) -> dict:
+        """Constructor kwargs for rebuilding this injector in a worker."""
+        if not self._cloned:
+            raise InjectionError(
+                "parallel workers need an injector built with clone=True "
+                "(clone=False instruments the caller's module in place, so "
+                "no pristine copy exists to ship)"
+            )
+        return {
+            "module": self.source_module,
+            "category": self.category,
+            "functions": self.functions,
+            "step_limit": self.step_limit,
+            "respect_masks": self.respect_masks,
+        }
 
     # -- execution ------------------------------------------------------------
 
@@ -103,7 +175,30 @@ class FaultInjector:
             dynamic_sites=rt.dynamic_count,
             dynamic_instructions=vm.stats.total,
             detector_fired=fired(),
+            site_widths=bytes(rt.site_widths),
         )
+
+    def cached_golden(
+        self, runner: Runner, bindings_factory: BindingsFactory | None = None
+    ) -> GoldenRun:
+        """The golden run for ``runner``, memoized by ``runner.input_key``.
+
+        Runners without a stable ``input_key`` attribute (or with one of
+        ``None``) always execute — the cache only ever serves inputs it can
+        identify.  A golden during which a detector fired is returned but
+        never stored: it signals broken invariants and must keep failing
+        loudly on every experiment, not be masked by a stale cache entry.
+        """
+        key = getattr(runner, "input_key", None)
+        if key is None:
+            return self.golden(runner, bindings_factory)
+        cached = self.golden_cache.get(key)
+        if cached is not None:
+            return cached
+        golden = self.golden(runner, bindings_factory)
+        if not golden.detector_fired:
+            self.golden_cache.put(key, golden)
+        return golden
 
     def experiment(
         self,
@@ -115,11 +210,12 @@ class FaultInjector:
         """Run one complete fault-injection experiment.
 
         ``golden`` may be passed in when the caller reuses one input for
-        many experiments (the detector study does); otherwise the golden
-        run is performed here, as in the paper's two-execution protocol.
+        many experiments (the detector study does); otherwise it comes from
+        the input-keyed golden cache — the paper's two-execution protocol
+        with the first execution amortized across same-input experiments.
         """
         if golden is None:
-            golden = self.golden(runner, bindings_factory)
+            golden = self.cached_golden(runner, bindings_factory)
         if golden.detector_fired:
             raise InjectionError(
                 "detector fired during the golden run: the invariants are "
@@ -132,8 +228,38 @@ class FaultInjector:
                 f"{self.category!r}"
             )
         k = rng.randint(1, n)
+        widths = golden.site_widths
+        if widths is not None and len(widths) >= n:
+            # Pre-draw the bit from the count run's recorded site width:
+            # the same value, from the same RNG-stream position, as the
+            # lazy draw the faulty run would have made at site k.
+            return self.faulty(
+                runner, golden, k, bit=rng.randrange(widths[k - 1]),
+                bindings_factory=bindings_factory,
+            )
+        return self.faulty(
+            runner, golden, k, rng=rng, bindings_factory=bindings_factory
+        )
 
-        rt = FaultRuntime(MODE_INJECT, target_index=k, rng=rng)
+    def faulty(
+        self,
+        runner: Runner,
+        golden: GoldenRun,
+        k: int,
+        bit: int | None = None,
+        rng: Random | None = None,
+        bindings_factory: BindingsFactory | None = None,
+    ) -> ExperimentResult:
+        """Run and classify the faulty half of one experiment.
+
+        Flips ``bit`` (or an rng-drawn bit) of dynamic site ``k`` and
+        classifies the outcome against ``golden``.  This is the unit of work
+        a parallel campaign ships to workers: the schedule ``(input, k,
+        bit)`` is drawn in the parent, so results are bit-identical to
+        serial execution at any worker count.
+        """
+        n = golden.dynamic_sites
+        rt = FaultRuntime(MODE_INJECT, target_index=k, rng=rng, bit=bit)
         vm, fired = self._prepare_vm(rt, bindings_factory)
         try:
             output = runner(vm)

@@ -1,0 +1,163 @@
+"""Deterministic parallel experiment execution.
+
+The paper's experiments are embarrassingly parallel — every injection is an
+independent (input, site ``k``, bit) triple — but naive fan-out would give
+each worker its own RNG and change the published numbers.  Here the *parent*
+pre-draws the complete schedule with the one campaign ``Random(seed)``
+stream (input draw, then ``k ~ U{1..N}``, then the bit from the golden run's
+recorded site width — exactly the serial draw order), and workers only
+execute the faulty halves.  Results come back in schedule order, so a
+campaign summary is bit-identical to serial execution at any ``--jobs``.
+
+Workers are initialized once per process with a :class:`WorkerContext`: the
+pristine module travels pickled, and each worker rebuilds its own
+:class:`~repro.core.injector.FaultInjector` from it (instrumentation is
+deterministic, so site ids agree with the parent's).  Golden runs stay in
+the parent where the input-keyed cache lives; with ``Pool.imap`` over a lazy
+schedule generator they overlap with worker faulty runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .injector import BindingsFactory, FaultInjector, GoldenRun, Runner
+from .outcomes import ExperimentResult
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker process needs; must be picklable.
+
+    ``bindings_factory_maker`` is called once per worker to produce the
+    per-run bindings factory (the factory itself is usually a closure, so
+    the picklable *maker* — e.g. ``functools.partial(
+    detector_bindings_factory, halt_on_detection=False)`` — travels
+    instead).
+    """
+
+    injector: dict = field(repr=False)  # FaultInjector kwargs incl. module
+    make_runner: Callable[[dict], Runner]
+    bindings_factory_maker: Callable[[], BindingsFactory] | None = None
+
+
+@dataclass
+class ScheduledExperiment:
+    """One pre-drawn experiment: rebuild the runner, flip, classify."""
+
+    params: dict
+    k: int
+    bit: int
+    golden_output: dict
+    dynamic_sites: int
+    golden_dynamic_instructions: int
+
+
+_worker_injector: FaultInjector | None = None
+_worker_context: WorkerContext | None = None
+_worker_bindings_factory: BindingsFactory | None = None
+
+
+def _init_worker(context: WorkerContext) -> None:
+    global _worker_injector, _worker_context, _worker_bindings_factory
+    _worker_context = context
+    _worker_injector = FaultInjector(**context.injector)
+    _worker_bindings_factory = (
+        context.bindings_factory_maker()
+        if context.bindings_factory_maker is not None
+        else None
+    )
+
+
+def _run_scheduled(task: ScheduledExperiment) -> ExperimentResult:
+    assert _worker_injector is not None and _worker_context is not None
+    runner = _worker_context.make_runner(task.params)
+    golden = GoldenRun(
+        output=task.golden_output,
+        dynamic_sites=task.dynamic_sites,
+        dynamic_instructions=task.golden_dynamic_instructions,
+        detector_fired=False,
+    )
+    return _worker_injector.faulty(
+        runner,
+        golden,
+        task.k,
+        bit=task.bit,
+        bindings_factory=_worker_bindings_factory,
+    )
+
+
+class ExperimentPool:
+    """A worker pool executing pre-drawn schedules in order.
+
+    Thin wrapper over ``multiprocessing.Pool`` so campaign code reads as
+    "map the schedule"; ``imap`` keeps the parent producing goldens while
+    workers chew on faulty runs.
+    """
+
+    def __init__(self, jobs: int, context: WorkerContext):
+        self.jobs = jobs
+        self._pool = multiprocessing.get_context().Pool(
+            processes=jobs, initializer=_init_worker, initargs=(context,)
+        )
+
+    def imap(self, schedule):
+        return self._pool.imap(_run_scheduled, schedule)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "ExperimentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+
+def make_schedule_entry(
+    injector: FaultInjector,
+    runner: Runner,
+    rng,
+    bindings_factory: BindingsFactory | None = None,
+) -> ScheduledExperiment:
+    """Draw one experiment's schedule in the parent.
+
+    Consumes the RNG stream exactly as :meth:`FaultInjector.experiment`
+    does: ``k = rng.randint(1, n)`` then ``bit = rng.randrange(width_k)``.
+    Raises the same :class:`~repro.errors.InjectionError` as the serial path
+    for detector-tainted goldens and site-free programs.
+    """
+    from ..errors import InjectionError
+
+    golden = injector.cached_golden(runner, bindings_factory)
+    if golden.detector_fired:
+        raise InjectionError(
+            "detector fired during the golden run: the invariants are "
+            "wrong or the program is miscompiled"
+        )
+    n = golden.dynamic_sites
+    if n == 0:
+        raise InjectionError(
+            f"program exercised no dynamic fault sites in category "
+            f"{injector.category!r}"
+        )
+    k = rng.randint(1, n)
+    bit = rng.randrange(golden.site_widths[k - 1])
+    params = getattr(runner, "params", None)
+    if params is None:
+        raise InjectionError(
+            "parallel campaigns need runners that carry their input params "
+            "(build them via Workload.build_runner / runner_factory)"
+        )
+    return ScheduledExperiment(
+        params=params,
+        k=k,
+        bit=bit,
+        golden_output=golden.output,
+        dynamic_sites=n,
+        golden_dynamic_instructions=golden.dynamic_instructions,
+    )

@@ -113,6 +113,12 @@ class FaultRuntime:
         self.fixed_bit = bit
         self.dynamic_count = 0
         self.records: list[InjectionRecord] = []
+        # Count mode records each dynamic site's API bit width, so a
+        # campaign driver can pre-draw the injected bit for site ``k`` as
+        # ``rng.randrange(site_widths[k - 1])`` — the same value (and the
+        # same RNG-stream position) the lazy in-run draw would produce.
+        # This is what makes parallel scheduling bit-identical to serial.
+        self.site_widths = bytearray() if mode == MODE_COUNT else None
 
     @property
     def record(self) -> InjectionRecord | None:
@@ -122,10 +128,14 @@ class FaultRuntime:
     # -- entry point factory ---------------------------------------------------
 
     def _entry(self, bits: int, is_float: bool, type_name: str):
+        widths = self.site_widths
+
         def inject(value, active, site_id):
             if not active:
                 return value
             self.dynamic_count += 1
+            if widths is not None:
+                widths.append(bits)
             if self.mode == MODE_INJECT and self.dynamic_count in self.targets:
                 # A fixed bit position wraps modulo the value's width so bit
                 # sweeps remain well-defined when a site is narrower (an i1

@@ -74,11 +74,13 @@ def _insert_in_function(fn: Function, check_fn, every_iteration: bool = False) -
         br.meta["detector"] = True
         check_block.append(br)
         latch.false_target = check_block
-        # Phi edges in the exit block must follow the edge split.
+        # Phi edges in the exit block must follow the edge split.  These are
+        # direct field writes, so bump the decode-cache version by hand.
         for phi in exit_block.phis():
             for i, inc in enumerate(phi.incoming_blocks):
                 if inc is loop_block:
                     phi.incoming_blocks[i] = check_block
+        latch._bump_version()
 
         if every_iteration:
             # Ablation: also check right before the latch, every iteration.

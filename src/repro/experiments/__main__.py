@@ -6,7 +6,11 @@ Usage::
     python -m repro.experiments fig10
     python -m repro.experiments fig11 [--scale full] [--benchmark stencil ...]
     python -m repro.experiments fig12 [--scale full]
+    python -m repro.experiments perf
     python -m repro.experiments all [--json-dir results/]
+
+``--jobs N`` fans the fault-injection campaigns (fig11/fig12/perf) out over
+N worker processes; results are bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -29,6 +33,12 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict fig11 to specific benchmarks (repeatable)",
     )
     parser.add_argument("--json-dir", type=Path, help="also dump JSON reports here")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign experiments (bit-identical to 1)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -36,7 +46,9 @@ def main(argv: list[str] | None = None) -> int:
         mod = EXPERIMENTS[name]
         t0 = time.time()
         if name == "fig11":
-            report = mod.run(args.scale, benchmarks=args.benchmark)
+            report = mod.run(args.scale, benchmarks=args.benchmark, jobs=args.jobs)
+        elif name in ("fig12", "perf"):
+            report = mod.run(args.scale, jobs=args.jobs)
         else:
             report = mod.run(args.scale)
         print(mod.render(report))

@@ -16,7 +16,14 @@ from ..analysis.report import pct, render_table
 from ..core.campaign import CampaignConfig, run_campaigns
 from ..core.injector import FaultInjector
 from ..workloads.registry import Workload, benchmark_workloads
-from .common import CATEGORIES, ExperimentReport, SCALES, TARGETS, cell_seed
+from .common import (
+    CATEGORIES,
+    ExperimentReport,
+    SCALES,
+    TARGETS,
+    campaign_worker_context,
+    cell_seed,
+)
 
 
 def run_cell(
@@ -25,15 +32,21 @@ def run_cell(
     category: str,
     config: CampaignConfig,
     step_limit: int = 2_000_000,
+    jobs: int = 1,
 ) -> dict:
     """One Fig.-11 cell: campaigns for (benchmark, ISA, site category)."""
     module = workload.compile(target)
     injector = FaultInjector(module, category=category, step_limit=step_limit)
+    worker_context = (
+        campaign_worker_context(injector, workload) if jobs > 1 else None
+    )
     summary = run_campaigns(
         injector,
         workload.runner_factory(),
         config,
         seed=cell_seed("fig11", workload.name, target, category),
+        jobs=jobs,
+        worker_context=worker_context,
     )
     totals = summary.totals
     return {
@@ -52,7 +65,11 @@ def run_cell(
     }
 
 
-def run(scale: str = "quick", benchmarks: list[str] | None = None) -> ExperimentReport:
+def run(
+    scale: str = "quick",
+    benchmarks: list[str] | None = None,
+    jobs: int = 1,
+) -> ExperimentReport:
     config = SCALES[scale]
     report = ExperimentReport(
         name="fig11",
@@ -73,7 +90,9 @@ def run(scale: str = "quick", benchmarks: list[str] | None = None) -> Experiment
             continue
         for target in TARGETS:
             for category in CATEGORIES:
-                report.rows.append(run_cell(w, target, category, config))
+                report.rows.append(
+                    run_cell(w, target, category, config, jobs=jobs)
+                )
     report.notes.append(
         "Paper shape: Stencil/Blackscholes highest SDC; Swaptions/CG most "
         "resilient; address faults crash the most; Chebyshev's address SDC "

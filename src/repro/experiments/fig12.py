@@ -23,12 +23,18 @@ from random import Random
 import numpy as np
 
 from ..analysis.report import pct, render_table
-from ..core.campaign import CampaignStats
+from ..core.campaign import run_batch
 from ..core.injector import FaultInjector
 from ..detectors.runtime import detector_bindings_factory
 from ..vm.interpreter import Interpreter
 from ..workloads.registry import Workload, micro_workloads
-from .common import CATEGORIES, ExperimentReport, FIG12_EXPERIMENTS, cell_seed
+from .common import (
+    CATEGORIES,
+    ExperimentReport,
+    FIG12_EXPERIMENTS,
+    campaign_worker_context,
+    cell_seed,
+)
 
 #: Paper Fig. 12 values for comparison (SDC rate, SDC detection rate).
 PAPER_FIG12 = {
@@ -69,16 +75,26 @@ def run_cell(
     category: str,
     experiments: int,
     target: str = "avx",
+    jobs: int = 1,
 ) -> dict:
     module = workload.compile(target, foreach_detectors=True)
     injector = FaultInjector(module, category=category, step_limit=500_000)
     rng = Random(cell_seed("fig12", workload.name, target, category))
-    stats = CampaignStats()
     factory = detector_bindings_factory()
-    for _ in range(experiments):
-        runner = workload.make_runner(workload.sample_input(rng))
-        result = injector.experiment(runner, rng, bindings_factory=factory)
-        stats.add(result)
+    worker_context = (
+        campaign_worker_context(injector, workload, with_detectors=True)
+        if jobs > 1
+        else None
+    )
+    stats = run_batch(
+        injector,
+        workload.runner_factory(),
+        experiments,
+        rng,
+        bindings_factory=factory,
+        jobs=jobs,
+        worker_context=worker_context,
+    )
     paper = PAPER_FIG12.get((workload.name, category))
     return {
         "benchmark": workload.name,
@@ -93,7 +109,7 @@ def run_cell(
     }
 
 
-def run(scale: str = "quick") -> ExperimentReport:
+def run(scale: str = "quick", jobs: int = 1) -> ExperimentReport:
     experiments = FIG12_EXPERIMENTS[scale]
     report = ExperimentReport(
         name="fig12",
@@ -112,7 +128,7 @@ def run(scale: str = "quick") -> ExperimentReport:
     for w in micro_workloads():
         overhead = measure_overhead(w)
         for category in CATEGORIES:
-            row = run_cell(w, category, experiments)
+            row = run_cell(w, category, experiments, jobs=jobs)
             row["overhead"] = overhead
             row["paper_overhead"] = PAPER_OVERHEADS.get(w.name)
             report.rows.append(row)

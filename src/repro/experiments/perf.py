@@ -1,0 +1,149 @@
+"""Campaign-throughput benchmark (``python -m repro.experiments perf``).
+
+Times a fixed, seeded mini-campaign on the vector-sum micro-benchmark in
+two input regimes:
+
+* **unique** — every experiment draws a fresh input (the workload's own
+  input space), so the golden cache cannot help and the timing isolates the
+  interpreter fast path;
+* **pooled** — experiments draw from a small fixed input pool, the regime
+  the golden cache is built for (each distinct input's golden run executes
+  once per injector).
+
+The outcome totals are part of the benchmark contract: they are asserted
+against the frozen values below, so a speedup that perturbs the published
+numbers fails instead of silently shipping.  ``benchmarks/
+test_perf_campaign.py`` reuses :func:`bench_results` and writes
+``BENCH_campaign.json`` comparing against the pre-optimization baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from random import Random
+
+from ..analysis.report import render_table
+from ..core.campaign import CampaignConfig, run_campaigns
+from ..core.injector import FaultInjector
+from ..workloads.registry import get_workload
+from .common import ExperimentReport
+
+#: Wall-clock seconds for the same two mini-campaigns measured at the seed
+#: commit (naive interpreter, no golden cache), on the reference container.
+#: Frozen here so the benchmark reports a speedup against a fixed point
+#: rather than against whatever happened to be HEAD~1.
+BASELINE = {"unique": 1.3278, "pooled": 1.4323}
+
+#: Frozen outcome totals (sdc, benign, crash) for seed 7 — the speedup is
+#: only valid while these stay byte-identical to the pre-optimization runs.
+EXPECTED_TOTALS = {"unique": (121, 49, 30), "pooled": (127, 39, 34)}
+
+MINI_CONFIG = CampaignConfig(
+    experiments_per_campaign=50,
+    max_campaigns=4,
+    min_campaigns=4,
+    require_normality=False,
+    margin_target=0.0,
+)
+
+#: The pooled regime's fixed input pool: (n, seed) pairs.
+POOLED_INPUTS = (
+    (67, 101),
+    (93, 202),
+    (131, 303),
+    (185, 404),
+    (67, 505),
+    (93, 606),
+    (131, 707),
+    (185, 808),
+)
+
+SEED = 7
+
+
+def _mini_campaign(regime: str, jobs: int = 1) -> dict:
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    injector = FaultInjector(module, category="all", step_limit=500_000)
+    if regime == "unique":
+        factory = workload.runner_factory()
+    else:
+        def factory(rng: Random):
+            n, seed = rng.choice(POOLED_INPUTS)
+            return workload.build_runner({"n": n, "seed": seed})
+
+    worker_context = None
+    if jobs > 1:
+        from .common import campaign_worker_context
+
+        worker_context = campaign_worker_context(injector, workload)
+    t0 = time.perf_counter()
+    summary = run_campaigns(
+        injector, factory, MINI_CONFIG, seed=SEED,
+        jobs=jobs, worker_context=worker_context,
+    )
+    elapsed = time.perf_counter() - t0
+    totals = (summary.totals.sdc, summary.totals.benign, summary.totals.crash)
+    return {
+        "regime": regime,
+        "experiments": summary.totals.total,
+        "seconds": elapsed,
+        "baseline_seconds": BASELINE[regime],
+        "speedup": BASELINE[regime] / elapsed,
+        "totals": totals,
+        "totals_match_baseline": totals == EXPECTED_TOTALS[regime],
+        "golden_cache_hits": injector.golden_cache.hits,
+        "golden_cache_misses": injector.golden_cache.misses,
+    }
+
+
+def bench_results(jobs: int = 1) -> dict:
+    """Both regimes' timings — the payload of ``BENCH_campaign.json``."""
+    return {
+        "benchmark": "campaign-throughput",
+        "workload": "vector_sum",
+        "seed": SEED,
+        "config": {
+            "experiments_per_campaign": MINI_CONFIG.experiments_per_campaign,
+            "campaigns": MINI_CONFIG.max_campaigns,
+        },
+        "jobs": jobs,
+        "regimes": {r["regime"]: r for r in
+                    (_mini_campaign("unique", jobs), _mini_campaign("pooled", jobs))},
+    }
+
+
+def run(scale: str = "quick", jobs: int = 1) -> ExperimentReport:
+    results = bench_results(jobs=jobs)
+    report = ExperimentReport(
+        name="perf",
+        scale=scale,
+        headers=["regime", "n", "seconds", "baseline", "speedup", "totals ok"],
+        rows=list(results["regimes"].values()),
+    )
+    report.notes.append(
+        "Fixed seeded mini-campaign (vector_sum, seed 7, 4x50 experiments). "
+        "'unique' isolates the pre-decoded interpreter fast path; 'pooled' "
+        "adds golden-run memoization. Baselines were measured at the seed "
+        "commit; 'totals ok' checks the outcome counts are byte-identical "
+        "to the pre-optimization runs."
+    )
+    return report
+
+
+def render(report: ExperimentReport) -> str:
+    rows = [
+        [
+            r["regime"],
+            r["experiments"],
+            f"{r['seconds']:.3f}s",
+            f"{r['baseline_seconds']:.3f}s",
+            f"{r['speedup']:.1f}x",
+            "yes" if r["totals_match_baseline"] else "NO",
+        ]
+        for r in report.rows
+    ]
+    out = render_table(
+        report.headers, rows, title="Campaign throughput vs seed-commit baseline"
+    )
+    return out + "\n\n" + "\n".join(report.notes)

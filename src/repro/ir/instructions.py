@@ -102,23 +102,34 @@ class Instruction(Value):
 
     # -- operand management --------------------------------------------------
 
+    def _bump_version(self) -> None:
+        """Invalidate the module's decoded-execution cache (if attached)."""
+        block = self.parent
+        if block is not None:
+            fn = block.parent
+            if fn is not None and fn.module is not None:
+                fn.module.version += 1
+
     def _append_operand(self, value: Value) -> None:
         _require(isinstance(value, Value), f"operand of {self.opcode} must be a Value")
         index = len(self.operands)
         self.operands.append(value)
         value._add_use(self, index)
+        self._bump_version()
 
     def set_operand(self, index: int, value: Value) -> None:
         old = self.operands[index]
         old._remove_use(self, index)
         self.operands[index] = value
         value._add_use(self, index)
+        self._bump_version()
 
     def drop_all_references(self) -> None:
         """Detach from all operands (used when erasing an instruction)."""
         for index, op in enumerate(self.operands):
             op._remove_use(self, index)
         self.operands = []
+        self._bump_version()
 
     # -- classification hooks --------------------------------------------------
 
@@ -499,6 +510,7 @@ class Phi(Instruction):
                 del self.incoming_blocks[i]
                 for j in range(i, len(self.operands)):
                     self.operands[j]._add_use(self, j)
+                self._bump_version()
                 return
         raise IRError(f"phi has no incoming edge from {block.name}")
 

@@ -31,16 +31,23 @@ class BasicBlock(Value):
 
     # -- structure -----------------------------------------------------------
 
+    def _bump_version(self) -> None:
+        fn = self.parent
+        if fn is not None and fn.module is not None:
+            fn.module.version += 1
+
     def append(self, instr: Instruction) -> Instruction:
         if self.is_terminated:
             raise IRError(f"block {self.name} is already terminated")
         instr.parent = self
         self.instructions.append(instr)
+        self._bump_version()
         return instr
 
     def insert(self, index: int, instr: Instruction) -> Instruction:
         instr.parent = self
         self.instructions.insert(index, instr)
+        self._bump_version()
         return instr
 
     def insert_before(self, anchor: Instruction, instr: Instruction) -> Instruction:
@@ -52,6 +59,7 @@ class BasicBlock(Value):
     def remove(self, instr: Instruction) -> None:
         self.instructions.remove(instr)
         instr.parent = None
+        self._bump_version()
 
     @property
     def terminator(self) -> Instruction | None:
@@ -142,11 +150,15 @@ class Function(Value):
             self.blocks.append(block)
         else:
             self.blocks.insert(self.blocks.index(after) + 1, block)
+        if self.module is not None:
+            self.module.version += 1
         return block
 
     def remove_block(self, block: BasicBlock) -> None:
         self.blocks.remove(block)
         block.parent = None
+        if self.module is not None:
+            self.module.version += 1
 
     def get_block(self, name: str) -> BasicBlock:
         for b in self.blocks:
@@ -216,11 +228,25 @@ class Function(Value):
 
 
 class Module:
-    """Top-level IR container: an ordered set of functions."""
+    """Top-level IR container: an ordered set of functions.
+
+    ``version`` counts structural mutations (blocks/instructions/operands
+    added, removed, or rewired).  The VM's pre-decoded execution cache
+    (:mod:`repro.vm.decode`) keys on it, so any IR change after a run
+    transparently invalidates the decoded program.
+    """
 
     def __init__(self, name: str = "module"):
         self.name = name
         self.functions: dict[str, Function] = {}
+        self.version = 0
+
+    def __getstate__(self) -> dict:
+        # The decode cache holds closures; never let it ride along a pickle
+        # (parallel campaign workers ship pristine modules between processes).
+        state = self.__dict__.copy()
+        state.pop("_vm_decoded", None)
+        return state
 
     def add_function(
         self,
@@ -232,6 +258,7 @@ class Module:
             raise IRError(f"module already defines @{name}")
         fn = Function(name, function_type, arg_names, self)
         self.functions[name] = fn
+        self.version += 1
         return fn
 
     def declare_function(
@@ -253,6 +280,7 @@ class Module:
         fn = Function(name, function_type, None, self)
         fn.attributes.update(attributes)
         self.functions[name] = fn
+        self.version += 1
         return fn
 
     def get_function(self, name: str) -> Function:

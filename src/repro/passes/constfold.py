@@ -44,36 +44,69 @@ def _to_constant(ir_type, py_value) -> Constant:
 
 
 class _Folder:
-    """Borrow the interpreter's scalar evaluators without a full VM."""
-
-    def __init__(self):
-        from ..vm.interpreter import Interpreter
-
-        self._interp = Interpreter.__new__(Interpreter)
-        self._interp._const_cache = {}
+    """Evaluate with the VM's pure scalar semantics (:mod:`repro.vm.ops`)."""
 
     def const_value(self, c: Constant):
-        return self._interp._const(c)
+        from ..vm.decode import evaluate_constant
+
+        return evaluate_constant(c)
 
     def fold(self, instr: Instruction) -> Constant | None:
-        interp = self._interp
+        from ..vm import ops
+
         try:
             vals = [self.const_value(op) for op in instr.operands]  # type: ignore[arg-type]
             if isinstance(instr, BinaryOp):
-                result = interp._binop(instr, vals[0], vals[1])
+                ty = instr.type
+                if isinstance(ty, VectorType):
+                    result = [
+                        ops.scalar_binop(instr.opcode, ty.element, x, y)
+                        for x, y in zip(vals[0], vals[1])
+                    ]
+                else:
+                    result = ops.scalar_binop(instr.opcode, ty, vals[0], vals[1])
             elif isinstance(instr, CompareOp):
-                result = interp._compare(instr, vals[0], vals[1])
-                if isinstance(instr.lhs.type, VectorType):
-                    from ..ir.types import I1, vector
-
-                    return ConstantVector(
-                        [ConstantInt(I1, v) for v in result]
-                    )
+                operand_ty = instr.lhs.type
                 from ..ir.types import I1
 
-                return ConstantInt(I1, result)
+                if isinstance(operand_ty, VectorType):
+                    return ConstantVector(
+                        [
+                            ConstantInt(
+                                I1,
+                                int(
+                                    ops.scalar_compare(
+                                        instr.opcode,
+                                        instr.predicate,
+                                        operand_ty.element,
+                                        x,
+                                        y,
+                                    )
+                                ),
+                            )
+                            for x, y in zip(vals[0], vals[1])
+                        ]
+                    )
+                return ConstantInt(
+                    I1,
+                    int(
+                        ops.scalar_compare(
+                            instr.opcode, instr.predicate, operand_ty, vals[0], vals[1]
+                        )
+                    ),
+                )
             elif isinstance(instr, CastOp):
-                result = interp._cast(instr, vals[0])
+                src_ty = instr.operands[0].type
+                dst_ty = instr.type
+                if isinstance(dst_ty, VectorType):
+                    result = [
+                        ops.scalar_cast(
+                            instr.opcode, src_ty.scalar_type, dst_ty.element, x
+                        )
+                        for x in vals[0]
+                    ]
+                else:
+                    result = ops.scalar_cast(instr.opcode, src_ty, dst_ty, vals[0])
             elif isinstance(instr, Select):
                 cond, a, b = vals
                 if instr.condition.type.is_vector():

@@ -1,0 +1,572 @@
+"""Pre-decoded executable form of IR functions — the interpreter fast path.
+
+The naive interpreter resolved every operand (`isinstance(o, Constant)`),
+re-evaluated every constant, and walked a long ``isinstance`` chain per
+*dynamic* instruction.  All of that work is invariant per *static*
+instruction, so this module hoists it: each :class:`~repro.ir.module.Function`
+is decoded once into per-block records where
+
+* every operand is a pre-resolved ``(is_reg, payload)`` pair — constants are
+  already Python values, registers are dictionary keys;
+* every instruction is a specialised closure ``ex(vm, regs)`` built by a
+  per-class handler table (no ``isinstance`` at run time);
+* phi nodes become per-predecessor-edge lookup tables;
+* terminators become integer-tagged records driving the block loop.
+
+Decoded programs are cached on the module (``module._vm_decoded``) and
+invalidated by :attr:`Module.version`, which every structural IR mutation
+bumps.  Decoding preserves bit-exact semantics and the exact
+scalar/vector/step accounting of the original interpreter loop — including
+its *lazy* error behaviour: malformed instructions only raise when executed,
+never at decode time.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidOperation
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    ExtractElement,
+    FNeg,
+    GetElementPtr,
+    InsertElement,
+    Load,
+    Phi,
+    Return,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from ..ir.intrinsics import get_intrinsic, is_intrinsic_name
+from ..ir.module import Function, Module
+from ..ir.types import VectorType
+from ..ir.values import (
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    UndefValue,
+)
+from . import ops
+from .bits import round_f32
+
+# Terminator tags.
+T_BR = 0
+T_CONDBR = 1
+T_RET = 2
+T_UNREACHABLE = 3
+
+
+def evaluate_constant(c: Constant):
+    """Evaluate an IR constant to its runtime Python value (pure)."""
+    if isinstance(c, ConstantInt):
+        return c.value
+    if isinstance(c, ConstantFloat):
+        return round_f32(c.value) if c.type.bits == 32 else c.value
+    if isinstance(c, ConstantVector):
+        return [evaluate_constant(e) for e in c.elements]
+    if isinstance(c, ConstantPointerNull):
+        return 0
+    if isinstance(c, UndefValue):
+        # Deterministic zero for undef: fault campaigns must be replayable.
+        if isinstance(c.type, VectorType):
+            return [0.0 if c.type.element.is_float() else 0] * c.type.length
+        if c.type.is_float():
+            return 0.0
+        return 0
+    raise InvalidOperation(f"cannot evaluate constant {c!r}")
+
+
+def _spec(value):
+    """Resolve one operand to a ``(is_reg, payload)`` pair."""
+    if isinstance(value, Constant):
+        return False, evaluate_constant(value)
+    return True, value
+
+
+def _raiser(message: str):
+    def ex(vm, regs):
+        raise InvalidOperation(message)
+
+    return ex
+
+
+# -- per-class closure builders ------------------------------------------------
+#
+# Each builder runs once per static instruction and returns ``ex(vm, regs)``.
+# The closure writes its result straight into ``regs[instr]`` (void results
+# are simply not stored — nothing can reference them).
+
+
+def _build_binop(instr: BinaryOp):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    ty = instr.type
+    if isinstance(ty, VectorType):
+        fn = ops.binop_fn(instr.opcode, ty.element)
+
+        def ex(vm, regs):
+            a = regs[p0] if r0 else p0
+            b = regs[p1] if r1 else p1
+            regs[instr] = [fn(x, y) for x, y in zip(a, b)]
+
+    else:
+        fn = ops.binop_fn(instr.opcode, ty)
+
+        def ex(vm, regs):
+            regs[instr] = fn(regs[p0] if r0 else p0, regs[p1] if r1 else p1)
+
+    return ex
+
+
+def _build_compare(instr: CompareOp):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    operand_ty = instr.lhs.type
+    if isinstance(operand_ty, VectorType):
+        fn = ops.compare_fn(instr.opcode, instr.predicate, operand_ty.element)
+
+        def ex(vm, regs):
+            a = regs[p0] if r0 else p0
+            b = regs[p1] if r1 else p1
+            regs[instr] = [int(fn(x, y)) for x, y in zip(a, b)]
+
+    else:
+        fn = ops.compare_fn(instr.opcode, instr.predicate, operand_ty)
+
+        def ex(vm, regs):
+            regs[instr] = int(fn(regs[p0] if r0 else p0, regs[p1] if r1 else p1))
+
+    return ex
+
+
+def _build_select(instr: Select):
+    rc, pc = _spec(instr.operands[0])
+    ra, pa = _spec(instr.operands[1])
+    rb, pb = _spec(instr.operands[2])
+    if instr.condition.type.is_vector():
+
+        def ex(vm, regs):
+            cond = regs[pc] if rc else pc
+            a = regs[pa] if ra else pa
+            b = regs[pb] if rb else pb
+            regs[instr] = [x if c else y for c, x, y in zip(cond, a, b)]
+
+    else:
+
+        def ex(vm, regs):
+            regs[instr] = (
+                (regs[pa] if ra else pa)
+                if (regs[pc] if rc else pc)
+                else (regs[pb] if rb else pb)
+            )
+
+    return ex
+
+
+def _build_cast(instr: CastOp):
+    r0, p0 = _spec(instr.operands[0])
+    src_ty = instr.operands[0].type
+    dst_ty = instr.type
+    if isinstance(dst_ty, VectorType):
+        fn = ops.cast_fn(instr.opcode, src_ty.scalar_type, dst_ty.element)
+
+        def ex(vm, regs):
+            regs[instr] = [fn(x) for x in (regs[p0] if r0 else p0)]
+
+    else:
+        fn = ops.cast_fn(instr.opcode, src_ty, dst_ty)
+
+        def ex(vm, regs):
+            regs[instr] = fn(regs[p0] if r0 else p0)
+
+    return ex
+
+
+def _build_gep(instr: GetElementPtr):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    stride = instr.base.type.pointee.store_size()
+    if isinstance(instr.index.type, VectorType):
+
+        def ex(vm, regs):
+            base = regs[p0] if r0 else p0
+            idx = regs[p1] if r1 else p1
+            regs[instr] = [base + i * stride for i in idx]
+
+    else:
+
+        def ex(vm, regs):
+            regs[instr] = (regs[p0] if r0 else p0) + (regs[p1] if r1 else p1) * stride
+
+    return ex
+
+
+def _build_load(instr: Load):
+    r0, p0 = _spec(instr.operands[0])
+    ty = instr.type
+
+    def ex(vm, regs):
+        regs[instr] = vm.memory.read_value(ty, regs[p0] if r0 else p0)
+
+    return ex
+
+
+def _build_store(instr: Store):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    ty = instr.value.type
+
+    def ex(vm, regs):
+        vm.memory.write_value(ty, regs[p1] if r1 else p1, regs[p0] if r0 else p0)
+
+    return ex
+
+
+def _build_alloca(instr: Alloca):
+    allocated = instr.allocated_type
+    count = instr.count
+    label = instr.name or "alloca"
+
+    def ex(vm, regs):
+        regs[instr] = vm.memory.alloc_typed(allocated, count, label=label)
+
+    return ex
+
+
+def _build_extractelement(instr: ExtractElement):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+
+    def ex(vm, regs):
+        vec = regs[p0] if r0 else p0
+        i = int(regs[p1] if r1 else p1)
+        if not 0 <= i < len(vec):
+            # LLVM: poison. Deterministic choice: wrap modulo length.
+            i %= len(vec)
+        regs[instr] = vec[i]
+
+    return ex
+
+
+def _build_insertelement(instr: InsertElement):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    r2, p2 = _spec(instr.operands[2])
+
+    def ex(vm, regs):
+        out = list(regs[p0] if r0 else p0)
+        i = int(regs[p2] if r2 else p2)
+        if not 0 <= i < len(out):
+            i %= len(out)
+        out[i] = regs[p1] if r1 else p1
+        regs[instr] = out
+
+    return ex
+
+
+def _build_shufflevector(instr: ShuffleVector):
+    r0, p0 = _spec(instr.operands[0])
+    r1, p1 = _spec(instr.operands[1])
+    mask = instr.mask
+
+    def ex(vm, regs):
+        joined = list(regs[p0] if r0 else p0) + list(regs[p1] if r1 else p1)
+        regs[instr] = [joined[m] for m in mask]
+
+    return ex
+
+
+def _build_fneg(instr: FNeg):
+    r0, p0 = _spec(instr.operands[0])
+    if instr.type.is_vector():
+
+        def ex(vm, regs):
+            regs[instr] = [-x for x in (regs[p0] if r0 else p0)]
+
+    else:
+
+        def ex(vm, regs):
+            regs[instr] = -(regs[p0] if r0 else p0)
+
+    return ex
+
+
+def _fetch_args(specs):
+    """Generic argument-list fetcher for call-like closures."""
+    if len(specs) == 2:
+        (r0, p0), (r1, p1) = specs
+        return lambda regs: [regs[p0] if r0 else p0, regs[p1] if r1 else p1]
+    if len(specs) == 1:
+        ((r0, p0),) = specs
+        return lambda regs: [regs[p0] if r0 else p0]
+    if len(specs) == 3:
+        (r0, p0), (r1, p1), (r2, p2) = specs
+        return lambda regs: [
+            regs[p0] if r0 else p0,
+            regs[p1] if r1 else p1,
+            regs[p2] if r2 else p2,
+        ]
+    return lambda regs: [regs[p] if r else p for r, p in specs]
+
+
+def _build_math_call(instr: Call, name: str, info):
+    op = name.split(".")[1]
+    fn = ops.MATH_FNS[op]
+    specs = [_spec(o) for o in instr.operands]
+    ty = info.function_type.return_type
+    if isinstance(ty, VectorType):
+        f32 = ty.element.bits == 32
+        if len(specs) == 1:
+            ((r0, p0),) = specs
+
+            def ex(vm, regs):
+                out = [fn(x) for x in (regs[p0] if r0 else p0)]
+                regs[instr] = [round_f32(x) for x in out] if f32 else out
+
+        else:
+            (r0, p0), (r1, p1) = specs
+
+            def ex(vm, regs):
+                a = regs[p0] if r0 else p0
+                b = regs[p1] if r1 else p1
+                out = [fn(x, y) for x, y in zip(a, b)]
+                regs[instr] = [round_f32(x) for x in out] if f32 else out
+
+        return ex
+    f32 = ty.bits == 32
+    argf = _fetch_args(specs)
+
+    def ex(vm, regs):
+        r = fn(*argf(regs))
+        regs[instr] = round_f32(r) if f32 else r
+
+    return ex
+
+
+def _build_call(instr: Call):
+    callee = instr.callee
+    name = callee.name
+    specs = [_spec(o) for o in instr.operands]
+    if not callee.is_declaration:
+        argf = _fetch_args(specs)
+        if instr.has_lvalue():
+
+            def ex(vm, regs):
+                regs[instr] = vm._exec_function(callee, argf(regs))
+
+        else:
+
+            def ex(vm, regs):
+                vm._exec_function(callee, argf(regs))
+
+        return ex
+
+    if is_intrinsic_name(name):
+        info = get_intrinsic(name)
+        kind = info.kind
+        if kind == "math":
+            return _build_math_call(instr, name, info)
+        if kind in ("reduce", "mask-reduce"):
+            ret = info.function_type.return_type
+            argf = _fetch_args(specs)
+
+            def ex(vm, regs):
+                regs[instr] = ops.reduce_intrinsic(name, ret, argf(regs))
+
+            return ex
+        argf = _fetch_args(specs)
+        if instr.has_lvalue():
+
+            def ex(vm, regs):
+                regs[instr] = vm._intrinsic(info, instr, argf(regs))
+
+        else:
+
+            def ex(vm, regs):
+                vm._intrinsic(info, instr, argf(regs))
+
+        return ex
+
+    # External call — the VULFI/detector runtime hot path: specialise the
+    # common arities so no intermediate argument list is built.
+    store = instr.has_lvalue()
+    if len(specs) == 3:
+        (r0, p0), (r1, p1), (r2, p2) = specs
+
+        def ex(vm, regs):
+            ext = vm.externals.get(name)
+            if ext is None:
+                raise InvalidOperation(f"call to unbound external @{name}")
+            out = ext(
+                regs[p0] if r0 else p0,
+                regs[p1] if r1 else p1,
+                regs[p2] if r2 else p2,
+            )
+            if store:
+                regs[instr] = out
+
+        return ex
+    argf = _fetch_args(specs)
+
+    def ex(vm, regs):
+        ext = vm.externals.get(name)
+        if ext is None:
+            raise InvalidOperation(f"call to unbound external @{name}")
+        out = ext(*argf(regs))
+        if store:
+            regs[instr] = out
+
+    return ex
+
+
+_BUILDERS = {
+    BinaryOp: _build_binop,
+    CompareOp: _build_compare,
+    Select: _build_select,
+    CastOp: _build_cast,
+    GetElementPtr: _build_gep,
+    Load: _build_load,
+    Store: _build_store,
+    Alloca: _build_alloca,
+    ExtractElement: _build_extractelement,
+    InsertElement: _build_insertelement,
+    ShuffleVector: _build_shufflevector,
+    FNeg: _build_fneg,
+    Call: _build_call,
+}
+
+
+def _decode_step(instr):
+    builder = _BUILDERS.get(type(instr))
+    if builder is None:
+        # Matches the interpreter's lazy behaviour: only raise if executed.
+        return _raiser(f"cannot execute opcode {instr.opcode}")
+    try:
+        return builder(instr)
+    except InvalidOperation as exc:
+        return _raiser(str(exc))
+
+
+class DecodedBlock:
+    """One basic block, fully resolved for execution."""
+
+    __slots__ = (
+        "source",
+        "phis",
+        "phi_total",
+        "phi_scalar",
+        "phi_vector",
+        "steps",
+        "term",
+    )
+
+    def __init__(self, source):
+        self.source = source
+        # [(phi, {pred_block: (is_reg, payload)})], leading phis only.
+        self.phis = []
+        self.phi_total = 0
+        self.phi_scalar = 0
+        self.phi_vector = 0
+        # [(ex, is_vector, opcode)] for non-phi, non-terminator instructions.
+        self.steps = []
+        # (tag, is_vector, opcode, payload) or None for unterminated blocks.
+        self.term = None
+
+
+class DecodedFunction:
+    """A function decoded into :class:`DecodedBlock` records."""
+
+    __slots__ = ("fn", "name", "entry", "blocks")
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.name = fn.name
+        self.blocks = {block: DecodedBlock(block) for block in fn.blocks}
+        for block, decoded in self.blocks.items():
+            self._decode_block(block, decoded)
+        self.entry = self.blocks[fn.entry]
+
+    def _decode_block(self, block, decoded: DecodedBlock) -> None:
+        instructions = block.instructions
+        index = 0
+        n = len(instructions)
+
+        # Leading phis evaluate in parallel against the predecessor edge.
+        while index < n and isinstance(instructions[index], Phi):
+            phi = instructions[index]
+            table = {}
+            for value, pred in phi.incoming():
+                # First edge wins on duplicates, like Phi.incoming_for.
+                if pred not in table:
+                    table[pred] = _spec(value)
+            decoded.phis.append((phi, table))
+            decoded.phi_total += 1
+            if phi.type.is_vector():
+                decoded.phi_vector += 1
+            else:
+                decoded.phi_scalar += 1
+            index += 1
+
+        while index < n:
+            instr = instructions[index]
+            index += 1
+            if instr.is_terminator:
+                decoded.term = self._decode_terminator(instr)
+                break
+            decoded.steps.append(
+                (_decode_step(instr), instr.is_vector_instruction, instr.opcode)
+            )
+
+    def _decode_terminator(self, instr):
+        isvec = instr.is_vector_instruction
+        opcode = instr.opcode
+        if isinstance(instr, Branch):
+            return (T_BR, isvec, opcode, self.blocks[instr.target])
+        if isinstance(instr, CondBranch):
+            r, p = _spec(instr.condition)
+            return (
+                T_CONDBR,
+                isvec,
+                opcode,
+                (r, p, self.blocks[instr.true_target], self.blocks[instr.false_target]),
+            )
+        if isinstance(instr, Return):
+            rv = instr.return_value
+            return (T_RET, isvec, opcode, None if rv is None else _spec(rv))
+        assert isinstance(instr, Unreachable)
+        return (T_UNREACHABLE, isvec, opcode, None)
+
+
+class DecodedProgram:
+    """Lazily decoded functions of one module at one version."""
+
+    __slots__ = ("version", "_functions")
+
+    def __init__(self, module: Module):
+        self.version = module.version
+        self._functions: dict[Function, DecodedFunction] = {}
+
+    def function(self, fn: Function) -> DecodedFunction:
+        decoded = self._functions.get(fn)
+        if decoded is None:
+            decoded = DecodedFunction(fn)
+            self._functions[fn] = decoded
+        return decoded
+
+
+def decoded_program(module: Module) -> DecodedProgram:
+    """The module's decode cache, rebuilt whenever its version changes."""
+    program = getattr(module, "_vm_decoded", None)
+    if program is None or program.version != module.version:
+        program = DecodedProgram(module)
+        module._vm_decoded = program
+    return program

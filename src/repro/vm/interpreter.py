@@ -14,61 +14,28 @@ Semantics notes (all deliberate, all x86-flavoured, see DESIGN.md):
 * every executed instruction counts toward the dynamic-instruction total
   (Table I) and is classified scalar vs vector (Fig. 10's denominator).
 
+The scalar semantics live in :mod:`repro.vm.ops`; per-instruction dispatch
+is pre-compiled by :mod:`repro.vm.decode` into specialised closures, so the
+hot loop below only does step accounting and control flow.  The decoded
+program is cached on the module and invalidated by IR mutation.
+
 External functions (the VULFI runtime, detector runtime) are bound by name
 via :meth:`Interpreter.bind`; unbound declarations trap.
 """
 
 from __future__ import annotations
 
-import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..errors import ArithmeticTrap, InvalidOperation, StepLimitExceeded
-from ..ir.instructions import (
-    Alloca,
-    BinaryOp,
-    Branch,
-    Call,
-    CastOp,
-    CompareOp,
-    CondBranch,
-    ExtractElement,
-    FNeg,
-    GetElementPtr,
-    InsertElement,
-    Instruction,
-    Load,
-    Phi,
-    Return,
-    Select,
-    ShuffleVector,
-    Store,
-    Unreachable,
-)
-from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo, get_intrinsic, is_intrinsic_name
+from ..errors import InvalidOperation, StepLimitExceeded
+from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo
 from ..ir.module import Function, Module
-from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
-from ..ir.values import (
-    Argument,
-    Constant,
-    ConstantFloat,
-    ConstantInt,
-    ConstantPointerNull,
-    ConstantVector,
-    UndefValue,
-    Value,
-)
-from .bits import (
-    bits_to_float,
-    float_to_bits,
-    float_to_int_trunc,
-    float_to_uint_trunc,
-    round_f32,
-    to_unsigned,
-    wrap_int,
-)
+from ..ir.types import Type, VectorType
+from .decode import T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
 from .memory import Memory
+from .ops import sign_active
 
 DEFAULT_STEP_LIMIT = 20_000_000
 
@@ -80,20 +47,13 @@ class ExecutionStats:
     total: int = 0
     scalar: int = 0
     vector: int = 0
-    by_opcode: dict = field(default_factory=dict)
+    by_opcode: Counter = field(default_factory=Counter)
 
     def reset(self) -> None:
         self.total = 0
         self.scalar = 0
         self.vector = 0
         self.by_opcode.clear()
-
-
-def _sign_active(lane_value, lane_type: Type) -> bool:
-    """x86 mask convention: a lane is active when its sign bit is set."""
-    if isinstance(lane_type, FloatType):
-        return bool(float_to_bits(lane_value, lane_type.bits) >> (lane_type.bits - 1))
-    return lane_value < 0
 
 
 class Interpreter:
@@ -112,8 +72,6 @@ class Interpreter:
         self.count_opcodes = count_opcodes
         self.stats = ExecutionStats()
         self.externals: dict[str, Callable] = {}
-        self._const_cache: dict[int, object] = {}
-        self._vec_cache: dict[int, bool] = {}
 
     # -- configuration ---------------------------------------------------------
 
@@ -141,422 +99,94 @@ class Interpreter:
             )
         return self._exec_function(fn, list(args))
 
-    # -- value resolution -----------------------------------------------------------
-
-    def _const(self, c: Constant):
-        cached = self._const_cache.get(id(c))
-        if cached is not None:
-            return cached
-        if isinstance(c, ConstantInt):
-            v: object = c.value
-        elif isinstance(c, ConstantFloat):
-            v = round_f32(c.value) if c.type.bits == 32 else c.value
-        elif isinstance(c, ConstantVector):
-            v = [self._const(e) for e in c.elements]
-        elif isinstance(c, ConstantPointerNull):
-            v = 0
-        elif isinstance(c, UndefValue):
-            # Deterministic zero for undef: fault campaigns must be replayable.
-            if isinstance(c.type, VectorType):
-                v = [0.0 if c.type.element.is_float() else 0] * c.type.length
-            elif c.type.is_float():
-                v = 0.0
-            else:
-                v = 0
-        else:
-            raise InvalidOperation(f"cannot evaluate constant {c!r}")
-        self._const_cache[id(c)] = v
-        return v
-
     # -- main loop ---------------------------------------------------------------------
 
     def _exec_function(self, fn: Function, args: list):
-        regs: dict[Value, object] = {}
+        decoded = decoded_program(self.module).function(fn)
+        regs: dict = {}
         for formal, actual in zip(fn.args, args):
             regs[formal] = actual
 
-        const = self._const
         stats = self.stats
-        vec_cache = self._vec_cache
-        block = fn.entry
+        limit = self.step_limit
+        count_opcodes = self.count_opcodes
+        by_opcode = stats.by_opcode
+        fn_name = decoded.name
+        current = decoded.entry
         prev_block = None
 
         while True:
-            instructions = block.instructions
-            n = len(instructions)
-            index = 0
-
-            # Phi nodes evaluate in parallel against the predecessor edge.
-            if instructions and isinstance(instructions[0], Phi):
-                phi_values = []
-                while index < n and isinstance(instructions[index], Phi):
-                    phi = instructions[index]
-                    incoming = phi.incoming_for(prev_block)
-                    phi_values.append(
-                        (phi, const(incoming) if isinstance(incoming, Constant) else regs[incoming])
-                    )
-                    index += 1
-                for phi, value in phi_values:
+            phis = current.phis
+            if phis:
+                # Phi nodes evaluate in parallel against the predecessor edge.
+                values = []
+                for phi, table in phis:
+                    spec = table.get(prev_block)
+                    if spec is None:
+                        phi.incoming_for(prev_block)  # raises the exact IRError
+                    is_reg, payload = spec
+                    values.append(regs[payload] if is_reg else payload)
+                for (phi, _), value in zip(phis, values):
                     regs[phi] = value
-                stats.total += len(phi_values)
-                stats.scalar += len(phi_values)  # adjusted below for vector phis
-                for phi, _ in phi_values:
-                    if phi.type.is_vector():
-                        stats.scalar -= 1
-                        stats.vector += 1
+                stats.total += current.phi_total
+                stats.scalar += current.phi_scalar
+                stats.vector += current.phi_vector
 
-            while index < n:
-                instr = instructions[index]
-                index += 1
-
+            for ex, isvec, opcode in current.steps:
                 stats.total += 1
-                if stats.total > self.step_limit:
+                if stats.total > limit:
                     raise StepLimitExceeded(
-                        f"@{fn.name}: exceeded {self.step_limit} dynamic instructions"
+                        f"@{fn_name}: exceeded {limit} dynamic instructions"
                     )
-                isvec = vec_cache.get(id(instr))
-                if isvec is None:
-                    isvec = instr.is_vector_instruction
-                    vec_cache[id(instr)] = isvec
                 if isvec:
                     stats.vector += 1
                 else:
                     stats.scalar += 1
-                if self.count_opcodes:
-                    op = instr.opcode
-                    stats.by_opcode[op] = stats.by_opcode.get(op, 0) + 1
+                if count_opcodes:
+                    by_opcode[opcode] += 1
+                ex(self, regs)
 
-                # Terminators --------------------------------------------------
-                if isinstance(instr, Branch):
-                    prev_block, block = block, instr.target
-                    break
-                if isinstance(instr, CondBranch):
-                    cond = instr.condition
-                    cv = const(cond) if isinstance(cond, Constant) else regs[cond]
-                    prev_block, block = (
-                        block,
-                        instr.true_target if cv else instr.false_target,
-                    )
-                    break
-                if isinstance(instr, Return):
-                    rv = instr.return_value
-                    if rv is None:
-                        return None
-                    return const(rv) if isinstance(rv, Constant) else regs[rv]
-                if isinstance(instr, Unreachable):
-                    raise InvalidOperation(f"@{fn.name}: reached 'unreachable'")
-
-                regs[instr] = self._exec_instruction(instr, regs)
-            else:
+            term = current.term
+            if term is None:
                 raise InvalidOperation(
-                    f"@{fn.name}:{block.name}: fell off the end of a block"
+                    f"@{fn_name}:{current.source.name}: fell off the end of a block"
                 )
-
-    # -- instruction execution --------------------------------------------------------
-
-    def _exec_instruction(self, instr: Instruction, regs: dict):
-        const = self._const
-        ops = instr.operands
-        vals = [const(o) if isinstance(o, Constant) else regs[o] for o in ops]
-
-        if isinstance(instr, BinaryOp):
-            return self._binop(instr, vals[0], vals[1])
-        if isinstance(instr, CompareOp):
-            return self._compare(instr, vals[0], vals[1])
-        if isinstance(instr, Select):
-            cond, a, b = vals
-            if instr.condition.type.is_vector():
-                return [x if c else y for c, x, y in zip(cond, a, b)]
-            return a if cond else b
-        if isinstance(instr, CastOp):
-            return self._cast(instr, vals[0])
-        if isinstance(instr, GetElementPtr):
-            base, idx = vals
-            stride = instr.base.type.pointee.store_size()
-            if isinstance(instr.index.type, VectorType):
-                return [base + i * stride for i in idx]
-            return base + idx * stride
-        if isinstance(instr, Load):
-            return self.memory.read_value(instr.type, vals[0])
-        if isinstance(instr, Store):
-            self.memory.write_value(instr.value.type, vals[1], vals[0])
-            return None
-        if isinstance(instr, Alloca):
-            return self.memory.alloc_typed(
-                instr.allocated_type, instr.count, label=instr.name or "alloca"
-            )
-        if isinstance(instr, ExtractElement):
-            vec, i = vals
-            i = int(i)
-            if not 0 <= i < len(vec):
-                # LLVM: poison. Deterministic choice: wrap modulo length.
-                i %= len(vec)
-            return vec[i]
-        if isinstance(instr, InsertElement):
-            vec, elem, i = vals
-            i = int(i)
-            out = list(vec)
-            if not 0 <= i < len(out):
-                i %= len(out)
-            out[i] = elem
-            return out
-        if isinstance(instr, ShuffleVector):
-            v1, v2 = vals
-            joined = list(v1) + list(v2)
-            return [joined[m] for m in instr.mask]
-        if isinstance(instr, FNeg):
-            v = vals[0]
-            if instr.type.is_vector():
-                return [-x for x in v]
-            return -v
-        if isinstance(instr, Call):
-            return self._call(instr, vals)
-        raise InvalidOperation(f"cannot execute opcode {instr.opcode}")
-
-    # -- arithmetic ------------------------------------------------------------------
-
-    def _binop(self, instr: BinaryOp, a, b):
-        # Dispatch the opcode once per instruction; vector ops then apply
-        # one pre-selected scalar function per lane (the naive per-lane
-        # string dispatch dominated the profile on vector-heavy kernels).
-        ty = instr.type
-        if isinstance(ty, VectorType):
-            fn = instr.meta.get("_vm_fn")
-            if fn is None:
-                elem = ty.element
-                op = instr.opcode
-                # _scalar_binop uses no interpreter state; bind it unbound so
-                # the cached closure never pins an Interpreter instance.
-                fn = lambda x, y, _op=op, _e=elem: Interpreter._scalar_binop(
-                    _op, _e, x, y
+            tag, isvec, opcode, payload = term
+            stats.total += 1
+            if stats.total > limit:
+                raise StepLimitExceeded(
+                    f"@{fn_name}: exceeded {limit} dynamic instructions"
                 )
-                if isinstance(elem, FloatType):
-                    if elem.bits == 32:
-                        simple = {
-                            "fadd": lambda x, y: round_f32(x + y),
-                            "fsub": lambda x, y: round_f32(x - y),
-                            "fmul": lambda x, y: round_f32(x * y),
-                        }.get(op)
-                    else:
-                        simple = {
-                            "fadd": lambda x, y: x + y,
-                            "fsub": lambda x, y: x - y,
-                            "fmul": lambda x, y: x * y,
-                        }.get(op)
-                    if simple is not None:
-                        fn = simple
-                elif isinstance(elem, IntType):
-                    bits = elem.bits
-                    simple = {
-                        "add": lambda x, y: wrap_int(x + y, bits),
-                        "sub": lambda x, y: wrap_int(x - y, bits),
-                        "mul": lambda x, y: wrap_int(x * y, bits),
-                        # Bitwise ops on canonical two's-complement values
-                        # stay in range; no re-wrap needed.
-                        "and": lambda x, y: x & y,
-                        "or": lambda x, y: x | y,
-                        "xor": lambda x, y: wrap_int(x ^ y, bits),
-                    }.get(op)
-                    if simple is not None:
-                        fn = simple
-                instr.meta["_vm_fn"] = fn
-            return [fn(x, y) for x, y in zip(a, b)]
-        return self._scalar_binop(instr.opcode, ty, a, b)
-
-    @staticmethod
-    def _scalar_binop(op: str, ty: Type, a, b):
-        if isinstance(ty, FloatType):
-            if op == "fadd":
-                r = a + b
-            elif op == "fsub":
-                r = a - b
-            elif op == "fmul":
-                r = a * b
-            elif op == "fdiv":
-                r = Interpreter._fdiv(a, b)
-            elif op == "frem":
-                r = math.fmod(a, b) if b != 0 and not math.isnan(a) and not math.isinf(a) else float("nan")
-            else:  # pragma: no cover - constructor prevents this
-                raise InvalidOperation(f"bad float op {op}")
-            return round_f32(r) if ty.bits == 32 else r
-
-        bits = ty.bits
-        if op == "add":
-            return wrap_int(a + b, bits)
-        if op == "sub":
-            return wrap_int(a - b, bits)
-        if op == "mul":
-            return wrap_int(a * b, bits)
-        if op == "sdiv":
-            if b == 0:
-                raise ArithmeticTrap("signed division by zero")
-            q = abs(a) // abs(b)
-            if (a < 0) != (b < 0):
-                q = -q
-            if q > (1 << (bits - 1)) - 1:
-                raise ArithmeticTrap("signed division overflow (INT_MIN / -1)")
-            return wrap_int(q, bits)
-        if op == "srem":
-            if b == 0:
-                raise ArithmeticTrap("signed remainder by zero")
-            r = abs(a) % abs(b)
-            return wrap_int(-r if a < 0 else r, bits)
-        if op == "udiv":
-            if b == 0:
-                raise ArithmeticTrap("unsigned division by zero")
-            return wrap_int(to_unsigned(a, bits) // to_unsigned(b, bits), bits)
-        if op == "urem":
-            if b == 0:
-                raise ArithmeticTrap("unsigned remainder by zero")
-            return wrap_int(to_unsigned(a, bits) % to_unsigned(b, bits), bits)
-        if op == "and":
-            return wrap_int(a & b, bits)
-        if op == "or":
-            return wrap_int(a | b, bits)
-        if op == "xor":
-            return wrap_int(a ^ b, bits)
-        # x86 semantics: the shift count is masked to the operand width.
-        if op == "shl":
-            return wrap_int(a << (b & (bits - 1)), bits)
-        if op == "lshr":
-            return wrap_int(to_unsigned(a, bits) >> (b & (bits - 1)), bits)
-        if op == "ashr":
-            return wrap_int(a >> (b & (bits - 1)), bits)
-        raise InvalidOperation(f"bad int op {op}")  # pragma: no cover
-
-    @staticmethod
-    def _fdiv(a: float, b: float) -> float:
-        if b == 0.0:
-            if a != a or a == 0.0:
-                return float("nan")
-            sign = math.copysign(1.0, a) * math.copysign(1.0, b)
-            return math.inf * sign
-        return a / b
-
-    def _compare(self, instr: CompareOp, a, b):
-        pred = instr.predicate
-        operand_ty = instr.lhs.type
-        if isinstance(operand_ty, VectorType):
-            elem = operand_ty.element
-            return [
-                int(self._scalar_compare(instr.opcode, pred, elem, x, y))
-                for x, y in zip(a, b)
-            ]
-        return int(self._scalar_compare(instr.opcode, pred, operand_ty, a, b))
-
-    def _scalar_compare(self, opcode: str, pred: str, ty: Type, a, b) -> bool:
-        if opcode == "icmp":
-            if isinstance(ty, PointerType):
-                ua, ub = a & (2**64 - 1), b & (2**64 - 1)
+            if isvec:
+                stats.vector += 1
             else:
-                ua, ub = to_unsigned(a, ty.bits), to_unsigned(b, ty.bits)
-            return {
-                "eq": a == b,
-                "ne": a != b,
-                "slt": a < b,
-                "sle": a <= b,
-                "sgt": a > b,
-                "sge": a >= b,
-                "ult": ua < ub,
-                "ule": ua <= ub,
-                "ugt": ua > ub,
-                "uge": ua >= ub,
-            }[pred]
-        # fcmp: o* are false on NaN, u* are true on NaN.
-        nan = (a != a) or (b != b)
-        if pred == "ord":
-            return not nan
-        if pred == "uno":
-            return nan
-        ordered = pred.startswith("o")
-        if nan:
-            return not ordered
-        rel = pred[1:]
-        return {
-            "eq": a == b,
-            "ne": a != b,
-            "lt": a < b,
-            "le": a <= b,
-            "gt": a > b,
-            "ge": a >= b,
-        }[rel]
+                stats.scalar += 1
+            if count_opcodes:
+                by_opcode[opcode] += 1
 
-    # -- casts ------------------------------------------------------------------------
+            if tag == T_BR:
+                prev_block, current = current.source, payload
+            elif tag == T_CONDBR:
+                is_reg, cond, true_block, false_block = payload
+                cv = regs[cond] if is_reg else cond
+                prev_block = current.source
+                current = true_block if cv else false_block
+            elif tag == T_RET:
+                if payload is None:
+                    return None
+                is_reg, value = payload
+                return regs[value] if is_reg else value
+            else:
+                assert tag == T_UNREACHABLE
+                raise InvalidOperation(f"@{fn_name}: reached 'unreachable'")
 
-    def _cast(self, instr: CastOp, v):
-        src_ty = instr.operands[0].type
-        dst_ty = instr.type
-        if isinstance(dst_ty, VectorType):
-            src_elem = src_ty.scalar_type
-            dst_elem = dst_ty.element
-            return [
-                self._scalar_cast(instr.opcode, src_elem, dst_elem, x) for x in v
-            ]
-        return self._scalar_cast(instr.opcode, src_ty, dst_ty, v)
+    # -- memory intrinsics --------------------------------------------------------------
+    #
+    # Math and reduction intrinsics are pure and pre-compiled by the decode
+    # layer; only the memory-touching kinds need interpreter state.
 
-    def _scalar_cast(self, op: str, src: Type, dst: Type, v):
-        if op == "bitcast":
-            if src.is_pointer() and dst.is_pointer():
-                return v
-            if src.is_integer() and dst.is_float():
-                return bits_to_float(to_unsigned(v, src.bits), dst.bits)
-            if src.is_float() and dst.is_integer():
-                return wrap_int(float_to_bits(v, src.bits), dst.bits)
-            if src.is_integer() and dst.is_integer():
-                return wrap_int(v, dst.bits)
-            if src.is_float() and dst.is_float():
-                return v
-            raise InvalidOperation(f"bad bitcast {src} -> {dst}")
-        if op == "zext":
-            return wrap_int(to_unsigned(v, src.bits), dst.bits)
-        if op == "sext":
-            # i1 is canonicalized as 0/1; its sign-extension is 0/-1.
-            if src.bits == 1:
-                return wrap_int(-v, dst.bits)
-            return wrap_int(v, dst.bits)
-        if op == "trunc":
-            return wrap_int(v, dst.bits)
-        if op == "sitofp":
-            r = float(v)
-            return round_f32(r) if dst.bits == 32 else r
-        if op == "uitofp":
-            r = float(to_unsigned(v, src.bits))
-            return round_f32(r) if dst.bits == 32 else r
-        if op == "fptosi":
-            return float_to_int_trunc(v, dst.bits)
-        if op == "fptoui":
-            return float_to_uint_trunc(v, dst.bits)
-        if op == "fpext":
-            return v
-        if op == "fptrunc":
-            return round_f32(v)
-        if op == "ptrtoint":
-            return wrap_int(v, dst.bits)
-        if op == "inttoptr":
-            return to_unsigned(v, 64)
-        raise InvalidOperation(f"bad cast {op}")  # pragma: no cover
-
-    # -- calls & intrinsics --------------------------------------------------------------
-
-    def _call(self, instr: Call, args: list):
-        callee = instr.callee
-        name = callee.name
-        if not callee.is_declaration:
-            return self._exec_function(callee, args)
-        if is_intrinsic_name(name):
-            return self._intrinsic(get_intrinsic(name), instr, args)
-        ext = self.externals.get(name)
-        if ext is None:
-            raise InvalidOperation(f"call to unbound external @{name}")
-        return ext(*args)
-
-    def _intrinsic(self, info: IntrinsicInfo, instr: Call, args: list):
+    def _intrinsic(self, info: IntrinsicInfo, instr, args: list):
         kind = info.kind
-        if kind == "math":
-            return self._math(instr.callee.name, info, args)
-        if kind in ("reduce", "mask-reduce"):
-            return self._reduce(instr.callee.name, info, args)
-
         mem = self.memory
         if kind == "maskload":
             data_ty = info.function_type.return_type
@@ -623,139 +253,5 @@ class Interpreter:
     def _active_lanes(mask, mask_ty: Type, convention: str | None) -> list[bool]:
         if convention == MASK_SIGN:
             elem = mask_ty.scalar_type
-            return [_sign_active(m, elem) for m in mask]
+            return [sign_active(m, elem) for m in mask]
         return [bool(m) for m in mask]
-
-    _MATH_FNS = {
-        "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
-        "fabs": math.fabs,
-        "exp": lambda x: _safe_exp(x),
-        "log": lambda x: _safe_log(x),
-        "sin": math.sin,
-        "cos": math.cos,
-        "floor": math.floor,
-        "ceil": math.ceil,
-        "pow": lambda x, y: _safe_pow(x, y),
-        "minnum": lambda x, y: _ieee_min(x, y),
-        "maxnum": lambda x, y: _ieee_max(x, y),
-        "copysign": math.copysign,
-    }
-
-    def _math(self, name: str, info: IntrinsicInfo, args: list):
-        op = name.split(".")[1]
-        fn = self._MATH_FNS[op]
-        ty = info.function_type.return_type
-        if isinstance(ty, VectorType):
-            elem_bits = ty.element.bits  # type: ignore[union-attr]
-            if len(args) == 1:
-                out = [fn(x) for x in args[0]]
-            else:
-                out = [fn(x, y) for x, y in zip(args[0], args[1])]
-            if elem_bits == 32:
-                out = [round_f32(x) for x in out]
-            return out
-        r = fn(*args)
-        return round_f32(r) if ty.bits == 32 else r  # type: ignore[union-attr]
-
-    def _reduce(self, name: str, info: IntrinsicInfo, args: list):
-        op = name.split(".")[3]
-        ret = info.function_type.return_type
-        f32 = isinstance(ret, FloatType) and ret.bits == 32
-        if op == "fadd":
-            acc = args[0]
-            for x in args[1]:
-                acc = acc + x
-                if f32:
-                    acc = round_f32(acc)
-            return acc
-        if op == "fmul":
-            acc = args[0]
-            for x in args[1]:
-                acc = acc * x
-                if f32:
-                    acc = round_f32(acc)
-            return acc
-        vec = args[0]
-        if isinstance(ret, IntType):
-            bits = ret.bits
-            if op == "add":
-                return wrap_int(sum(vec), bits)
-            if op == "mul":
-                acc = 1
-                for x in vec:
-                    acc = wrap_int(acc * x, bits)
-                return acc
-            if op == "and":
-                acc = -1 if bits > 1 else 1
-                for x in vec:
-                    acc &= x
-                return wrap_int(acc, bits)
-            if op == "or":
-                acc = 0
-                for x in vec:
-                    acc |= x
-                return wrap_int(acc, bits)
-            if op == "xor":
-                acc = 0
-                for x in vec:
-                    acc ^= x
-                return wrap_int(acc, bits)
-            if op == "smax":
-                return max(vec)
-            if op == "smin":
-                return min(vec)
-            if op == "umax":
-                return wrap_int(max(to_unsigned(x, bits) for x in vec), bits)
-            if op == "umin":
-                return wrap_int(min(to_unsigned(x, bits) for x in vec), bits)
-        if op == "fmax":
-            return _reduce_fminmax(vec, _ieee_max, f32)
-        if op == "fmin":
-            return _reduce_fminmax(vec, _ieee_min, f32)
-        raise InvalidOperation(f"unhandled reduction {name}")
-
-
-def _safe_exp(x: float) -> float:
-    try:
-        return math.exp(x)
-    except OverflowError:
-        return math.inf
-
-
-def _safe_log(x: float) -> float:
-    if x > 0:
-        return math.log(x)
-    if x == 0:
-        return -math.inf
-    return float("nan")
-
-
-def _safe_pow(x: float, y: float) -> float:
-    try:
-        r = math.pow(x, y)
-    except (OverflowError, ValueError):
-        return float("nan") if x < 0 else math.inf
-    return r
-
-
-def _ieee_min(x: float, y: float) -> float:
-    if x != x:
-        return y
-    if y != y:
-        return x
-    return min(x, y)
-
-
-def _ieee_max(x: float, y: float) -> float:
-    if x != x:
-        return y
-    if y != y:
-        return x
-    return max(x, y)
-
-
-def _reduce_fminmax(vec, fn, f32: bool) -> float:
-    acc = vec[0]
-    for x in vec[1:]:
-        acc = fn(acc, x)
-    return round_f32(acc) if f32 else acc

@@ -1,0 +1,396 @@
+"""Pure scalar/lane semantics of the VM, decoupled from the interpreter.
+
+Every function here is a *pure* evaluator over Python values: no interpreter
+state, no memory, no RNG.  Three consumers share them so compile-time and
+run-time semantics can never disagree (a hard requirement for a fault
+injector, where the golden run defines ground truth):
+
+* the :mod:`repro.vm.decode` pre-decoder, which specialises them into
+  per-instruction closures;
+* the :class:`repro.vm.interpreter.Interpreter`, for the handful of paths
+  that are not pre-decoded;
+* the :mod:`repro.passes.constfold` pass, which folds IR with exactly the
+  semantics the VM would produce at run time.
+
+The ``*_fn`` builders return a callable specialised for one (opcode, type)
+pair — the dispatch happens once per static instruction at decode time, not
+once per dynamic instruction at execution time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import ArithmeticTrap, InvalidOperation
+from ..ir.types import FloatType, IntType, PointerType, Type
+from .bits import (
+    bits_to_float,
+    float_to_bits,
+    float_to_int_trunc,
+    float_to_uint_trunc,
+    round_f32,
+    to_unsigned,
+    wrap_int,
+)
+
+
+def sign_active(lane_value, lane_type: Type) -> bool:
+    """x86 mask convention: a lane is active when its sign bit is set."""
+    if isinstance(lane_type, FloatType):
+        return bool(float_to_bits(lane_value, lane_type.bits) >> (lane_type.bits - 1))
+    return lane_value < 0
+
+
+# -- binary arithmetic ---------------------------------------------------------
+
+
+def fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if a != a or a == 0.0:
+            return float("nan")
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.inf * sign
+    return a / b
+
+
+def scalar_binop(op: str, ty: Type, a, b):
+    """One binary operation on scalar operands of IR type ``ty``."""
+    if isinstance(ty, FloatType):
+        if op == "fadd":
+            r = a + b
+        elif op == "fsub":
+            r = a - b
+        elif op == "fmul":
+            r = a * b
+        elif op == "fdiv":
+            r = fdiv(a, b)
+        elif op == "frem":
+            r = (
+                math.fmod(a, b)
+                if b != 0 and not math.isnan(a) and not math.isinf(a)
+                else float("nan")
+            )
+        else:  # pragma: no cover - constructor prevents this
+            raise InvalidOperation(f"bad float op {op}")
+        return round_f32(r) if ty.bits == 32 else r
+
+    bits = ty.bits
+    if op == "add":
+        return wrap_int(a + b, bits)
+    if op == "sub":
+        return wrap_int(a - b, bits)
+    if op == "mul":
+        return wrap_int(a * b, bits)
+    if op == "sdiv":
+        if b == 0:
+            raise ArithmeticTrap("signed division by zero")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        if q > (1 << (bits - 1)) - 1:
+            raise ArithmeticTrap("signed division overflow (INT_MIN / -1)")
+        return wrap_int(q, bits)
+    if op == "srem":
+        if b == 0:
+            raise ArithmeticTrap("signed remainder by zero")
+        r = abs(a) % abs(b)
+        return wrap_int(-r if a < 0 else r, bits)
+    if op == "udiv":
+        if b == 0:
+            raise ArithmeticTrap("unsigned division by zero")
+        return wrap_int(to_unsigned(a, bits) // to_unsigned(b, bits), bits)
+    if op == "urem":
+        if b == 0:
+            raise ArithmeticTrap("unsigned remainder by zero")
+        return wrap_int(to_unsigned(a, bits) % to_unsigned(b, bits), bits)
+    if op == "and":
+        return wrap_int(a & b, bits)
+    if op == "or":
+        return wrap_int(a | b, bits)
+    if op == "xor":
+        return wrap_int(a ^ b, bits)
+    # x86 semantics: the shift count is masked to the operand width.
+    if op == "shl":
+        return wrap_int(a << (b & (bits - 1)), bits)
+    if op == "lshr":
+        return wrap_int(to_unsigned(a, bits) >> (b & (bits - 1)), bits)
+    if op == "ashr":
+        return wrap_int(a >> (b & (bits - 1)), bits)
+    raise InvalidOperation(f"bad int op {op}")  # pragma: no cover
+
+
+def binop_fn(op: str, ty: Type) -> Callable:
+    """A specialised ``(a, b) -> result`` evaluator for one scalar type.
+
+    The common wrap-free (bitwise) and simple-rounding (f32 add/sub/mul)
+    cases get direct lambdas; everything else falls back to
+    :func:`scalar_binop` with the opcode and type pre-bound.
+    """
+    if isinstance(ty, FloatType):
+        if ty.bits == 32:
+            simple = {
+                "fadd": lambda a, b: round_f32(a + b),
+                "fsub": lambda a, b: round_f32(a - b),
+                "fmul": lambda a, b: round_f32(a * b),
+            }.get(op)
+        else:
+            simple = {
+                "fadd": lambda a, b: a + b,
+                "fsub": lambda a, b: a - b,
+                "fmul": lambda a, b: a * b,
+            }.get(op)
+        if simple is not None:
+            return simple
+    elif isinstance(ty, IntType):
+        bits = ty.bits
+        simple = {
+            "add": lambda a, b: wrap_int(a + b, bits),
+            "sub": lambda a, b: wrap_int(a - b, bits),
+            "mul": lambda a, b: wrap_int(a * b, bits),
+            # Bitwise ops on canonical two's-complement values stay in
+            # range; no re-wrap needed.
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: wrap_int(a ^ b, bits),
+        }.get(op)
+        if simple is not None:
+            return simple
+    return lambda a, b, _op=op, _ty=ty: scalar_binop(_op, _ty, a, b)
+
+
+# -- comparisons ---------------------------------------------------------------
+
+
+def scalar_compare(opcode: str, pred: str, ty: Type, a, b) -> bool:
+    if opcode == "icmp":
+        if isinstance(ty, PointerType):
+            ua, ub = a & (2**64 - 1), b & (2**64 - 1)
+        else:
+            ua, ub = to_unsigned(a, ty.bits), to_unsigned(b, ty.bits)
+        return {
+            "eq": a == b,
+            "ne": a != b,
+            "slt": a < b,
+            "sle": a <= b,
+            "sgt": a > b,
+            "sge": a >= b,
+            "ult": ua < ub,
+            "ule": ua <= ub,
+            "ugt": ua > ub,
+            "uge": ua >= ub,
+        }[pred]
+    # fcmp: o* are false on NaN, u* are true on NaN.
+    nan = (a != a) or (b != b)
+    if pred == "ord":
+        return not nan
+    if pred == "uno":
+        return nan
+    ordered = pred.startswith("o")
+    if nan:
+        return not ordered
+    rel = pred[1:]
+    return {
+        "eq": a == b,
+        "ne": a != b,
+        "lt": a < b,
+        "le": a <= b,
+        "gt": a > b,
+        "ge": a >= b,
+    }[rel]
+
+
+_SIGNED_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+
+def compare_fn(opcode: str, pred: str, ty: Type) -> Callable:
+    """A specialised ``(a, b) -> bool`` evaluator for one compare."""
+    if opcode == "icmp":
+        direct = _SIGNED_ICMP.get(pred)
+        if direct is not None:
+            return direct
+    return lambda a, b, _o=opcode, _p=pred, _t=ty: scalar_compare(_o, _p, _t, a, b)
+
+
+# -- casts ---------------------------------------------------------------------
+
+
+def scalar_cast(op: str, src: Type, dst: Type, v):
+    if op == "bitcast":
+        if src.is_pointer() and dst.is_pointer():
+            return v
+        if src.is_integer() and dst.is_float():
+            return bits_to_float(to_unsigned(v, src.bits), dst.bits)
+        if src.is_float() and dst.is_integer():
+            return wrap_int(float_to_bits(v, src.bits), dst.bits)
+        if src.is_integer() and dst.is_integer():
+            return wrap_int(v, dst.bits)
+        if src.is_float() and dst.is_float():
+            return v
+        raise InvalidOperation(f"bad bitcast {src} -> {dst}")
+    if op == "zext":
+        return wrap_int(to_unsigned(v, src.bits), dst.bits)
+    if op == "sext":
+        # i1 is canonicalized as 0/1; its sign-extension is 0/-1.
+        if src.bits == 1:
+            return wrap_int(-v, dst.bits)
+        return wrap_int(v, dst.bits)
+    if op == "trunc":
+        return wrap_int(v, dst.bits)
+    if op == "sitofp":
+        r = float(v)
+        return round_f32(r) if dst.bits == 32 else r
+    if op == "uitofp":
+        r = float(to_unsigned(v, src.bits))
+        return round_f32(r) if dst.bits == 32 else r
+    if op == "fptosi":
+        return float_to_int_trunc(v, dst.bits)
+    if op == "fptoui":
+        return float_to_uint_trunc(v, dst.bits)
+    if op == "fpext":
+        return v
+    if op == "fptrunc":
+        return round_f32(v)
+    if op == "ptrtoint":
+        return wrap_int(v, dst.bits)
+    if op == "inttoptr":
+        return to_unsigned(v, 64)
+    raise InvalidOperation(f"bad cast {op}")  # pragma: no cover
+
+
+def cast_fn(op: str, src: Type, dst: Type) -> Callable:
+    """A specialised ``(v) -> result`` evaluator for one scalar cast."""
+    return lambda v, _o=op, _s=src, _d=dst: scalar_cast(_o, _s, _d, v)
+
+
+# -- math intrinsics -----------------------------------------------------------
+
+
+def _safe_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def _safe_log(x: float) -> float:
+    if x > 0:
+        return math.log(x)
+    if x == 0:
+        return -math.inf
+    return float("nan")
+
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        r = math.pow(x, y)
+    except (OverflowError, ValueError):
+        return float("nan") if x < 0 else math.inf
+    return r
+
+
+def ieee_min(x: float, y: float) -> float:
+    if x != x:
+        return y
+    if y != y:
+        return x
+    return min(x, y)
+
+
+def ieee_max(x: float, y: float) -> float:
+    if x != x:
+        return y
+    if y != y:
+        return x
+    return max(x, y)
+
+
+MATH_FNS = {
+    "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+    "fabs": math.fabs,
+    "exp": _safe_exp,
+    "log": _safe_log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "pow": _safe_pow,
+    "minnum": ieee_min,
+    "maxnum": ieee_max,
+    "copysign": math.copysign,
+}
+
+
+# -- reductions ----------------------------------------------------------------
+
+
+def _reduce_fminmax(vec, fn, f32: bool) -> float:
+    acc = vec[0]
+    for x in vec[1:]:
+        acc = fn(acc, x)
+    return round_f32(acc) if f32 else acc
+
+
+def reduce_intrinsic(name: str, ret: Type, args: list):
+    """Evaluate a ``llvm.vector.reduce.*`` intrinsic."""
+    op = name.split(".")[3]
+    f32 = isinstance(ret, FloatType) and ret.bits == 32
+    if op == "fadd":
+        acc = args[0]
+        for x in args[1]:
+            acc = acc + x
+            if f32:
+                acc = round_f32(acc)
+        return acc
+    if op == "fmul":
+        acc = args[0]
+        for x in args[1]:
+            acc = acc * x
+            if f32:
+                acc = round_f32(acc)
+        return acc
+    vec = args[0]
+    if isinstance(ret, IntType):
+        bits = ret.bits
+        if op == "add":
+            return wrap_int(sum(vec), bits)
+        if op == "mul":
+            acc = 1
+            for x in vec:
+                acc = wrap_int(acc * x, bits)
+            return acc
+        if op == "and":
+            acc = -1 if bits > 1 else 1
+            for x in vec:
+                acc &= x
+            return wrap_int(acc, bits)
+        if op == "or":
+            acc = 0
+            for x in vec:
+                acc |= x
+            return wrap_int(acc, bits)
+        if op == "xor":
+            acc = 0
+            for x in vec:
+                acc ^= x
+            return wrap_int(acc, bits)
+        if op == "smax":
+            return max(vec)
+        if op == "smin":
+            return min(vec)
+        if op == "umax":
+            return wrap_int(max(to_unsigned(x, bits) for x in vec), bits)
+        if op == "umin":
+            return wrap_int(min(to_unsigned(x, bits) for x in vec), bits)
+    if op == "fmax":
+        return _reduce_fminmax(vec, ieee_max, f32)
+    if op == "fmin":
+        return _reduce_fminmax(vec, ieee_min, f32)
+    raise InvalidOperation(f"unhandled reduction {name}")

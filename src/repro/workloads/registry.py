@@ -64,9 +64,28 @@ class Workload:
             self._module_cache[key] = module
         return module
 
+    def build_runner(self, params: dict) -> Callable[[Interpreter], dict]:
+        """Build a runner that remembers its input.
+
+        The returned runner carries ``params`` (so a parallel worker can
+        rebuild it from a pickled schedule entry) and a hashable
+        ``input_key`` identifying the input instance (so the engine's golden
+        cache can memoize the golden run per distinct input).  Inputs with
+        unhashable parameter values get ``input_key = None`` — still
+        runnable, just never cached.
+        """
+        runner = self.make_runner(params)
+        runner.params = dict(params)
+        try:
+            runner.input_key = (self.name, tuple(sorted(params.items())))
+            hash(runner.input_key)
+        except TypeError:
+            runner.input_key = None
+        return runner
+
     def runner_factory(self) -> Callable[[Random], Callable[[Interpreter], dict]]:
         def factory(rng: Random):
-            return self.make_runner(self.sample_input(rng))
+            return self.build_runner(self.sample_input(rng))
 
         return factory
 
@@ -93,6 +112,16 @@ def get_workload(name: str) -> Workload:
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+
+
+def build_runner(name: str, params: dict):
+    """Module-level :meth:`Workload.build_runner` by workload name.
+
+    Picklable via ``functools.partial(build_runner, name)`` — this is the
+    ``make_runner`` callable a :class:`~repro.core.parallel.WorkerContext`
+    ships to worker processes.
+    """
+    return get_workload(name).build_runner(params)
 
 
 def all_workloads(suite: str | None = None) -> list[Workload]:

@@ -1,0 +1,128 @@
+"""Golden-run memoization: one golden execution per distinct input key."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignStats, FaultInjector, GoldenCache, GoldenRun, Outcome
+from repro.frontend import compile_source
+from repro.ir.types import I32
+from repro.vm import Interpreter
+
+KERNEL = """
+export void k(uniform int a[], uniform int b[], uniform int n) {
+    foreach (i = 0 ... n) { b[i] = a[i] * 3 + 1; }
+}
+"""
+
+
+def counting_runner(n=13, seed=0, input_key="default"):
+    """A runner that counts how many times it actually executes."""
+    data = np.random.default_rng(seed).integers(-50, 50, n).astype(np.int32)
+    calls = {"count": 0}
+
+    def runner(vm):
+        calls["count"] += 1
+        pa = vm.memory.store_array(I32, data, "a")
+        pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32), "b")
+        vm.run("k", [pa, pb, n])
+        return {"b": vm.memory.load_array(I32, pb, n)}
+
+    runner.input_key = input_key
+    runner.calls = calls
+    return runner
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_source(KERNEL, "avx")
+
+
+class TestGoldenCacheUnit:
+    def test_lru_eviction(self):
+        cache = GoldenCache(maxsize=2)
+        g = lambda: GoldenRun(output={}, dynamic_sites=1, dynamic_instructions=1, detector_fired=False)
+        cache.put("a", g())
+        cache.put("b", g())
+        assert cache.get("a") is not None  # refreshes "a"
+        cache.put("c", g())  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self):
+        cache = GoldenCache()
+        assert cache.get("x") is None
+        cache.put("x", GoldenRun(output={}, dynamic_sites=1, dynamic_instructions=1, detector_fired=False))
+        assert cache.get("x") is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+
+class TestCachedGolden:
+    def test_same_key_executes_once(self, module):
+        injector = FaultInjector(module)
+        runner = counting_runner(input_key=("k", 13, 0))
+        rng = Random(3)
+        stats = CampaignStats()
+        for _ in range(20):
+            stats.add(injector.experiment(runner, rng))
+        # 20 faulty runs + exactly one golden execution.
+        assert runner.calls["count"] == 21
+        assert stats.total == 20
+        assert injector.golden_cache.hits == 19
+        assert injector.golden_cache.misses == 1
+
+    def test_distinct_keys_get_distinct_goldens(self, module):
+        injector = FaultInjector(module)
+        a = counting_runner(seed=1, input_key=("k", "a"))
+        b = counting_runner(seed=2, input_key=("k", "b"))
+        ga = injector.cached_golden(a)
+        gb = injector.cached_golden(b)
+        assert ga is not gb
+        assert not np.array_equal(ga.output["b"], gb.output["b"])
+        # Each replays from the cache afterwards.
+        assert injector.cached_golden(a) is ga
+        assert injector.cached_golden(b) is gb
+        assert a.calls["count"] == 1 and b.calls["count"] == 1
+
+    def test_keyless_runner_always_executes(self, module):
+        injector = FaultInjector(module)
+        runner = counting_runner(input_key=None)
+        injector.cached_golden(runner)
+        injector.cached_golden(runner)
+        assert runner.calls["count"] == 2
+        assert len(injector.golden_cache) == 0
+
+    def test_detector_fired_golden_never_cached(self, module):
+        injector = FaultInjector(module)
+        runner = counting_runner(input_key=("k", "tainted"))
+
+        def firing_factory():
+            return {}, lambda: True
+
+        golden = injector.cached_golden(runner, bindings_factory=firing_factory)
+        assert golden.detector_fired
+        assert len(injector.golden_cache) == 0
+        # The taint is re-observed (and re-raised by experiment) every time,
+        # never masked by a cache entry.
+        golden2 = injector.cached_golden(runner, bindings_factory=firing_factory)
+        assert golden2.detector_fired
+        assert runner.calls["count"] == 2
+
+    def test_cached_golden_preserves_outcomes(self, module):
+        """Same seed, cache on (keyed) vs off (keyless): identical results."""
+        keyed = counting_runner(input_key=("k", "x"))
+        keyless = counting_runner(input_key=None)
+        outcomes = []
+        for runner in (keyed, keyless):
+            injector = FaultInjector(module)
+            rng = Random(11)
+            outcomes.append(
+                [injector.experiment(runner, rng).outcome for _ in range(30)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert any(o is not Outcome.BENIGN for o in outcomes[0])

@@ -1,0 +1,162 @@
+"""Deterministic parallel campaigns and CampaignStats aggregation."""
+
+import functools
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.core import (
+    CampaignConfig,
+    CampaignStats,
+    ExperimentResult,
+    FaultInjector,
+    Outcome,
+    WorkerContext,
+    run_batch,
+    run_campaigns,
+)
+from repro.errors import InjectionError
+from repro.workloads import get_workload
+from repro.workloads.registry import build_runner
+
+#: Small but non-trivial: 2 campaigns x 25 experiments, no early convergence.
+_CONFIG = CampaignConfig(
+    experiments_per_campaign=25,
+    max_campaigns=2,
+    min_campaigns=2,
+    require_normality=False,
+    margin_target=0.0,
+)
+
+
+def _result(outcome, detected=False, crash_kind=None):
+    return ExperimentResult(
+        outcome=outcome,
+        detected=detected,
+        crash_kind=crash_kind,
+        injection=None,
+        dynamic_sites=1,
+        target_index=1,
+    )
+
+
+class TestCampaignStats:
+    def test_crash_kinds_is_counter(self):
+        stats = CampaignStats()
+        stats.add(_result(Outcome.CRASH, crash_kind="segfault"))
+        stats.add(_result(Outcome.CRASH, crash_kind="segfault"))
+        stats.add(_result(Outcome.CRASH))  # kind unknown
+        assert isinstance(stats.crash_kinds, Counter)
+        assert stats.crash_kinds == {"segfault": 2, "unknown": 1}
+        # Counter semantics: absent kinds read as 0 instead of raising.
+        assert stats.crash_kinds["step-limit"] == 0
+
+    def test_merge(self):
+        a = CampaignStats()
+        a.add(_result(Outcome.SDC, detected=True))
+        a.add(_result(Outcome.BENIGN))
+        a.add(_result(Outcome.CRASH, crash_kind="segfault"))
+        b = CampaignStats()
+        b.add(_result(Outcome.SDC))
+        b.add(_result(Outcome.CRASH, crash_kind="segfault"))
+        b.add(_result(Outcome.CRASH, detected=True, crash_kind="step-limit"))
+
+        merged = a.merge(b)
+        assert merged is a
+        assert (a.sdc, a.benign, a.crash) == (2, 1, 3)
+        assert a.detected_sdc == 1
+        assert a.detected_total == 2
+        assert a.crash_kinds == {"segfault": 2, "step-limit": 1}
+        # b is untouched.
+        assert (b.sdc, b.benign, b.crash) == (1, 0, 2)
+
+    def test_merge_empty_is_identity(self):
+        a = CampaignStats()
+        a.add(_result(Outcome.SDC))
+        before = (a.sdc, a.benign, a.crash, dict(a.crash_kinds))
+        a.merge(CampaignStats())
+        assert (a.sdc, a.benign, a.crash, dict(a.crash_kinds)) == before
+
+
+def _summary_fingerprint(summary):
+    return (
+        [(c.sdc, c.benign, c.crash, c.detected_total, dict(c.crash_kinds))
+         for c in summary.campaigns],
+        (summary.totals.sdc, summary.totals.benign, summary.totals.crash),
+        summary.converged,
+    )
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = get_workload("vector_sum")
+        module = workload.compile("avx")
+        return workload, module
+
+    def _run(self, setup, jobs):
+        workload, module = setup
+        injector = FaultInjector(module, category="all", step_limit=500_000)
+        worker_context = None
+        if jobs > 1:
+            worker_context = WorkerContext(
+                injector=injector.worker_payload(),
+                make_runner=functools.partial(build_runner, workload.name),
+            )
+        return run_campaigns(
+            injector,
+            workload.runner_factory(),
+            _CONFIG,
+            seed=7,
+            jobs=jobs,
+            worker_context=worker_context,
+        )
+
+    def test_serial_vs_parallel_identical(self, setup):
+        serial = self._run(setup, jobs=1)
+        parallel = self._run(setup, jobs=4)
+        assert _summary_fingerprint(serial) == _summary_fingerprint(parallel)
+        # The mini-campaign must exercise every outcome class for this to be
+        # a meaningful determinism check.
+        assert serial.totals.sdc > 0
+        assert serial.totals.benign > 0
+        assert serial.totals.crash > 0
+
+    def test_run_batch_serial_vs_parallel(self, setup):
+        workload, module = setup
+
+        def batch(jobs):
+            injector = FaultInjector(module, category="all", step_limit=500_000)
+            ctx = None
+            if jobs > 1:
+                ctx = WorkerContext(
+                    injector=injector.worker_payload(),
+                    make_runner=functools.partial(build_runner, workload.name),
+                )
+            return run_batch(
+                injector, workload.runner_factory(), 30, Random(5),
+                jobs=jobs, worker_context=ctx,
+            )
+
+        a, b = batch(1), batch(2)
+        assert (a.sdc, a.benign, a.crash) == (b.sdc, b.benign, b.crash)
+        assert a.crash_kinds == b.crash_kinds
+
+    def test_jobs_without_context_rejected(self, setup):
+        workload, module = setup
+        injector = FaultInjector(module)
+        with pytest.raises(ValueError, match="worker_context"):
+            run_campaigns(
+                injector, workload.runner_factory(), _CONFIG, seed=7, jobs=2
+            )
+
+    def test_uncloned_injector_has_no_worker_payload(self, setup):
+        workload, module = setup
+        # clone=False instruments the given module in place; use a throwaway
+        # clone so the shared fixture module stays pristine.
+        from repro.ir.clone import clone_module
+
+        injector = FaultInjector(clone_module(module), clone=False)
+        with pytest.raises(InjectionError, match="clone=True"):
+            injector.worker_payload()
