@@ -2,9 +2,19 @@
 
 Times the fixed seeded mini-campaign from :mod:`repro.experiments.perf`
 (vector_sum, seed 7, 4x50 experiments, unique- and pooled-input regimes)
-and writes ``BENCH_campaign.json`` next to the repo root: the pre-
-optimization baselines frozen in ``perf.BASELINE`` plus this run's numbers
-and speedups, so throughput history lives in-tree.
+for **both** injection engines and writes ``BENCH_campaign.json`` next to
+the repo root: the pre-optimization baselines frozen in ``perf.BASELINE``
+plus this run's per-engine numbers, speedups, and the faulty-run-only
+timing split, so throughput history lives in-tree.
+
+The contract has three parts:
+
+* outcome totals stay byte-identical to the seed-commit numbers — for
+  *both* engines (the direct engine's bit-identical-to-instrumented claim,
+  measured end to end);
+* the default (direct) engine stays >= 3x over the seed-commit baseline;
+* the direct engine's faulty runs are >= 2x faster than the instrumented
+  engine's (the point of folding sites into the decoder).
 
 Marked ``slow`` and excluded from tier-1 (``testpaths = ["tests"]``); run
 with::
@@ -28,14 +38,26 @@ def test_campaign_throughput():
     out = _REPO_ROOT / "BENCH_campaign.json"
     out.write_text(json.dumps(results, indent=2, default=list) + "\n")
 
+    for engine, regimes in results["engines"].items():
+        for regime, cell in regimes.items():
+            # Outcome counts are the correctness half of the contract: a
+            # faster engine that drifts from the seed-commit numbers (or an
+            # engine pair that disagrees) is a bug.
+            assert tuple(cell["totals"]) == EXPECTED_TOTALS[regime], (
+                f"{engine}/{regime}: totals {cell['totals']} != frozen "
+                f"{EXPECTED_TOTALS[regime]}"
+            )
+
     for regime, cell in results["regimes"].items():
-        # Outcome counts are the correctness half of the contract: a faster
-        # engine that drifts from the seed-commit numbers is a bug.
-        assert tuple(cell["totals"]) == EXPECTED_TOTALS[regime], (
-            f"{regime}: totals {cell['totals']} != frozen "
-            f"{EXPECTED_TOTALS[regime]}"
-        )
+        assert cell["engine"] == "direct"
         assert cell["speedup"] >= 3.0, (
             f"{regime}: {cell['speedup']:.2f}x over the {cell['baseline_seconds']}s "
             f"baseline is below the 3x floor (took {cell['seconds']:.3f}s)"
+        )
+
+    for regime, cell in results["direct_vs_instrumented"].items():
+        assert cell["faulty_seconds"] >= 2.0, (
+            f"{regime}: direct engine faulty runs only "
+            f"{cell['faulty_seconds']:.2f}x faster than instrumented "
+            "(>= 2x required)"
         )

@@ -14,8 +14,15 @@ from .campaign import (
     run_campaigns,
 )
 from .classify import ADDRESS, CONTROL, PURE_DATA, classify_instruction
-from .injector import FaultInjector, GoldenCache, GoldenRun, clone_module
-from .parallel import ExperimentPool, ScheduledExperiment, WorkerContext
+from .direct import build_injection_plan, chain_tax
+from .injector import ENGINES, FaultInjector, GoldenCache, GoldenRun, clone_module
+from .parallel import (
+    DEFAULT_CHUNKSIZE,
+    ExperimentPool,
+    ScheduledExperiment,
+    SweepPool,
+    WorkerContext,
+)
 from .instrument import Instrumentor, instrument_module
 from .outcomes import ExperimentResult, Outcome, outputs_equal, values_equal
 from .runtime import (
@@ -43,13 +50,18 @@ __all__ = [
     "run_batch",
     "run_campaigns",
     "GoldenCache",
+    "DEFAULT_CHUNKSIZE",
     "ExperimentPool",
     "ScheduledExperiment",
+    "SweepPool",
     "WorkerContext",
     "ADDRESS",
     "CONTROL",
     "PURE_DATA",
     "classify_instruction",
+    "build_injection_plan",
+    "chain_tax",
+    "ENGINES",
     "FaultInjector",
     "GoldenRun",
     "clone_module",

@@ -150,20 +150,28 @@ def run_batch(
     bindings_factory: BindingsFactory | None = None,
     jobs: int = 1,
     worker_context: WorkerContext | None = None,
+    pool=None,
 ) -> CampaignStats:
     """Run ``count`` experiments into one :class:`CampaignStats` block.
 
     The flat (no convergence loop) driver used by the Fig. 12 detector
     study; honors the same serial/parallel split as :func:`run_campaigns`.
+    An externally owned ``pool`` (e.g. a :class:`SweepPool` cell view)
+    takes precedence over spawning one here and is left open on return.
     """
     stats = CampaignStats()
-    if jobs > 1 and worker_context is not None:
-        with ExperimentPool(jobs, worker_context) as pool:
+    if pool is not None:
+        for result in _campaign_results_parallel(
+            injector, runner_factory, count, rng, bindings_factory, pool
+        ):
+            stats.add(result)
+    elif jobs > 1 and worker_context is not None:
+        with ExperimentPool(jobs, worker_context) as own_pool:
             for result in _campaign_results_parallel(
-                injector, runner_factory, count, rng, bindings_factory, pool
+                injector, runner_factory, count, rng, bindings_factory, own_pool
             ):
                 stats.add(result)
-            pool.close()
+            own_pool.close()
     else:
         for result in _campaign_results_serial(
             injector, runner_factory, count, rng, bindings_factory
@@ -180,13 +188,17 @@ def run_campaigns(
     bindings_factory: BindingsFactory | None = None,
     jobs: int = 1,
     worker_context: WorkerContext | None = None,
+    pool=None,
 ) -> CampaignSummary:
     """Run fault-injection campaigns to statistical convergence.
 
     ``runner_factory(rng)`` must return a *deterministic* runner for a
     randomly drawn input (the rng is only used for the draw).  With
     ``jobs > 1`` a ``worker_context`` is required; the summary is then
-    bit-identical to ``jobs=1`` with the same seed.
+    bit-identical to ``jobs=1`` with the same seed.  An externally owned
+    ``pool`` (e.g. a :class:`~repro.core.parallel.SweepPool` cell view)
+    takes precedence and is left open on return — sweeps share one pool
+    across all their cells instead of re-forking per cell.
     """
     config = config or CampaignConfig()
     rng = Random(seed)
@@ -195,14 +207,15 @@ def run_campaigns(
     sdc_samples: list[float] = []
     converged = False
 
-    pool: ExperimentPool | None = None
-    if jobs > 1:
+    owns_pool = False
+    if pool is None and jobs > 1:
         if worker_context is None:
             raise ValueError(
                 "run_campaigns(jobs>1) needs a worker_context; build one via "
                 "experiments.common.campaign_worker_context or core.parallel"
             )
         pool = ExperimentPool(jobs, worker_context)
+        owns_pool = True
 
     try:
         while len(campaigns) < config.max_campaigns:
@@ -237,7 +250,7 @@ def run_campaigns(
                     converged = True
                     break
     finally:
-        if pool is not None:
+        if owns_pool:
             pool.close()
 
     benign_samples = [c.rate("benign") for c in campaigns]

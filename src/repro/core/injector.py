@@ -13,10 +13,23 @@ One *experiment*:
    if the output differs from the golden run, Benign otherwise; record
    whether any inserted detector fired.
 
-The engine instruments a structural *clone* of the module (meta-preserving,
-see :mod:`repro.ir.clone`), so the caller's IR is never mutated and one engine can serve thousands of
-experiments — the instrumented module is reusable because all mutable
-injection state lives in the per-run :class:`~repro.core.runtime.FaultRuntime`.
+Two execution engines implement the protocol, selected by ``engine=``:
+
+* ``"direct"`` (default) — fault sites are folded into the decoded program
+  of the *pristine* module (:mod:`repro.core.direct`): no clone, no IR
+  rewriting, no interpreted injection chains.  Bit-identical to the
+  instrumented engine — same site ids, dynamic-site order, RNG stream,
+  records, crash behaviour, and dynamic-instruction totals — and much
+  faster, because each dynamic site costs one closure call instead of
+  several interpreted instructions.
+* ``"instrumented"`` — VULFI's actual mechanism: instrument a structural
+  *clone* of the module (meta-preserving, see :mod:`repro.ir.clone`) with
+  ``injectFault<Ty>Ty`` calls.  Kept as the reference semantics (the
+  differential oracle for the direct engine) and for IR-level studies.
+
+Either way the caller's IR is never mutated and one engine can serve
+thousands of experiments — all mutable injection state lives in the
+per-run :class:`~repro.core.runtime.FaultRuntime`.
 """
 
 from __future__ import annotations
@@ -30,10 +43,14 @@ from ..errors import InjectionError, VMTrap
 from ..ir.clone import clone_module
 from ..ir.module import Module
 from ..vm.interpreter import DEFAULT_STEP_LIMIT, Interpreter
+from .direct import build_injection_plan
 from .instrument import instrument_module
 from .outcomes import ExperimentResult, Outcome, outputs_equal
 from .runtime import FaultRuntime, MODE_COUNT, MODE_INJECT
 from .sites import StaticSite, enumerate_module_sites, filter_sites
+
+#: Execution engines implementing the two-execution protocol.
+ENGINES = ("direct", "instrumented")
 
 #: A runner drives one complete program execution against a fresh
 #: interpreter (allocate inputs, call the kernel, gather outputs) and must
@@ -101,7 +118,7 @@ class GoldenCache:
 
 
 class FaultInjector:
-    """Instruments a module once and runs experiments against it."""
+    """Builds one execution engine for a module and runs experiments on it."""
 
     def __init__(
         self,
@@ -112,26 +129,48 @@ class FaultInjector:
         clone: bool = True,
         respect_masks: bool = True,
         golden_cache_size: int = 1024,
+        engine: str = "direct",
     ):
+        if engine not in ENGINES:
+            raise InjectionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
         self.category = category
         self.functions = functions
         self.step_limit = step_limit
         self.respect_masks = respect_masks
         #: The caller's pristine module — what a parallel worker needs to
-        #: rebuild this injector (instrumentation is deterministic, so the
-        #: rebuilt engine enumerates identical site ids).
+        #: rebuild this injector (site enumeration and instrumentation are
+        #: deterministic, so the rebuilt engine enumerates identical ids).
         self.source_module = module
-        self._cloned = clone
-        self.module = clone_module(module) if clone else module
-        all_sites = enumerate_module_sites(self.module, functions)
-        self.sites: list[StaticSite] = filter_sites(all_sites, category)
-        if not self.sites:
-            raise InjectionError(
-                f"no fault sites in category {category!r}"
+        if engine == "direct":
+            # The direct engine never mutates IR: enumerate sites on the
+            # pristine module itself and fold them into the decoded program.
+            self._cloned = True
+            self.module = module
+            self.sites = self._enumerate(self.module)
+            self._plan = build_injection_plan(
+                self.sites, respect_masks=respect_masks
             )
-        instrument_module(self.module, self.sites, respect_masks=respect_masks)
+        else:
+            self._cloned = clone
+            self.module = clone_module(module) if clone else module
+            self.sites = self._enumerate(self.module)
+            self._plan = None
+            instrument_module(self.module, self.sites, respect_masks=respect_masks)
         self._site_by_id = {s.site_id: s for s in self.sites}
         self.golden_cache = GoldenCache(maxsize=golden_cache_size)
+
+    def _enumerate(self, module: Module) -> list[StaticSite]:
+        sites = filter_sites(
+            enumerate_module_sites(module, self.functions), self.category
+        )
+        if not sites:
+            raise InjectionError(
+                f"no fault sites in category {self.category!r}"
+            )
+        return sites
 
     def worker_payload(self) -> dict:
         """Constructor kwargs for rebuilding this injector in a worker."""
@@ -147,6 +186,7 @@ class FaultInjector:
             "functions": self.functions,
             "step_limit": self.step_limit,
             "respect_masks": self.respect_masks,
+            "engine": self.engine,
         }
 
     # -- execution ------------------------------------------------------------
@@ -156,8 +196,14 @@ class FaultInjector:
         fault_runtime: FaultRuntime,
         bindings_factory: BindingsFactory | None,
     ) -> tuple[Interpreter, Callable[[], bool]]:
-        vm = Interpreter(self.module, step_limit=self.step_limit)
-        vm.bind_all(fault_runtime.bindings())
+        vm = Interpreter(
+            self.module, step_limit=self.step_limit, plan=self._plan
+        )
+        if self._plan is not None:
+            vm.fault_entries = fault_runtime.entries()
+            vm.fault_spans = fault_runtime.spans()
+        else:
+            vm.bind_all(fault_runtime.bindings())
         fired: Callable[[], bool] = lambda: False
         if bindings_factory is not None:
             extra, fired = bindings_factory()

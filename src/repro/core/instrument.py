@@ -28,8 +28,6 @@ themselves enumerated as fault sites.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from ..errors import InjectionError
 from ..ir.builder import IRBuilder
 from ..ir.instructions import Call, Instruction, Store
@@ -38,7 +36,7 @@ from ..ir.module import Module
 from ..ir.types import I32, I64, PointerType, Type, pointer, vector
 from ..ir.values import Value, const_int
 from .runtime import api_name_for, declare_api
-from .sites import MaskSpec, StaticSite
+from .sites import MaskSpec, StaticSite, assign_site_ids
 
 
 class Instrumentor:
@@ -56,22 +54,14 @@ class Instrumentor:
         self.module = module
         self.respect_masks = respect_masks
         declare_api(module)
-        self._next_id = 0
 
     # -- public -----------------------------------------------------------------
 
     def instrument(self, sites: list[StaticSite]) -> list[StaticSite]:
         # Group the per-lane sites of one register so the whole vector is
-        # cloned once, lanes in order (Fig. 4).
-        groups: dict[tuple[int, int | None], list[StaticSite]] = defaultdict(list)
-        order: list[tuple[int, int | None]] = []
-        for site in sites:
-            key = (id(site.instr), site.operand_index)
-            if key not in groups:
-                order.append(key)
-            groups[key].append(site)
-        for key in order:
-            group = sorted(groups[key], key=lambda s: (s.lane is not None, s.lane or 0))
+        # cloned once, lanes in order (Fig. 4).  Ids come from the shared
+        # assignment so the direct engine's plan enumerates the same ones.
+        for group in assign_site_ids(sites):
             self._instrument_group(group)
         return sites
 
@@ -131,9 +121,6 @@ class Instrumentor:
         instr = first.instr
         if instr.parent is None:
             raise InjectionError("cannot instrument a detached instruction")
-        for site in group:
-            site.site_id = self._next_id
-            self._next_id += 1
 
         b = IRBuilder()
         if first.targets_store_value:

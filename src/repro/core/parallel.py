@@ -55,9 +55,20 @@ class ScheduledExperiment:
     golden_dynamic_instructions: int
 
 
+#: Tasks shipped per pickle round-trip.  Faulty runs take milliseconds, so
+#: one-task batches leave workers starved on IPC; a small constant batch
+#: keeps the pipeline full without delaying the in-order result stream.
+DEFAULT_CHUNKSIZE = 4
+
 _worker_injector: FaultInjector | None = None
 _worker_context: WorkerContext | None = None
 _worker_bindings_factory: BindingsFactory | None = None
+
+#: Sweep-mode worker state: every cell's context ships at pool init, but a
+#: worker only pays injector construction for the cells it actually serves.
+_sweep_contexts: dict | None = None
+_sweep_injectors: dict = {}
+_sweep_factories: dict = {}
 
 
 def _init_worker(context: WorkerContext) -> None:
@@ -71,22 +82,46 @@ def _init_worker(context: WorkerContext) -> None:
     )
 
 
-def _run_scheduled(task: ScheduledExperiment) -> ExperimentResult:
-    assert _worker_injector is not None and _worker_context is not None
-    runner = _worker_context.make_runner(task.params)
+def _run_task(context, injector, bindings_factory, task) -> ExperimentResult:
+    runner = context.make_runner(task.params)
     golden = GoldenRun(
         output=task.golden_output,
         dynamic_sites=task.dynamic_sites,
         dynamic_instructions=task.golden_dynamic_instructions,
         detector_fired=False,
     )
-    return _worker_injector.faulty(
-        runner,
-        golden,
-        task.k,
-        bit=task.bit,
-        bindings_factory=_worker_bindings_factory,
+    return injector.faulty(
+        runner, golden, task.k, bit=task.bit, bindings_factory=bindings_factory
     )
+
+
+def _run_scheduled(task: ScheduledExperiment) -> ExperimentResult:
+    assert _worker_injector is not None and _worker_context is not None
+    return _run_task(
+        _worker_context, _worker_injector, _worker_bindings_factory, task
+    )
+
+
+def _init_sweep_worker(contexts: dict) -> None:
+    global _sweep_contexts
+    _sweep_contexts = contexts
+    _sweep_injectors.clear()
+    _sweep_factories.clear()
+
+
+def _run_sweep_scheduled(keyed_task) -> ExperimentResult:
+    key, task = keyed_task
+    assert _sweep_contexts is not None
+    context = _sweep_contexts[key]
+    injector = _sweep_injectors.get(key)
+    if injector is None:
+        injector = _sweep_injectors[key] = FaultInjector(**context.injector)
+        _sweep_factories[key] = (
+            context.bindings_factory_maker()
+            if context.bindings_factory_maker is not None
+            else None
+        )
+    return _run_task(context, injector, _sweep_factories[key], task)
 
 
 class ExperimentPool:
@@ -103,8 +138,8 @@ class ExperimentPool:
             processes=jobs, initializer=_init_worker, initargs=(context,)
         )
 
-    def imap(self, schedule):
-        return self._pool.imap(_run_scheduled, schedule)
+    def imap(self, schedule, chunksize: int = DEFAULT_CHUNKSIZE):
+        return self._pool.imap(_run_scheduled, schedule, chunksize)
 
     def close(self) -> None:
         self._pool.close()
@@ -116,6 +151,58 @@ class ExperimentPool:
     def __exit__(self, *exc) -> None:
         self._pool.terminate()
         self._pool.join()
+
+
+class SweepPool:
+    """One worker pool shared by every cell of an experiment sweep.
+
+    Fig. 11 runs dozens of (benchmark, ISA, category) cells; spawning a
+    fresh pool per cell pays fork + module-pickle + injector-build dozens
+    of times over.  A sweep pool forks *once* with all cells' contexts, and
+    each worker lazily builds injectors only for the cells whose tasks it
+    actually receives.  :meth:`cell` returns a view that campaign drivers
+    use exactly like an :class:`ExperimentPool` (closing the view is a
+    no-op — the sweep owns the processes).
+    """
+
+    def __init__(self, jobs: int, contexts: dict):
+        self.jobs = jobs
+        self._pool = multiprocessing.get_context().Pool(
+            processes=jobs, initializer=_init_sweep_worker, initargs=(contexts,)
+        )
+
+    def cell(self, key) -> "SweepCell":
+        return SweepCell(self, key)
+
+    def imap_keyed(self, key, schedule, chunksize: int = DEFAULT_CHUNKSIZE):
+        return self._pool.imap(
+            _run_sweep_scheduled, ((key, task) for task in schedule), chunksize
+        )
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+
+class SweepCell:
+    """One cell's pool-compatible view of a :class:`SweepPool`."""
+
+    def __init__(self, pool: SweepPool, key):
+        self._pool = pool
+        self.key = key
+
+    def imap(self, schedule, chunksize: int = DEFAULT_CHUNKSIZE):
+        return self._pool.imap_keyed(self.key, schedule, chunksize)
+
+    def close(self) -> None:
+        """No-op: the owning :class:`SweepPool` manages worker lifetime."""
 
 
 def make_schedule_entry(

@@ -38,6 +38,10 @@ API = {
     "injectFaultDoubleTy": (F64, 64, True),
 }
 
+#: Entry-point name -> position in :meth:`FaultRuntime.entries`.  The direct
+#: execution engine dispatches on these small integers instead of names.
+ENTRY_INDEX = {name: index for index, name in enumerate(API)}
+
 
 def api_name_for(scalar_type) -> str:
     """Runtime entry point for a scalar IR type (pointers go via i64)."""
@@ -128,32 +132,36 @@ class FaultRuntime:
     # -- entry point factory ---------------------------------------------------
 
     def _entry(self, bits: int, is_float: bool, type_name: str):
+        # Hoist every per-call attribute lookup into closure locals: this
+        # closure runs once per dynamic fault site, which for category="all"
+        # campaigns means once per executed instruction lane.  Mode, targets,
+        # and the bit policy are frozen at construction, so nothing here can
+        # go stale.
         widths = self.site_widths
+        injecting = self.mode == MODE_INJECT
+        targets = self.targets
+        fixed_bit = self.fixed_bit
+        rng = self.rng
+        records = self.records
+        flip = flip_bit_float if is_float else flip_bit_int
 
         def inject(value, active, site_id):
             if not active:
                 return value
-            self.dynamic_count += 1
+            count = self.dynamic_count + 1
+            self.dynamic_count = count
             if widths is not None:
                 widths.append(bits)
-            if self.mode == MODE_INJECT and self.dynamic_count in self.targets:
+            if injecting and count in targets:
                 # A fixed bit position wraps modulo the value's width so bit
                 # sweeps remain well-defined when a site is narrower (an i1
                 # mask lane during an f32 sweep, say).
-                bit = (
-                    self.fixed_bit % bits
-                    if self.fixed_bit is not None
-                    else self.rng.randrange(bits)
-                )
-                corrupted = (
-                    flip_bit_float(value, bit, bits)
-                    if is_float
-                    else flip_bit_int(value, bit, bits)
-                )
-                self.records.append(
+                bit = fixed_bit % bits if fixed_bit is not None else rng.randrange(bits)
+                corrupted = flip(value, bit, bits)
+                records.append(
                     InjectionRecord(
                         site_id=site_id,
-                        dynamic_index=self.dynamic_count,
+                        dynamic_index=count,
                         bit=bit,
                         type_name=type_name,
                         original=value,
@@ -165,11 +173,62 @@ class FaultRuntime:
 
         return inject
 
+    def _span_entry(self, bits: int):
+        # The batched counterpart of :meth:`_entry`: advance the dynamic-site
+        # counter over ``n`` consecutive *active* same-width sites in one
+        # call.  Returns False — without consuming anything — when a target
+        # index falls inside the span; the caller then replays those sites
+        # through the per-lane entry points so the injection (and its RNG
+        # draw) happens at exactly the site it would have under per-lane
+        # dispatch.
+        widths = self.site_widths
+        record_widths = widths.extend if widths is not None else None
+        targets = self.targets  # empty in count mode
+        byte = bytes((bits,))
+
+        def span(n):
+            count = self.dynamic_count
+            if targets:
+                hi = count + n
+                for t in targets:
+                    if count < t <= hi:
+                        return False
+            self.dynamic_count = count + n
+            if record_widths is not None:
+                record_widths(byte * n)
+            return True
+
+        return span
+
     def bindings(self) -> dict:
         return {
             name: self._entry(bits, is_float, name.replace("injectFault", "").replace("Ty", ""))
             for name, (_ty, bits, is_float) in API.items()
         }
+
+    def entries(self) -> tuple:
+        """The API entry points as a tuple indexed by :data:`ENTRY_INDEX`.
+
+        The direct engine's decoded closures call these directly — same
+        counting, RNG draws, and records as the named bindings, minus the
+        name lookup and the interpreted call instruction.
+        """
+        return tuple(
+            self._entry(bits, is_float, name.replace("injectFault", "").replace("Ty", ""))
+            for name, (_ty, bits, is_float) in API.items()
+        )
+
+    def spans(self) -> tuple:
+        """Batched span advancers, indexed by :data:`ENTRY_INDEX`.
+
+        ``spans()[i](n)`` consumes ``n`` consecutive active sites of entry
+        ``i``'s width, or returns False (consuming nothing) when a target
+        lies within the span.  The direct engine's group closures use these
+        to skip whole uninjected vector groups in one call.
+        """
+        return tuple(
+            self._span_entry(bits) for _ty, bits, _isf in API.values()
+        )
 
     @property
     def injected(self) -> bool:

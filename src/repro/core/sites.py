@@ -164,3 +164,41 @@ def filter_sites(sites: list[StaticSite], category: str) -> list[StaticSite]:
     if category not in CATEGORIES:
         raise ValueError(f"unknown site category {category!r}")
     return [s for s in sites if category in s.categories]
+
+
+def site_groups(sites: list[StaticSite]) -> list[list[StaticSite]]:
+    """Group per-lane sites of one register, lanes in order (Fig. 4).
+
+    One group per ``(instruction, operand)`` target, in first-appearance
+    order.  Both executable forms of a site list — the IR instrumentor and
+    the direct engine's injection plan — walk these identical groups, which
+    is what keeps their site ids and dynamic-site ordering in lockstep.
+    """
+    groups: dict[tuple[int, int | None], list[StaticSite]] = {}
+    order: list[tuple[int, int | None]] = []
+    for site in sites:
+        key = (id(site.instr), site.operand_index)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(site)
+    return [
+        sorted(groups[key], key=lambda s: (s.lane is not None, s.lane or 0))
+        for key in order
+    ]
+
+
+def assign_site_ids(sites: list[StaticSite]) -> list[list[StaticSite]]:
+    """Assign sequential site ids in canonical group order.
+
+    Returns the groups so callers can keep walking them.  Deterministic for
+    a given site list: parallel workers rebuilding an engine from the same
+    pristine module enumerate identical ids.
+    """
+    groups = site_groups(sites)
+    next_id = 0
+    for group in groups:
+        for site in group:
+            site.site_id = next_id
+            next_id += 1
+    return groups

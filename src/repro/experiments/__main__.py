@@ -11,6 +11,13 @@ Usage::
 
 ``--jobs N`` fans the fault-injection campaigns (fig11/fig12/perf) out over
 N worker processes; results are bit-identical to ``--jobs 1``.
+
+``--engine direct|instrumented`` selects the injection engine
+(fig11/fig12/perf/ablations).  Both engines produce bit-identical
+experiment streams; ``direct`` (the default) folds fault sites into the
+decoded interpreter, ``instrumented`` splices VULFI's ``injectFault<Ty>Ty``
+calls into a cloned module.  ``perf`` benchmarks both side by side unless
+one is forced.
 """
 
 from __future__ import annotations
@@ -39,16 +46,34 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes for campaign experiments (bit-identical to 1)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("direct", "instrumented"),
+        default=None,
+        help="injection engine for campaign experiments (default: direct; "
+        "both engines are bit-identical — 'instrumented' is VULFI's "
+        "IR-splicing reference semantics; perf benchmarks both unless "
+        "one is forced here)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         mod = EXPERIMENTS[name]
         t0 = time.time()
+        engine = args.engine or "direct"
         if name == "fig11":
-            report = mod.run(args.scale, benchmarks=args.benchmark, jobs=args.jobs)
-        elif name in ("fig12", "perf"):
-            report = mod.run(args.scale, jobs=args.jobs)
+            report = mod.run(
+                args.scale, benchmarks=args.benchmark, jobs=args.jobs,
+                engine=engine,
+            )
+        elif name == "fig12":
+            report = mod.run(args.scale, jobs=args.jobs, engine=engine)
+        elif name == "perf":
+            # None = benchmark both engines side by side.
+            report = mod.run(args.scale, jobs=args.jobs, engine=args.engine)
+        elif name == "ablations":
+            report = mod.run(args.scale, engine=engine)
         else:
             report = mod.run(args.scale)
         print(mod.render(report))

@@ -32,14 +32,14 @@ from ..workloads.registry import micro_workloads
 from .common import CATEGORIES, ExperimentReport, FIG12_EXPERIMENTS, cell_seed
 
 
-def _mask_ablation_rows(scale: str) -> list[dict]:
+def _mask_ablation_rows(scale: str, engine: str = "direct") -> list[dict]:
     experiments = max(FIG12_EXPERIMENTS[scale] // 4, 20)
     rows = []
     for w in micro_workloads():
         module = w.compile("avx")
         for respect in (True, False):
             injector = FaultInjector(
-                module, category="pure-data", respect_masks=respect
+                module, category="pure-data", respect_masks=respect, engine=engine
             )
             # Site population measured on one fixed reference input so the
             # aware/unaware columns are directly comparable.
@@ -93,13 +93,13 @@ def _placement_ablation_rows() -> list[dict]:
     return rows
 
 
-def run(scale: str = "quick") -> ExperimentReport:
+def run(scale: str = "quick", engine: str = "direct") -> ExperimentReport:
     report = ExperimentReport(
         name="ablations",
         scale=scale,
         headers=["study", "micro", "variant", "metric"],
     )
-    report.rows.extend(_mask_ablation_rows(scale))
+    report.rows.extend(_mask_ablation_rows(scale, engine=engine))
     report.rows.extend(_placement_ablation_rows())
     report.notes.append(
         "mask-unaware injection counts dead remainder lanes as sites and "

@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..analysis.report import pct, render_table
 from ..core.campaign import CampaignConfig, run_campaigns
 from ..core.injector import FaultInjector
+from ..core.parallel import SweepPool
 from ..workloads.registry import Workload, benchmark_workloads
 from .common import (
     CATEGORIES,
@@ -33,12 +34,25 @@ def run_cell(
     config: CampaignConfig,
     step_limit: int = 2_000_000,
     jobs: int = 1,
+    engine: str = "direct",
+    pool=None,
+    injector: FaultInjector | None = None,
 ) -> dict:
-    """One Fig.-11 cell: campaigns for (benchmark, ISA, site category)."""
-    module = workload.compile(target)
-    injector = FaultInjector(module, category=category, step_limit=step_limit)
+    """One Fig.-11 cell: campaigns for (benchmark, ISA, site category).
+
+    ``pool``/``injector`` are supplied by :func:`run` when a whole sweep
+    shares one :class:`~repro.core.parallel.SweepPool`; standalone callers
+    leave them unset and get a per-cell pool (``jobs > 1``) or serial runs.
+    """
+    if injector is None:
+        module = workload.compile(target)
+        injector = FaultInjector(
+            module, category=category, step_limit=step_limit, engine=engine
+        )
     worker_context = (
-        campaign_worker_context(injector, workload) if jobs > 1 else None
+        campaign_worker_context(injector, workload)
+        if jobs > 1 and pool is None
+        else None
     )
     summary = run_campaigns(
         injector,
@@ -47,6 +61,7 @@ def run_cell(
         seed=cell_seed("fig11", workload.name, target, category),
         jobs=jobs,
         worker_context=worker_context,
+        pool=pool,
     )
     totals = summary.totals
     return {
@@ -69,6 +84,7 @@ def run(
     scale: str = "quick",
     benchmarks: list[str] | None = None,
     jobs: int = 1,
+    engine: str = "direct",
 ) -> ExperimentReport:
     config = SCALES[scale]
     report = ExperimentReport(
@@ -85,14 +101,48 @@ def run(
             "±moe",
         ],
     )
-    for w in benchmark_workloads():
-        if benchmarks is not None and w.name not in benchmarks:
-            continue
-        for target in TARGETS:
-            for category in CATEGORIES:
-                report.rows.append(
-                    run_cell(w, target, category, config, jobs=jobs)
+    cells = [
+        (w, target, category)
+        for w in benchmark_workloads()
+        if benchmarks is None or w.name in benchmarks
+        for target in TARGETS
+        for category in CATEGORIES
+    ]
+    # With --jobs, every cell's engine is built in the parent first and one
+    # SweepPool serves the whole sweep: the workers fork once with all cell
+    # contexts instead of re-spawning (and re-pickling modules) per cell.
+    injectors: dict = {}
+    pool: SweepPool | None = None
+    if jobs > 1:
+        contexts = {}
+        for w, target, category in cells:
+            key = (w.name, target, category)
+            injectors[key] = FaultInjector(
+                w.compile(target),
+                category=category,
+                step_limit=2_000_000,
+                engine=engine,
+            )
+            contexts[key] = campaign_worker_context(injectors[key], w)
+        pool = SweepPool(jobs, contexts)
+    try:
+        for w, target, category in cells:
+            key = (w.name, target, category)
+            report.rows.append(
+                run_cell(
+                    w,
+                    target,
+                    category,
+                    config,
+                    jobs=jobs,
+                    engine=engine,
+                    pool=pool.cell(key) if pool is not None else None,
+                    injector=injectors.get(key),
                 )
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     report.notes.append(
         "Paper shape: Stencil/Blackscholes highest SDC; Swaptions/CG most "
         "resilient; address faults crash the most; Chebyshev's address SDC "

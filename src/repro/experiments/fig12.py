@@ -76,14 +76,20 @@ def run_cell(
     experiments: int,
     target: str = "avx",
     jobs: int = 1,
+    engine: str = "direct",
+    pool=None,
+    injector: FaultInjector | None = None,
 ) -> dict:
-    module = workload.compile(target, foreach_detectors=True)
-    injector = FaultInjector(module, category=category, step_limit=500_000)
+    if injector is None:
+        module = workload.compile(target, foreach_detectors=True)
+        injector = FaultInjector(
+            module, category=category, step_limit=500_000, engine=engine
+        )
     rng = Random(cell_seed("fig12", workload.name, target, category))
     factory = detector_bindings_factory()
     worker_context = (
         campaign_worker_context(injector, workload, with_detectors=True)
-        if jobs > 1
+        if jobs > 1 and pool is None
         else None
     )
     stats = run_batch(
@@ -94,6 +100,7 @@ def run_cell(
         bindings_factory=factory,
         jobs=jobs,
         worker_context=worker_context,
+        pool=pool,
     )
     paper = PAPER_FIG12.get((workload.name, category))
     return {
@@ -109,7 +116,7 @@ def run_cell(
     }
 
 
-def run(scale: str = "quick", jobs: int = 1) -> ExperimentReport:
+def run(scale: str = "quick", jobs: int = 1, engine: str = "direct") -> ExperimentReport:
     experiments = FIG12_EXPERIMENTS[scale]
     report = ExperimentReport(
         name="fig12",
@@ -125,13 +132,46 @@ def run(scale: str = "quick", jobs: int = 1) -> ExperimentReport:
             "paper detect",
         ],
     )
-    for w in micro_workloads():
-        overhead = measure_overhead(w)
-        for category in CATEGORIES:
-            row = run_cell(w, category, experiments, jobs=jobs)
-            row["overhead"] = overhead
-            row["paper_overhead"] = PAPER_OVERHEADS.get(w.name)
-            report.rows.append(row)
+    cells = [(w, category) for w in micro_workloads() for category in CATEGORIES]
+    # One SweepPool serves all (micro, category) cells — same pattern as
+    # Fig. 11: fork once with every cell's context, build injectors lazily
+    # in the workers.
+    injectors: dict = {}
+    pool = None
+    if jobs > 1:
+        from ..core.parallel import SweepPool
+
+        contexts = {}
+        for w, category in cells:
+            key = (w.name, category)
+            module = w.compile("avx", foreach_detectors=True)
+            injectors[key] = FaultInjector(
+                module, category=category, step_limit=500_000, engine=engine
+            )
+            contexts[key] = campaign_worker_context(
+                injectors[key], w, with_detectors=True
+            )
+        pool = SweepPool(jobs, contexts)
+    try:
+        for w in micro_workloads():
+            overhead = measure_overhead(w)
+            for category in CATEGORIES:
+                key = (w.name, category)
+                row = run_cell(
+                    w,
+                    category,
+                    experiments,
+                    jobs=jobs,
+                    engine=engine,
+                    pool=pool.cell(key) if pool is not None else None,
+                    injector=injectors.get(key),
+                )
+                row["overhead"] = overhead
+                row["paper_overhead"] = PAPER_OVERHEADS.get(w.name)
+                report.rows.append(row)
+    finally:
+        if pool is not None:
+            pool.close()
     report.notes.append(
         "Overhead is a dynamic-instruction ratio (deterministic proxy for "
         "the paper's ~8% wall-clock figure). Expect 0% detection under "

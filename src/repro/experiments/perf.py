@@ -24,7 +24,7 @@ from random import Random
 
 from ..analysis.report import render_table
 from ..core.campaign import CampaignConfig, run_campaigns
-from ..core.injector import FaultInjector
+from ..core.injector import ENGINES, FaultInjector
 from ..workloads.registry import get_workload
 from .common import ExperimentReport
 
@@ -61,10 +61,12 @@ POOLED_INPUTS = (
 SEED = 7
 
 
-def _mini_campaign(regime: str, jobs: int = 1) -> dict:
+def _mini_campaign(regime: str, jobs: int = 1, engine: str = "direct") -> dict:
     workload = get_workload("vector_sum")
     module = workload.compile("avx")
-    injector = FaultInjector(module, category="all", step_limit=500_000)
+    injector = FaultInjector(
+        module, category="all", step_limit=500_000, engine=engine
+    )
     if regime == "unique":
         factory = workload.runner_factory()
     else:
@@ -77,6 +79,25 @@ def _mini_campaign(regime: str, jobs: int = 1) -> dict:
         from .common import campaign_worker_context
 
         worker_context = campaign_worker_context(injector, workload)
+
+    # Faulty-run-only timing split (serial runs only: with --jobs the
+    # faulty halves execute in workers): shadow the bound method with a
+    # timing wrapper, so golden-run and classification time is excluded
+    # from the per-engine comparison the direct engine is judged on.
+    faulty_seconds = 0.0
+    if jobs == 1:
+        inner_faulty = injector.faulty
+
+        def timed_faulty(*args, **kwargs):
+            nonlocal faulty_seconds
+            t = time.perf_counter()
+            try:
+                return inner_faulty(*args, **kwargs)
+            finally:
+                faulty_seconds += time.perf_counter() - t
+
+        injector.faulty = timed_faulty
+
     t0 = time.perf_counter()
     summary = run_campaigns(
         injector, factory, MINI_CONFIG, seed=SEED,
@@ -86,8 +107,10 @@ def _mini_campaign(regime: str, jobs: int = 1) -> dict:
     totals = (summary.totals.sdc, summary.totals.benign, summary.totals.crash)
     return {
         "regime": regime,
+        "engine": engine,
         "experiments": summary.totals.total,
         "seconds": elapsed,
+        "faulty_seconds": faulty_seconds if jobs == 1 else None,
         "baseline_seconds": BASELINE[regime],
         "speedup": BASELINE[regime] / elapsed,
         "totals": totals,
@@ -97,9 +120,26 @@ def _mini_campaign(regime: str, jobs: int = 1) -> dict:
     }
 
 
-def bench_results(jobs: int = 1) -> dict:
-    """Both regimes' timings — the payload of ``BENCH_campaign.json``."""
-    return {
+def bench_results(jobs: int = 1, engines: tuple = ENGINES) -> dict:
+    """Per-engine timings for both regimes — the ``BENCH_campaign.json``
+    payload.
+
+    ``regimes`` (the first engine's, i.e. the direct engine's, numbers)
+    keeps the pre-existing shape; ``engines`` adds the per-engine split,
+    and ``direct_vs_instrumented`` the cross-engine speedups, including
+    the faulty-run-only ratio the direct engine's ≥2x claim rests on.
+    """
+    per_engine = {
+        engine: {
+            r["regime"]: r
+            for r in (
+                _mini_campaign("unique", jobs, engine),
+                _mini_campaign("pooled", jobs, engine),
+            )
+        }
+        for engine in engines
+    }
+    payload = {
         "benchmark": "campaign-throughput",
         "workload": "vector_sum",
         "seed": SEED,
@@ -108,35 +148,70 @@ def bench_results(jobs: int = 1) -> dict:
             "campaigns": MINI_CONFIG.max_campaigns,
         },
         "jobs": jobs,
-        "regimes": {r["regime"]: r for r in
-                    (_mini_campaign("unique", jobs), _mini_campaign("pooled", jobs))},
+        "regimes": per_engine[engines[0]],
+        "engines": per_engine,
     }
+    if "direct" in per_engine and "instrumented" in per_engine:
+        comparison = {}
+        for regime in per_engine["direct"]:
+            d = per_engine["direct"][regime]
+            i = per_engine["instrumented"][regime]
+            cell = {"seconds": i["seconds"] / d["seconds"]}
+            if d["faulty_seconds"] and i["faulty_seconds"]:
+                cell["faulty_seconds"] = i["faulty_seconds"] / d["faulty_seconds"]
+            comparison[regime] = cell
+        payload["direct_vs_instrumented"] = comparison
+    return payload
 
 
-def run(scale: str = "quick", jobs: int = 1) -> ExperimentReport:
-    results = bench_results(jobs=jobs)
+def run(scale: str = "quick", jobs: int = 1, engine: str | None = None) -> ExperimentReport:
+    engines = ENGINES if engine is None else (engine,)
+    results = bench_results(jobs=jobs, engines=engines)
+    rows = [
+        cell
+        for engine_cells in results["engines"].values()
+        for cell in engine_cells.values()
+    ]
     report = ExperimentReport(
         name="perf",
         scale=scale,
-        headers=["regime", "n", "seconds", "baseline", "speedup", "totals ok"],
-        rows=list(results["regimes"].values()),
+        headers=[
+            "engine", "regime", "n", "seconds", "faulty", "baseline",
+            "speedup", "totals ok",
+        ],
+        rows=rows,
     )
     report.notes.append(
         "Fixed seeded mini-campaign (vector_sum, seed 7, 4x50 experiments). "
-        "'unique' isolates the pre-decoded interpreter fast path; 'pooled' "
-        "adds golden-run memoization. Baselines were measured at the seed "
+        "'unique' isolates the interpreter fast path; 'pooled' adds "
+        "golden-run memoization. Baselines were measured at the seed "
         "commit; 'totals ok' checks the outcome counts are byte-identical "
-        "to the pre-optimization runs."
+        "to the pre-optimization runs — and, across engines, that direct "
+        "and instrumented injection agree experiment-for-experiment."
     )
+    comparison = results.get("direct_vs_instrumented")
+    if comparison:
+        parts = [
+            f"{regime}: {cell['seconds']:.2f}x overall"
+            + (
+                f", {cell['faulty_seconds']:.2f}x faulty-run-only"
+                if "faulty_seconds" in cell
+                else ""
+            )
+            for regime, cell in comparison.items()
+        ]
+        report.notes.append("direct vs instrumented — " + "; ".join(parts))
     return report
 
 
 def render(report: ExperimentReport) -> str:
     rows = [
         [
+            r["engine"],
             r["regime"],
             r["experiments"],
             f"{r['seconds']:.3f}s",
+            f"{r['faulty_seconds']:.3f}s" if r["faulty_seconds"] else "-",
             f"{r['baseline_seconds']:.3f}s",
             f"{r['speedup']:.1f}x",
             "yes" if r["totals_match_baseline"] else "NO",

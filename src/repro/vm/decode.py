@@ -23,7 +23,7 @@ never at decode time.
 
 from __future__ import annotations
 
-from ..errors import InvalidOperation
+from ..errors import InvalidOperation, StepLimitExceeded
 from ..ir.instructions import (
     Alloca,
     BinaryOp,
@@ -63,6 +63,331 @@ T_BR = 0
 T_CONDBR = 1
 T_RET = 2
 T_UNREACHABLE = 3
+
+
+# -- direct fault injection ----------------------------------------------------
+#
+# The direct engine folds VULFI's fault sites into the decoded program
+# instead of splicing ``injectFault<Ty>Ty`` calls into the IR: an
+# :class:`InjectionPlan` maps site-bearing instructions to per-lane
+# :class:`PlannedSite` descriptors, and the decoder wraps those
+# instructions' closures so the runtime's count/inject entry points run
+# inline — no interpreted extract/mask-decode/call/insert chains.
+#
+# Bit-identical semantics with the instrumented reference engine are the
+# hard requirement.  Three invariants carry it:
+#
+# * dynamic sites are visited in the exact order the spliced chains would
+#   execute (per group, lanes ascending, immediately after the defining
+#   instruction or immediately before the store);
+# * each descriptor's ``active_fn``/``to_int``/``to_ptr`` compose the very
+#   :mod:`repro.vm.ops` evaluators the interpreted chain would have run
+#   (sign-bit masks via bitcast+lshr, pointers via the ptrtoint/inttoptr
+#   sandwich);
+# * every visited lane charges the *instrumentation tax* — the dynamic
+#   instruction count of the chain it replaces — to the step accounting,
+#   so step budgets, timeout crashes, and ``dynamic_instructions`` totals
+#   match the instrumented engine.
+
+
+class PlannedSite:
+    """One scalar fault-site lane, pre-resolved for direct execution."""
+
+    __slots__ = (
+        "site_id",
+        "lane",
+        "entry_index",
+        "mask_operand_index",
+        "active_fn",
+        "to_int",
+        "to_ptr",
+        "tax_total",
+        "tax_scalar",
+        "tax_vector",
+    )
+
+    def __init__(
+        self,
+        site_id: int,
+        lane: int | None,
+        entry_index: int,
+        mask_operand_index: int | None = None,
+        active_fn=None,
+        to_int=None,
+        to_ptr=None,
+        tax: tuple[int, int, int] = (1, 1, 0),
+    ):
+        self.site_id = site_id
+        self.lane = lane
+        self.entry_index = entry_index
+        self.mask_operand_index = mask_operand_index
+        self.active_fn = active_fn
+        self.to_int = to_int
+        self.to_ptr = to_ptr
+        self.tax_total, self.tax_scalar, self.tax_vector = tax
+
+
+class InjectionPlan:
+    """All planned sites of one module, keyed by owning instruction.
+
+    ``lvalue`` maps an instruction to the ordered lane descriptors of its
+    result register; ``store`` maps a store-like instruction (plain store,
+    masked store, scatter) to ``(value_operand_index, descriptors)``.  The
+    plan owns its decoded-program cache — planned closures must never leak
+    into the module's plain decode cache.
+    """
+
+    __slots__ = ("lvalue", "store", "_decoded")
+
+    def __init__(self):
+        self.lvalue: dict = {}
+        self.store: dict = {}
+        self._decoded: DecodedProgram | None = None
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self.lvalue.values()) + sum(
+            len(g) for _, g in self.store.values()
+        )
+
+
+def _resolve_lanes(instr, group):
+    """Pre-resolve a descriptor group into flat per-lane execution tuples."""
+    lanes = []
+    for d in group:
+        mask_spec = (
+            _spec(instr.operands[d.mask_operand_index])
+            if d.mask_operand_index is not None
+            else None
+        )
+        lanes.append(
+            (
+                d.site_id,
+                d.lane,
+                d.entry_index,
+                mask_spec,
+                d.active_fn,
+                d.to_int,
+                d.to_ptr,
+                d.tax_total,
+                d.tax_scalar,
+                d.tax_vector,
+            )
+        )
+    return lanes
+
+
+def _make_applier(instr, group, fname: str, copy_value: bool):
+    """Build ``apply(vm, regs, value) -> value`` running a site group inline.
+
+    Mirrors one spliced chain: per lane (ascending), charge the chain's
+    step tax, decode the execution mask, and pass the scalar through the
+    runtime entry point.  ``copy_value`` forces a fresh list before the
+    first lane mutation — required when ``value`` may alias another
+    register (store operands, values returned from calls); everywhere else
+    the decoded builders always produce fresh lists.
+
+    A group's lanes share one register and one mask, so its descriptors are
+    uniform in type, mask convention, and tax.  The hot shapes exploit that:
+    the group tax is charged in one step, and the per-run *span* advancer
+    (:meth:`FaultRuntime.spans`) consumes the whole group's dynamic-site
+    counts in a single call — per-lane entry dispatch only happens for the
+    one group per faulty run that actually contains the target index (and
+    near the step limit, where lane-exact crash accounting matters).
+    """
+    lanes = _resolve_lanes(instr, group)
+    sid0, lane0, eidx, mask_spec, active_fn, to_int, to_ptr, tt, ts, tv = lanes[0]
+
+    if len(lanes) == 1 and lane0 is None:
+        # Scalar register fast paths — the only shapes scalar sites take.
+        if mask_spec is None and to_int is None:
+
+            def apply(vm, regs, value):
+                stats = vm.stats
+                stats.total += tt
+                stats.scalar += ts
+                stats.vector += tv
+                if stats.total > vm.step_limit:
+                    raise StepLimitExceeded(
+                        f"@{fname}: exceeded {vm.step_limit} dynamic instructions"
+                    )
+                return vm.fault_entries[eidx](value, 1, sid0)
+
+            return apply
+
+        if mask_spec is None:
+
+            def apply(vm, regs, value):
+                stats = vm.stats
+                stats.total += tt
+                stats.scalar += ts
+                stats.vector += tv
+                if stats.total > vm.step_limit:
+                    raise StepLimitExceeded(
+                        f"@{fname}: exceeded {vm.step_limit} dynamic instructions"
+                    )
+                return to_ptr(vm.fault_entries[eidx](to_int(value), 1, sid0))
+
+            return apply
+
+    uniform = lane0 is not None and all(
+        l[2] == eidx and l[3] == mask_spec and l[5] is to_int and l[7] == tt
+        for l in lanes[1:]
+    )
+    if uniform and to_int is None:
+        pairs = tuple((l[1], l[0]) for l in lanes)
+        n = len(pairs)
+        gtt, gts, gtv = tt * n, ts * n, tv * n
+        slow = _generic_applier(lanes, fname, copy_value)
+
+        if mask_spec is None:
+
+            def apply(vm, regs, value):
+                stats = vm.stats
+                total = stats.total + gtt
+                if total > vm.step_limit:
+                    return slow(vm, regs, value)
+                stats.total = total
+                stats.scalar += gts
+                stats.vector += gtv
+                if vm.fault_spans[eidx](n):
+                    return value
+                # The target index lies inside this group: replay the
+                # lanes through the per-lane entry (same counts, same
+                # RNG-stream position as per-lane dispatch throughout).
+                entry = vm.fault_entries[eidx]
+                if copy_value:
+                    value = list(value)
+                for lane, sid in pairs:
+                    value[lane] = entry(value[lane], 1, sid)
+                return value
+
+            return apply
+
+        mr, mp = mask_spec
+
+        def apply(vm, regs, value):
+            stats = vm.stats
+            total = stats.total + gtt
+            if total > vm.step_limit:
+                return slow(vm, regs, value)
+            stats.total = total
+            stats.scalar += gts
+            stats.vector += gtv
+            mask = regs[mp] if mr else mp
+            flags = [active_fn(mask[lane]) for lane, _ in pairs]
+            active = 0
+            for f in flags:
+                if f:
+                    active += 1
+            if not active or vm.fault_spans[eidx](active):
+                return value
+            entry = vm.fault_entries[eidx]
+            if copy_value:
+                value = list(value)
+            for (lane, sid), f in zip(pairs, flags):
+                value[lane] = entry(value[lane], f, sid)
+            return value
+
+        return apply
+
+    return _generic_applier(lanes, fname, copy_value)
+
+
+def _generic_applier(lanes, fname: str, copy_value: bool):
+    """The fully general per-lane loop — handles every descriptor shape and
+    raises :class:`StepLimitExceeded` at the exact lane whose chain tax
+    crosses the budget (the specialised appliers defer to this near the
+    limit and for pointer/mixed groups)."""
+
+    def apply(vm, regs, value):
+        stats = vm.stats
+        limit = vm.step_limit
+        entries = vm.fault_entries
+        copied = not copy_value
+        for sid, lane, eidx, mask_spec, active_fn, to_int, to_ptr, tt, ts, tv in lanes:
+            stats.total += tt
+            stats.scalar += ts
+            stats.vector += tv
+            if stats.total > limit:
+                raise StepLimitExceeded(
+                    f"@{fname}: exceeded {limit} dynamic instructions"
+                )
+            if mask_spec is None:
+                active = 1
+            else:
+                mr, mp = mask_spec
+                active = active_fn((regs[mp] if mr else mp)[lane])
+            if lane is None:
+                if to_int is None:
+                    value = entries[eidx](value, active, sid)
+                else:
+                    value = to_ptr(entries[eidx](to_int(value), active, sid))
+            else:
+                if not copied:
+                    value = list(value)
+                    copied = True
+                scalar = value[lane]
+                if to_int is None:
+                    value[lane] = entries[eidx](scalar, active, sid)
+                else:
+                    value[lane] = to_ptr(entries[eidx](to_int(scalar), active, sid))
+        return value
+
+    return apply
+
+
+def _build_injected_store(instr, op_index: int, group, fname: str):
+    """A store-like instruction with fault sites on its value operand.
+
+    Replicates the §II-B protocol: the stored value is considered for
+    injection *before* the store executes, and only the store's operand
+    sees the corrupted value — the defining register is untouched.
+    """
+    apply = _make_applier(instr, group, fname, copy_value=True)
+    if isinstance(instr, Store):
+        r0, p0 = _spec(instr.operands[0])
+        r1, p1 = _spec(instr.operands[1])
+        ty = instr.value.type
+
+        def ex(vm, regs):
+            value = apply(vm, regs, regs[p0] if r0 else p0)
+            vm.memory.write_value(ty, regs[p1] if r1 else p1, value)
+
+        return ex
+
+    # Masked store / scatter intrinsic call.
+    info = get_intrinsic(instr.callee.name)
+    specs = [_spec(o) for o in instr.operands]
+    argf = _fetch_args(specs)
+
+    def ex(vm, regs):
+        args = argf(regs)
+        args[op_index] = apply(vm, regs, args[op_index])
+        vm._intrinsic(info, instr, args)
+
+    return ex
+
+
+def _decode_planned_step(instr, plan: InjectionPlan, fname: str):
+    """The planned closure for ``instr``, or None when it bears no sites."""
+    group = plan.lvalue.get(instr)
+    if group is not None:
+        base = _decode_step(instr)
+        # Calls can return a value that aliases another live register (an
+        # identity function returns its argument); everything else decodes
+        # to closures that build fresh vectors, safe to corrupt in place.
+        apply = _make_applier(instr, group, fname, copy_value=isinstance(instr, Call))
+
+        def ex(vm, regs):
+            base(vm, regs)
+            regs[instr] = apply(vm, regs, regs[instr])
+
+        return ex
+    planned_store = plan.store.get(instr)
+    if planned_store is not None:
+        op_index, group = planned_store
+        return _build_injected_store(instr, op_index, group, fname)
+    return None
 
 
 def evaluate_constant(c: Constant):
@@ -485,11 +810,12 @@ class DecodedBlock:
 class DecodedFunction:
     """A function decoded into :class:`DecodedBlock` records."""
 
-    __slots__ = ("fn", "name", "entry", "blocks")
+    __slots__ = ("fn", "name", "entry", "blocks", "plan")
 
-    def __init__(self, fn: Function):
+    def __init__(self, fn: Function, plan: InjectionPlan | None = None):
         self.fn = fn
         self.name = fn.name
+        self.plan = plan
         self.blocks = {block: DecodedBlock(block) for block in fn.blocks}
         for block, decoded in self.blocks.items():
             self._decode_block(block, decoded)
@@ -516,15 +842,19 @@ class DecodedFunction:
                 decoded.phi_scalar += 1
             index += 1
 
+        plan = self.plan
         while index < n:
             instr = instructions[index]
             index += 1
             if instr.is_terminator:
                 decoded.term = self._decode_terminator(instr)
                 break
-            decoded.steps.append(
-                (_decode_step(instr), instr.is_vector_instruction, instr.opcode)
-            )
+            ex = None
+            if plan is not None:
+                ex = _decode_planned_step(instr, plan, self.name)
+            if ex is None:
+                ex = _decode_step(instr)
+            decoded.steps.append((ex, instr.is_vector_instruction, instr.opcode))
 
     def _decode_terminator(self, instr):
         isvec = instr.is_vector_instruction
@@ -549,22 +879,35 @@ class DecodedFunction:
 class DecodedProgram:
     """Lazily decoded functions of one module at one version."""
 
-    __slots__ = ("version", "_functions")
+    __slots__ = ("version", "plan", "_functions")
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, plan: InjectionPlan | None = None):
         self.version = module.version
+        self.plan = plan
         self._functions: dict[Function, DecodedFunction] = {}
 
     def function(self, fn: Function) -> DecodedFunction:
         decoded = self._functions.get(fn)
         if decoded is None:
-            decoded = DecodedFunction(fn)
+            decoded = DecodedFunction(fn, self.plan)
             self._functions[fn] = decoded
         return decoded
 
 
-def decoded_program(module: Module) -> DecodedProgram:
-    """The module's decode cache, rebuilt whenever its version changes."""
+def decoded_program(module: Module, plan: InjectionPlan | None = None) -> DecodedProgram:
+    """The module's decode cache, rebuilt whenever its version changes.
+
+    With a ``plan``, the decoded program lives on the plan instead of the
+    module: the same pristine module can serve plain execution and any
+    number of direct-injection engines (one per site category) without the
+    caches trampling each other.
+    """
+    if plan is not None:
+        program = plan._decoded
+        if program is None or program.version != module.version:
+            program = DecodedProgram(module, plan)
+            plan._decoded = program
+        return program
     program = getattr(module, "_vm_decoded", None)
     if program is None or program.version != module.version:
         program = DecodedProgram(module)

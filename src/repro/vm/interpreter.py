@@ -33,7 +33,7 @@ from ..errors import InvalidOperation, StepLimitExceeded
 from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo
 from ..ir.module import Function, Module
 from ..ir.types import Type, VectorType
-from .decode import T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
+from .decode import InjectionPlan, T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
 from .memory import Memory
 from .ops import sign_active
 
@@ -65,6 +65,7 @@ class Interpreter:
         step_limit: int = DEFAULT_STEP_LIMIT,
         count_opcodes: bool = False,
         strict_alignment: bool = False,
+        plan: InjectionPlan | None = None,
     ):
         self.module = module
         self.memory = Memory(strict_alignment=strict_alignment)
@@ -72,6 +73,14 @@ class Interpreter:
         self.count_opcodes = count_opcodes
         self.stats = ExecutionStats()
         self.externals: dict[str, Callable] = {}
+        #: Direct-injection state: the plan folds fault sites into the
+        #: decoded closures, which dispatch into ``fault_entries`` — the
+        #: per-run :meth:`~repro.core.runtime.FaultRuntime.entries` tuple.
+        self.plan = plan
+        self.fault_entries: tuple | None = None
+        #: Batched span advancers (:meth:`FaultRuntime.spans`) for skipping
+        #: whole uninjected site groups in one call.
+        self.fault_spans: tuple | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -102,7 +111,7 @@ class Interpreter:
     # -- main loop ---------------------------------------------------------------------
 
     def _exec_function(self, fn: Function, args: list):
-        decoded = decoded_program(self.module).function(fn)
+        decoded = decoded_program(self.module, self.plan).function(fn)
         regs: dict = {}
         for formal, actual in zip(fn.args, args):
             regs[formal] = actual

@@ -60,6 +60,13 @@ class Memory:
         self._next = HEAP_BASE
         self.bytes_allocated = 0
         self.strict_alignment = strict_alignment
+        # Per-type specialised accessor closures (see _build_scalar_reader
+        # etc.): IR types are frozen dataclasses, so structural keys work.
+        # The closures capture the allocation lists (mutated in place, never
+        # rebound) and ``strict_alignment`` (fixed at construction).
+        self._scalar_readers: dict = {}
+        self._vector_readers: dict = {}
+        self._vector_writers: dict = {}
 
     def _check_alignment(self, addr: int, size: int) -> None:
         if self.strict_alignment and size > 1 and addr % size != 0:
@@ -111,8 +118,37 @@ class Memory:
         alloc.data[off : off + len(data)] = data
 
     # -- typed scalar access -------------------------------------------------------
+    #
+    # Typed accesses dominate interpreter run time, so each (memory, type)
+    # pair gets a memoized closure: one bisect, one bounds compare, and one
+    # pre-compiled ``struct`` conversion replace the generic
+    # store_size/alignment/isinstance/from_bytes chain.  The closures are
+    # bit-exact re-statements of the generic paths below (signed unpack ==
+    # ``wrap_int``; ``<f``/``<d`` unpack == ``bits_to_float``) and fall back
+    # to them for unusual widths and for faulting accesses, so trap messages
+    # and partial-write behaviour are unchanged.
+
+    #: scalar type -> struct format char, for types whose memory image is a
+    #: native machine scalar (everything else takes the generic path).
+    _STRUCT_CODES = {
+        IntType(32): "i",
+        IntType(64): "q",
+        FloatType(32): "f",
+        FloatType(64): "d",
+    }
+
+    def _struct_code(self, type: Type) -> str | None:
+        if isinstance(type, PointerType):
+            return "Q"
+        return self._STRUCT_CODES.get(type)
 
     def read_scalar(self, type: Type, addr: int):
+        reader = self._scalar_readers.get(type)
+        if reader is None:
+            reader = self._scalar_readers[type] = self._build_scalar_reader(type)
+        return reader(addr)
+
+    def _read_scalar_generic(self, type: Type, addr: int):
         size = type.store_size()
         self._check_alignment(addr, size)
         raw = self.read_bytes(addr, size)
@@ -123,6 +159,32 @@ class Memory:
         if isinstance(type, PointerType):
             return int.from_bytes(raw, "little")
         raise MemoryFault(f"cannot read scalar of type {type}")
+
+    def _build_scalar_reader(self, type: Type):
+        code = self._struct_code(type)
+        if code is None or self.strict_alignment:
+
+            def read(addr, _type=type):
+                return self._read_scalar_generic(_type, addr)
+
+            return read
+
+        fmt = struct.Struct("<" + code)
+        size = fmt.size
+        unpack_from = fmt.unpack_from
+        bases = self._bases
+        allocs = self._allocations
+
+        def read(addr):
+            i = bisect_right(bases, addr) - 1
+            if i >= 0:
+                alloc = allocs[i]
+                off = addr - alloc.base
+                if off >= 0 and off + size <= alloc.size:
+                    return unpack_from(alloc.data, off)[0]
+            return self._read_scalar_generic(type, addr)  # exact trap message
+
+        return read
 
     def write_scalar(self, type: Type, addr: int, value) -> None:
         size = type.store_size()
@@ -140,17 +202,116 @@ class Memory:
     # -- typed vector access ---------------------------------------------------------
 
     def read_vector(self, type: VectorType, addr: int) -> list:
+        reader = self._vector_readers.get(type)
+        if reader is None:
+            reader = self._vector_readers[type] = self._build_vector_reader(type)
+        return reader(addr)
+
+    def _read_vector_generic(self, type: VectorType, addr: int) -> list:
         elem = type.element
         stride = elem.store_size()
         return [
             self.read_scalar(elem, addr + i * stride) for i in range(type.length)
         ]
 
+    def _build_vector_reader(self, type: VectorType):
+        code = self._struct_code(type.element)
+        if code is None or self.strict_alignment:
+
+            def read(addr, _type=type):
+                return self._read_vector_generic(_type, addr)
+
+            return read
+
+        fmt = struct.Struct(f"<{type.length}{code}")
+        size = fmt.size
+        unpack_from = fmt.unpack_from
+        bases = self._bases
+        allocs = self._allocations
+
+        def read(addr):
+            i = bisect_right(bases, addr) - 1
+            if i >= 0:
+                alloc = allocs[i]
+                off = addr - alloc.base
+                if off >= 0 and off + size <= alloc.size:
+                    return list(unpack_from(alloc.data, off))
+            # Guard gaps mean a contiguous vector can never straddle two
+            # allocations, so a bulk bounds failure is a per-lane failure
+            # too: replay lane-wise for the exact faulting lane/message.
+            return self._read_vector_generic(type, addr)
+
+        return read
+
     def write_vector(self, type: VectorType, addr: int, values: Sequence) -> None:
+        writer = self._vector_writers.get(type)
+        if writer is None:
+            writer = self._vector_writers[type] = self._build_vector_writer(type)
+        writer(addr, values)
+
+    def _write_vector_generic(
+        self, type: VectorType, addr: int, values: Sequence
+    ) -> None:
         elem = type.element
         stride = elem.store_size()
         for i, v in enumerate(values):
             self.write_scalar(elem, addr + i * stride, v)
+
+    def _build_vector_writer(self, type: VectorType):
+        elem = type.element
+        code = self._struct_code(elem)
+        if code is None or self.strict_alignment:
+
+            def write(addr, values, _type=type):
+                self._write_vector_generic(_type, addr, values)
+
+            return write
+
+        fmt = struct.Struct(f"<{type.length}{code}")
+        size = fmt.size
+        pack_into = fmt.pack_into
+        bases = self._bases
+        allocs = self._allocations
+        if isinstance(elem, FloatType) and elem.bits == 32:
+            # struct.pack('<f') raises on binary64 magnitudes beyond the
+            # binary32 range; the scalar path maps them to ±inf first.
+            from .bits import _clamp_f32
+
+            def convert(values):
+                return [_clamp_f32(float(v)) for v in values]
+        elif isinstance(elem, FloatType):
+            convert = None
+        elif code == "Q":  # pointers: store the 64-bit pattern
+            def convert(values):
+                return [int(v) & 0xFFFFFFFFFFFFFFFF for v in values]
+        else:
+            # Signed formats accept the canonical signed range directly;
+            # out-of-range raw ints (host-supplied) take the generic path.
+            lo = -(1 << (elem.bits - 1))
+            hi = (1 << (elem.bits - 1)) - 1
+
+            def convert(values):
+                out = [int(v) for v in values]
+                for v in out:
+                    if v < lo or v > hi:
+                        return None
+                return out
+
+        def write(addr, values):
+            i = bisect_right(bases, addr) - 1
+            if i >= 0:
+                alloc = allocs[i]
+                off = addr - alloc.base
+                if off >= 0 and off + size <= alloc.size:
+                    converted = list(values) if convert is None else convert(values)
+                    if converted is not None:
+                        pack_into(alloc.data, off, *converted)
+                        return
+            # Bounds failure or non-canonical values: the generic lane-wise
+            # path preserves exact trap messages and partial-write order.
+            self._write_vector_generic(type, addr, values)
+
+        return write
 
     def read_value(self, type: Type, addr: int):
         if isinstance(type, VectorType):

@@ -153,10 +153,14 @@ class TestParallelDeterminism:
 
     def test_uncloned_injector_has_no_worker_payload(self, setup):
         workload, module = setup
-        # clone=False instruments the given module in place; use a throwaway
-        # clone so the shared fixture module stays pristine.
+        # clone=False instruments the given module in place (instrumented
+        # engine only — the direct engine never mutates IR, so clone is
+        # moot there); use a throwaway clone so the shared fixture module
+        # stays pristine.
         from repro.ir.clone import clone_module
 
-        injector = FaultInjector(clone_module(module), clone=False)
+        injector = FaultInjector(
+            clone_module(module), clone=False, engine="instrumented"
+        )
         with pytest.raises(InjectionError, match="clone=True"):
             injector.worker_payload()
