@@ -14,7 +14,9 @@ The contract has three parts:
   measured end to end);
 * the default (direct) engine stays >= 3x over the seed-commit baseline;
 * the direct engine's faulty runs are >= 2x faster than the instrumented
-  engine's (the point of folding sites into the decoder).
+  engine's (the point of folding sites into the decoder);
+* checkpoint restore keeps faulty runs >= 1.5x faster than full replay on
+  the late-fault-biased workload while staying bit-identical to it.
 
 Marked ``slow`` and excluded from tier-1 (``testpaths = ["tests"]``); run
 with::
@@ -61,3 +63,21 @@ def test_campaign_throughput():
             f"{cell['faulty_seconds']:.2f}x faster than instrumented "
             "(>= 2x required)"
         )
+
+    # Checkpoint restore contract: on the late-fault-biased workload the
+    # prefix-skipping run must be bit-identical to full replay (same
+    # outcomes, injection records, and dynamic-instruction totals) AND at
+    # least 1.5x faster on the faulty runs — a restore that replays the
+    # whole prefix anyway, or one that drifts, both fail here.
+    ck = results["checkpoint"]
+    assert ck["totals_match_baseline"], (
+        "checkpointed faulty runs diverged from full replay "
+        f"(interval {ck['checkpoint_interval']})"
+    )
+    assert ck["faulty_speedup"] >= 1.5, (
+        f"checkpoint restore only {ck['faulty_speedup']:.2f}x over full "
+        f"replay on the late-fault workload (>= 1.5x required; "
+        f"{ck['stats']['restores']} restores, "
+        f"{ck['stats']['sites_skipped']} sites skipped)"
+    )
+    assert ck["stats"]["restores"] > 0

@@ -105,6 +105,14 @@ class CampaignSummary:
     benign_rate: RateEstimate
     crash_rate: RateEstimate
     converged: bool
+    #: :meth:`GoldenCache.cache_info` of the parent's injector at summary
+    #: time — hit/miss/eviction counters for campaign provenance.  ``None``
+    #: only on hand-built summaries.
+    golden_cache: dict | None = None
+    #: The injector's ``checkpoint_stats`` (restores, sites skipped,
+    #: convergence exits...) — parent-process counters only; worker-side
+    #: restores are process-local and not aggregated here.
+    checkpoints: dict | None = None
 
     @property
     def campaigns_run(self) -> int:
@@ -263,4 +271,6 @@ def run_campaigns(
         benign_rate=estimate_rate(benign_samples, config.confidence),
         crash_rate=estimate_rate(crash_samples, config.confidence),
         converged=converged,
+        golden_cache=injector.golden_cache.cache_info(),
+        checkpoints=dict(injector.checkpoint_stats),
     )

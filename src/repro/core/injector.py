@@ -43,6 +43,15 @@ from ..errors import InjectionError, VMTrap
 from ..ir.clone import clone_module
 from ..ir.module import Module
 from ..vm.interpreter import DEFAULT_STEP_LIMIT, Interpreter
+from ..vm.snapshot import (
+    Checkpoint,
+    CheckpointTape,
+    ConvergedToGolden,
+    FrameState,
+    ResumePoint,
+    copy_regs,
+    regs_match,
+)
 from .direct import build_injection_plan
 from .instrument import instrument_module
 from .outcomes import ExperimentResult, Outcome, outputs_equal
@@ -74,6 +83,11 @@ class GoldenRun:
     #: hand-built GoldenRun objects; the engine then falls back to the lazy
     #: in-run draw (which consumes the identical RNG value).
     site_widths: bytes | None = None
+    #: :class:`~repro.vm.snapshot.CheckpointTape` recorded by the count run
+    #: when the injector has a ``checkpoint_interval``; ``None`` otherwise
+    #: (and on hand-built / worker-synthesized GoldenRun objects).  Process-
+    #: local: never pickled, never shipped to workers.
+    checkpoints: object | None = None
 
 
 class GoldenCache:
@@ -91,6 +105,7 @@ class GoldenCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[Hashable, GoldenRun] = OrderedDict()
 
     def __len__(self) -> int:
@@ -110,11 +125,23 @@ class GoldenCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def cache_info(self) -> dict:
+        """Counters for campaign stats / benchmark provenance."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 class FaultInjector:
@@ -130,16 +157,40 @@ class FaultInjector:
         respect_masks: bool = True,
         golden_cache_size: int = 1024,
         engine: str = "direct",
+        checkpoint_interval: int | None = None,
+        convergence_exit: bool = True,
     ):
         if engine not in ENGINES:
             raise InjectionError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise InjectionError(
+                f"checkpoint_interval must be >= 1 dynamic sites, got "
+                f"{checkpoint_interval}"
             )
         self.engine = engine
         self.category = category
         self.functions = functions
         self.step_limit = step_limit
         self.respect_masks = respect_masks
+        #: Record a golden checkpoint every N dynamic sites (None = off).
+        #: Faulty runs then restore the nearest checkpoint strictly before
+        #: their target site instead of replaying the whole prefix.
+        self.checkpoint_interval = checkpoint_interval
+        #: With checkpoints on, also watch the faulty run for re-convergence
+        #: with the recorded golden state and classify Benign immediately.
+        self.convergence_exit = convergence_exit
+        #: Observability counters for the checkpoint fast-forward path.
+        self.checkpoint_stats = {
+            "tapes_recorded": 0,
+            "checkpoints_recorded": 0,
+            "restores": 0,
+            "full_replays": 0,
+            "sites_skipped": 0,
+            "convergence_exits": 0,
+            "unconsumed_resumes": 0,
+        }
         #: The caller's pristine module — what a parallel worker needs to
         #: rebuild this injector (site enumeration and instrumentation are
         #: deterministic, so the rebuilt engine enumerates identical ids).
@@ -187,6 +238,8 @@ class FaultInjector:
             "step_limit": self.step_limit,
             "respect_masks": self.respect_masks,
             "engine": self.engine,
+            "checkpoint_interval": self.checkpoint_interval,
+            "convergence_exit": self.convergence_exit,
         }
 
     # -- execution ------------------------------------------------------------
@@ -213,16 +266,62 @@ class FaultInjector:
     def golden(
         self, runner: Runner, bindings_factory: BindingsFactory | None = None
     ) -> GoldenRun:
-        rt = FaultRuntime(MODE_COUNT)
+        interval = self.checkpoint_interval
+        rt = FaultRuntime(MODE_COUNT, checkpoint_interval=interval)
         vm, fired = self._prepare_vm(rt, bindings_factory)
+        tape = None
+        if interval:
+            tape = CheckpointTape(interval, self.module.version)
+            vm.block_hook = self._recording_hook(rt, tape)
         output = runner(vm)
+        if tape is not None:
+            self.checkpoint_stats["tapes_recorded"] += 1
+            self.checkpoint_stats["checkpoints_recorded"] += len(tape)
         return GoldenRun(
             output=output,
             dynamic_sites=rt.dynamic_count,
             dynamic_instructions=vm.stats.total,
             detector_fired=fired(),
             site_widths=bytes(rt.site_widths),
+            checkpoints=tape,
         )
+
+    def _recording_hook(self, rt: FaultRuntime, tape: CheckpointTape):
+        """Golden-run block hook: snapshot at interval boundaries.
+
+        The runtime raises ``checkpoint_pending`` when the dynamic-site
+        counter crosses an interval mark; the snapshot itself waits for the
+        next depth-1 block start — the one program point the interpreter
+        can later re-enter with nothing live but (memory, registers, block
+        cursor, phi edge).
+        """
+
+        def hook(vm, decoded, regs, current, prev_block):
+            if not rt.checkpoint_pending:
+                return
+            rt.acknowledge_checkpoint()
+            stats = vm.stats
+            tape.record(
+                Checkpoint(
+                    invocation=vm.current_invocation,
+                    dynamic_count=rt.dynamic_count,
+                    stats_total=stats.total,
+                    stats_scalar=stats.scalar,
+                    stats_vector=stats.vector,
+                    by_opcode=(
+                        stats.by_opcode.copy() if vm.count_opcodes else None
+                    ),
+                    frame=FrameState(
+                        function_name=decoded.name,
+                        block=current.source,
+                        prev_block=prev_block,
+                        regs=copy_regs(regs),
+                    ),
+                    memory=vm.memory.snapshot(tape.last_memory),
+                )
+            )
+
+        return hook
 
     def cached_golden(
         self, runner: Runner, bindings_factory: BindingsFactory | None = None
@@ -303,12 +402,65 @@ class FaultInjector:
         a parallel campaign ships to workers: the schedule ``(input, k,
         bit)`` is drawn in the parent, so results are bit-identical to
         serial execution at any worker count.
+
+        When ``golden`` carries a checkpoint tape (this injector has a
+        ``checkpoint_interval``), the run fast-forwards: it restores the
+        latest checkpoint strictly before site ``k`` and executes only the
+        suffix — same outcome, records, and dynamic-instruction totals as
+        the full replay, just without the pre-fault prefix.  With
+        ``convergence_exit``, a post-injection run whose architectural
+        state re-converges bit-for-bit with a recorded golden checkpoint is
+        classified Benign immediately.
         """
         n = golden.dynamic_sites
         rt = FaultRuntime(MODE_INJECT, target_index=k, rng=rng, bit=bit)
         vm, fired = self._prepare_vm(rt, bindings_factory)
+        cstats = self.checkpoint_stats
+        tape = golden.checkpoints if self.checkpoint_interval else None
+        if tape is not None and (
+            not tape.checkpoints
+            or tape.module_version != self.module.version
+            # A detector fired somewhere in this golden run: skipping (or
+            # early-exiting) the replay could skip firings, so fall back to
+            # full replay for the exact detected flag.
+            or golden.detector_fired
+        ):
+            tape = None
+        restored = None
+        if tape is not None:
+            restored = tape.best_for(k)
+            if restored is not None:
+                vm.pending_resume = ResumePoint(
+                    invocation=restored.invocation,
+                    checkpoint=restored,
+                    on_restore=self._runtime_restorer(rt, restored),
+                )
+                cstats["restores"] += 1
+                cstats["sites_skipped"] += restored.dynamic_count
+            else:
+                cstats["full_replays"] += 1
+            if self.convergence_exit and not vm.count_opcodes:
+                hook = self._convergence_hook(rt, tape, restored)
+                if hook is not None:
+                    vm.block_hook = hook
         try:
             output = runner(vm)
+        except ConvergedToGolden:
+            cstats["convergence_exits"] += 1
+            detected = fired()
+            if rt.record is None:  # pragma: no cover - hook arms post-injection
+                raise InjectionError("convergence exit before any injection")
+            return ExperimentResult(
+                outcome=Outcome.BENIGN,
+                detected=detected,
+                injection=rt.record,
+                dynamic_sites=n,
+                target_index=k,
+                site_categories=self._categories_of(rt),
+                golden_dynamic_instructions=golden.dynamic_instructions,
+                faulty_dynamic_instructions=golden.dynamic_instructions,
+                notes={"converged_early": True},
+            )
         except VMTrap as trap:
             return ExperimentResult(
                 outcome=Outcome.CRASH,
@@ -319,7 +471,16 @@ class FaultInjector:
                 target_index=k,
                 site_categories=self._categories_of(rt),
                 golden_dynamic_instructions=golden.dynamic_instructions,
+                faulty_dynamic_instructions=vm.stats.total,
             )
+        if vm.pending_resume is not None:
+            # The runner finished without re-invoking the checkpointed
+            # function (it called run() fewer times than the golden run
+            # did).  The execution simply replayed in full from site 1 —
+            # correct, just unaccelerated — but it signals a runner whose
+            # invocation structure is input-dependent.
+            vm.pending_resume = None
+            cstats["unconsumed_resumes"] += 1
         detected = fired()
         if rt.record is None:
             raise InjectionError(
@@ -337,7 +498,78 @@ class FaultInjector:
             target_index=k,
             site_categories=self._categories_of(rt),
             golden_dynamic_instructions=golden.dynamic_instructions,
+            faulty_dynamic_instructions=vm.stats.total,
         )
+
+    @staticmethod
+    def _runtime_restorer(rt: FaultRuntime, checkpoint: Checkpoint):
+        """Fast-forward the fault runtime to the checkpoint's position.
+
+        Runs inside the interpreter's restore, after memory and stats: the
+        suffix then consumes dynamic sites ``dynamic_count+1 ..`` exactly
+        as the full replay would.
+        """
+
+        def on_restore(count=checkpoint.dynamic_count):
+            rt.dynamic_count = count
+
+        return on_restore
+
+    def _convergence_hook(self, rt: FaultRuntime, tape: CheckpointTape, restored):
+        """Faulty-run block hook: exit Benign on golden re-convergence.
+
+        Sound because a checkpoint pins *all* state the continuation
+        depends on: once the (invocation, block, phi edge, stats,
+        dynamic-site position) coordinates line up and registers plus
+        memory compare bit-for-bit, the remaining execution is the golden
+        suffix — the final output equals the golden output and no further
+        site can be the (already-hit) target.  Comparisons are bitwise
+        (floats by bit pattern), so -0.0 vs 0.0 or a different NaN payload
+        never converges.
+        """
+        checkpoints = tape.checkpoints
+        # Convergence can only happen *after* the restore point (or, on a
+        # full replay, after injection — the pre-injection guard below).
+        idx = restored.index + 1 if restored is not None else 0
+        if idx >= len(checkpoints):
+            return None
+        records = rt.records
+        last = len(checkpoints)
+
+        def hook(vm, decoded, regs, current, prev_block):
+            nonlocal idx
+            if not records:
+                return  # pre-injection: the prefix matches golden trivially
+            count = rt.dynamic_count
+            inv = vm.current_invocation
+            while True:
+                cp = checkpoints[idx]
+                if cp.invocation > inv or (
+                    cp.invocation == inv and cp.dynamic_count >= count
+                ):
+                    break
+                idx += 1
+                if idx >= last:
+                    vm.block_hook = None  # ran past the tape: give up
+                    return
+            if cp.invocation != inv or cp.dynamic_count != count:
+                return
+            stats = vm.stats
+            if (
+                cp.frame.block is not current.source
+                or cp.frame.prev_block is not prev_block
+                or cp.stats_total != stats.total
+                or cp.stats_scalar != stats.scalar
+                or cp.stats_vector != stats.vector
+            ):
+                return
+            if not regs_match(regs, cp.frame.regs):
+                return
+            if not cp.memory.matches(vm.memory):
+                return
+            raise ConvergedToGolden(cp)
+
+        return hook
 
     def _categories_of(self, rt: FaultRuntime) -> frozenset[str]:
         if rt.record is None:

@@ -65,6 +65,11 @@ class ExperimentResult:
     target_index: int = 0  # k chosen uniformly from {1..N}
     site_categories: frozenset[str] = frozenset()
     golden_dynamic_instructions: int = 0
+    #: Dynamic-instruction total of the faulty run itself (at the trap, for
+    #: crashes).  A convergence early-exit reports the golden total — the
+    #: exit's premise is that the remaining suffix *is* the golden suffix,
+    #: so the completed run's total provably equals it.
+    faulty_dynamic_instructions: int = 0
     notes: dict = field(default_factory=dict)
 
     @property

@@ -60,68 +60,94 @@ class ScheduledExperiment:
 #: keeps the pipeline full without delaying the in-order result stream.
 DEFAULT_CHUNKSIZE = 4
 
-_worker_injector: FaultInjector | None = None
-_worker_context: WorkerContext | None = None
-_worker_bindings_factory: BindingsFactory | None = None
+class _WorkerEngine:
+    """One worker process's execution state for one campaign cell.
 
-#: Sweep-mode worker state: every cell's context ships at pool init, but a
-#: worker only pays injector construction for the cells it actually serves.
-_sweep_contexts: dict | None = None
-_sweep_injectors: dict = {}
-_sweep_factories: dict = {}
+    Built exactly once per (worker, cell) — at fork for single-cell pools
+    and for every cell of a sweep (:func:`_init_sweep_worker`), so no task
+    ever pays injector construction or module re-decode.  Checkpoint tapes
+    are process-local (register files are keyed by live IR instruction
+    objects), so a checkpointing worker rebuilds the golden run — tape and
+    all — *adaptively*: only for input keys it sees a second time.  A
+    worker in the unique-input regime therefore never doubles its golden
+    work, while the pooled-input regime records each hot input's tape once
+    and fast-forwards every later experiment on it.
+    """
 
-
-def _init_worker(context: WorkerContext) -> None:
-    global _worker_injector, _worker_context, _worker_bindings_factory
-    _worker_context = context
-    _worker_injector = FaultInjector(**context.injector)
-    _worker_bindings_factory = (
-        context.bindings_factory_maker()
-        if context.bindings_factory_maker is not None
-        else None
-    )
-
-
-def _run_task(context, injector, bindings_factory, task) -> ExperimentResult:
-    runner = context.make_runner(task.params)
-    golden = GoldenRun(
-        output=task.golden_output,
-        dynamic_sites=task.dynamic_sites,
-        dynamic_instructions=task.golden_dynamic_instructions,
-        detector_fired=False,
-    )
-    return injector.faulty(
-        runner, golden, task.k, bit=task.bit, bindings_factory=bindings_factory
-    )
-
-
-def _run_scheduled(task: ScheduledExperiment) -> ExperimentResult:
-    assert _worker_injector is not None and _worker_context is not None
-    return _run_task(
-        _worker_context, _worker_injector, _worker_bindings_factory, task
-    )
-
-
-def _init_sweep_worker(contexts: dict) -> None:
-    global _sweep_contexts
-    _sweep_contexts = contexts
-    _sweep_injectors.clear()
-    _sweep_factories.clear()
-
-
-def _run_sweep_scheduled(keyed_task) -> ExperimentResult:
-    key, task = keyed_task
-    assert _sweep_contexts is not None
-    context = _sweep_contexts[key]
-    injector = _sweep_injectors.get(key)
-    if injector is None:
-        injector = _sweep_injectors[key] = FaultInjector(**context.injector)
-        _sweep_factories[key] = (
+    def __init__(self, context: WorkerContext):
+        self.context = context
+        self.injector = FaultInjector(**context.injector)
+        self.bindings_factory = (
             context.bindings_factory_maker()
             if context.bindings_factory_maker is not None
             else None
         )
-    return _run_task(context, injector, _sweep_factories[key], task)
+        self._seen_keys: set = set()
+
+    def run_task(self, task: ScheduledExperiment) -> ExperimentResult:
+        runner = self.context.make_runner(task.params)
+        golden = self._golden_for(runner, task)
+        return self.injector.faulty(
+            runner,
+            golden,
+            task.k,
+            bit=task.bit,
+            bindings_factory=self.bindings_factory,
+        )
+
+    def _golden_for(self, runner, task: ScheduledExperiment) -> GoldenRun:
+        injector = self.injector
+        key = getattr(runner, "input_key", None)
+        if injector.checkpoint_interval and key is not None:
+            if key in self._seen_keys:
+                golden = injector.cached_golden(runner, self.bindings_factory)
+                if (
+                    golden.dynamic_sites != task.dynamic_sites
+                    or golden.dynamic_instructions
+                    != task.golden_dynamic_instructions
+                ):
+                    from ..errors import InjectionError
+
+                    raise InjectionError(
+                        "worker golden run disagrees with the parent's "
+                        "schedule: the program is nondeterministic"
+                    )
+                return golden
+            self._seen_keys.add(key)
+        return GoldenRun(
+            output=task.golden_output,
+            dynamic_sites=task.dynamic_sites,
+            dynamic_instructions=task.golden_dynamic_instructions,
+            detector_fired=False,
+        )
+
+
+_worker_engine: _WorkerEngine | None = None
+
+#: Sweep-mode worker state: one eagerly-built engine per cell (fork-time
+#: initialization, so serving a task never re-decodes the module).
+_sweep_engines: dict = {}
+
+
+def _init_worker(context: WorkerContext) -> None:
+    global _worker_engine
+    _worker_engine = _WorkerEngine(context)
+
+
+def _run_scheduled(task: ScheduledExperiment) -> ExperimentResult:
+    assert _worker_engine is not None
+    return _worker_engine.run_task(task)
+
+
+def _init_sweep_worker(contexts: dict) -> None:
+    _sweep_engines.clear()
+    for key, context in contexts.items():
+        _sweep_engines[key] = _WorkerEngine(context)
+
+
+def _run_sweep_scheduled(keyed_task) -> ExperimentResult:
+    key, task = keyed_task
+    return _sweep_engines[key].run_task(task)
 
 
 class ExperimentPool:

@@ -93,6 +93,7 @@ class FaultRuntime:
         rng: Random | None = None,
         bit: int | None = None,
         target_indices: list[int] | None = None,
+        checkpoint_interval: int | None = None,
     ):
         if mode not in (MODE_COUNT, MODE_INJECT):
             raise InjectionError(f"unknown runtime mode {mode!r}")
@@ -123,11 +124,26 @@ class FaultRuntime:
         # same RNG-stream position) the lazy in-run draw would produce.
         # This is what makes parallel scheduling bit-identical to serial.
         self.site_widths = bytearray() if mode == MODE_COUNT else None
+        # Checkpoint scheduling (count mode only): when the dynamic-site
+        # counter crosses the next interval mark, ``checkpoint_pending`` is
+        # raised; the interpreter's block hook takes the snapshot at the
+        # next depth-1 block boundary and calls
+        # :meth:`acknowledge_checkpoint`.
+        self.checkpoint_interval = (
+            checkpoint_interval if mode == MODE_COUNT else None
+        )
+        self.checkpoint_pending = False
+        self._next_checkpoint = checkpoint_interval or 0
 
     @property
     def record(self) -> InjectionRecord | None:
         """The first (paper model: only) injection performed this run."""
         return self.records[0] if self.records else None
+
+    def acknowledge_checkpoint(self) -> None:
+        """Snapshot taken: clear the flag, arm the next interval mark."""
+        self.checkpoint_pending = False
+        self._next_checkpoint = self.dynamic_count + self.checkpoint_interval
 
     # -- entry point factory ---------------------------------------------------
 
@@ -144,6 +160,9 @@ class FaultRuntime:
         rng = self.rng
         records = self.records
         flip = flip_bit_float if is_float else flip_bit_int
+        # None except in a checkpointing count run, so the inject-mode hot
+        # path never tests it (``widths`` is None there).
+        interval = self.checkpoint_interval
 
         def inject(value, active, site_id):
             if not active:
@@ -152,6 +171,8 @@ class FaultRuntime:
             self.dynamic_count = count
             if widths is not None:
                 widths.append(bits)
+                if interval is not None and count >= self._next_checkpoint:
+                    self.checkpoint_pending = True
             if injecting and count in targets:
                 # A fixed bit position wraps modulo the value's width so bit
                 # sweeps remain well-defined when a site is narrower (an i1
@@ -185,6 +206,7 @@ class FaultRuntime:
         record_widths = widths.extend if widths is not None else None
         targets = self.targets  # empty in count mode
         byte = bytes((bits,))
+        interval = self.checkpoint_interval
 
         def span(n):
             count = self.dynamic_count
@@ -193,9 +215,12 @@ class FaultRuntime:
                 for t in targets:
                     if count < t <= hi:
                         return False
-            self.dynamic_count = count + n
+            count += n
+            self.dynamic_count = count
             if record_widths is not None:
                 record_widths(byte * n)
+                if interval is not None and count >= self._next_checkpoint:
+                    self.checkpoint_pending = True
             return True
 
         return span

@@ -18,6 +18,12 @@ experiment streams; ``direct`` (the default) folds fault sites into the
 decoded interpreter, ``instrumented`` splices VULFI's ``injectFault<Ty>Ty``
 calls into a cloned module.  ``perf`` benchmarks both side by side unless
 one is forced.
+
+``--checkpoint-interval N`` records a golden VM snapshot every N dynamic
+sites (fig11/fig12/perf); faulty runs then restore the nearest snapshot
+before their target site and replay only the suffix — bit-identical to
+full replay.  ``--no-checkpoints`` disables snapshots entirely (perf
+defaults them on; fig11/fig12 default off).
 """
 
 from __future__ import annotations
@@ -55,23 +61,57 @@ def main(argv: list[str] | None = None) -> int:
         "IR-splicing reference semantics; perf benchmarks both unless "
         "one is forced here)",
     )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record a golden VM snapshot every N dynamic sites; faulty "
+        "runs restore the nearest one before their target site "
+        "(bit-identical prefix skipping; fig11/fig12 default off, perf "
+        "defaults on)",
+    )
+    parser.add_argument(
+        "--no-checkpoints",
+        action="store_true",
+        help="disable golden-run snapshots even where they default on (perf)",
+    )
     args = parser.parse_args(argv)
+    if args.no_checkpoints and args.checkpoint_interval is not None:
+        parser.error("--no-checkpoints conflicts with --checkpoint-interval")
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         mod = EXPERIMENTS[name]
         t0 = time.time()
         engine = args.engine or "direct"
+        # fig11/fig12 default checkpoints off (None); perf defaults them on
+        # and only needs an override when the user forced a value or none.
+        interval = None if args.no_checkpoints else args.checkpoint_interval
         if name == "fig11":
             report = mod.run(
                 args.scale, benchmarks=args.benchmark, jobs=args.jobs,
-                engine=engine,
+                engine=engine, checkpoint_interval=interval,
             )
         elif name == "fig12":
-            report = mod.run(args.scale, jobs=args.jobs, engine=engine)
+            report = mod.run(
+                args.scale, jobs=args.jobs, engine=engine,
+                checkpoint_interval=interval,
+            )
         elif name == "perf":
             # None = benchmark both engines side by side.
-            report = mod.run(args.scale, jobs=args.jobs, engine=args.engine)
+            if args.no_checkpoints:
+                report = mod.run(
+                    args.scale, jobs=args.jobs, engine=args.engine,
+                    checkpoint_interval=None,
+                )
+            elif args.checkpoint_interval is not None:
+                report = mod.run(
+                    args.scale, jobs=args.jobs, engine=args.engine,
+                    checkpoint_interval=args.checkpoint_interval,
+                )
+            else:
+                report = mod.run(args.scale, jobs=args.jobs, engine=args.engine)
         elif name == "ablations":
             report = mod.run(args.scale, engine=engine)
         else:

@@ -35,6 +35,7 @@ def run_cell(
     step_limit: int = 2_000_000,
     jobs: int = 1,
     engine: str = "direct",
+    checkpoint_interval: int | None = None,
     pool=None,
     injector: FaultInjector | None = None,
 ) -> dict:
@@ -47,7 +48,8 @@ def run_cell(
     if injector is None:
         module = workload.compile(target)
         injector = FaultInjector(
-            module, category=category, step_limit=step_limit, engine=engine
+            module, category=category, step_limit=step_limit, engine=engine,
+            checkpoint_interval=checkpoint_interval,
         )
     worker_context = (
         campaign_worker_context(injector, workload)
@@ -85,6 +87,7 @@ def run(
     benchmarks: list[str] | None = None,
     jobs: int = 1,
     engine: str = "direct",
+    checkpoint_interval: int | None = None,
 ) -> ExperimentReport:
     config = SCALES[scale]
     report = ExperimentReport(
@@ -122,6 +125,7 @@ def run(
                 category=category,
                 step_limit=2_000_000,
                 engine=engine,
+                checkpoint_interval=checkpoint_interval,
             )
             contexts[key] = campaign_worker_context(injectors[key], w)
         pool = SweepPool(jobs, contexts)
@@ -136,6 +140,7 @@ def run(
                     config,
                     jobs=jobs,
                     engine=engine,
+                    checkpoint_interval=checkpoint_interval,
                     pool=pool.cell(key) if pool is not None else None,
                     injector=injectors.get(key),
                 )

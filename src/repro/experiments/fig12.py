@@ -77,13 +77,15 @@ def run_cell(
     target: str = "avx",
     jobs: int = 1,
     engine: str = "direct",
+    checkpoint_interval: int | None = None,
     pool=None,
     injector: FaultInjector | None = None,
 ) -> dict:
     if injector is None:
         module = workload.compile(target, foreach_detectors=True)
         injector = FaultInjector(
-            module, category=category, step_limit=500_000, engine=engine
+            module, category=category, step_limit=500_000, engine=engine,
+            checkpoint_interval=checkpoint_interval,
         )
     rng = Random(cell_seed("fig12", workload.name, target, category))
     factory = detector_bindings_factory()
@@ -116,7 +118,12 @@ def run_cell(
     }
 
 
-def run(scale: str = "quick", jobs: int = 1, engine: str = "direct") -> ExperimentReport:
+def run(
+    scale: str = "quick",
+    jobs: int = 1,
+    engine: str = "direct",
+    checkpoint_interval: int | None = None,
+) -> ExperimentReport:
     experiments = FIG12_EXPERIMENTS[scale]
     report = ExperimentReport(
         name="fig12",
@@ -146,7 +153,8 @@ def run(scale: str = "quick", jobs: int = 1, engine: str = "direct") -> Experime
             key = (w.name, category)
             module = w.compile("avx", foreach_detectors=True)
             injectors[key] = FaultInjector(
-                module, category=category, step_limit=500_000, engine=engine
+                module, category=category, step_limit=500_000, engine=engine,
+                checkpoint_interval=checkpoint_interval,
             )
             contexts[key] = campaign_worker_context(
                 injectors[key], w, with_detectors=True
@@ -163,6 +171,7 @@ def run(scale: str = "quick", jobs: int = 1, engine: str = "direct") -> Experime
                     experiments,
                     jobs=jobs,
                     engine=engine,
+                    checkpoint_interval=checkpoint_interval,
                     pool=pool.cell(key) if pool is not None else None,
                     injector=injectors.get(key),
                 )

@@ -60,12 +60,33 @@ POOLED_INPUTS = (
 
 SEED = 7
 
+#: Default golden-checkpoint interval (dynamic sites) for the mini
+#: campaigns.  Checkpoint fast-forward is bit-identical to full replay, so
+#: running the frozen-totals contract *with* checkpoints on keeps the
+#: restore path continuously verified by CI; ``--no-checkpoints`` reverts
+#: to full replays.
+MINI_CHECKPOINT_INTERVAL = 64
 
-def _mini_campaign(regime: str, jobs: int = 1, engine: str = "direct") -> dict:
+#: The checkpoint micro-benchmark's fixed input and late-fault bias: every
+#: target site k is drawn from the last LATE_FRACTION of the dynamic-site
+#: range, the regime prefix skipping is built for (a restore skips ~the
+#: whole prefix instead of ~half on average).
+CHECKPOINT_INPUT = {"n": 1024, "seed": 1234}
+LATE_FRACTION = 0.1
+CHECKPOINT_EXPERIMENTS = 150
+
+
+def _mini_campaign(
+    regime: str,
+    jobs: int = 1,
+    engine: str = "direct",
+    checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+) -> dict:
     workload = get_workload("vector_sum")
     module = workload.compile("avx")
     injector = FaultInjector(
-        module, category="all", step_limit=500_000, engine=engine
+        module, category="all", step_limit=500_000, engine=engine,
+        checkpoint_interval=checkpoint_interval,
     )
     if regime == "unique":
         factory = workload.runner_factory()
@@ -83,18 +104,29 @@ def _mini_campaign(regime: str, jobs: int = 1, engine: str = "direct") -> dict:
     # Faulty-run-only timing split (serial runs only: with --jobs the
     # faulty halves execute in workers): shadow the bound method with a
     # timing wrapper, so golden-run and classification time is excluded
-    # from the per-engine comparison the direct engine is judged on.
+    # from the per-engine comparison the direct engine is judged on.  With
+    # checkpoints on, the split further separates prefix-skipped (restored)
+    # from full-replay faulty runs, attributed by watching the injector's
+    # restore counter across each call.
     faulty_seconds = 0.0
+    restored = {"runs": 0, "seconds": 0.0}
+    full = {"runs": 0, "seconds": 0.0}
     if jobs == 1:
         inner_faulty = injector.faulty
+        cstats = injector.checkpoint_stats
 
         def timed_faulty(*args, **kwargs):
             nonlocal faulty_seconds
+            before = cstats["restores"]
             t = time.perf_counter()
             try:
                 return inner_faulty(*args, **kwargs)
             finally:
-                faulty_seconds += time.perf_counter() - t
+                dt = time.perf_counter() - t
+                faulty_seconds += dt
+                split = restored if cstats["restores"] > before else full
+                split["runs"] += 1
+                split["seconds"] += dt
 
         injector.faulty = timed_faulty
 
@@ -108,19 +140,105 @@ def _mini_campaign(regime: str, jobs: int = 1, engine: str = "direct") -> dict:
     return {
         "regime": regime,
         "engine": engine,
+        "jobs": jobs,
+        "checkpoint_interval": checkpoint_interval,
         "experiments": summary.totals.total,
         "seconds": elapsed,
         "faulty_seconds": faulty_seconds if jobs == 1 else None,
+        "faulty_split": (
+            {"restored": restored, "full": full} if jobs == 1 else None
+        ),
         "baseline_seconds": BASELINE[regime],
         "speedup": BASELINE[regime] / elapsed,
         "totals": totals,
         "totals_match_baseline": totals == EXPECTED_TOTALS[regime],
+        "golden_cache": injector.golden_cache.cache_info(),
         "golden_cache_hits": injector.golden_cache.hits,
         "golden_cache_misses": injector.golden_cache.misses,
+        "checkpoints": dict(injector.checkpoint_stats),
     }
 
 
-def bench_results(jobs: int = 1, engines: tuple = ENGINES) -> dict:
+def checkpoint_bench(interval: int | None = None) -> dict:
+    """Faulty-run speedup from checkpoint restore on a late-fault workload.
+
+    One fixed large input, every target site drawn from the last
+    ``LATE_FRACTION`` of the dynamic range — the regime the tentpole
+    optimization targets (a restore skips ~90% of the replay).  Runs the
+    *same* pre-drawn (k, bit) schedule through a plain direct injector and
+    a checkpointing one and requires the result streams to agree
+    experiment-for-experiment (outcome, crash kind, injection record, and
+    faulty dynamic-instruction totals), so the reported speedup is only
+    ever attached to a bit-identical run.
+    """
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    runner = workload.build_runner(dict(CHECKPOINT_INPUT))
+
+    plain = FaultInjector(module, category="all", step_limit=2_000_000)
+    golden = plain.golden(runner)
+    n = golden.dynamic_sites
+    if interval is None:
+        interval = max(1, n // 64)
+    ck = FaultInjector(
+        module, category="all", step_limit=2_000_000,
+        checkpoint_interval=interval,
+    )
+    golden_ck = ck.golden(runner)
+
+    rng = Random(SEED)
+    lo = int(n * (1.0 - LATE_FRACTION)) + 1
+    schedule = []
+    for _ in range(CHECKPOINT_EXPERIMENTS):
+        k = rng.randint(lo, n)
+        schedule.append((k, rng.randrange(golden.site_widths[k - 1])))
+
+    def sweep(injector, g):
+        results = []
+        t0 = time.perf_counter()
+        for k, bit in schedule:
+            results.append(injector.faulty(runner, g, k, bit=bit))
+        return time.perf_counter() - t0, results
+
+    plain_seconds, plain_results = sweep(plain, golden)
+    ck_seconds, ck_results = sweep(ck, golden_ck)
+
+    def signature(r):
+        return (
+            r.outcome.value,
+            r.crash_kind,
+            repr(r.injection),
+            r.dynamic_sites,
+            r.faulty_dynamic_instructions,
+        )
+
+    matches = all(
+        signature(a) == signature(b)
+        for a, b in zip(plain_results, ck_results)
+    )
+    return {
+        "workload": "vector_sum",
+        "input": dict(CHECKPOINT_INPUT),
+        "dynamic_sites": n,
+        "experiments": len(schedule),
+        "late_fraction": LATE_FRACTION,
+        "checkpoint_interval": interval,
+        "checkpoints_recorded": len(golden_ck.checkpoints)
+        if golden_ck.checkpoints is not None
+        else 0,
+        "baseline_seconds": plain_seconds,
+        "checkpointed_seconds": ck_seconds,
+        "faulty_speedup": plain_seconds / ck_seconds,
+        "totals_match_baseline": matches,
+        "stats": dict(ck.checkpoint_stats),
+    }
+
+
+def bench_results(
+    jobs: int = 1,
+    engines: tuple = ENGINES,
+    checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+) -> dict:
     """Per-engine timings for both regimes — the ``BENCH_campaign.json``
     payload.
 
@@ -133,8 +251,8 @@ def bench_results(jobs: int = 1, engines: tuple = ENGINES) -> dict:
         engine: {
             r["regime"]: r
             for r in (
-                _mini_campaign("unique", jobs, engine),
-                _mini_campaign("pooled", jobs, engine),
+                _mini_campaign("unique", jobs, engine, checkpoint_interval),
+                _mini_campaign("pooled", jobs, engine, checkpoint_interval),
             )
         }
         for engine in engines
@@ -148,8 +266,10 @@ def bench_results(jobs: int = 1, engines: tuple = ENGINES) -> dict:
             "campaigns": MINI_CONFIG.max_campaigns,
         },
         "jobs": jobs,
+        "checkpoint_interval": checkpoint_interval,
         "regimes": per_engine[engines[0]],
         "engines": per_engine,
+        "checkpoint": checkpoint_bench(),
     }
     if "direct" in per_engine and "instrumented" in per_engine:
         comparison = {}
@@ -164,9 +284,16 @@ def bench_results(jobs: int = 1, engines: tuple = ENGINES) -> dict:
     return payload
 
 
-def run(scale: str = "quick", jobs: int = 1, engine: str | None = None) -> ExperimentReport:
+def run(
+    scale: str = "quick",
+    jobs: int = 1,
+    engine: str | None = None,
+    checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+) -> ExperimentReport:
     engines = ENGINES if engine is None else (engine,)
-    results = bench_results(jobs=jobs, engines=engines)
+    results = bench_results(
+        jobs=jobs, engines=engines, checkpoint_interval=checkpoint_interval
+    )
     rows = [
         cell
         for engine_cells in results["engines"].values()
@@ -201,6 +328,16 @@ def run(scale: str = "quick", jobs: int = 1, engine: str | None = None) -> Exper
             for regime, cell in comparison.items()
         ]
         report.notes.append("direct vs instrumented — " + "; ".join(parts))
+    ck = results.get("checkpoint")
+    if ck:
+        report.notes.append(
+            f"checkpoint restore (late-fault bias, interval "
+            f"{ck['checkpoint_interval']}): {ck['faulty_speedup']:.2f}x "
+            f"faulty-run speedup over full replay, "
+            f"{ck['stats']['sites_skipped']} sites skipped, "
+            f"{ck['stats']['convergence_exits']} convergence exits, "
+            f"bit-identical={'yes' if ck['totals_match_baseline'] else 'NO'}"
+        )
     return report
 
 

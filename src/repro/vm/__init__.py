@@ -14,6 +14,17 @@ from .bits import (
 )
 from .interpreter import DEFAULT_STEP_LIMIT, ExecutionStats, Interpreter
 from .memory import GUARD_GAP, HEAP_BASE, Memory
+from .snapshot import (
+    Checkpoint,
+    CheckpointTape,
+    ConvergedToGolden,
+    FrameState,
+    MemoryImage,
+    PAGE_SIZE,
+    ResumePoint,
+    copy_regs,
+    regs_match,
+)
 
 __all__ = [
     "bit_width",
@@ -32,4 +43,13 @@ __all__ = [
     "GUARD_GAP",
     "HEAP_BASE",
     "Memory",
+    "Checkpoint",
+    "CheckpointTape",
+    "ConvergedToGolden",
+    "FrameState",
+    "MemoryImage",
+    "PAGE_SIZE",
+    "ResumePoint",
+    "copy_regs",
+    "regs_match",
 ]

@@ -807,12 +807,19 @@ class DecodedBlock:
         self.term = None
 
 
+#: Process-wide decode counters.  ``functions`` increments once per
+#: :class:`DecodedFunction` build — tests use it to prove that pool workers
+#: decode each module exactly once per process, not once per experiment.
+DECODE_EVENTS = {"functions": 0}
+
+
 class DecodedFunction:
     """A function decoded into :class:`DecodedBlock` records."""
 
     __slots__ = ("fn", "name", "entry", "blocks", "plan")
 
     def __init__(self, fn: Function, plan: InjectionPlan | None = None):
+        DECODE_EVENTS["functions"] += 1
         self.fn = fn
         self.name = fn.name
         self.plan = plan

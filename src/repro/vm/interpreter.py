@@ -36,6 +36,7 @@ from ..ir.types import Type, VectorType
 from .decode import InjectionPlan, T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
 from .memory import Memory
 from .ops import sign_active
+from .snapshot import ResumePoint, copy_regs
 
 DEFAULT_STEP_LIMIT = 20_000_000
 
@@ -81,6 +82,20 @@ class Interpreter:
         #: Batched span advancers (:meth:`FaultRuntime.spans`) for skipping
         #: whole uninjected site groups in one call.
         self.fault_spans: tuple | None = None
+        #: Checkpoint machinery (see :mod:`repro.vm.snapshot`).  The block
+        #: hook fires at every *depth-1* block start as
+        #: ``hook(vm, decoded, regs, current, prev_block)`` — the injector
+        #: installs one to record golden checkpoints or to detect
+        #: convergence with them.  ``pending_resume`` is consumed by the
+        #: matching top-level :meth:`run` invocation, which then restores
+        #: the checkpoint and executes only the suffix.
+        self.block_hook: Callable | None = None
+        self.pending_resume: ResumePoint | None = None
+        #: Index of the current (most recent) top-level :meth:`run` call;
+        #: runners that invoke several kernels give each its own index.
+        self.current_invocation: int = -1
+        self._invocations = 0
+        self._depth = 0
 
     # -- configuration ---------------------------------------------------------
 
@@ -106,6 +121,13 @@ class Interpreter:
             raise InvalidOperation(
                 f"@{fn.name} expects {len(fn.args)} args, got {len(args)}"
             )
+        invocation = self._invocations
+        self._invocations = invocation + 1
+        self.current_invocation = invocation
+        resume = self.pending_resume
+        if resume is not None and resume.invocation == invocation:
+            self.pending_resume = None
+            return self._resume_function(fn, resume)
         return self._exec_function(fn, list(args))
 
     # -- main loop ---------------------------------------------------------------------
@@ -115,33 +137,96 @@ class Interpreter:
         regs: dict = {}
         for formal, actual in zip(fn.args, args):
             regs[formal] = actual
+        return self._exec_blocks(decoded, regs, decoded.entry, None)
 
+    def _resume_function(self, fn: Function, resume: ResumePoint):
+        """Re-enter ``fn`` at a recorded checkpoint and run the suffix.
+
+        The checkpoint was captured at a depth-1 block start, *before* that
+        block's phis evaluated, so restoring (memory, stats, registers) and
+        entering the loop at the saved cursor with the saved predecessor
+        edge replays the exact golden continuation.
+        """
+        checkpoint = resume.checkpoint
+        frame = checkpoint.frame
+        if frame.function_name != fn.name:
+            raise InvalidOperation(
+                f"checkpoint resumes @{frame.function_name}, not @{fn.name}"
+            )
+        decoded = decoded_program(self.module, self.plan).function(fn)
+        current = decoded.blocks.get(frame.block)
+        if current is None:
+            raise InvalidOperation(
+                f"checkpoint block is no longer part of @{fn.name}"
+            )
+        self.memory.restore(checkpoint.memory)
+        stats = self.stats
+        stats.total = checkpoint.stats_total
+        stats.scalar = checkpoint.stats_scalar
+        stats.vector = checkpoint.stats_vector
+        stats.by_opcode.clear()
+        if checkpoint.by_opcode is not None:
+            stats.by_opcode.update(checkpoint.by_opcode)
+        if resume.on_restore is not None:
+            resume.on_restore()
+        # The checkpoint's register file is shared by every faulty run that
+        # restores it; the appliers mutate vector registers in place, so
+        # each resume executes against its own depth-1 copy.
+        return self._exec_blocks(
+            decoded, copy_regs(frame.regs), current, frame.prev_block
+        )
+
+    def _exec_blocks(self, decoded, regs: dict, current, prev_block):
         stats = self.stats
         limit = self.step_limit
         count_opcodes = self.count_opcodes
         by_opcode = stats.by_opcode
         fn_name = decoded.name
-        current = decoded.entry
-        prev_block = None
+        depth = self._depth
+        self._depth = depth + 1
+        hook = self.block_hook if depth == 0 else None
 
-        while True:
-            phis = current.phis
-            if phis:
-                # Phi nodes evaluate in parallel against the predecessor edge.
-                values = []
-                for phi, table in phis:
-                    spec = table.get(prev_block)
-                    if spec is None:
-                        phi.incoming_for(prev_block)  # raises the exact IRError
-                    is_reg, payload = spec
-                    values.append(regs[payload] if is_reg else payload)
-                for (phi, _), value in zip(phis, values):
-                    regs[phi] = value
-                stats.total += current.phi_total
-                stats.scalar += current.phi_scalar
-                stats.vector += current.phi_vector
+        try:
+            while True:
+                if hook is not None:
+                    hook(self, decoded, regs, current, prev_block)
+                    hook = self.block_hook  # hooks may uninstall themselves
+                phis = current.phis
+                if phis:
+                    # Phi nodes evaluate in parallel against the predecessor edge.
+                    values = []
+                    for phi, table in phis:
+                        spec = table.get(prev_block)
+                        if spec is None:
+                            phi.incoming_for(prev_block)  # raises the exact IRError
+                        is_reg, payload = spec
+                        values.append(regs[payload] if is_reg else payload)
+                    for (phi, _), value in zip(phis, values):
+                        regs[phi] = value
+                    stats.total += current.phi_total
+                    stats.scalar += current.phi_scalar
+                    stats.vector += current.phi_vector
 
-            for ex, isvec, opcode in current.steps:
+                for ex, isvec, opcode in current.steps:
+                    stats.total += 1
+                    if stats.total > limit:
+                        raise StepLimitExceeded(
+                            f"@{fn_name}: exceeded {limit} dynamic instructions"
+                        )
+                    if isvec:
+                        stats.vector += 1
+                    else:
+                        stats.scalar += 1
+                    if count_opcodes:
+                        by_opcode[opcode] += 1
+                    ex(self, regs)
+
+                term = current.term
+                if term is None:
+                    raise InvalidOperation(
+                        f"@{fn_name}:{current.source.name}: fell off the end of a block"
+                    )
+                tag, isvec, opcode, payload = term
                 stats.total += 1
                 if stats.total > limit:
                     raise StepLimitExceeded(
@@ -153,41 +238,24 @@ class Interpreter:
                     stats.scalar += 1
                 if count_opcodes:
                     by_opcode[opcode] += 1
-                ex(self, regs)
 
-            term = current.term
-            if term is None:
-                raise InvalidOperation(
-                    f"@{fn_name}:{current.source.name}: fell off the end of a block"
-                )
-            tag, isvec, opcode, payload = term
-            stats.total += 1
-            if stats.total > limit:
-                raise StepLimitExceeded(
-                    f"@{fn_name}: exceeded {limit} dynamic instructions"
-                )
-            if isvec:
-                stats.vector += 1
-            else:
-                stats.scalar += 1
-            if count_opcodes:
-                by_opcode[opcode] += 1
-
-            if tag == T_BR:
-                prev_block, current = current.source, payload
-            elif tag == T_CONDBR:
-                is_reg, cond, true_block, false_block = payload
-                cv = regs[cond] if is_reg else cond
-                prev_block = current.source
-                current = true_block if cv else false_block
-            elif tag == T_RET:
-                if payload is None:
-                    return None
-                is_reg, value = payload
-                return regs[value] if is_reg else value
-            else:
-                assert tag == T_UNREACHABLE
-                raise InvalidOperation(f"@{fn_name}: reached 'unreachable'")
+                if tag == T_BR:
+                    prev_block, current = current.source, payload
+                elif tag == T_CONDBR:
+                    is_reg, cond, true_block, false_block = payload
+                    cv = regs[cond] if is_reg else cond
+                    prev_block = current.source
+                    current = true_block if cv else false_block
+                elif tag == T_RET:
+                    if payload is None:
+                        return None
+                    is_reg, value = payload
+                    return regs[value] if is_reg else value
+                else:
+                    assert tag == T_UNREACHABLE
+                    raise InvalidOperation(f"@{fn_name}: reached 'unreachable'")
+        finally:
+            self._depth = depth
 
     # -- memory intrinsics --------------------------------------------------------------
     #

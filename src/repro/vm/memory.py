@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import MemoryFault
 from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
 from .bits import bits_to_float, float_to_bits, to_unsigned, wrap_int
+from .snapshot import PAGE_SHIFT, PAGE_SIZE, AllocationImage, MemoryImage, split_pages
 
 #: Base of the simulated heap; low addresses (incl. null) are never mapped.
 HEAP_BASE = 0x10000
@@ -67,6 +68,12 @@ class Memory:
         self._scalar_readers: dict = {}
         self._vector_readers: dict = {}
         self._vector_writers: dict = {}
+        # Dirty-page tracking for copy-on-write snapshots.  None (the
+        # default) = tracking off, zero overhead beyond one is-None test per
+        # write.  When tracking, maps Allocation -> set of dirty page
+        # indices; an allocation *absent* from the map post-dates the last
+        # snapshot and is treated as fully dirty, so alloc() stays free.
+        self._dirty: dict | None = None
 
     def _check_alignment(self, addr: int, size: int) -> None:
         if self.strict_alignment and size > 1 and addr % size != 0:
@@ -113,9 +120,17 @@ class Memory:
         return bytes(alloc.data[off : off + size])
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        alloc = self._find(addr, len(data))
+        size = len(data)
+        alloc = self._find(addr, size)
         off = addr - alloc.base
-        alloc.data[off : off + len(data)] = data
+        alloc.data[off : off + size] = data
+        dirty = self._dirty
+        if dirty is not None and size:
+            pages = dirty.get(alloc)
+            if pages is not None:
+                pages.update(
+                    range(off >> PAGE_SHIFT, ((off + size - 1) >> PAGE_SHIFT) + 1)
+                )
 
     # -- typed scalar access -------------------------------------------------------
     #
@@ -306,12 +321,80 @@ class Memory:
                     converted = list(values) if convert is None else convert(values)
                     if converted is not None:
                         pack_into(alloc.data, off, *converted)
+                        dirty = self._dirty
+                        if dirty is not None:
+                            pages = dirty.get(alloc)
+                            if pages is not None:
+                                pages.update(
+                                    range(
+                                        off >> PAGE_SHIFT,
+                                        ((off + size - 1) >> PAGE_SHIFT) + 1,
+                                    )
+                                )
                         return
             # Bounds failure or non-canonical values: the generic lane-wise
             # path preserves exact trap messages and partial-write order.
             self._write_vector_generic(type, addr, values)
 
         return write
+
+    # -- snapshots (see vm/snapshot.py) ----------------------------------------------
+    #
+    # The write paths above mark dirty pages when tracking is on; taking a
+    # snapshot copies only the pages written since the previous one and
+    # shares the rest with it, then resets tracking.  Restore rebuilds the
+    # allocation lists *in place*: the specialised accessor closures capture
+    # the list objects, never re-read the attributes.
+
+    def snapshot(self, prev: MemoryImage | None = None) -> MemoryImage:
+        """Copy-on-write snapshot of the full memory state.
+
+        ``prev`` is the chronologically previous snapshot of *this* memory:
+        pages not dirtied since it was taken are shared with it instead of
+        copied.  Without ``prev`` (or without tracking yet) every page is
+        copied.  Enables dirty tracking as a side effect, so a snapshot
+        chain pays one full copy up front and deltas afterwards.
+        """
+        dirty = self._dirty
+        images = []
+        for alloc in self._allocations:
+            prev_img = prev.image_at(alloc.base) if prev is not None else None
+            dirty_pages = dirty.get(alloc) if dirty is not None else None
+            if (
+                prev_img is None
+                or prev_img.size != alloc.size
+                or dirty_pages is None
+            ):
+                pages = split_pages(alloc.data)
+            else:
+                shared = list(prev_img.pages)
+                for pi in dirty_pages:
+                    lo = pi << PAGE_SHIFT
+                    shared[pi] = bytes(alloc.data[lo : lo + PAGE_SIZE])
+                pages = tuple(shared)
+            images.append(AllocationImage(alloc.base, alloc.size, alloc.label, pages))
+        self._dirty = {alloc: set() for alloc in self._allocations}
+        return MemoryImage(images, self._next, self.bytes_allocated)
+
+    def restore(self, image: MemoryImage) -> None:
+        """Reset the memory to a snapshot's exact state.
+
+        Mutates the allocation lists in place (the accessor closures hold
+        references to the list objects) and turns dirty tracking off —
+        restored executions are faulty suffixes, which never snapshot.
+        """
+        allocs = self._allocations
+        bases = self._bases
+        del allocs[:]
+        del bases[:]
+        for img in image.images:
+            alloc = Allocation(img.base, img.size, img.label)
+            alloc.data[:] = b"".join(img.pages)
+            allocs.append(alloc)
+            bases.append(img.base)
+        self._next = image.next_base
+        self.bytes_allocated = image.bytes_allocated
+        self._dirty = None
 
     def read_value(self, type: Type, addr: int):
         if isinstance(type, VectorType):

@@ -126,3 +126,42 @@ class TestCachedGolden:
             )
         assert outcomes[0] == outcomes[1]
         assert any(o is not Outcome.BENIGN for o in outcomes[0])
+
+
+class TestCacheCounters:
+    def test_eviction_counter(self):
+        cache = GoldenCache(maxsize=2)
+        g = lambda: GoldenRun(output={}, dynamic_sites=1, dynamic_instructions=1, detector_fired=False)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, g())
+        assert cache.evictions == 2
+        assert len(cache) == 2
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_cache_info_shape(self):
+        cache = GoldenCache(maxsize=8)
+        cache.get("missing")
+        cache.put("x", GoldenRun(output={}, dynamic_sites=1, dynamic_instructions=1, detector_fired=False))
+        cache.get("x")
+        assert cache.cache_info() == {
+            "size": 1,
+            "maxsize": 8,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_bounded_cache_evicts_under_churn(self, module):
+        """A tiny LRU bound stays tiny over many distinct inputs, and the
+        injector's counters surface the churn."""
+        injector = FaultInjector(module, golden_cache_size=3)
+        rng = Random(5)
+        for i in range(10):
+            runner = counting_runner(seed=i, input_key=("k", 13, i))
+            injector.experiment(runner, rng)
+        info = injector.golden_cache.cache_info()
+        assert info["size"] == 3
+        assert info["maxsize"] == 3
+        assert info["evictions"] == 7
+        assert info["misses"] == 10

@@ -164,3 +164,88 @@ class TestParallelDeterminism:
         )
         with pytest.raises(InjectionError, match="clone=True"):
             injector.worker_payload()
+
+
+class TestWorkerEngine:
+    """The per-worker execution state: build-once, decode-once, adaptive
+    checkpoint rebuilds.  Exercised in-process — the pool initializers and
+    task runners below are exactly what forked workers execute."""
+
+    def _context(self, checkpoint_interval=None):
+        from repro.experiments.common import campaign_worker_context
+
+        workload = get_workload("vector_sum")
+        injector = FaultInjector(
+            workload.compile("avx"),
+            category="all",
+            step_limit=500_000,
+            checkpoint_interval=checkpoint_interval,
+        )
+        return injector, workload, campaign_worker_context(injector, workload)
+
+    def _schedule(self, injector, workload, count, seed=21):
+        from repro.core.parallel import make_schedule_entry
+
+        rng = Random(seed)
+        runner = workload.build_runner({"n": 90, "seed": 55})
+        return [make_schedule_entry(injector, runner, rng) for _ in range(count)]
+
+    def test_worker_decodes_module_once(self):
+        from repro.core import parallel
+        from repro.vm.decode import DECODE_EVENTS
+
+        injector, workload, context = self._context()
+        tasks = self._schedule(injector, workload, 8)
+        parallel._init_worker(context)
+        parallel._run_scheduled(tasks[0])  # first run pays the lazy decode
+        before = DECODE_EVENTS["functions"]
+        for task in tasks[1:]:
+            parallel._run_scheduled(task)
+        assert DECODE_EVENTS["functions"] == before
+
+    def test_sweep_workers_build_every_cell_at_init(self):
+        from repro.core import parallel
+
+        _, _, context_a = self._context()
+        _, _, context_b = self._context(checkpoint_interval=30)
+        parallel._init_sweep_worker({"a": context_a, "b": context_b})
+        assert set(parallel._sweep_engines) == {"a", "b"}
+        for engine in parallel._sweep_engines.values():
+            assert engine.injector is not None  # built eagerly, not per task
+        assert parallel._sweep_engines["b"].injector.checkpoint_interval == 30
+
+    def test_worker_rebuilds_golden_for_repeated_inputs(self):
+        """Checkpointing workers synthesize the golden for a first-seen
+        input (no extra golden run) but rebuild it — tape included — the
+        second time the same input key arrives."""
+        from repro.core.parallel import _WorkerEngine
+
+        injector, workload, context = self._context(checkpoint_interval=30)
+        tasks = self._schedule(injector, workload, 6)
+        engine = _WorkerEngine(context)
+        engine.run_task(tasks[0])
+        first_round = dict(engine.injector.checkpoint_stats)
+        assert first_round["tapes_recorded"] == 0  # synthesized golden, no tape
+        for task in tasks[1:]:
+            engine.run_task(task)
+        stats = engine.injector.checkpoint_stats
+        assert stats["tapes_recorded"] == 1  # rebuilt once, then cached
+        assert stats["restores"] + stats["full_replays"] >= len(tasks) - 1
+
+    def test_worker_results_match_parent_serial(self):
+        injector, workload, context = self._context(checkpoint_interval=30)
+        tasks = self._schedule(injector, workload, 10)
+        from repro.core.parallel import _WorkerEngine
+
+        engine = _WorkerEngine(context)
+        worker_results = [engine.run_task(t) for t in tasks]
+        runner = workload.build_runner({"n": 90, "seed": 55})
+        golden = injector.cached_golden(runner)
+        serial_results = [
+            injector.faulty(runner, golden, t.k, bit=t.bit) for t in tasks
+        ]
+        sig = lambda r: repr(
+            (r.outcome, r.crash_kind, r.injection, r.dynamic_sites,
+             r.faulty_dynamic_instructions)
+        )
+        assert [sig(r) for r in worker_results] == [sig(r) for r in serial_results]

@@ -197,3 +197,147 @@ class TestStrictAlignment:
         a = mem.alloc(16)
         mem.write_scalar(F32t, a + 1, 2.0)  # unaligned, x86-style OK
         assert mem.read_scalar(F32t, a + 1) == 2.0
+
+
+class TestBulkAccessors:
+    """The fast vector paths against their lane-wise reference semantics."""
+
+    def test_misaligned_vector_store_load_round_trip(self):
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc(4 * 8 + 3)
+        values = [float(i) * 0.25 - 1.0 for i in range(8)]
+        mem.write_vector(vty, a + 3, values)  # unaligned, x86-style OK
+        assert mem.read_vector(vty, a + 3) == values
+        # Bit-exact against the lane-wise reference path.
+        assert mem._read_vector_generic(vty, a + 3) == values
+
+    def test_misaligned_i32_vector_round_trip(self):
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc(4 * 4 + 1)
+        mem.write_vector(vty, a + 1, [-7, 0, 2**31 - 1, -(2**31)])
+        assert mem.read_vector(vty, a + 1) == [-7, 0, 2**31 - 1, -(2**31)]
+
+    def test_partially_oob_vector_read_replays_lanewise(self):
+        """Bulk bounds failure must fault at the exact first bad lane."""
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc(4 * 6)  # room for 6 of the 8 lanes
+        for i in range(6):
+            mem.write_scalar(F32, a + 4 * i, float(i))
+        with pytest.raises(MemoryFault) as bulk:
+            mem.read_vector(vty, a)
+        with pytest.raises(MemoryFault) as lane:
+            mem.read_scalar(F32, a + 4 * 6)  # first out-of-bounds lane
+        assert str(bulk.value) == str(lane.value)
+
+    def test_partially_oob_vector_write_is_lanewise_prefix(self):
+        """The generic fallback writes in lane order up to the fault."""
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc(4 * 3)  # room for 3 of the 4 lanes
+        with pytest.raises(MemoryFault):
+            mem.write_vector(vty, a, [10, 11, 12, 13])
+        assert [mem.read_scalar(I32, a + 4 * i) for i in range(3)] == [10, 11, 12]
+
+    def test_masked_tail_lanes_stay_accessible(self):
+        """Why masked loads of a partial tail are safe: the in-bounds lanes
+        read fine individually even though the full-width access faults."""
+        mem = Memory()
+        a = mem.alloc(4 * 5)
+        for i in range(5):
+            mem.write_scalar(F32, a + 4 * i, float(i) + 0.5)
+        with pytest.raises(MemoryFault):
+            mem.read_vector(vector(F32, 8), a)
+        assert [mem.read_scalar(F32, a + 4 * i) for i in range(5)] == [
+            0.5, 1.5, 2.5, 3.5, 4.5,
+        ]
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_exact_bytes(self):
+        mem = Memory()
+        a = mem.store_array(F32, np.linspace(0, 1, 100, dtype=np.float32))
+        b = mem.alloc_typed(I32, 8)
+        mem.write_scalar(I32, b, 42)
+        image = mem.snapshot()
+        before = mem.read_bytes(a, 400)
+        mem.write_scalar(F32, a + 40, -9.0)
+        mem.write_scalar(I32, b, 7)
+        mem.restore(image)
+        assert mem.read_bytes(a, 400) == before
+        assert mem.read_scalar(I32, b) == 42
+
+    def test_incremental_snapshot_shares_clean_pages(self):
+        from repro.vm.snapshot import PAGE_SIZE
+
+        mem = Memory()
+        a = mem.alloc(PAGE_SIZE * 4)
+        first = mem.snapshot()  # enables dirty tracking
+        mem.write_bytes(a + PAGE_SIZE * 2 + 5, b"\xff" * 8)
+        second = mem.snapshot(first)
+        img0, img1 = first.image_at(a), second.image_at(a)
+        assert img1.pages[2] is not img0.pages[2]  # dirtied page copied
+        clean = [i for i in range(len(img0.pages)) if i != 2]
+        assert all(img1.pages[i] is img0.pages[i] for i in clean)
+
+    def test_dirty_page_snapshot_restore_round_trip(self):
+        from repro.vm.snapshot import PAGE_SIZE
+
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc(PAGE_SIZE * 3)
+        base = mem.snapshot()
+        mem.write_vector(vty, a + PAGE_SIZE - 16, [float(i) for i in range(8)])
+        checkpoint = mem.snapshot(base)  # straddles pages 0 and 1
+        mem.write_vector(vty, a + PAGE_SIZE - 16, [9.0] * 8)
+        mem.write_bytes(a + PAGE_SIZE * 2, b"junk")
+        mem.restore(checkpoint)
+        assert mem.read_vector(vty, a + PAGE_SIZE - 16) == [
+            float(i) for i in range(8)
+        ]
+        assert mem.read_bytes(a + PAGE_SIZE * 2, 4) == b"\x00\x00\x00\x00"
+
+    def test_restore_preserves_accessor_closures(self):
+        """Specialised readers/writers built *before* a restore keep
+        working: restore mutates the allocation lists in place."""
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc_typed(vty)
+        mem.write_vector(vty, a, [1, 2, 3, 4])  # builds the fast closures
+        image = mem.snapshot()
+        mem.write_vector(vty, a, [5, 6, 7, 8])
+        mem.restore(image)
+        assert mem.read_vector(vty, a) == [1, 2, 3, 4]
+        mem.write_vector(vty, a, [9, 9, 9, 9])
+        assert mem.read_vector(vty, a) == [9, 9, 9, 9]
+
+    def test_allocation_after_snapshot_is_fully_copied(self):
+        mem = Memory()
+        mem.alloc(64)
+        first = mem.snapshot()
+        b = mem.alloc(64)  # new allocation: absent from dirty map
+        mem.write_bytes(b, b"\x01" * 64)
+        second = mem.snapshot(first)
+        assert second.image_at(b) is not None
+        assert bytes(second.image_at(b).pages[0][:64]) == b"\x01" * 64
+
+    def test_matches_detects_byte_difference(self):
+        mem = Memory()
+        a = mem.alloc(32)
+        mem.write_bytes(a, b"\x05" * 32)
+        image = mem.snapshot()
+        assert image.matches(mem)
+        mem.write_bytes(a + 7, b"\x06")
+        assert not image.matches(mem)
+        mem.write_bytes(a + 7, b"\x05")
+        assert image.matches(mem)
+
+    def test_matches_detects_extra_allocation(self):
+        mem = Memory()
+        mem.alloc(16)
+        image = mem.snapshot()
+        assert image.matches(mem)
+        mem.alloc(16)
+        assert not image.matches(mem)
