@@ -26,6 +26,11 @@ Two execution engines implement the protocol, selected by ``engine=``:
   *clone* of the module (meta-preserving, see :mod:`repro.ir.clone`) with
   ``injectFault<Ty>Ty`` calls.  Kept as the reference semantics (the
   differential oracle for the direct engine) and for IR-level studies.
+* ``"compiled"`` — the direct engine's plan executed by the block-compiled
+  VM (:mod:`repro.vm.compile`): superblock chains are ``exec``-compiled to
+  specialized closures once per module version, and faulty runs fall back
+  to the decoded interpreter only for the chain containing the target
+  site.  Bit-identical to both other engines; fastest for campaigns.
 
 Either way the caller's IR is never mutated and one engine can serve
 thousands of experiments — all mutable injection state lives in the
@@ -59,7 +64,7 @@ from .runtime import FaultRuntime, MODE_COUNT, MODE_INJECT
 from .sites import StaticSite, enumerate_module_sites, filter_sites
 
 #: Execution engines implementing the two-execution protocol.
-ENGINES = ("direct", "instrumented")
+ENGINES = ("direct", "instrumented", "compiled")
 
 #: A runner drives one complete program execution against a fresh
 #: interpreter (allocate inputs, call the kernel, gather outputs) and must
@@ -195,9 +200,10 @@ class FaultInjector:
         #: rebuild this injector (site enumeration and instrumentation are
         #: deterministic, so the rebuilt engine enumerates identical ids).
         self.source_module = module
-        if engine == "direct":
-            # The direct engine never mutates IR: enumerate sites on the
-            # pristine module itself and fold them into the decoded program.
+        if engine in ("direct", "compiled"):
+            # Neither plan-based engine mutates IR: enumerate sites on the
+            # pristine module itself and fold them into the decoded program
+            # (which the compiled engine then turns into chain closures).
             self._cloned = True
             self.module = module
             self.sites = self._enumerate(self.module)
@@ -212,6 +218,42 @@ class FaultInjector:
             instrument_module(self.module, self.sites, respect_masks=respect_masks)
         self._site_by_id = {s.site_id: s for s in self.sites}
         self.golden_cache = GoldenCache(maxsize=golden_cache_size)
+
+    def warm(self) -> None:
+        """Build this engine's execution caches eagerly.
+
+        Decodes (and, for ``engine="compiled"``, ``exec``-compiles) every
+        defined function of the module now instead of on the first run.
+        Parallel workers call this once at fork so per-experiment timings
+        never include one-time compilation, and so COMPILE_EVENTS-based
+        tests can prove compilation happens once per process.
+        """
+        from ..vm.decode import decoded_program
+
+        program = decoded_program(self.module, self._plan)
+        compiled = None
+        if self.engine == "compiled":
+            from ..vm.compile import compiled_program
+
+            compiled = compiled_program(self.module, self._plan)
+        for fn in self.module.defined_functions():
+            program.function(fn)
+            if compiled is not None:
+                compiled.function(fn)
+
+    def reset_perf_counters(self) -> None:
+        """Zero the observability counters (golden cache, checkpoints).
+
+        Benchmarks measuring several regimes on one injector call this
+        between regimes so each reported block covers only its own runs;
+        execution caches (plans, decoded/compiled programs) are left warm
+        on purpose — only the *counters* reset.  The golden cache is
+        dropped too: its hit/miss counters are meaningless without its
+        contents' history, and a regime should pay its own golden runs.
+        """
+        for key in self.checkpoint_stats:
+            self.checkpoint_stats[key] = 0
+        self.golden_cache.clear()
 
     def _enumerate(self, module: Module) -> list[StaticSite]:
         sites = filter_sites(
@@ -250,11 +292,18 @@ class FaultInjector:
         bindings_factory: BindingsFactory | None,
     ) -> tuple[Interpreter, Callable[[], bool]]:
         vm = Interpreter(
-            self.module, step_limit=self.step_limit, plan=self._plan
+            self.module,
+            step_limit=self.step_limit,
+            plan=self._plan,
+            compiled=(self.engine == "compiled"),
         )
         if self._plan is not None:
             vm.fault_entries = fault_runtime.entries()
             vm.fault_spans = fault_runtime.spans()
+            # Compiled chains read the runtime's dynamic-site counter
+            # directly and pick their injection-aware variant by mode.
+            vm.fault_runtime = fault_runtime
+            vm.compiled_inject = fault_runtime.mode == MODE_INJECT
         else:
             vm.bind_all(fault_runtime.bindings())
         fired: Callable[[], bool] = lambda: False

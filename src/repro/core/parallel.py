@@ -77,6 +77,10 @@ class _WorkerEngine:
     def __init__(self, context: WorkerContext):
         self.context = context
         self.injector = FaultInjector(**context.injector)
+        # Decode — and for engine="compiled", exec-compile — every defined
+        # function now, at fork, so no faulty run ever pays one-time code
+        # generation inside its timed window.
+        self.injector.warm()
         self.bindings_factory = (
             context.bindings_factory_maker()
             if context.bindings_factory_maker is not None

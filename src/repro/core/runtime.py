@@ -114,6 +114,10 @@ class FaultRuntime:
             else (frozenset({target_index}) if target_index is not None else frozenset())
         )
         self.target_index = target_index
+        #: Largest target index (0 when counting) — the compiled engine's
+        #: chain prologues compare the dynamic counter against this to skip
+        #: span checks once every target is behind them.
+        self.max_target = max(self.targets) if self.targets else 0
         self.rng = rng
         self.fixed_bit = bit
         self.dynamic_count = 0
@@ -139,6 +143,19 @@ class FaultRuntime:
     def record(self) -> InjectionRecord | None:
         """The first (paper model: only) injection performed this run."""
         return self.records[0] if self.records else None
+
+    def span_hits(self, lo: int, hi: int) -> bool:
+        """True when any target index lies in the half-open span ``(lo, hi]``.
+
+        The compiled engine calls this once per superblock chain with the
+        chain's *maximum* possible site consumption: a hit sends the head
+        block to the decoded fallback, where the per-group span advancers
+        reproduce the injection exactly.
+        """
+        for t in self.targets:
+            if lo < t <= hi:
+                return True
+        return False
 
     def acknowledge_checkpoint(self) -> None:
         """Snapshot taken: clear the flag, arm the next interval mark."""

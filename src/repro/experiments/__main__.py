@@ -12,12 +12,14 @@ Usage::
 ``--jobs N`` fans the fault-injection campaigns (fig11/fig12/perf) out over
 N worker processes; results are bit-identical to ``--jobs 1``.
 
-``--engine direct|instrumented`` selects the injection engine
-(fig11/fig12/perf/ablations).  Both engines produce bit-identical
+``--engine direct|instrumented|compiled`` selects the injection engine
+(fig11/fig12/perf/ablations).  All engines produce bit-identical
 experiment streams; ``direct`` (the default) folds fault sites into the
 decoded interpreter, ``instrumented`` splices VULFI's ``injectFault<Ty>Ty``
-calls into a cloned module.  ``perf`` benchmarks both side by side unless
-one is forced.
+calls into a cloned module, and ``compiled`` exec-compiles superblock
+chains into specialized closures (fastest; checkpoints hook at superblock
+boundaries, so it refuses ``--no-checkpoints``).  ``perf`` benchmarks all
+engines side by side unless one is forced.
 
 ``--checkpoint-interval N`` records a golden VM snapshot every N dynamic
 sites (fig11/fig12/perf); faulty runs then restore the nearest snapshot
@@ -54,12 +56,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("direct", "instrumented"),
+        choices=("direct", "instrumented", "compiled"),
         default=None,
         help="injection engine for campaign experiments (default: direct; "
-        "both engines are bit-identical — 'instrumented' is VULFI's "
-        "IR-splicing reference semantics; perf benchmarks both unless "
-        "one is forced here)",
+        "all engines are bit-identical — 'instrumented' is VULFI's "
+        "IR-splicing reference semantics, 'compiled' the threaded-code "
+        "superblock engine; perf benchmarks every engine unless one is "
+        "forced here)",
     )
     parser.add_argument(
         "--checkpoint-interval",
@@ -79,6 +82,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.no_checkpoints and args.checkpoint_interval is not None:
         parser.error("--no-checkpoints conflicts with --checkpoint-interval")
+    if args.no_checkpoints and args.engine == "compiled":
+        parser.error(
+            "--engine compiled --no-checkpoints would silently fall "
+            "faulty-run prefix skipping back to full replays (the compiled "
+            "engine takes snapshots at superblock boundaries); drop "
+            "--no-checkpoints or pick --engine direct"
+        )
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -19,6 +19,7 @@ test_perf_campaign.py`` reuses :func:`bench_results` and writes
 
 from __future__ import annotations
 
+import gc
 import time
 from random import Random
 
@@ -75,19 +76,41 @@ CHECKPOINT_INPUT = {"n": 1024, "seed": 1234}
 LATE_FRACTION = 0.1
 CHECKPOINT_EXPERIMENTS = 150
 
+#: The dispatch micro-benchmark's fixed input and repeat count: golden
+#: (count-mode) executions only, so the measured rate is raw engine
+#: dispatch — no injection bookkeeping beyond site counting, no
+#: classification, no campaign machinery.
+DISPATCH_INPUT = {"n": 512, "seed": 42}
+DISPATCH_REPEATS = 5
+
+
+def _mini_injector(
+    engine: str, checkpoint_interval: int | None
+) -> FaultInjector:
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    return FaultInjector(
+        module, category="all", step_limit=500_000, engine=engine,
+        checkpoint_interval=checkpoint_interval,
+    )
+
 
 def _mini_campaign(
     regime: str,
     jobs: int = 1,
     engine: str = "direct",
     checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+    injector: FaultInjector | None = None,
 ) -> dict:
     workload = get_workload("vector_sum")
-    module = workload.compile("avx")
-    injector = FaultInjector(
-        module, category="all", step_limit=500_000, engine=engine,
-        checkpoint_interval=checkpoint_interval,
-    )
+    if injector is None:
+        injector = _mini_injector(engine, checkpoint_interval)
+    else:
+        # One injector serves every regime of an engine (so decode/compile
+        # caches stay warm across blocks), which means the golden-cache and
+        # checkpoint counters would otherwise leak from one regime's report
+        # into the next.  Reset them so each block covers only its own runs.
+        injector.reset_perf_counters()
     if regime == "unique":
         factory = workload.runner_factory()
     else:
@@ -100,6 +123,12 @@ def _mini_campaign(
         from .common import campaign_worker_context
 
         worker_context = campaign_worker_context(injector, workload)
+
+    # Engine blocks run back to back in one process; without this, the
+    # previous block's garbage (checkpoint tapes hold full memory images)
+    # is collected inside the next block's timed window and charges one
+    # engine for another's cleanup.
+    gc.collect()
 
     # Faulty-run-only timing split (serial runs only: with --jobs the
     # faulty halves execute in workers): shadow the bound method with a
@@ -131,10 +160,16 @@ def _mini_campaign(
         injector.faulty = timed_faulty
 
     t0 = time.perf_counter()
-    summary = run_campaigns(
-        injector, factory, MINI_CONFIG, seed=SEED,
-        jobs=jobs, worker_context=worker_context,
-    )
+    try:
+        summary = run_campaigns(
+            injector, factory, MINI_CONFIG, seed=SEED,
+            jobs=jobs, worker_context=worker_context,
+        )
+    finally:
+        if jobs == 1:
+            # Un-shadow the bound method so a shared injector's next regime
+            # does not stack timing wrappers.
+            del injector.faulty
     elapsed = time.perf_counter() - t0
     totals = (summary.totals.sdc, summary.totals.benign, summary.totals.crash)
     return {
@@ -234,6 +269,116 @@ def checkpoint_bench(interval: int | None = None) -> dict:
     }
 
 
+#: The compiled-vs-direct faulty sweep's fixed input and experiment count:
+#: full replays (no checkpoints), so the ratio measures raw engine
+#: execution rather than restore overhead shared by both engines.
+COMPILED_INPUT = {"n": 768, "seed": 4321}
+COMPILED_EXPERIMENTS = 120
+
+
+def compiled_bench() -> dict:
+    """Faulty-run speedup of the compiled engine over the direct engine.
+
+    One fixed input, one pre-drawn (k, bit) schedule, run through a direct
+    and a compiled injector as full replays — the regime where per-run
+    costs are execution itself, not checkpoint restores both engines share.
+    The two result streams must agree experiment-for-experiment (outcome,
+    crash kind, injection record, faulty dynamic-instruction total), so the
+    reported speedup is only ever attached to a bit-identical run.
+    """
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    runner = workload.build_runner(dict(COMPILED_INPUT))
+
+    injectors = {}
+    goldens = {}
+    for engine in ("direct", "compiled"):
+        injector = FaultInjector(
+            module, category="all", step_limit=2_000_000, engine=engine
+        )
+        injector.warm()
+        injectors[engine] = injector
+        goldens[engine] = injector.golden(runner)
+
+    n = goldens["direct"].dynamic_sites
+    rng = Random(SEED)
+    schedule = []
+    for _ in range(COMPILED_EXPERIMENTS):
+        k = rng.randint(1, n)
+        schedule.append((k, rng.randrange(goldens["direct"].site_widths[k - 1])))
+
+    def sweep(engine):
+        injector, golden = injectors[engine], goldens[engine]
+        results = []
+        gc.collect()
+        t0 = time.perf_counter()
+        for k, bit in schedule:
+            results.append(injector.faulty(runner, golden, k, bit=bit))
+        return time.perf_counter() - t0, results
+
+    direct_seconds, direct_results = sweep("direct")
+    compiled_seconds, compiled_results = sweep("compiled")
+
+    def signature(r):
+        return (
+            r.outcome.value,
+            r.crash_kind,
+            repr(r.injection),
+            r.dynamic_sites,
+            r.faulty_dynamic_instructions,
+        )
+
+    matches = all(
+        signature(a) == signature(b)
+        for a, b in zip(direct_results, compiled_results)
+    )
+    return {
+        "workload": "vector_sum",
+        "input": dict(COMPILED_INPUT),
+        "dynamic_sites": n,
+        "experiments": len(schedule),
+        "direct_seconds": direct_seconds,
+        "compiled_seconds": compiled_seconds,
+        "faulty_speedup": direct_seconds / compiled_seconds,
+        "totals_match_baseline": matches,
+    }
+
+
+def dispatch_bench(engines: tuple = ENGINES) -> dict:
+    """Raw dispatch rate per engine: dynamic instructions per second.
+
+    Times repeated golden (count-mode) executions of one fixed input, with
+    every engine's code caches warmed first, so the measured rate isolates
+    instruction dispatch itself — the thing the compiled engine's threaded
+    superblocks exist to accelerate — from one-time decode/compile cost and
+    from campaign bookkeeping.
+    """
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    out = {}
+    for engine in engines:
+        injector = FaultInjector(
+            module, category="all", step_limit=2_000_000, engine=engine
+        )
+        injector.warm()
+        runner = workload.build_runner(dict(DISPATCH_INPUT))
+        golden = injector.golden(runner)  # warm-up lap, gives the count
+        gc.collect()
+        t0 = time.perf_counter()
+        for _ in range(DISPATCH_REPEATS):
+            injector.golden(runner)
+        elapsed = time.perf_counter() - t0
+        out[engine] = {
+            "dynamic_instructions": golden.dynamic_instructions,
+            "repeats": DISPATCH_REPEATS,
+            "seconds": elapsed,
+            "instructions_per_second": (
+                golden.dynamic_instructions * DISPATCH_REPEATS / elapsed
+            ),
+        }
+    return out
+
+
 def bench_results(
     jobs: int = 1,
     engines: tuple = ENGINES,
@@ -244,19 +389,26 @@ def bench_results(
 
     ``regimes`` (the first engine's, i.e. the direct engine's, numbers)
     keeps the pre-existing shape; ``engines`` adds the per-engine split,
-    and ``direct_vs_instrumented`` the cross-engine speedups, including
-    the faulty-run-only ratio the direct engine's ≥2x claim rests on.
+    ``direct_vs_instrumented`` / ``compiled_vs_direct`` the cross-engine
+    speedups (including the faulty-run-only ratios the direct engine's ≥2x
+    and the compiled engine's ≥1.5x claims rest on), and ``dispatch`` the
+    raw dynamic-instructions-per-second rate per engine.
     """
-    per_engine = {
-        engine: {
+    per_engine = {}
+    for engine in engines:
+        injector = _mini_injector(engine, checkpoint_interval)
+        injector.warm()
+        per_engine[engine] = {
             r["regime"]: r
             for r in (
-                _mini_campaign("unique", jobs, engine, checkpoint_interval),
-                _mini_campaign("pooled", jobs, engine, checkpoint_interval),
+                _mini_campaign(
+                    "unique", jobs, engine, checkpoint_interval, injector
+                ),
+                _mini_campaign(
+                    "pooled", jobs, engine, checkpoint_interval, injector
+                ),
             )
         }
-        for engine in engines
-    }
     payload = {
         "benchmark": "campaign-throughput",
         "workload": "vector_sum",
@@ -270,17 +422,31 @@ def bench_results(
         "regimes": per_engine[engines[0]],
         "engines": per_engine,
         "checkpoint": checkpoint_bench(),
+        "dispatch": dispatch_bench(engines),
     }
-    if "direct" in per_engine and "instrumented" in per_engine:
+    if "compiled" in engines:
+        payload["compiled"] = compiled_bench()
+
+    def cross(fast: str, slow: str) -> dict | None:
+        if fast not in per_engine or slow not in per_engine:
+            return None
         comparison = {}
-        for regime in per_engine["direct"]:
-            d = per_engine["direct"][regime]
-            i = per_engine["instrumented"][regime]
-            cell = {"seconds": i["seconds"] / d["seconds"]}
-            if d["faulty_seconds"] and i["faulty_seconds"]:
-                cell["faulty_seconds"] = i["faulty_seconds"] / d["faulty_seconds"]
+        for regime in per_engine[fast]:
+            f = per_engine[fast][regime]
+            s = per_engine[slow][regime]
+            cell = {"seconds": s["seconds"] / f["seconds"]}
+            if f["faulty_seconds"] and s["faulty_seconds"]:
+                cell["faulty_seconds"] = s["faulty_seconds"] / f["faulty_seconds"]
             comparison[regime] = cell
-        payload["direct_vs_instrumented"] = comparison
+        return comparison
+
+    for key, fast, slow in (
+        ("direct_vs_instrumented", "direct", "instrumented"),
+        ("compiled_vs_direct", "compiled", "direct"),
+    ):
+        comparison = cross(fast, slow)
+        if comparison:
+            payload[key] = comparison
     return payload
 
 
@@ -316,18 +482,39 @@ def run(
         "to the pre-optimization runs — and, across engines, that direct "
         "and instrumented injection agree experiment-for-experiment."
     )
-    comparison = results.get("direct_vs_instrumented")
-    if comparison:
+    for key, label in (
+        ("direct_vs_instrumented", "direct vs instrumented"),
+        ("compiled_vs_direct", "compiled vs direct"),
+    ):
+        comparison = results.get(key)
+        if comparison:
+            parts = [
+                f"{regime}: {cell['seconds']:.2f}x overall"
+                + (
+                    f", {cell['faulty_seconds']:.2f}x faulty-run-only"
+                    if "faulty_seconds" in cell
+                    else ""
+                )
+                for regime, cell in comparison.items()
+            ]
+            report.notes.append(f"{label} — " + "; ".join(parts))
+    cb = results.get("compiled")
+    if cb:
+        report.notes.append(
+            f"compiled engine faulty sweep (full replays, n="
+            f"{cb['input']['n']}): {cb['faulty_speedup']:.2f}x over the "
+            f"direct engine, bit-identical="
+            f"{'yes' if cb['totals_match_baseline'] else 'NO'}"
+        )
+    dispatch = results.get("dispatch")
+    if dispatch:
         parts = [
-            f"{regime}: {cell['seconds']:.2f}x overall"
-            + (
-                f", {cell['faulty_seconds']:.2f}x faulty-run-only"
-                if "faulty_seconds" in cell
-                else ""
-            )
-            for regime, cell in comparison.items()
+            f"{engine}: {cell['instructions_per_second'] / 1e6:.2f}M insn/s"
+            for engine, cell in dispatch.items()
         ]
-        report.notes.append("direct vs instrumented — " + "; ".join(parts))
+        report.notes.append(
+            "dispatch rate (golden runs, warm caches) — " + "; ".join(parts)
+        )
     ck = results.get("checkpoint")
     if ck:
         report.notes.append(

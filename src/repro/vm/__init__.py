@@ -12,6 +12,7 @@ from .bits import (
     to_unsigned,
     wrap_int,
 )
+from .compile import COMPILE_EVENTS, CompiledProgram, compiled_program
 from .interpreter import DEFAULT_STEP_LIMIT, ExecutionStats, Interpreter
 from .memory import GUARD_GAP, HEAP_BASE, Memory
 from .snapshot import (
@@ -37,6 +38,9 @@ __all__ = [
     "round_f32",
     "to_unsigned",
     "wrap_int",
+    "COMPILE_EVENTS",
+    "CompiledProgram",
+    "compiled_program",
     "DEFAULT_STEP_LIMIT",
     "ExecutionStats",
     "Interpreter",

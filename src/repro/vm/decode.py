@@ -137,12 +137,15 @@ class InjectionPlan:
     into the module's plain decode cache.
     """
 
-    __slots__ = ("lvalue", "store", "_decoded")
+    __slots__ = ("lvalue", "store", "_decoded", "_compiled")
 
     def __init__(self):
         self.lvalue: dict = {}
         self.store: dict = {}
         self._decoded: DecodedProgram | None = None
+        # Compiled-program cache (:mod:`repro.vm.compile`), owned by the
+        # plan for the same reason as ``_decoded``.
+        self._compiled = None
 
     def __len__(self) -> int:
         return sum(len(g) for g in self.lvalue.values()) + sum(

@@ -33,6 +33,7 @@ from ..errors import InvalidOperation, StepLimitExceeded
 from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo
 from ..ir.module import Function, Module
 from ..ir.types import Type, VectorType
+from .compile import _Edge, compiled_program, exec_decoded_block
 from .decode import InjectionPlan, T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
 from .memory import Memory
 from .ops import sign_active
@@ -67,11 +68,23 @@ class Interpreter:
         count_opcodes: bool = False,
         strict_alignment: bool = False,
         plan: InjectionPlan | None = None,
+        compiled: bool = False,
     ):
         self.module = module
         self.memory = Memory(strict_alignment=strict_alignment)
         self.step_limit = step_limit
         self.count_opcodes = count_opcodes
+        #: Compiled execution (:mod:`repro.vm.compile`): run superblock
+        #: chain closures instead of the decoded loop.  Opcode counting has
+        #: no compiled fast path, so it forces the decoded loop back on.
+        self.compiled = compiled and not count_opcodes
+        #: The per-run :class:`~repro.core.runtime.FaultRuntime`, bound by
+        #: the injector when a plan is active — the compiled chains read
+        #: its dynamic-site counter directly.
+        self.fault_runtime = None
+        #: True when ``fault_runtime`` is injecting: compiled dispatch then
+        #: selects each block's span-checking variant.
+        self.compiled_inject = False
         self.stats = ExecutionStats()
         self.externals: dict[str, Callable] = {}
         #: Direct-injection state: the plan folds fault sites into the
@@ -133,6 +146,12 @@ class Interpreter:
     # -- main loop ---------------------------------------------------------------------
 
     def _exec_function(self, fn: Function, args: list):
+        if self.compiled:
+            cfn = compiled_program(self.module, self.plan).function(fn)
+            regs = {}
+            for formal, actual in zip(fn.args, args):
+                regs[formal] = actual
+            return self._exec_compiled_blocks(cfn, regs, cfn.entry, None)
         decoded = decoded_program(self.module, self.plan).function(fn)
         regs: dict = {}
         for formal, actual in zip(fn.args, args):
@@ -153,8 +172,12 @@ class Interpreter:
             raise InvalidOperation(
                 f"checkpoint resumes @{frame.function_name}, not @{fn.name}"
             )
-        decoded = decoded_program(self.module, self.plan).function(fn)
-        current = decoded.blocks.get(frame.block)
+        if self.compiled:
+            cfn = compiled_program(self.module, self.plan).function(fn)
+            current = cfn.entries.get(frame.block)
+        else:
+            decoded = decoded_program(self.module, self.plan).function(fn)
+            current = decoded.blocks.get(frame.block)
         if current is None:
             raise InvalidOperation(
                 f"checkpoint block is no longer part of @{fn.name}"
@@ -172,9 +195,56 @@ class Interpreter:
         # The checkpoint's register file is shared by every faulty run that
         # restores it; the appliers mutate vector registers in place, so
         # each resume executes against its own depth-1 copy.
+        if self.compiled:
+            return self._exec_compiled_blocks(
+                cfn, copy_regs(frame.regs), current, frame.prev_block
+            )
         return self._exec_blocks(
             decoded, copy_regs(frame.regs), current, frame.prev_block
         )
+
+    def _exec_compiled_blocks(self, cfn, regs: dict, entry, prev_block):
+        """Drive compiled superblock chains (:mod:`repro.vm.compile`).
+
+        Each dispatch runs the chain *starting* at ``entry`` and returns an
+        :class:`~repro.vm.compile._Edge` (continue at its target), a
+        1-tuple (function return value), or the fallback sentinel — the
+        head block then executes through :func:`exec_decoded_block`, whose
+        planned decoded closures carry injection, trap, and step-limit
+        semantics bit-identically.  The depth-1 block hook fires at chain
+        heads, which is where checkpoints and convergence checks attach.
+        """
+        depth = self._depth
+        self._depth = depth + 1
+        hook = self.block_hook if depth == 0 else None
+        inject = self.compiled_inject
+        entries = cfn.entries
+        dfn = cfn.dfn
+        try:
+            while True:
+                if hook is not None:
+                    hook(self, dfn, regs, entry, prev_block)
+                    hook = self.block_hook  # hooks may uninstall themselves
+                fn = entry.fn_inject if inject else entry.fn_count
+                if fn is not None:
+                    r = fn(self, regs, prev_block)
+                    cls = r.__class__
+                    if cls is _Edge:
+                        entry = r.entry
+                        prev_block = r.prev
+                        continue
+                    if cls is tuple:
+                        return r[0]
+                    # FALLBACK: run this head block decoded, then rejoin.
+                nxt, aux = exec_decoded_block(
+                    self, dfn, entry.dblock, regs, prev_block
+                )
+                if nxt is None:
+                    return aux
+                entry = entries[nxt]
+                prev_block = aux
+        finally:
+            self._depth = depth
 
     def _exec_blocks(self, decoded, regs: dict, current, prev_block):
         stats = self.stats

@@ -9,6 +9,14 @@ records a tape of them during the count (golden) run; every faulty run
 then restores the nearest checkpoint strictly before its target site and
 executes only the suffix (see DESIGN.md, "why prefix skipping is sound").
 
+Snapshot positions depend on the engine's hook granularity: the decoded
+engines snapshot at (depth-1) block boundaries, the compiled engine at
+superblock-chain boundaries (:mod:`repro.vm.compile`).  Either way the
+frame below restores into both executors unchanged — it names a function,
+a block, and the phi predecessor edge, all of which are chain heads when
+the compiled engine recorded them — so golden and faulty runs of the same
+engine always agree on where snapshots and convergence checks can land.
+
 Memory snapshots are page-granular and copy-on-write: :class:`Memory`
 tracks which pages were written since the previous snapshot, so each
 checkpoint copies only dirty pages and shares the rest with its

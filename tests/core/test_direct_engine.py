@@ -111,7 +111,9 @@ def experiment_stream(
 def assert_engines_agree(module, runner_factory, **kwargs):
     direct = experiment_stream(module, runner_factory, "direct", **kwargs)
     instrumented = experiment_stream(module, runner_factory, "instrumented", **kwargs)
+    compiled = experiment_stream(module, runner_factory, "compiled", **kwargs)
     assert direct == instrumented
+    assert compiled == instrumented
 
 
 def workload_stream(workload, engine, category="all", seeds=range(3)):
@@ -154,9 +156,9 @@ class TestRegistryMatrix:
     @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
     def test_every_registry_workload(self, workload):
         seeds = range(2)
-        assert workload_stream(workload, "direct", seeds=seeds) == workload_stream(
-            workload, "instrumented", seeds=seeds
-        )
+        oracle = workload_stream(workload, "instrumented", seeds=seeds)
+        assert workload_stream(workload, "direct", seeds=seeds) == oracle
+        assert workload_stream(workload, "compiled", seeds=seeds) == oracle
 
 
 class TestPointerSites:
@@ -264,7 +266,9 @@ class TestStepLimitParity:
                 for r in (tight.faulty(runner, golden, k, bit=0),)
             ]
 
-        assert stream("direct") == stream("instrumented")
+        oracle = stream("instrumented")
+        assert stream("direct") == oracle
+        assert stream("compiled") == oracle
 
 
 class TestEngineApi:
@@ -274,7 +278,7 @@ class TestEngineApi:
             FaultInjector(module, engine="jit")
 
     def test_engines_constant(self):
-        assert ENGINES == ("direct", "instrumented")
+        assert ENGINES == ("direct", "instrumented", "compiled")
 
     def test_direct_engine_keeps_module_pristine(self):
         module = compile_source(INT_KERNEL, "avx")

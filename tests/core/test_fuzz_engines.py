@@ -1,0 +1,268 @@
+"""Differential fuzzing: all three engines over random modules.
+
+A seeded generator builds small loop-shaped modules straight from
+:class:`~repro.ir.builder.IRBuilder` — scalar and vector arithmetic, phis
+(scalar, float, and vector), masked load/store intrinsics, plain memory
+traffic, compares, selects, casts, and shuffles — then runs seeded
+injection campaigns through the instrumented, direct, and compiled engines
+and requires the complete observable stream to be bit-identical: dynamic
+site counts and widths, dynamic-instruction totals (golden and faulty),
+outcomes, crash kinds, and injection records.  Modules whose golden run
+traps are kept as differential cases too (all engines must trap
+identically); zero-site modules are skipped.
+
+The workload-based differential matrix (``test_direct_engine.py``) covers
+the compiler's idioms; this file covers IR shapes the frontend never
+emits — adversarial phi webs, odd mask constants, store-then-masked-load
+aliasing — which is where a specializing compiler grows silent bugs.
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, FaultInjector
+from repro.errors import VMTrap
+from repro.ir import (
+    F32,
+    FunctionType,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    const_float,
+    const_int,
+    declare_intrinsic,
+    pointer,
+    vector,
+    verify_module,
+    zeroinitializer,
+)
+from repro.ir.values import ConstantVector
+
+V4I = vector(I32, 4)
+V4F = vector(F32, 4)
+
+#: Exactly-representable f32 constants, so golden values stay tame and
+#: decode-time rounding is a no-op.
+_F32_CONSTS = (0.25, 0.5, 1.5, 2.0, -0.75, 3.0)
+
+_INT_OPS = ("add", "sub", "mul", "and", "or", "xor")
+_VEC_OPS = ("add", "sub", "mul", "xor")
+_FLOAT_OPS = ("fadd", "fsub", "fmul")
+_ICMP = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+def _mask_const(rng: Random) -> ConstantVector:
+    return ConstantVector([const_int(I1, rng.randint(0, 1)) for _ in range(4)])
+
+
+def build_random_module(seed: int) -> Module:
+    """One random loop: ``f(ip: i32*, fp: f32*, n: i32) -> i32``.
+
+    The loop header carries int/float/vector phis; the body mixes random
+    arithmetic with guaranteed memory traffic (masked and unmasked) on the
+    two 8-element argument arrays, every address clamped in-bounds with an
+    ``and 7`` / lane-0 base so the *golden* run never faults — corrupted
+    runs are free to.
+    """
+    rng = Random(seed)
+    m = Module(f"fuzz{seed}")
+    fn = m.add_function(
+        "f", FunctionType(I32, (pointer(I32), pointer(F32), I32)), ["ip", "fp", "n"]
+    )
+    entry = fn.add_block("entry")
+    loop = fn.add_block("loop")
+    body = fn.add_block("body")
+    latch = fn.add_block("latch")
+    done = fn.add_block("done")
+
+    b = IRBuilder(entry)
+    ivp = b.bitcast(fn.args[0], pointer(V4I), "ivp")
+    fvp = b.bitcast(fn.args[1], pointer(V4F), "fvp")
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I32, "i")
+    acc = b.phi(I32, "acc")
+    facc = b.phi(F32, "facc")
+    vacc = b.phi(V4I, "vacc")
+    cmp = b.icmp("slt", i, fn.args[2], "cmp")
+    b.condbr(cmp, body, done)
+
+    b.position_at_end(body)
+    ints = [i, acc, fn.args[2], b.i32(rng.randint(-20, 20))]
+    floats = [facc, const_float(rng.choice(_F32_CONSTS), F32)]
+    ivecs = [vacc]
+    bools = []
+
+    # Guaranteed memory traffic: scalar load/store on each array.
+    idx = b.and_(rng.choice(ints), b.i32(7), "idx")
+    ip_slot = b.gep(fn.args[0], idx, "ips")
+    ints.append(b.load(ip_slot, "ild"))
+    b.store(rng.choice(ints), ip_slot)
+    fidx = b.and_(rng.choice(ints), b.i32(7), "fidx")
+    fp_slot = b.gep(fn.args[1], fidx, "fps")
+    floats.append(b.load(fp_slot, "fld"))
+    b.store(rng.choice(floats), fp_slot)
+
+    for _ in range(rng.randint(4, 12)):
+        kind = rng.choice(
+            ["int", "int", "float", "vec", "cmp", "select", "cast", "shuffle",
+             "extract", "masked_load", "masked_store"]
+        )
+        if kind == "int":
+            ints.append(
+                b.binop(rng.choice(_INT_OPS), rng.choice(ints), rng.choice(ints))
+            )
+        elif kind == "float":
+            floats.append(
+                b.binop(
+                    rng.choice(_FLOAT_OPS), rng.choice(floats), rng.choice(floats)
+                )
+            )
+        elif kind == "vec":
+            ivecs.append(
+                b.binop(rng.choice(_VEC_OPS), rng.choice(ivecs), rng.choice(ivecs))
+            )
+        elif kind == "cmp":
+            bools.append(
+                b.icmp(rng.choice(_ICMP), rng.choice(ints), rng.choice(ints))
+            )
+        elif kind == "select" and bools:
+            ints.append(
+                b.select(rng.choice(bools), rng.choice(ints), rng.choice(ints))
+            )
+        elif kind == "cast":
+            ints.append(b.fptosi(rng.choice(floats), I32))
+        elif kind == "shuffle":
+            mask = [rng.randint(0, 7) for _ in range(4)]
+            ivecs.append(
+                b.shufflevector(rng.choice(ivecs), rng.choice(ivecs), mask)
+            )
+        elif kind == "extract":
+            ints.append(b.extractelement(rng.choice(ivecs), rng.randint(0, 3)))
+        elif kind == "masked_load":
+            ld = declare_intrinsic(m, "llvm.masked.load.v4i32")
+            ivecs.append(
+                b.call(ld, [ivp, _mask_const(rng), zeroinitializer(V4I)], "mld")
+            )
+        elif kind == "masked_store":
+            st = declare_intrinsic(m, "llvm.masked.store.v4i32")
+            b.call(st, [rng.choice(ivecs), ivp, _mask_const(rng)])
+
+    acc_next = rng.choice(ints)
+    facc_next = rng.choice(floats)
+    vacc_next = rng.choice(ivecs)
+    b.br(latch)
+
+    b.position_at_end(latch)
+    inext = b.add(i, b.i32(1), "inext")
+    b.br(loop)
+
+    b.position_at_end(done)
+    lane = b.extractelement(vacc, rng.randint(0, 3), "lane")
+    b.ret(b.xor(b.add(acc, lane, "sum"), b.load(b.gep(fn.args[0], b.i32(0))), "r"))
+
+    i.add_incoming(b.i32(0), entry)
+    i.add_incoming(inext, latch)
+    acc.add_incoming(b.i32(rng.randint(-5, 5)), entry)
+    acc.add_incoming(acc_next, latch)
+    facc.add_incoming(const_float(rng.choice(_F32_CONSTS), F32), entry)
+    facc.add_incoming(facc_next, latch)
+    vacc.add_incoming(
+        ConstantVector([b.i32(rng.randint(-3, 3)) for _ in range(4)]), entry
+    )
+    vacc.add_incoming(vacc_next, latch)
+
+    verify_module(m)
+    return m
+
+
+def make_runner(seed: int):
+    gen = np.random.default_rng(seed)
+    idata = gen.integers(-40, 40, 8).astype(np.int32)
+    fdata = gen.random(8).astype(np.float32)
+    n = 4 + seed % 5
+
+    def runner(vm):
+        pi = vm.memory.store_array(I32, idata, "ip")
+        pf = vm.memory.store_array(F32, fdata, "fp")
+        r = vm.run("f", [pi, pf, n])
+        return {
+            "i": vm.memory.load_array(I32, pi, 8),
+            "f": vm.memory.load_array(F32, pf, 8),
+            "r": r,
+        }
+
+    return runner
+
+
+def engine_stream(module: Module, engine: str, seeds=range(3)) -> list:
+    """Every observable of a seeded campaign, nan-safe via ``repr``."""
+    injector = FaultInjector(
+        module, category="all", step_limit=200_000, engine=engine
+    )
+    stream = []
+    for seed in seeds:
+        runner = make_runner(seed)
+        try:
+            golden = injector.golden(runner)
+        except VMTrap as trap:
+            # Golden traps are legal fuzz outputs; parity of (type,
+            # message) across engines is the differential property.
+            stream.append(repr(("golden-trap", type(trap).__name__, str(trap))))
+            continue
+        if golden.dynamic_sites == 0:  # pragma: no cover - category="all"
+            stream.append("zero-site")
+            continue
+        result = injector.experiment(
+            runner, Random(seed * 7919 + 3), golden=golden
+        )
+        stream.append(
+            repr(
+                (
+                    golden.dynamic_sites,
+                    golden.dynamic_instructions,
+                    bytes(golden.site_widths),
+                    result.outcome,
+                    result.crash_kind,
+                    result.injection,
+                    result.dynamic_sites,
+                    result.target_index,
+                    result.faulty_dynamic_instructions,
+                )
+            )
+        )
+    return stream
+
+
+@pytest.mark.parametrize("module_seed", range(20))
+def test_engines_bit_identical_on_random_modules(module_seed):
+    module = build_random_module(module_seed)
+    oracle = engine_stream(module, "instrumented")
+    for engine in ENGINES:
+        if engine == "instrumented":
+            continue
+        assert engine_stream(module, engine) == oracle, (
+            f"engine {engine!r} diverged from the instrumented oracle on "
+            f"fuzz module seed {module_seed}"
+        )
+
+
+def test_generator_exercises_the_interesting_shapes():
+    """The fuzzer is only worth its runtime if the shapes it promises
+    (vector phis, masked intrinsics, memory traffic) actually occur."""
+    opcodes = set()
+    masked = 0
+    for seed in range(20):
+        module = build_random_module(seed)
+        for fn in module.defined_functions():
+            for instr in fn.instructions():
+                opcodes.add(instr.opcode)
+                callee = getattr(instr, "callee", None)
+                if callee is not None and "masked" in callee.name:
+                    masked += 1
+    assert {"phi", "load", "store", "call", "shufflevector"} <= opcodes
+    assert masked > 0

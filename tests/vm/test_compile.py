@@ -1,0 +1,131 @@
+"""The block-compiled engine: caching, invalidation, execution parity."""
+
+import numpy as np
+
+from repro.core import FaultInjector
+from repro.frontend import compile_source
+from repro.ir.types import I32
+from repro.ir.values import ConstantInt
+from repro.passes.constfold import constant_fold
+from repro.passes.dce import dead_code_elimination
+from repro.passes.manager import PassManager
+from repro.passes.mem2reg import promote_allocas
+from repro.vm import COMPILE_EVENTS, Interpreter
+from repro.vm.compile import compiled_program
+from repro.vm.decode import decoded_program
+
+KERNEL = """
+export void k(uniform int a[], uniform int b[], uniform int n) {
+    foreach (i = 0 ... n) { b[i] = a[i] - 4; }
+}
+"""
+
+
+def run_kernel(module, n=9, seed=0, compiled=False):
+    data = np.random.default_rng(seed).integers(-50, 50, n).astype(np.int32)
+    vm = Interpreter(module, compiled=compiled)
+    pa = vm.memory.store_array(I32, data, "a")
+    pb = vm.memory.store_array(I32, np.zeros(n, dtype=np.int32), "b")
+    vm.run("k", [pa, pb, n])
+    return data, vm.memory.load_array(I32, pb, n), vm.stats
+
+
+class TestCompileCache:
+    def test_compiled_program_is_cached(self):
+        module = compile_source(KERNEL, "avx")
+        assert compiled_program(module) is compiled_program(module)
+
+    def test_compilation_happens_once_per_version(self):
+        module = compile_source(KERNEL, "avx")
+        run_kernel(module, compiled=True)
+        before = COMPILE_EVENTS["functions"]
+        # Fresh interpreters, same module version: the cache must serve
+        # every one of them without re-exec'ing a single function.
+        for seed in range(3):
+            run_kernel(module, seed=seed, compiled=True)
+        assert COMPILE_EVENTS["functions"] == before
+
+    def test_pass_pipeline_evicts_decoded_and_compiled(self):
+        """An IR transformation must never leave stale code runnable.
+
+        mem2reg + constfold + dce rewrite blocks in place, bumping
+        ``Module.version`` as they go; both the decoded program and the
+        compiled blocks key their caches on that version, so the next
+        execution after the pipeline re-decodes *and* re-compiles.  Stale
+        compiled closures surviving a transformation would execute the
+        pre-pass program silently — the worst kind of corruption.
+        """
+        # optimize_ir=False leaves the allocas in, so the pipeline has
+        # promotions to perform (the default frontend output is already
+        # optimized, which would make this test vacuous).
+        module = compile_source(KERNEL, "avx", optimize_ir=False)
+        data, out, stats_before = run_kernel(module, compiled=True)
+        assert np.array_equal(out, data - 4)
+        decoded_before = decoded_program(module)
+        compiled_before = compiled_program(module)
+        version_before = module.version
+
+        changed = PassManager(
+            [promote_allocas, constant_fold, dead_code_elimination]
+        ).run(module)
+        assert changed
+        assert module.version > version_before
+
+        assert decoded_program(module) is not decoded_before
+        assert compiled_program(module) is not compiled_before
+        # Same observable semantics from the freshly compiled code.
+        data, out, stats_after = run_kernel(module, compiled=True)
+        assert np.array_equal(out, data - 4)
+        # The pipeline actually changed the program (fewer dynamic
+        # instructions after mem2reg/dce), proving the re-run executed the
+        # transformed code rather than a stale cache.
+        assert stats_after.total != stats_before.total
+
+    def test_structural_edit_recompiles(self):
+        module = compile_source(KERNEL, "avx")
+        data, out, _ = run_kernel(module, compiled=True)
+        assert np.array_equal(out, data - 4)
+
+        from repro.ir.instructions import InsertElement
+
+        changed = 0
+        for fn in module.functions.values():
+            for block in fn.blocks:
+                for instr in block.instructions:
+                    if isinstance(instr, InsertElement):
+                        scalar = instr.operands[1]
+                        if isinstance(scalar, ConstantInt) and scalar.value == 4:
+                            instr.set_operand(1, ConstantInt(scalar.type, 5))
+                            changed += 1
+        assert changed > 0
+        data, out, _ = run_kernel(module, compiled=True)
+        assert np.array_equal(out, data - 5)
+
+    def test_plan_keyed_cache_evicts_on_version_bump(self):
+        # An injector's compiled program lives on its plan, not the module,
+        # and must still track the module version.
+        module = compile_source(KERNEL, "avx", optimize_ir=False)
+        injector = FaultInjector(module, engine="compiled")
+        injector.warm()
+        before = compiled_program(injector.module, injector._plan)
+        assert compiled_program(injector.module, injector._plan) is before
+        changed = PassManager(
+            [promote_allocas, constant_fold, dead_code_elimination]
+        ).run(injector.module)
+        assert changed
+        assert compiled_program(injector.module, injector._plan) is not before
+
+
+class TestCompiledExecutionParity:
+    def test_output_and_stats_match_interpreter(self):
+        module = compile_source(KERNEL, "avx")
+        for seed in range(3):
+            data, out, stats = run_kernel(module, seed=seed)
+            cdata, cout, cstats = run_kernel(module, seed=seed, compiled=True)
+            assert np.array_equal(data, cdata)
+            assert np.array_equal(out, cout)
+            assert (stats.total, stats.scalar, stats.vector) == (
+                cstats.total,
+                cstats.scalar,
+                cstats.vector,
+            )
