@@ -1,4 +1,6 @@
-"""ASCII table rendering for experiment reports."""
+"""ASCII table rendering for experiment reports, and report *rebuilds*:
+regenerating any stored experiment's tables purely from a campaign store,
+without executing a single injection (see :func:`rebuild_report`)."""
 
 from __future__ import annotations
 
@@ -38,3 +40,146 @@ def pct(x: float) -> str:
     if x != x:  # NaN
         return "-"
     return f"{100 * x:.1f}%"
+
+
+# -- rebuilding reports from a campaign store ----------------------------------
+
+
+def rebuild_report(store, name: str):
+    """Regenerate experiment ``name``'s report purely from ``store``.
+
+    No experiment executes: campaign rows are re-aggregated from the
+    journaled injection records (bit-exact, so the rows equal a live run's),
+    and memoized cells replay verbatim.  Manifests iterate in recording
+    order, which is the drivers' cell order, so row order matches too.
+    Incomplete campaign cells are skipped with a note — ``resume`` them
+    first for the full table.
+    """
+    from ..experiments.common import ExperimentReport
+
+    builders = {"fig11": _rebuild_fig11, "fig12": _rebuild_fig12}
+    builder = builders.get(name, _rebuild_cells)
+    rows, notes, scales = builder(store, name)
+    report = ExperimentReport(
+        name=name,
+        scale="/".join(sorted(scales)) or "custom",
+        headers=_driver_headers(name),
+        rows=rows,
+    )
+    report.notes.append(f"rebuilt from {store.root} without executing experiments")
+    report.notes.extend(notes)
+    return report
+
+
+def _driver_headers(name: str) -> list[str]:
+    import importlib
+
+    driver = importlib.import_module(f"repro.experiments.{name}")
+    return list(getattr(driver, "HEADERS"))
+
+
+def _campaign_records(store, manifest, notes):
+    """A completed manifest's decoded results in schedule order, else None."""
+    records = store.experiments_for(manifest["campaign_key"])
+    cell = "/".join(str(v) for v in manifest["cell"].values())
+    if not manifest["completed"]:
+        notes.append(
+            f"skipped incomplete cell {cell} ({len(records)} of "
+            f"{manifest['planned']} planned experiments stored) — resume to finish"
+        )
+        return None
+    if len(records) != manifest["executed"] or any(
+        r["seq"] != i for i, r in enumerate(records)
+    ):
+        notes.append(
+            f"skipped cell {cell}: stored records do not cover the executed "
+            f"schedule ({len(records)} records, {manifest['executed']} executed)"
+        )
+        return None
+    from ..store.records import decode_result
+
+    return [decode_result(r["result"]) for r in records]
+
+
+def _rebuild_fig11(store, name: str):
+    from ..analysis.stats import estimate_rate
+    from ..core.campaign import CampaignStats
+
+    rows, notes, scales = [], [], set()
+    for manifest in store.manifests("fig11"):
+        results = _campaign_records(store, manifest, notes)
+        if results is None:
+            continue
+        scales.add(manifest["scale"])
+        per = manifest["config"]["experiments_per_campaign"]
+        campaigns = []
+        for start in range(0, len(results), per):
+            stats = CampaignStats()
+            for result in results[start : start + per]:
+                stats.add(result)
+            campaigns.append(stats)
+        totals = CampaignStats()
+        for c in campaigns:
+            totals.merge(c)
+        sdc_estimate = estimate_rate(
+            [c.rate("sdc") for c in campaigns], manifest["config"]["confidence"]
+        )
+        rows.append(
+            {
+                "benchmark": manifest["cell"]["benchmark"],
+                "target": manifest["cell"]["target"],
+                "category": manifest["cell"]["category"],
+                "experiments": totals.total,
+                "campaigns": len(campaigns),
+                "sdc": totals.rate("sdc"),
+                "benign": totals.rate("benign"),
+                "crash": totals.rate("crash"),
+                "sdc_moe": sdc_estimate.margin,
+                "converged": manifest["converged"],
+                "crash_kinds": dict(totals.crash_kinds),
+                "static_sites": manifest["extras"].get("static_sites"),
+            }
+        )
+    return rows, notes, scales
+
+
+def _rebuild_fig12(store, name: str):
+    from ..core.campaign import CampaignStats
+    from ..experiments.fig12 import PAPER_FIG12
+
+    rows, notes, scales = [], [], set()
+    for manifest in store.manifests("fig12"):
+        results = _campaign_records(store, manifest, notes)
+        if results is None:
+            continue
+        scales.add(manifest["scale"])
+        stats = CampaignStats()
+        for result in results:
+            stats.add(result)
+        benchmark = manifest["cell"]["benchmark"]
+        category = manifest["cell"]["category"]
+        paper = PAPER_FIG12.get((benchmark, category))
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "category": category,
+                "experiments": stats.total,
+                "sdc": stats.rate("sdc"),
+                "crash": stats.rate("crash"),
+                "detection_rate": stats.sdc_detection_rate,
+                "detected_sdc": stats.detected_sdc,
+                "paper_sdc": paper[0] if paper else None,
+                "paper_detection": paper[1] if paper else None,
+                "overhead": manifest["extras"].get("overhead"),
+                "paper_overhead": manifest["extras"].get("paper_overhead"),
+            }
+        )
+    return rows, notes, scales
+
+
+def _rebuild_cells(store, name: str):
+    rows, scales = [], set()
+    for cell in store.cells(name):
+        rows.extend(cell["rows"])
+        scales.add(cell["scale"])
+    return rows, [], scales

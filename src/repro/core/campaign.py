@@ -23,10 +23,17 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable
 
+import queue
+
 from ..analysis.stats import RateEstimate, estimate_rate, is_near_normal, margin_of_error
 from .injector import BindingsFactory, FaultInjector, Runner
 from .outcomes import ExperimentResult, Outcome
-from .parallel import ExperimentPool, WorkerContext, make_schedule_entry
+from .parallel import (
+    ExperimentPool,
+    WorkerContext,
+    draw_experiment,
+    make_schedule_entry,
+)
 
 
 @dataclass
@@ -113,6 +120,13 @@ class CampaignSummary:
     #: convergence exits...) — parent-process counters only; worker-side
     #: restores are process-local and not aggregated here.
     checkpoints: dict | None = None
+    #: :meth:`~repro.store.CampaignRecorder.counters` when the run recorded
+    #: to a campaign store: ``hits`` (experiments replayed from the store,
+    #: faulty run skipped), ``misses`` (executed and recorded this run),
+    #: ``recorded`` (the campaign's total stored records).  ``None`` on
+    #: storeless runs — same shape and vocabulary as ``golden_cache``, so
+    #: ``status`` and perf reports share one accounting path.
+    store: dict | None = None
 
     @property
     def campaigns_run(self) -> int:
@@ -125,10 +139,30 @@ def _campaign_results_serial(
     count: int,
     rng: Random,
     bindings_factory: BindingsFactory | None,
+    recorder=None,
 ):
+    if recorder is None:
+        for _ in range(count):
+            runner = runner_factory(rng)
+            yield injector.experiment(runner, rng, bindings_factory=bindings_factory)
+        return
+    # Store-recorded path: draw the schedule triple first (identical RNG
+    # consumption to injector.experiment), so a completed experiment can be
+    # replayed from the store without its faulty run ever executing.
     for _ in range(count):
         runner = runner_factory(rng)
-        yield injector.experiment(runner, rng, bindings_factory=bindings_factory)
+        golden, k, bit = draw_experiment(injector, runner, rng, bindings_factory)
+        params = getattr(runner, "params", None)
+        key, seq = recorder.claim(k, bit, params)
+        stored = recorder.replay(key)
+        if stored is not None:
+            yield stored
+            continue
+        result = injector.faulty(
+            runner, golden, k, bit=bit, bindings_factory=bindings_factory
+        )
+        recorder.record(key, seq, k, bit, params, result)
+        yield result
 
 
 def _campaign_results_parallel(
@@ -138,16 +172,58 @@ def _campaign_results_parallel(
     rng: Random,
     bindings_factory: BindingsFactory | None,
     pool: ExperimentPool,
+    recorder=None,
 ):
-    def schedule():
-        for _ in range(count):
-            runner = runner_factory(rng)
-            yield make_schedule_entry(injector, runner, rng, bindings_factory)
+    if recorder is None:
 
-    # imap keeps the parent drawing goldens while workers run faulty halves,
-    # and returns results in schedule order — determinism needs the order,
-    # not the timing.
-    yield from pool.imap(schedule())
+        def schedule():
+            for _ in range(count):
+                runner = runner_factory(rng)
+                yield make_schedule_entry(injector, runner, rng, bindings_factory)
+
+        # imap keeps the parent drawing goldens while workers run faulty
+        # halves, and returns results in schedule order — determinism needs
+        # the order, not the timing.
+        yield from pool.imap(schedule())
+        return
+
+    # Store-recorded path.  The pool's task-handler thread consumes the
+    # schedule generator, so stored/pending decisions are relayed to this
+    # (consuming) side through an in-order queue: "stored" entries never
+    # reach the workers, "run" entries are executed and recorded as their
+    # results stream back — still in schedule order, still bit-identical.
+    plan: queue.SimpleQueue = queue.SimpleQueue()
+
+    def schedule():
+        try:
+            for _ in range(count):
+                runner = runner_factory(rng)
+                entry = make_schedule_entry(injector, runner, rng, bindings_factory)
+                key, seq = recorder.claim(entry.k, entry.bit, entry.params)
+                stored = recorder.replay(key)
+                if stored is not None:
+                    plan.put(("stored", stored, None))
+                else:
+                    plan.put(("run", key, (seq, entry)))
+                    yield entry
+        except BaseException as exc:
+            # The pool would surface this through next(results) eventually,
+            # but the consumer may be blocked on the plan queue first.
+            plan.put(("error", exc, None))
+            raise
+
+    results = pool.imap(schedule())
+    for _ in range(count):
+        kind, payload, meta = plan.get()
+        if kind == "error":
+            raise payload
+        if kind == "stored":
+            yield payload
+            continue
+        result = next(results)
+        seq, entry = meta
+        recorder.record(payload, seq, entry.k, entry.bit, entry.params, result)
+        yield result
 
 
 def run_batch(
@@ -159,6 +235,7 @@ def run_batch(
     jobs: int = 1,
     worker_context: WorkerContext | None = None,
     pool=None,
+    recorder=None,
 ) -> CampaignStats:
     """Run ``count`` experiments into one :class:`CampaignStats` block.
 
@@ -166,25 +243,36 @@ def run_batch(
     study; honors the same serial/parallel split as :func:`run_campaigns`.
     An externally owned ``pool`` (e.g. a :class:`SweepPool` cell view)
     takes precedence over spawning one here and is left open on return.
+    A ``recorder`` (:meth:`repro.store.CampaignStore.recorder`) streams
+    every result into a durable store and replays already-stored
+    experiments instead of executing them — bit-identical either way.
     """
     stats = CampaignStats()
-    if pool is not None:
-        for result in _campaign_results_parallel(
-            injector, runner_factory, count, rng, bindings_factory, pool
-        ):
-            stats.add(result)
-    elif jobs > 1 and worker_context is not None:
-        with ExperimentPool(jobs, worker_context) as own_pool:
+    try:
+        if pool is not None:
             for result in _campaign_results_parallel(
-                injector, runner_factory, count, rng, bindings_factory, own_pool
+                injector, runner_factory, count, rng, bindings_factory, pool,
+                recorder,
             ):
                 stats.add(result)
-            own_pool.close()
-    else:
-        for result in _campaign_results_serial(
-            injector, runner_factory, count, rng, bindings_factory
-        ):
-            stats.add(result)
+        elif jobs > 1 and worker_context is not None:
+            with ExperimentPool(jobs, worker_context) as own_pool:
+                for result in _campaign_results_parallel(
+                    injector, runner_factory, count, rng, bindings_factory,
+                    own_pool, recorder,
+                ):
+                    stats.add(result)
+                own_pool.close()
+        else:
+            for result in _campaign_results_serial(
+                injector, runner_factory, count, rng, bindings_factory, recorder
+            ):
+                stats.add(result)
+    finally:
+        if recorder is not None:
+            recorder.store.flush()
+    if recorder is not None:
+        recorder.finish(executed_total=stats.total)
     return stats
 
 
@@ -197,6 +285,7 @@ def run_campaigns(
     jobs: int = 1,
     worker_context: WorkerContext | None = None,
     pool=None,
+    recorder=None,
 ) -> CampaignSummary:
     """Run fault-injection campaigns to statistical convergence.
 
@@ -207,6 +296,12 @@ def run_campaigns(
     ``pool`` (e.g. a :class:`~repro.core.parallel.SweepPool` cell view)
     takes precedence and is left open on return — sweeps share one pool
     across all their cells instead of re-forking per cell.
+
+    A ``recorder`` (built by :meth:`repro.store.CampaignStore.recorder`)
+    journals every experiment to a durable store as it completes and
+    replays already-stored experiments without executing their faulty
+    runs; an interrupted campaign resumed this way converges to the same
+    summary, record for record, as an uninterrupted one.
     """
     config = config or CampaignConfig()
     rng = Random(seed)
@@ -236,6 +331,7 @@ def run_campaigns(
                     rng,
                     bindings_factory,
                     pool,
+                    recorder,
                 )
             else:
                 results = _campaign_results_serial(
@@ -244,6 +340,7 @@ def run_campaigns(
                     config.experiments_per_campaign,
                     rng,
                     bindings_factory,
+                    recorder,
                 )
             for result in results:
                 stats.add(result)
@@ -260,6 +357,13 @@ def run_campaigns(
     finally:
         if owns_pool:
             pool.close()
+        if recorder is not None:
+            # Whatever happened — convergence, a crash, a deliberate abort —
+            # land every journaled record before control leaves.
+            recorder.store.flush()
+
+    if recorder is not None:
+        recorder.finish(executed_total=totals.total, converged=converged)
 
     benign_samples = [c.rate("benign") for c in campaigns]
     crash_samples = [c.rate("crash") for c in campaigns]
@@ -273,4 +377,5 @@ def run_campaigns(
         converged=converged,
         golden_cache=injector.golden_cache.cache_info(),
         checkpoints=dict(injector.checkpoint_stats),
+        store=recorder.counters() if recorder is not None else None,
     )

@@ -235,18 +235,20 @@ class SweepCell:
         """No-op: the owning :class:`SweepPool` manages worker lifetime."""
 
 
-def make_schedule_entry(
+def draw_experiment(
     injector: FaultInjector,
     runner: Runner,
     rng,
     bindings_factory: BindingsFactory | None = None,
-) -> ScheduledExperiment:
-    """Draw one experiment's schedule in the parent.
+) -> tuple[GoldenRun, int, int]:
+    """Draw one experiment's ``(golden, k, bit)`` in the parent.
 
     Consumes the RNG stream exactly as :meth:`FaultInjector.experiment`
     does: ``k = rng.randint(1, n)`` then ``bit = rng.randrange(width_k)``.
     Raises the same :class:`~repro.errors.InjectionError` as the serial path
-    for detector-tainted goldens and site-free programs.
+    for detector-tainted goldens and site-free programs.  Shared by the
+    parallel scheduler and the store-recorded serial path, which both need
+    the schedule triple *before* (or instead of) the faulty run.
     """
     from ..errors import InjectionError
 
@@ -264,6 +266,20 @@ def make_schedule_entry(
         )
     k = rng.randint(1, n)
     bit = rng.randrange(golden.site_widths[k - 1])
+    return golden, k, bit
+
+
+def make_schedule_entry(
+    injector: FaultInjector,
+    runner: Runner,
+    rng,
+    bindings_factory: BindingsFactory | None = None,
+) -> ScheduledExperiment:
+    """Draw one experiment's schedule entry in the parent (see
+    :func:`draw_experiment` for the RNG-stream contract)."""
+    from ..errors import InjectionError
+
+    golden, k, bit = draw_experiment(injector, runner, rng, bindings_factory)
     params = getattr(runner, "params", None)
     if params is None:
         raise InjectionError(
@@ -275,6 +291,6 @@ def make_schedule_entry(
         k=k,
         bit=bit,
         golden_output=golden.output,
-        dynamic_sites=n,
+        dynamic_sites=golden.dynamic_sites,
         golden_dynamic_instructions=golden.dynamic_instructions,
     )

@@ -8,9 +8,22 @@ Usage::
     python -m repro.experiments fig12 [--scale full]
     python -m repro.experiments perf
     python -m repro.experiments all [--json-dir results/]
+    python -m repro.experiments fig11 --store store/   # record as you go
+    python -m repro.experiments status --store store/  # progress per cell
+    python -m repro.experiments resume --store store/  # finish what's stored
+    python -m repro.experiments report --store store/  # tables, no execution
 
 ``--jobs N`` fans the fault-injection campaigns (fig11/fig12/perf) out over
 N worker processes; results are bit-identical to ``--jobs 1``.
+
+``--store DIR`` journals every fault-injection experiment into a durable
+campaign store as it completes (and memoizes the non-campaign tables).  An
+interrupted run loses at most one in-flight batch; ``resume`` replays the
+stored experiments and executes only the remainder — the finished campaign
+is byte-identical to one that never crashed, at any ``--jobs`` and across
+engines.  ``report`` rebuilds any stored experiment's tables from the
+journal alone.  ``--abort-after N`` deliberately crashes a recorded run
+after N new experiments (testing hook for the resume machinery).
 
 ``--engine direct|instrumented|compiled`` selects the injection engine
 (fig11/fig12/perf/ablations).  All engines produce bit-identical
@@ -38,9 +51,13 @@ from pathlib import Path
 from . import EXPERIMENTS
 
 
+#: CLI verbs that operate on an existing store instead of running anything.
+STORE_COMMANDS = ("status", "resume", "report")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
-    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all", *STORE_COMMANDS])
     parser.add_argument("--scale", choices=("smoke", "quick", "full"), default="quick")
     parser.add_argument(
         "--benchmark",
@@ -79,6 +96,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable golden-run snapshots even where they default on (perf)",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal experiments into a durable campaign store at DIR "
+        "(created if missing); also the target of status/resume/report",
+    )
+    parser.add_argument(
+        "--abort-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash deliberately after N newly executed experiments "
+        "(requires --store; exercises the resume machinery)",
+    )
     args = parser.parse_args(argv)
     if args.no_checkpoints and args.checkpoint_interval is not None:
         parser.error("--no-checkpoints conflicts with --checkpoint-interval")
@@ -89,48 +122,140 @@ def main(argv: list[str] | None = None) -> int:
             "engine takes snapshots at superblock boundaries); drop "
             "--no-checkpoints or pick --engine direct"
         )
+    if args.experiment in STORE_COMMANDS and args.store is None:
+        parser.error(f"{args.experiment} requires --store DIR")
+    if args.abort_after is not None and args.store is None:
+        parser.error("--abort-after requires --store")
+
+    store = None
+    if args.store is not None:
+        from ..store import CampaignStore
+
+        store = CampaignStore(args.store)
+
+    try:
+        if args.experiment == "status":
+            print(store.render_status())
+            return 0
+        if args.experiment == "report":
+            return _report_from_store(store, args)
+        if args.experiment == "resume":
+            return _resume(store, args)
+        return _run_experiments(store, args)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _run_one(name: str, args, store=None, benchmarks=None, scale=None, engine=None):
+    """Dispatch one experiment driver with the CLI's knobs."""
+    mod = EXPERIMENTS[name]
+    scale = scale or args.scale
+    engine = engine if engine is not None else (args.engine or "direct")
+    # fig11/fig12 default checkpoints off (None); perf defaults them on
+    # and only needs an override when the user forced a value or none.
+    interval = None if args.no_checkpoints else args.checkpoint_interval
+    if name == "fig11":
+        return mod.run(
+            scale, benchmarks=benchmarks, jobs=args.jobs, engine=engine,
+            checkpoint_interval=interval, store=store,
+            abort_after=args.abort_after,
+        )
+    if name == "fig12":
+        return mod.run(
+            scale, jobs=args.jobs, engine=engine, checkpoint_interval=interval,
+            store=store, abort_after=args.abort_after,
+        )
+    if name == "perf":
+        # None = benchmark both engines side by side; perf measures wall
+        # clock, so it never records to or replays from a store.
+        if args.no_checkpoints:
+            return mod.run(
+                scale, jobs=args.jobs, engine=args.engine,
+                checkpoint_interval=None,
+            )
+        if args.checkpoint_interval is not None:
+            return mod.run(
+                scale, jobs=args.jobs, engine=args.engine,
+                checkpoint_interval=args.checkpoint_interval,
+            )
+        return mod.run(scale, jobs=args.jobs, engine=args.engine)
+    if name == "ablations":
+        return mod.run(scale, engine=engine, store=store)
+    return mod.run(scale, store=store)
+
+
+def _emit(name: str, report, args) -> None:
+    print(EXPERIMENTS[name].render(report))
+    if args.json_dir:
+        args.json_dir.mkdir(parents=True, exist_ok=True)
+        report.save(args.json_dir / f"{name}.json")
+
+
+def _run_experiments(store, args) -> int:
+    from ..store import CampaignAborted
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        mod = EXPERIMENTS[name]
         t0 = time.time()
-        engine = args.engine or "direct"
-        # fig11/fig12 default checkpoints off (None); perf defaults them on
-        # and only needs an override when the user forced a value or none.
-        interval = None if args.no_checkpoints else args.checkpoint_interval
-        if name == "fig11":
-            report = mod.run(
-                args.scale, benchmarks=args.benchmark, jobs=args.jobs,
-                engine=engine, checkpoint_interval=interval,
+        benchmarks = args.benchmark if name == "fig11" else None
+        try:
+            report = _run_one(name, args, store=store, benchmarks=benchmarks)
+        except CampaignAborted as aborted:
+            print(f"{name}: {aborted}", file=sys.stderr)
+            print(
+                f"resume with: python -m repro.experiments resume --store "
+                f"{args.store}",
+                file=sys.stderr,
             )
-        elif name == "fig12":
-            report = mod.run(
-                args.scale, jobs=args.jobs, engine=engine,
-                checkpoint_interval=interval,
-            )
-        elif name == "perf":
-            # None = benchmark both engines side by side.
-            if args.no_checkpoints:
-                report = mod.run(
-                    args.scale, jobs=args.jobs, engine=args.engine,
-                    checkpoint_interval=None,
-                )
-            elif args.checkpoint_interval is not None:
-                report = mod.run(
-                    args.scale, jobs=args.jobs, engine=args.engine,
-                    checkpoint_interval=args.checkpoint_interval,
-                )
-            else:
-                report = mod.run(args.scale, jobs=args.jobs, engine=args.engine)
-        elif name == "ablations":
-            report = mod.run(args.scale, engine=engine)
-        else:
-            report = mod.run(args.scale)
-        print(mod.render(report))
+            return 3
+        _emit(name, report, args)
         print(f"\n[{name} completed in {time.time() - t0:.1f}s at scale={args.scale}]\n")
-        if args.json_dir:
-            args.json_dir.mkdir(parents=True, exist_ok=True)
-            report.save(args.json_dir / f"{name}.json")
+    return 0
+
+
+def _resume(store, args) -> int:
+    """Finish every incomplete cell the store has manifests for."""
+    plans = store.resume_plans()
+    if not plans:
+        print(f"{store.root}: nothing to resume (empty store)")
+        return 0
+    for plan in plans:
+        name = plan["experiment"]
+        if name not in EXPERIMENTS:
+            print(f"skipping unknown stored experiment {name!r}", file=sys.stderr)
+            continue
+        t0 = time.time()
+        report = _run_one(
+            name,
+            args,
+            store=store,
+            benchmarks=plan["benchmarks"],
+            scale=plan["scale"],
+            engine=plan["engine"],
+        )
+        _emit(name, report, args)
+        print(
+            f"\n[{name} resumed in {time.time() - t0:.1f}s at "
+            f"scale={plan['scale']}]\n"
+        )
+    return 0
+
+
+def _report_from_store(store, args) -> int:
+    from ..analysis.report import rebuild_report
+
+    names = store.stored_experiments()
+    if not names:
+        print(f"{store.root}: empty store, nothing to report")
+        return 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"skipping unknown stored experiment {name!r}", file=sys.stderr)
+            continue
+        report = rebuild_report(store, name)
+        _emit(name, report, args)
+        print()
     return 0
 
 

@@ -32,12 +32,34 @@ from ..workloads.registry import micro_workloads
 from .common import CATEGORIES, ExperimentReport, FIG12_EXPERIMENTS, cell_seed
 
 
-def _mask_ablation_rows(scale: str, engine: str = "direct") -> list[dict]:
+def _mask_ablation_rows(
+    scale: str, engine: str = "direct", store=None
+) -> list[dict]:
     experiments = max(FIG12_EXPERIMENTS[scale] // 4, 20)
     rows = []
     for w in micro_workloads():
         module = w.compile("avx")
         for respect in (True, False):
+            key = None
+            if store is not None:
+                from ..store import cell_key, module_fingerprint
+
+                key = cell_key(
+                    {
+                        "experiment": "ablations",
+                        "study": "mask-awareness",
+                        "benchmark": w.name,
+                        "respect_masks": respect,
+                        "engine": engine,
+                        "module": module_fingerprint(module),
+                        "experiments": experiments,
+                        "seed": cell_seed("ablation-mask", w.name, respect),
+                    }
+                )
+                cached = store.lookup_cell(key)
+                if cached is not None:
+                    rows.extend(cached["rows"])
+                    continue
             injector = FaultInjector(
                 module, category="pure-data", respect_masks=respect, engine=engine
             )
@@ -50,7 +72,7 @@ def _mask_ablation_rows(scale: str, engine: str = "direct") -> list[dict]:
                 runner = w.make_runner(w.sample_input(rng))
                 result = injector.experiment(runner, rng)
                 stats.add(result)
-            rows.append(
+            cell_rows = [
                 {
                     "study": "mask-awareness",
                     "benchmark": w.name,
@@ -61,26 +83,54 @@ def _mask_ablation_rows(scale: str, engine: str = "direct") -> list[dict]:
                     "benign": stats.rate("benign"),
                     "crash": stats.rate("crash"),
                 }
-            )
+            ]
+            if store is not None:
+                store.record_cell(
+                    key,
+                    "ablations",
+                    scale,
+                    {"benchmark": w.name, "study": "mask-awareness"},
+                    cell_rows,
+                )
+            rows.extend(cell_rows)
     return rows
 
 
-def _placement_ablation_rows() -> list[dict]:
+def _placement_ablation_rows(scale: str = "custom", store=None) -> list[dict]:
     rows = []
     for w in micro_workloads():
         plain = w.compile("avx")
         runner = w.reference_runner(0)
-        vm0 = Interpreter(plain)
-        runner(vm0)
-        base = vm0.stats.total
+        base = None
         for every in (False, True):
+            key = None
+            if store is not None:
+                from ..store import cell_key, module_fingerprint
+
+                key = cell_key(
+                    {
+                        "experiment": "ablations",
+                        "study": "detector-placement",
+                        "benchmark": w.name,
+                        "every_iteration": every,
+                        "module": module_fingerprint(plain),
+                    }
+                )
+                cached = store.lookup_cell(key)
+                if cached is not None:
+                    rows.extend(cached["rows"])
+                    continue
+            if base is None:
+                vm0 = Interpreter(plain)
+                runner(vm0)
+                base = vm0.stats.total
             module = generate_module(analyze(parse_source(w.source)), AVX)
             insert_foreach_detectors(module, every_iteration=every)
             optimize(module)
             vm = Interpreter(module)
             vm.bind_all(DetectorRuntime().bindings())
             runner(vm)
-            rows.append(
+            cell_rows = [
                 {
                     "study": "detector-placement",
                     "benchmark": w.name,
@@ -89,18 +139,26 @@ def _placement_ablation_rows() -> list[dict]:
                     "dynamic_sites": 0,
                     "overhead": vm.stats.total / base - 1.0,
                 }
-            )
+            ]
+            if store is not None:
+                store.record_cell(
+                    key,
+                    "ablations",
+                    scale,
+                    {"benchmark": w.name, "study": "detector-placement"},
+                    cell_rows,
+                )
+            rows.extend(cell_rows)
     return rows
 
 
-def run(scale: str = "quick", engine: str = "direct") -> ExperimentReport:
-    report = ExperimentReport(
-        name="ablations",
-        scale=scale,
-        headers=["study", "micro", "variant", "metric"],
-    )
-    report.rows.extend(_mask_ablation_rows(scale, engine=engine))
-    report.rows.extend(_placement_ablation_rows())
+HEADERS = ["study", "micro", "variant", "metric"]
+
+
+def run(scale: str = "quick", engine: str = "direct", store=None) -> ExperimentReport:
+    report = ExperimentReport(name="ablations", scale=scale, headers=list(HEADERS))
+    report.rows.extend(_mask_ablation_rows(scale, engine=engine, store=store))
+    report.rows.extend(_placement_ablation_rows(scale, store=store))
     report.notes.append(
         "mask-unaware injection counts dead remainder lanes as sites and "
         "dilutes SDC with benign hits; per-iteration invariant checking "

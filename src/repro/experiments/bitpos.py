@@ -32,9 +32,29 @@ def run_cell(
     bits: range,
     experiments_per_bit: int,
     target: str = "avx",
+    scale: str = "custom",
+    store=None,
 ) -> list[dict]:
     w = get_workload(workload_name)
     module = w.compile(target)
+    cell = {"benchmark": workload_name, "category": category}
+    key = None
+    if store is not None:
+        from ..store import cell_key, module_fingerprint
+
+        key = cell_key(
+            {
+                "experiment": "bitpos",
+                **cell,
+                "target": target,
+                "module": module_fingerprint(module),
+                "bits": list(bits),
+                "per_bit": experiments_per_bit,
+            }
+        )
+        cached = store.lookup_cell(key)
+        if cached is not None:
+            return list(cached["rows"])
     injector = FaultInjector(module, category=category)
     rows = []
     for bit in bits:
@@ -69,22 +89,28 @@ def run_cell(
                 "crash": stats.rate("crash"),
             }
         )
+    if store is not None:
+        store.record_cell(key, "bitpos", scale, cell, rows)
     return rows
 
 
-def run(scale: str = "quick") -> ExperimentReport:
+HEADERS = ["workload", "category", "bit", "n", "SDC", "benign", "crash"]
+
+
+def run(scale: str = "quick", store=None) -> ExperimentReport:
     per_bit = _PER_BIT[scale]
-    report = ExperimentReport(
-        name="bitpos",
-        scale=scale,
-        headers=["workload", "category", "bit", "n", "SDC", "benign", "crash"],
-    )
+    report = ExperimentReport(name="bitpos", scale=scale, headers=list(HEADERS))
     # Float data path: dot product pure-data sites are f32 values.
     report.rows.extend(
-        run_cell("dot_product", "pure-data", range(0, 32, 4), per_bit)
+        run_cell(
+            "dot_product", "pure-data", range(0, 32, 4), per_bit,
+            scale=scale, store=store,
+        )
     )
     # Integer/control path: vcopy control sites are loop state.
-    report.rows.extend(run_cell("vcopy", "control", range(0, 32, 4), per_bit))
+    report.rows.extend(
+        run_cell("vcopy", "control", range(0, 32, 4), per_bit, scale=scale, store=store)
+    )
     report.notes.append(
         "f32 pure-data: mantissa LSB flips are far more benign than "
         "exponent/sign flips; i32 control: high-bit flips crash or derail "

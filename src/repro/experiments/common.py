@@ -10,6 +10,8 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -82,4 +84,22 @@ class ExperimentReport:
         return json.dumps(asdict(self), indent=2, default=str)
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        """Write the report atomically: a crash mid-save never leaves a
+        half-written ``results/*.json`` behind (the reader sees either the
+        old file or the complete new one)."""
+        path = Path(path)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(self.to_json())
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

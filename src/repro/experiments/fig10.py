@@ -19,19 +19,35 @@ from ..workloads.registry import benchmark_workloads
 from .common import CATEGORIES, ExperimentReport, TARGETS
 
 
-def run(scale: str = "quick") -> ExperimentReport:
-    report = ExperimentReport(
-        name="fig10",
-        scale=scale,
-        headers=["benchmark", "target", "category", "scalar", "vector", "vector %"],
-    )
+HEADERS = ["benchmark", "target", "category", "scalar", "vector", "vector %"]
+
+
+def run(scale: str = "quick", store=None) -> ExperimentReport:
+    report = ExperimentReport(name="fig10", scale=scale, headers=list(HEADERS))
     for w in benchmark_workloads():
         for target in TARGETS:
             module = w.compile(target)
+            cell = {"benchmark": w.name, "target": target}
+            key = None
+            if store is not None:
+                from ..store import cell_key, module_fingerprint
+
+                key = cell_key(
+                    {
+                        "experiment": "fig10",
+                        **cell,
+                        "module": module_fingerprint(module),
+                    }
+                )
+                cached = store.lookup_cell(key)
+                if cached is not None:
+                    report.rows.extend(cached["rows"])
+                    continue
             mix = instruction_mix(module)
+            rows = []
             for cat in CATEGORIES:
                 entry = mix[cat]
-                report.rows.append(
+                rows.append(
                     {
                         "benchmark": w.name,
                         "target": target,
@@ -41,6 +57,9 @@ def run(scale: str = "quick") -> ExperimentReport:
                         "vector_fraction": entry.vector_fraction,
                     }
                 )
+            if store is not None:
+                store.record_cell(key, "fig10", scale, cell, rows)
+            report.rows.extend(rows)
     # Cross-benchmark averages, the numbers the paper quotes in prose.
     for cat in CATEGORIES:
         fracs = [

@@ -12,6 +12,8 @@ rate is the highest of its three categories.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from ..analysis.report import pct, render_table
 from ..core.campaign import CampaignConfig, run_campaigns
 from ..core.injector import FaultInjector
@@ -26,6 +28,32 @@ from .common import (
     cell_seed,
 )
 
+HEADERS = ["benchmark", "target", "category", "n", "SDC", "benign", "crash", "±moe"]
+
+
+def cell_recorder(
+    store,
+    workload: Workload,
+    target: str,
+    category: str,
+    scale: str,
+    config: CampaignConfig,
+    injector: FaultInjector,
+    abort_after: int | None = None,
+):
+    """One cell's store recorder (manifested eagerly — see ``store.recorder``)."""
+    return store.recorder(
+        experiment="fig11",
+        cell={"benchmark": workload.name, "target": target, "category": category},
+        scale=scale,
+        injector=injector,
+        seed=cell_seed("fig11", workload.name, target, category),
+        config=asdict(config),
+        planned=config.max_campaigns * config.experiments_per_campaign,
+        extras={"static_sites": len(injector.sites)},
+        abort_after=abort_after,
+    )
+
 
 def run_cell(
     workload: Workload,
@@ -38,18 +66,29 @@ def run_cell(
     checkpoint_interval: int | None = None,
     pool=None,
     injector: FaultInjector | None = None,
+    scale: str = "custom",
+    store=None,
+    recorder=None,
+    abort_after: int | None = None,
 ) -> dict:
     """One Fig.-11 cell: campaigns for (benchmark, ISA, site category).
 
-    ``pool``/``injector`` are supplied by :func:`run` when a whole sweep
-    shares one :class:`~repro.core.parallel.SweepPool`; standalone callers
-    leave them unset and get a per-cell pool (``jobs > 1``) or serial runs.
+    ``pool``/``injector``/``recorder`` are supplied by :func:`run` when a
+    whole sweep shares one :class:`~repro.core.parallel.SweepPool` and/or a
+    :class:`~repro.store.CampaignStore`; standalone callers leave them unset
+    and get a per-cell pool (``jobs > 1``), serial runs, and — with
+    ``store`` — a per-cell recorder.
     """
     if injector is None:
         module = workload.compile(target)
         injector = FaultInjector(
             module, category=category, step_limit=step_limit, engine=engine,
             checkpoint_interval=checkpoint_interval,
+        )
+    if recorder is None and store is not None:
+        recorder = cell_recorder(
+            store, workload, target, category, scale, config, injector,
+            abort_after=abort_after,
         )
     worker_context = (
         campaign_worker_context(injector, workload)
@@ -64,6 +103,7 @@ def run_cell(
         jobs=jobs,
         worker_context=worker_context,
         pool=pool,
+        recorder=recorder,
     )
     totals = summary.totals
     return {
@@ -88,22 +128,11 @@ def run(
     jobs: int = 1,
     engine: str = "direct",
     checkpoint_interval: int | None = None,
+    store=None,
+    abort_after: int | None = None,
 ) -> ExperimentReport:
     config = SCALES[scale]
-    report = ExperimentReport(
-        name="fig11",
-        scale=scale,
-        headers=[
-            "benchmark",
-            "target",
-            "category",
-            "n",
-            "SDC",
-            "benign",
-            "crash",
-            "±moe",
-        ],
-    )
+    report = ExperimentReport(name="fig11", scale=scale, headers=list(HEADERS))
     cells = [
         (w, target, category)
         for w in benchmark_workloads()
@@ -114,9 +143,13 @@ def run(
     # With --jobs, every cell's engine is built in the parent first and one
     # SweepPool serves the whole sweep: the workers fork once with all cell
     # contexts instead of re-spawning (and re-pickling modules) per cell.
+    # With --store, injectors are likewise built upfront so every cell's
+    # manifest lands before the first injection — a crash mid-sweep leaves a
+    # complete inventory for `resume`.
     injectors: dict = {}
+    recorders: dict = {}
     pool: SweepPool | None = None
-    if jobs > 1:
+    if jobs > 1 or store is not None:
         contexts = {}
         for w, target, category in cells:
             key = (w.name, target, category)
@@ -128,7 +161,13 @@ def run(
                 checkpoint_interval=checkpoint_interval,
             )
             contexts[key] = campaign_worker_context(injectors[key], w)
-        pool = SweepPool(jobs, contexts)
+            if store is not None:
+                recorders[key] = cell_recorder(
+                    store, w, target, category, scale, config,
+                    injectors[key], abort_after=abort_after,
+                )
+        if jobs > 1:
+            pool = SweepPool(jobs, contexts)
     try:
         for w, target, category in cells:
             key = (w.name, target, category)
@@ -143,11 +182,15 @@ def run(
                     checkpoint_interval=checkpoint_interval,
                     pool=pool.cell(key) if pool is not None else None,
                     injector=injectors.get(key),
+                    scale=scale,
+                    recorder=recorders.get(key),
                 )
             )
     finally:
         if pool is not None:
             pool.close()
+        if store is not None:
+            store.flush()
     report.notes.append(
         "Paper shape: Stencil/Blackscholes highest SDC; Swaptions/CG most "
         "resilient; address faults crash the most; Chebyshev's address SDC "

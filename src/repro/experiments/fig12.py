@@ -50,6 +50,41 @@ PAPER_FIG12 = {
 }
 PAPER_OVERHEADS = {"vcopy": 0.086, "dot_product": 0.0809, "vector_sum": 0.0839}
 
+HEADERS = [
+    "micro",
+    "category",
+    "n",
+    "overhead",
+    "SDC",
+    "SDC detect",
+    "paper SDC",
+    "paper detect",
+]
+
+
+def cell_recorder(
+    store,
+    workload: Workload,
+    category: str,
+    experiments: int,
+    scale: str,
+    injector: FaultInjector,
+    extras: dict | None = None,
+    abort_after: int | None = None,
+):
+    """One (micro, category) cell's store recorder."""
+    return store.recorder(
+        experiment="fig12",
+        cell={"benchmark": workload.name, "category": category},
+        scale=scale,
+        injector=injector,
+        seed=cell_seed("fig12", workload.name, "avx", category),
+        config={"experiments": experiments},
+        planned=experiments,
+        extras=extras,
+        abort_after=abort_after,
+    )
+
 
 def measure_overhead(workload: Workload, target: str = "avx", samples: int = 5) -> float:
     """Dynamic-instruction overhead of the detector block (mean over inputs)."""
@@ -80,12 +115,21 @@ def run_cell(
     checkpoint_interval: int | None = None,
     pool=None,
     injector: FaultInjector | None = None,
+    scale: str = "custom",
+    store=None,
+    recorder=None,
+    abort_after: int | None = None,
 ) -> dict:
     if injector is None:
         module = workload.compile(target, foreach_detectors=True)
         injector = FaultInjector(
             module, category=category, step_limit=500_000, engine=engine,
             checkpoint_interval=checkpoint_interval,
+        )
+    if recorder is None and store is not None:
+        recorder = cell_recorder(
+            store, workload, category, experiments, scale, injector,
+            abort_after=abort_after,
         )
     rng = Random(cell_seed("fig12", workload.name, target, category))
     factory = detector_bindings_factory()
@@ -103,6 +147,7 @@ def run_cell(
         jobs=jobs,
         worker_context=worker_context,
         pool=pool,
+        recorder=recorder,
     )
     paper = PAPER_FIG12.get((workload.name, category))
     return {
@@ -123,29 +168,22 @@ def run(
     jobs: int = 1,
     engine: str = "direct",
     checkpoint_interval: int | None = None,
+    store=None,
+    abort_after: int | None = None,
 ) -> ExperimentReport:
     experiments = FIG12_EXPERIMENTS[scale]
-    report = ExperimentReport(
-        name="fig12",
-        scale=scale,
-        headers=[
-            "micro",
-            "category",
-            "n",
-            "overhead",
-            "SDC",
-            "SDC detect",
-            "paper SDC",
-            "paper detect",
-        ],
-    )
+    report = ExperimentReport(name="fig12", scale=scale, headers=list(HEADERS))
     cells = [(w, category) for w in micro_workloads() for category in CATEGORIES]
+    overheads = {w.name: measure_overhead(w) for w in micro_workloads()}
     # One SweepPool serves all (micro, category) cells — same pattern as
     # Fig. 11: fork once with every cell's context, build injectors lazily
-    # in the workers.
+    # in the workers.  With --store, injectors and recorders are built
+    # upfront so every cell is manifested (with its measured overhead)
+    # before the first injection.
     injectors: dict = {}
+    recorders: dict = {}
     pool = None
-    if jobs > 1:
+    if jobs > 1 or store is not None:
         from ..core.parallel import SweepPool
 
         contexts = {}
@@ -159,10 +197,19 @@ def run(
             contexts[key] = campaign_worker_context(
                 injectors[key], w, with_detectors=True
             )
-        pool = SweepPool(jobs, contexts)
+            if store is not None:
+                recorders[key] = cell_recorder(
+                    store, w, category, experiments, scale, injectors[key],
+                    extras={
+                        "overhead": overheads[w.name],
+                        "paper_overhead": PAPER_OVERHEADS.get(w.name),
+                    },
+                    abort_after=abort_after,
+                )
+        if jobs > 1:
+            pool = SweepPool(jobs, contexts)
     try:
         for w in micro_workloads():
-            overhead = measure_overhead(w)
             for category in CATEGORIES:
                 key = (w.name, category)
                 row = run_cell(
@@ -174,13 +221,17 @@ def run(
                     checkpoint_interval=checkpoint_interval,
                     pool=pool.cell(key) if pool is not None else None,
                     injector=injectors.get(key),
+                    scale=scale,
+                    recorder=recorders.get(key),
                 )
-                row["overhead"] = overhead
+                row["overhead"] = overheads[w.name]
                 row["paper_overhead"] = PAPER_OVERHEADS.get(w.name)
                 report.rows.append(row)
     finally:
         if pool is not None:
             pool.close()
+        if store is not None:
+            store.flush()
     report.notes.append(
         "Overhead is a dynamic-instruction ratio (deterministic proxy for "
         "the paper's ~8% wall-clock figure). Expect 0% detection under "

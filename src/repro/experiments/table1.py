@@ -42,26 +42,44 @@ PAPER_COUNTS_MILLIONS = {
 }
 
 
-def run(scale: str = "quick") -> ExperimentReport:
+HEADERS = [
+    "benchmark",
+    "suite",
+    "language",
+    "target",
+    "avg dynamic instrs",
+    "vector frac",
+    "paper (millions)",
+    "test input",
+]
+
+
+def run(scale: str = "quick", store=None) -> ExperimentReport:
     samples = TABLE1_SAMPLES[scale]
-    report = ExperimentReport(
-        name="table1",
-        scale=scale,
-        headers=[
-            "benchmark",
-            "suite",
-            "language",
-            "target",
-            "avg dynamic instrs",
-            "vector frac",
-            "paper (millions)",
-            "test input",
-        ],
-    )
+    report = ExperimentReport(name="table1", scale=scale, headers=list(HEADERS))
     for w in benchmark_workloads():
         for target in TARGETS:
             module = w.compile(target)
-            rng = Random(cell_seed("table1", w.name, target))
+            seed = cell_seed("table1", w.name, target)
+            cell = {"benchmark": w.name, "target": target}
+            key = None
+            if store is not None:
+                from ..store import cell_key, module_fingerprint
+
+                key = cell_key(
+                    {
+                        "experiment": "table1",
+                        **cell,
+                        "module": module_fingerprint(module),
+                        "seed": seed,
+                        "samples": samples,
+                    }
+                )
+                cached = store.lookup_cell(key)
+                if cached is not None:
+                    report.rows.extend(cached["rows"])
+                    continue
+            rng = Random(seed)
             totals, vecs = [], []
             for _ in range(samples):
                 runner = w.make_runner(w.sample_input(rng))
@@ -69,7 +87,7 @@ def run(scale: str = "quick") -> ExperimentReport:
                 runner(vm)
                 totals.append(vm.stats.total)
                 vecs.append(vm.stats.vector / max(vm.stats.total, 1))
-            report.rows.append(
+            rows = [
                 {
                     "benchmark": w.name,
                     "suite": w.suite,
@@ -80,7 +98,10 @@ def run(scale: str = "quick") -> ExperimentReport:
                     "paper_millions": PAPER_COUNTS_MILLIONS.get((w.name, target)),
                     "input": w.input_summary,
                 }
-            )
+            ]
+            if store is not None:
+                store.record_cell(key, "table1", scale, cell, rows)
+            report.rows.extend(rows)
     report.notes.append(
         "Inputs are scaled down ~30-3000x from Table I (pure-Python "
         "interpreter); compare ordering and AVX/SSE ratios, not magnitudes."

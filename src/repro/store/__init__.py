@@ -1,0 +1,38 @@
+"""Durable, resumable fault-injection campaigns.
+
+The paper's headline figures come from six-figure injection counts
+(108,000 for Fig. 11 alone); this subsystem makes such sweeps restartable
+and incremental.  Every experiment lands in an append-only, crc-framed
+journal under a deterministic content key, a manifest pins each campaign
+cell's full identity, and a resumed campaign replays completed experiments
+from the index instead of re-executing them — bit-identical, by
+construction, to the uninterrupted run.
+
+Entry points: :class:`CampaignStore` (open/create a store directory),
+``CampaignStore.recorder`` (per-cell recording), and
+:func:`repro.analysis.report.rebuild_report` (regenerate figure tables
+from a store without executing anything).
+"""
+
+from .journal import Journal, StoreCorruption, StoreError, TornTailWarning
+from .keys import cell_key, experiment_key, module_fingerprint, stable_json
+from .recorder import CampaignAborted, CampaignRecorder
+from .records import decode_result, encode_result
+from .store import FORMAT, CampaignStore
+
+__all__ = [
+    "CampaignAborted",
+    "CampaignRecorder",
+    "CampaignStore",
+    "FORMAT",
+    "Journal",
+    "StoreCorruption",
+    "StoreError",
+    "TornTailWarning",
+    "cell_key",
+    "decode_result",
+    "encode_result",
+    "experiment_key",
+    "module_fingerprint",
+    "stable_json",
+]

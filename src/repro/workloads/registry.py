@@ -11,6 +11,7 @@ engine clones before instrumenting, so cached modules stay pristine.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable
@@ -19,6 +20,12 @@ from ..frontend.driver import compile_source
 from ..frontend.target import Target, get_target
 from ..ir.module import Module
 from ..vm.interpreter import Interpreter
+
+#: Bump when the registry's *semantics* change incompatibly (a workload's
+#: input space, runner protocol, or output definition).  Campaign-store
+#: manifests pin this alongside :func:`registry_fingerprint`; resuming a
+#: store recorded under a different registry is refused as unsound.
+REGISTRY_VERSION = 1
 
 #: suite labels used in Table I
 PARVEC = "Parvec"
@@ -147,6 +154,24 @@ def benchmark_workloads() -> list[Workload]:
         "cg",
     ]
     return [_REGISTRY[n] for n in order]
+
+
+def registry_fingerprint() -> str:
+    """Content hash over every registered workload's identity.
+
+    Covers name, suite, entry point, input-space summary, and the MiniISPC
+    source itself — everything that determines what a stored experiment
+    *meant*.  Campaign-store manifests pin it so a resumed campaign is
+    guaranteed to splice new results onto old ones drawn from the same
+    input spaces and kernels.
+    """
+    _ensure_loaded()
+    h = hashlib.sha256()
+    for name in sorted(_REGISTRY):
+        w = _REGISTRY[name]
+        h.update(f"{name}\x00{w.suite}\x00{w.entry}\x00{w.input_summary}\x00".encode())
+        h.update(hashlib.sha256(w.source.encode()).digest())
+    return h.hexdigest()
 
 
 def micro_workloads() -> list[Workload]:

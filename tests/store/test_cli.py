@@ -1,0 +1,66 @@
+"""End-to-end CLI: record, crash, status, resume, report — one store."""
+
+import json
+
+from repro.experiments.__main__ import main
+
+
+def _rows(path):
+    return json.load(open(path))["rows"]
+
+
+def test_record_crash_status_resume_report(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    base = [
+        "fig11", "--scale", "smoke", "--benchmark", "chebyshev",
+        "--store", store,
+    ]
+
+    # A deliberately crashed recorded run exits nonzero with a resume hint.
+    assert main(base + ["--abort-after", "5"]) == 3
+    assert "resume" in capsys.readouterr().err
+
+    assert main(["status", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "partial" in out and "pending" in out and "incomplete" in out
+
+    # Resume under a pool, then a storeless clean run: identical rows.
+    resumed_dir = tmp_path / "resumed"
+    assert (
+        main(["resume", "--store", store, "--jobs", "2",
+              "--json-dir", str(resumed_dir)])
+        == 0
+    )
+    capsys.readouterr()
+    clean_dir = tmp_path / "clean"
+    assert (
+        main(["fig11", "--scale", "smoke", "--benchmark", "chebyshev",
+              "--json-dir", str(clean_dir)])
+        == 0
+    )
+    capsys.readouterr()
+    assert _rows(resumed_dir / "fig11.json") == _rows(clean_dir / "fig11.json")
+
+    assert main(["status", "--store", store]) == 0
+    assert "all cells complete" in capsys.readouterr().out
+
+    # `report` rebuilds the same table from the journal alone.
+    rebuilt_dir = tmp_path / "rebuilt"
+    assert main(["report", "--store", store, "--json-dir", str(rebuilt_dir)]) == 0
+    capsys.readouterr()
+    assert _rows(rebuilt_dir / "fig11.json") == _rows(clean_dir / "fig11.json")
+
+
+def test_store_commands_require_store(capsys):
+    for verb in ("status", "resume", "report"):
+        try:
+            main([verb])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected SystemExit")
+    try:
+        main(["fig11", "--abort-after", "3"])
+    except SystemExit as exc:
+        assert exc.code == 2
+    capsys.readouterr()

@@ -1,0 +1,102 @@
+"""Journal framing, batched flushes, and corruption tolerance."""
+
+import math
+
+import pytest
+
+from repro.store import Journal, StoreCorruption, TornTailWarning
+from repro.store.journal import frame, parse_frame
+
+
+def test_frame_round_trip():
+    record = {"kind": "experiment", "seq": 3, "nested": {"a": [1, 2, "x"]}}
+    assert parse_frame(frame(record).rstrip(b"\n")) == record
+
+
+def test_frame_is_canonical():
+    assert frame({"b": 1, "a": 2}) == frame({"a": 2, "b": 1})
+
+
+def test_frame_rejects_bare_nan():
+    # NaN must travel as a bit pattern (records.encode_value), never raw.
+    with pytest.raises(ValueError):
+        frame({"x": math.nan})
+
+
+def test_parse_frame_rejects_damage():
+    line = frame({"a": 1}).rstrip(b"\n")
+    with pytest.raises(ValueError):
+        parse_frame(line[:-2])  # truncated payload -> crc mismatch
+    with pytest.raises(ValueError):
+        parse_frame(b"nope")
+
+
+def test_batched_flush(tmp_path):
+    journal = Journal(tmp_path / "j.jsonl", flush_every=4)
+    for i in range(3):
+        journal.append({"i": i})
+    assert journal.pending == 3
+    assert not (tmp_path / "j.jsonl").exists()
+    journal.append({"i": 3})  # hits flush_every -> lands on disk
+    assert journal.pending == 0
+    assert len(Journal(tmp_path / "j.jsonl").load()) == 4
+    journal.append({"i": 4})
+    journal.close()  # close flushes the partial batch
+    assert [r["i"] for r in Journal(tmp_path / "j.jsonl").load()] == list(range(5))
+
+
+def test_load_drops_unterminated_tail(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path, flush_every=1)
+    for i in range(5):
+        journal.append({"i": i})
+    journal.close()
+    intact = path.read_bytes()
+    path.write_bytes(intact + frame({"i": 5})[:-7])  # crash mid-append
+
+    fresh = Journal(path)
+    with pytest.warns(TornTailWarning):
+        records = fresh.load()
+    assert [r["i"] for r in records] == list(range(5))
+    # Repair truncated the file back to the last intact frame...
+    assert path.read_bytes() == intact
+    # ...so appends continue cleanly and a reopen sees no damage.
+    fresh.append({"i": 5})
+    fresh.close()
+    assert [r["i"] for r in Journal(path).load()] == list(range(6))
+
+
+def test_load_drops_terminated_tail_with_bad_crc(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path, flush_every=1)
+    journal.append({"i": 0})
+    journal.close()
+    intact = path.read_bytes()
+    bad = bytearray(frame({"i": 1}))
+    bad[0] = ord("f") if bad[0] != ord("f") else ord("0")  # corrupt the crc
+    path.write_bytes(intact + bytes(bad))
+
+    with pytest.warns(TornTailWarning):
+        records = Journal(path).load()
+    assert [r["i"] for r in records] == [0]
+    assert path.read_bytes() == intact
+
+
+def test_mid_file_corruption_is_fatal(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path, flush_every=1)
+    for i in range(3):
+        journal.append({"i": i})
+    journal.close()
+    data = bytearray(path.read_bytes())
+    data[2] ^= 0xFF  # flip a byte inside the *first* record
+    path.write_bytes(bytes(data))
+
+    with pytest.raises(StoreCorruption):
+        Journal(path).load()
+
+
+def test_empty_and_missing_files(tmp_path):
+    assert Journal(tmp_path / "missing.jsonl").load() == []
+    (tmp_path / "empty.jsonl").write_bytes(b"")
+    assert Journal(tmp_path / "empty.jsonl").load() == []
