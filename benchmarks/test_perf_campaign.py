@@ -20,6 +20,10 @@ The contract has three parts:
   superblock chains), bit-identical experiment for experiment — and its
   raw dispatch rate (dynamic instructions/sec, golden runs on warm caches)
   leads every other engine;
+* the compiled engine's batched ndarray tier holds its floors: dispatch
+  rate >= 3x the frozen pre-batching baseline, per-opcode bulk-vs-unrolled
+  geomean >= 1.2x with fadd_f32 >= 1.5x, every cell bit-identical between
+  tiers;
 * checkpoint restore keeps faulty runs >= 1.5x faster than full replay on
   the late-fault-biased workload while staying bit-identical to it.
 
@@ -94,6 +98,36 @@ def test_campaign_throughput():
     rates = {e: c["instructions_per_second"] for e, c in dispatch.items()}
     assert rates["compiled"] > rates["direct"] > rates["instrumented"], (
         f"dispatch-rate ordering violated: {rates}"
+    )
+
+    # Packed-register (batched ndarray) tier contract: the compiled
+    # engine's dispatch rate is >= 3x the frozen pre-batching rate, and the
+    # per-opcode bulk-vs-unrolled matrix keeps its floors — float binops
+    # are where whole-vector NumPy calls pay off hardest, while cheap int
+    # ops are allowed to be a wash (the matrix records them honestly).
+    # Every cell must be bit-identical between tiers before its ratio
+    # counts.
+    compiled_dispatch = dispatch["compiled"]
+    assert compiled_dispatch["speedup_vs_frozen_baseline"] >= 3.0, (
+        f"compiled dispatch only "
+        f"{compiled_dispatch['speedup_vs_frozen_baseline']:.2f}x over the "
+        f"frozen pre-batching baseline (>= 3x required; "
+        f"{compiled_dispatch['instructions_per_second'] / 1e6:.2f}M insn/s)"
+    )
+    vec = results["vector"]
+    for op, cell in vec.items():
+        if not isinstance(cell, dict):
+            continue
+        assert cell["outputs_match"], (
+            f"vector_bench {op}: bulk and unrolled tiers diverged"
+        )
+    assert vec["geomean_speedup"] >= 1.2, (
+        f"vector opcode geomean speedup {vec['geomean_speedup']:.2f}x "
+        "below the 1.2x floor"
+    )
+    assert vec["fadd_f32"]["speedup"] >= 1.5, (
+        f"fadd_f32 bulk tier only {vec['fadd_f32']['speedup']:.2f}x over "
+        "unrolled (>= 1.5x required)"
     )
 
     # Checkpoint restore contract: on the late-fault-biased workload the

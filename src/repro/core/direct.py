@@ -31,8 +31,10 @@ one plan, three engines, one stream of observables.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..ir.intrinsics import MASK_I1
-from ..ir.types import I32, I64, PointerType
+from ..ir.types import I32, I64, IntType, PointerType
 from ..vm import ops
 from ..vm.decode import InjectionPlan, PlannedSite
 from .runtime import ENTRY_INDEX, api_name_for
@@ -91,6 +93,34 @@ def _active_fn(site: StaticSite):
     return lambda m: lshr(m, 31)
 
 
+def _bulk_active_fn(site: StaticSite):
+    """A packed-mask -> active-lane-count evaluator, or ``None``.
+
+    The batched compiled tier counts a whole mask vector's active lanes in
+    one vectorized pass; the result must equal summing :func:`_active_fn`
+    over the canonical lanes.  ``lshr(m, 31)`` masks the shift amount to the
+    lane width, so for i8/i16/i32 mask lanes it extracts the *sign bit* —
+    a ``< 0`` test — while for i64 lanes it extracts bit 31 (not 0/1), so
+    those decline the bulk path.  Likewise f64 sign-bit masks: the spliced
+    chain's ``bitcast`` to i32 has no packed equivalent, so they stay
+    per-lane.
+    """
+    mask_lane = site.instr.operands[site.mask.operand_index].type.scalar_type
+    if site.mask.convention == MASK_I1:
+        # zext of canonical 0/1 lanes: active count == nonzero count.
+        return lambda m: int(np.count_nonzero(m))
+    if mask_lane.is_float():
+        if mask_lane.bits == 32:
+            return lambda m: int(np.signbit(m).sum())
+        return None
+    if isinstance(mask_lane, IntType):
+        if mask_lane.bits == 1:
+            return lambda m: int(np.count_nonzero(m))
+        if mask_lane.bits in (8, 16, 32):
+            return lambda m: int((m < 0).sum())
+    return None
+
+
 def _planned_site(site: StaticSite, respect_masks: bool) -> PlannedSite:
     scalar_type = site.scalar_type
     to_int = to_ptr = None
@@ -105,6 +135,7 @@ def _planned_site(site: StaticSite, respect_masks: bool) -> PlannedSite:
         entry_index=ENTRY_INDEX[api_name_for(scalar_type)],
         mask_operand_index=site.mask.operand_index if masked else None,
         active_fn=_active_fn(site) if masked else None,
+        active_bulk_fn=_bulk_active_fn(site) if masked else None,
         to_int=to_int,
         to_ptr=to_ptr,
         tax=chain_tax(site, respect_masks),

@@ -144,6 +144,22 @@ class FaultRuntime:
         """The first (paper model: only) injection performed this run."""
         return self.records[0] if self.records else None
 
+    def reset_counting(self) -> None:
+        """Rewind a count-mode runtime for reuse by the next golden run.
+
+        The entry/span closures built by :meth:`entries`/:meth:`spans`
+        capture this runtime and its width tape *by object*, so clearing
+        state in place keeps them valid — golden runs pay the closure
+        construction once per injector instead of once per run.  Inject
+        runtimes are never pooled (targets and RNG state are per-run).
+        """
+        if self.mode != MODE_COUNT:
+            raise InjectionError("only count-mode runtimes are reusable")
+        self.dynamic_count = 0
+        self.site_widths.clear()
+        self.checkpoint_pending = False
+        self._next_checkpoint = self.checkpoint_interval or 0
+
     def span_hits(self, lo: int, hi: int) -> bool:
         """True when any target index lies in the half-open span ``(lo, hi]``.
 

@@ -26,6 +26,7 @@ from random import Random
 from ..analysis.report import render_table
 from ..core.campaign import CampaignConfig, run_campaigns
 from ..core.injector import ENGINES, FaultInjector
+from ..vm.bits import VECTOR_EVENTS
 from ..workloads.registry import get_workload
 from .common import ExperimentReport
 
@@ -79,9 +80,19 @@ CHECKPOINT_EXPERIMENTS = 150
 #: The dispatch micro-benchmark's fixed input and repeat count: golden
 #: (count-mode) executions only, so the measured rate is raw engine
 #: dispatch — no injection bookkeeping beyond site counting, no
-#: classification, no campaign machinery.
+#: classification, no campaign machinery.  The timed loop runs
+#: ``DISPATCH_SERIES`` times and the fastest series is reported — the
+#: standard microbenchmark defence against scheduler noise, which at
+#: ~150 microseconds per run would otherwise dominate the measurement.
 DISPATCH_INPUT = {"n": 512, "seed": 42}
-DISPATCH_REPEATS = 5
+DISPATCH_REPEATS = 25
+DISPATCH_SERIES = 5
+
+#: Frozen compiled-engine dispatch rate (dynamic instructions per second)
+#: measured on the reference container *before* the batched vector tier,
+#: with the same input and warmed caches.  The packed-register speedup in
+#: ``BENCH_campaign.json`` is reported against this fixed point.
+DISPATCH_BASELINE_COMPILED = 9_242_823
 
 
 def _mini_injector(
@@ -159,6 +170,7 @@ def _mini_campaign(
 
         injector.faulty = timed_faulty
 
+    slots_before = VECTOR_EVENTS["ndarray_slots"]
     t0 = time.perf_counter()
     try:
         summary = run_campaigns(
@@ -191,6 +203,12 @@ def _mini_campaign(
         "golden_cache_hits": injector.golden_cache.hits,
         "golden_cache_misses": injector.golden_cache.misses,
         "checkpoints": dict(injector.checkpoint_stats),
+        # Packed ndarray register slots materialized during this regime
+        # (vm/bits.VECTOR_EVENTS delta) — the batched tier's allocation
+        # pressure, serial runs only (workers count in their own process).
+        "ndarray_slots": (
+            VECTOR_EVENTS["ndarray_slots"] - slots_before if jobs == 1 else None
+        ),
     }
 
 
@@ -363,19 +381,196 @@ def dispatch_bench(engines: tuple = ENGINES) -> dict:
         injector.warm()
         runner = workload.build_runner(dict(DISPATCH_INPUT))
         golden = injector.golden(runner)  # warm-up lap, gives the count
+        slots_before = VECTOR_EVENTS["ndarray_slots"]
         gc.collect()
-        t0 = time.perf_counter()
-        for _ in range(DISPATCH_REPEATS):
-            injector.golden(runner)
-        elapsed = time.perf_counter() - t0
+        elapsed = float("inf")
+        for _ in range(DISPATCH_SERIES):
+            t0 = time.perf_counter()
+            for _ in range(DISPATCH_REPEATS):
+                injector.golden(runner)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        rate = golden.dynamic_instructions * DISPATCH_REPEATS / elapsed
         out[engine] = {
             "dynamic_instructions": golden.dynamic_instructions,
             "repeats": DISPATCH_REPEATS,
+            "series": DISPATCH_SERIES,
             "seconds": elapsed,
-            "instructions_per_second": (
-                golden.dynamic_instructions * DISPATCH_REPEATS / elapsed
+            "instructions_per_second": rate,
+            "ndarray_slots_per_run": (
+                (VECTOR_EVENTS["ndarray_slots"] - slots_before)
+                / (DISPATCH_SERIES * DISPATCH_REPEATS)
             ),
         }
+        if engine == "compiled":
+            out[engine]["baseline_instructions_per_second"] = (
+                DISPATCH_BASELINE_COMPILED
+            )
+            out[engine]["speedup_vs_frozen_baseline"] = (
+                rate / DISPATCH_BASELINE_COMPILED
+            )
+    return out
+
+
+#: Per-opcode vector micro-kernels: trip count, timing repeats, and the
+#: opcodes measured.  Each kernel is one tight loop whose body repeats the
+#: named operation on 4-lane vectors, so the bulk-vs-unrolled ratio
+#: isolates that opcode's batched emitter against the per-lane tier.
+VECTOR_BENCH_INPUT = {"n": 256, "seed": 9}
+VECTOR_BENCH_REPEATS = 20
+VECTOR_BENCH_SERIES = 3
+VECTOR_BENCH_OPS = (
+    "fadd_f32", "fmul_f32", "add_i32", "mul_i32", "xor_i32", "loadstore_f32"
+)
+
+
+def _vector_bench_module(op: str):
+    """A fresh module whose loop body repeats ``op`` eight times on 4-lane
+    vectors.  Fresh per call: compiled code caches on the module object, so
+    each batching mode must compile its own copy."""
+    from ..ir import (
+        F32, FunctionType, I32, IRBuilder, Module, pointer, vector,
+        verify_module,
+    )
+
+    v4i, v4f = vector(I32, 4), vector(F32, 4)
+    m = Module(f"vecbench_{op}")
+    fn = m.add_function(
+        "f", FunctionType(I32, (pointer(I32), pointer(F32), I32)),
+        ["ip", "fp", "n"],
+    )
+    entry = fn.add_block("entry")
+    loop = fn.add_block("loop")
+    body = fn.add_block("body")
+    latch = fn.add_block("latch")
+    done = fn.add_block("done")
+
+    b = IRBuilder(entry)
+    ivp = b.bitcast(fn.args[0], pointer(v4i), "ivp")
+    fvp = b.bitcast(fn.args[1], pointer(v4f), "fvp")
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I32, "i")
+    is_float = op.endswith("_f32")
+    vacc = b.phi(v4f if is_float else v4i, "vacc")
+    cmp = b.icmp("slt", i, fn.args[2], "cmp")
+    b.condbr(cmp, body, done)
+
+    b.position_at_end(body)
+    if op == "loadstore_f32":
+        cur = vacc
+        for _ in range(4):
+            ld = b.load(fvp, "vld")
+            cur = b.binop("fadd", cur, ld)
+            b.store(cur, fvp)
+        nxt = cur
+    else:
+        opcode = op.rsplit("_", 1)[0]
+        operand = b.load(fvp if is_float else ivp, "vld")
+        cur = vacc
+        for _ in range(8):
+            cur = b.binop(opcode, cur, operand)
+        nxt = cur
+    b.br(latch)
+
+    b.position_at_end(latch)
+    inext = b.add(i, b.i32(1), "inext")
+    b.br(loop)
+
+    b.position_at_end(done)
+    lane = b.extractelement(vacc, 0, "lane")
+    b.ret(b.fptosi(lane, I32) if is_float else lane)
+
+    i.add_incoming(b.i32(0), entry)
+    i.add_incoming(inext, latch)
+    from ..ir import const_float, zeroinitializer
+    from ..ir.values import ConstantVector
+
+    if is_float:
+        vacc.add_incoming(
+            ConstantVector([const_float(1.0, F32)] * 4), entry
+        )
+    else:
+        vacc.add_incoming(zeroinitializer(v4i), entry)
+    vacc.add_incoming(nxt, latch)
+    verify_module(m)
+    return m
+
+
+def vector_bench(ops: tuple = VECTOR_BENCH_OPS) -> dict:
+    """Bulk-vs-unrolled dispatch rate per vector opcode, compiled engine.
+
+    For each opcode, the same micro-kernel is compiled and timed twice —
+    once with the batched ndarray tier enabled (``bulk``), once with it
+    forced off (``unrolled``, the per-lane tier) — and the golden outputs
+    are required to match exactly before a ratio is reported.
+    """
+    import numpy as np
+
+    from ..ir.types import F32 as _F32, I32 as _I32
+    from ..vm.compile import set_vector_batching
+
+    gen = np.random.default_rng(VECTOR_BENCH_INPUT["seed"])
+    idata = gen.integers(-9, 9, 8).astype(np.int32)
+    fdata = (gen.random(8).astype(np.float32) * 0.001) + 1.0
+    n = VECTOR_BENCH_INPUT["n"]
+
+    def runner(vm):
+        pi = vm.memory.store_array(_I32, idata, "ip")
+        pf = vm.memory.store_array(_F32, fdata, "fp")
+        return {"r": vm.run("f", [pi, pf, n])}
+
+    out = {}
+    ratios = []
+    for op in ops:
+        cell = {}
+        for mode in ("bulk", "unrolled"):
+            prior = set_vector_batching(mode == "bulk")
+            try:
+                module = _vector_bench_module(op)
+                injector = FaultInjector(
+                    module, category="all", step_limit=20_000_000,
+                    engine="compiled",
+                )
+                injector.warm()
+                golden = injector.golden(runner)
+                slots_before = VECTOR_EVENTS["ndarray_slots"]
+                gc.collect()
+                elapsed = float("inf")
+                for _ in range(VECTOR_BENCH_SERIES):
+                    t0 = time.perf_counter()
+                    for _ in range(VECTOR_BENCH_REPEATS):
+                        injector.golden(runner)
+                    elapsed = min(elapsed, time.perf_counter() - t0)
+            finally:
+                set_vector_batching(prior)
+            cell[mode] = {
+                "dynamic_instructions": golden.dynamic_instructions,
+                "output": repr(golden.output),
+                "instructions_per_second": (
+                    golden.dynamic_instructions * VECTOR_BENCH_REPEATS / elapsed
+                ),
+                "ndarray_slots_per_run": (
+                    (VECTOR_EVENTS["ndarray_slots"] - slots_before)
+                    / (VECTOR_BENCH_SERIES * VECTOR_BENCH_REPEATS)
+                ),
+            }
+        matches = (
+            cell["bulk"]["output"] == cell["unrolled"]["output"]
+            and cell["bulk"]["dynamic_instructions"]
+            == cell["unrolled"]["dynamic_instructions"]
+        )
+        cell["outputs_match"] = matches
+        cell["speedup"] = (
+            cell["bulk"]["instructions_per_second"]
+            / cell["unrolled"]["instructions_per_second"]
+        )
+        ratios.append(cell["speedup"])
+        out[op] = cell
+    geomean = 1.0
+    for r in ratios:
+        geomean *= r
+    out["geomean_speedup"] = geomean ** (1.0 / len(ratios)) if ratios else None
     return out
 
 
@@ -426,6 +621,7 @@ def bench_results(
     }
     if "compiled" in engines:
         payload["compiled"] = compiled_bench()
+        payload["vector"] = vector_bench()
 
     def cross(fast: str, slow: str) -> dict | None:
         if fast not in per_engine or slow not in per_engine:
@@ -514,6 +710,28 @@ def run(
         ]
         report.notes.append(
             "dispatch rate (golden runs, warm caches) — " + "; ".join(parts)
+        )
+        compiled_cell = dispatch.get("compiled")
+        if compiled_cell and "speedup_vs_frozen_baseline" in compiled_cell:
+            report.notes.append(
+                f"compiled dispatch vs pre-batching frozen baseline "
+                f"({DISPATCH_BASELINE_COMPILED / 1e6:.2f}M insn/s): "
+                f"{compiled_cell['speedup_vs_frozen_baseline']:.2f}x, "
+                f"{compiled_cell['ndarray_slots_per_run']:.0f} ndarray "
+                f"slots/run"
+            )
+    vec = results.get("vector")
+    if vec:
+        parts = [
+            f"{op}: {cell['speedup']:.2f}x"
+            + ("" if cell["outputs_match"] else " (MISMATCH)")
+            for op, cell in vec.items()
+            if isinstance(cell, dict)
+        ]
+        report.notes.append(
+            "batched-vs-unrolled vector opcodes (compiled engine) — "
+            + "; ".join(parts)
+            + f"; geomean {vec['geomean_speedup']:.2f}x"
         )
     ck = results.get("checkpoint")
     if ck:

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 import struct
 
+import numpy as np
+
 from ..errors import InjectionError
 
 # -- integer helpers ---------------------------------------------------------
@@ -162,3 +164,102 @@ def bit_width(ir_type) -> int:
     if isinstance(ir_type, PointerType):
         return 64
     raise InjectionError(f"type {ir_type} has no bit width")
+
+
+# -- packed ndarray lane representation ----------------------------------------
+#
+# The compiled engine's batched tier (vm/compile.py) holds vector registers
+# as packed NumPy ndarrays.  The *canonical* register representation stays
+# the Python list of canonical scalars defined above; the helpers below are
+# the only sanctioned bridge between the two, and they are bit-exact by
+# construction:
+#
+# * integers: canonical two's-complement values fit their signed dtype, so
+#   ``np.array``/``tolist`` round-trip exactly (i1 lanes ride in int8 as
+#   0/1);
+# * binary64: ``float64`` lanes are raw copies of the Python float — no
+#   conversion ever happens, so even signalling-NaN patterns (which f64
+#   registers can legally hold) survive untouched;
+# * binary32: canonical f32 values are exactly-representable doubles whose
+#   narrowing is exact, and widening back via ``tolist`` uses the same
+#   hardware cvtss2sd as ``struct.unpack('<f')``, quiet-NaN behaviour
+#   included.  Packed f32 arrays may hold *raw* signalling-NaN patterns
+#   (bulk memory reads skip the per-lane quieting that struct.unpack
+#   performs); :func:`quiet_nan_f32` applies the exact hardware quieting —
+#   set the quiet bit, keep payload and sign — at the escape points where
+#   the scalar path would have quieted (packed f32 stores, f32->int
+#   bitcasts).  ``tolist`` quiets on its own, matching the scalar loads.
+#
+# ``VECTOR_EVENTS`` counts ndarray traffic for the perf harness: packed
+# slots allocated by compiled chains, list->ndarray packs at chain entry,
+# and ndarray->list unpacks on decoded fallback.
+
+VECTOR_EVENTS = {"ndarray_slots": 0, "list_packs": 0, "fallback_unpacks": 0}
+
+_NP_INT_DTYPES = {1: np.int8, 8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
+
+
+def np_dtype(elem_type):
+    """The packed dtype for one IR scalar type, or ``None`` when the type
+    has no exact ndarray representation (pointers stay unrolled Python
+    ints: they are unbounded 64-bit patterns plus provenance)."""
+    from ..ir.types import FloatType, IntType
+
+    if isinstance(elem_type, IntType):
+        return _NP_INT_DTYPES.get(elem_type.bits)
+    if isinstance(elem_type, FloatType):
+        return np.float32 if elem_type.bits == 32 else np.float64
+    return None
+
+
+def np_uint_view(dtype):
+    """The same-width unsigned dtype used for bit-pattern reinterpretation."""
+    return {
+        np.int8: np.uint8,
+        np.int16: np.uint16,
+        np.int32: np.uint32,
+        np.int64: np.uint64,
+        np.float32: np.uint32,
+        np.float64: np.uint64,
+    }[dtype]
+
+
+def pack_lanes(values, dtype) -> np.ndarray:
+    """Pack a canonical lane list into a fresh ndarray (exact, see above)."""
+    return np.array(values, dtype)
+
+
+def unpack_lanes(array) -> list:
+    """Unpack an ndarray back to the canonical lane list."""
+    return array.tolist()
+
+
+def as_packed(value, dtype) -> np.ndarray:
+    """Register read under the packed representation: ndarrays pass through,
+    canonical lists are packed on the spot (counted, so the perf harness can
+    see churn at chain boundaries)."""
+    if type(value) is np.ndarray:
+        return value
+    VECTOR_EVENTS["list_packs"] += 1
+    return np.array(value, dtype)
+
+
+def as_lanes(value) -> list:
+    """Register read under the canonical representation: lists pass through,
+    packed slots unpack (f32 lanes widen exactly like ``struct.unpack``)."""
+    if type(value) is np.ndarray:
+        return value.tolist()
+    return value
+
+
+def quiet_nan_f32(array: np.ndarray) -> np.ndarray:
+    """Set the quiet bit (0x00400000) on every NaN lane of a float32 array —
+    the exact effect hardware load-quieting has on a signalling NaN, and a
+    no-op on quiet NaNs.  Returns the input unchanged (no copy) when no lane
+    is NaN."""
+    nan = np.isnan(array)
+    if not nan.any():
+        return array
+    bits = array.view(np.uint32).copy()
+    bits[nan] |= 0x00400000
+    return bits.view(np.float32)

@@ -17,7 +17,29 @@ into one specialized Python function, generated as source and
   width :data:`UNROLL_MAX`;
 * step accounting is batched: one compile-time-constant precheck per chain,
   one commit per chain exit, and an extra commit immediately before every
-  instruction that can trap, so stats are bit-exact at every trap.
+  instruction that can trap, so stats are bit-exact at every trap;
+* **batched vector tier** (:data:`BATCH_VECTORS`): vector registers whose
+  element type has an exact ndarray dtype (:func:`repro.vm.bits.np_dtype`)
+  live as packed NumPy arrays, and whole-vector binops, compares, casts,
+  selects, fnegs, loads/stores, and masked loads/stores compile to single
+  NumPy calls (:mod:`repro.vm.ops` ``*_bulk`` evaluators,
+  :meth:`~repro.vm.memory.Memory.packed_reader`/``packed_writer``).  The
+  canonical list representation remains the interface everywhere else: any
+  read in a lane-wise context unpacks via ``tolist`` (an exact widening —
+  see vm/bits.py), decoded fallback canonicalizes the whole register file
+  first (:func:`repro.vm.decode.unpack_regs`), and convergence comparison
+  understands both representations (:mod:`repro.vm.snapshot`).  Masked
+  fault-site groups count active lanes with one vectorized reduction
+  (``PlannedSite.active_bulk_fn``); dynamic-site increments and count-mode
+  width-tape appends coalesce into one update per commit, which keeps the
+  tape bit-exact at every trap point (every trap is preceded by a commit);
+* chains whose final conditional branch loops back to their own head are
+  compiled as an in-chain ``while`` loop: the back edge re-evaluates the
+  head phis along the statically-known latch edge and only returns to the
+  driver when a block hook is installed, the step budget nears exhaustion,
+  or (inject variant) the next iteration's site span could contain the
+  target — at which point the driver re-enters through the ordinary edge,
+  reproducing today's per-iteration behaviour exactly.
 
 Injection stays bit-identical to both existing engines.  Every chain that
 bears fault sites is emitted in two variants:
@@ -44,6 +66,9 @@ an :class:`~repro.vm.decode.InjectionPlan` is present, else on
 from __future__ import annotations
 
 import math
+import os
+
+import numpy as np
 
 from ..errors import InvalidOperation, StepLimitExceeded
 from ..ir.instructions import (
@@ -62,11 +87,19 @@ from ..ir.instructions import (
     ShuffleVector,
     Store,
 )
-from ..ir.intrinsics import MASK_SIGN, get_intrinsic, is_intrinsic_name
+from ..ir.intrinsics import MASK_I1, MASK_SIGN, get_intrinsic, is_intrinsic_name
 from ..ir.module import Function, Module
-from ..ir.types import FloatType, IntType, VectorType
+from ..ir.types import FloatType, IntType, PointerType, VectorType
 from . import ops
-from .bits import round_f32, wrap_int
+from .bits import (
+    VECTOR_EVENTS,
+    as_lanes,
+    as_packed,
+    np_dtype,
+    quiet_nan_f32,
+    round_f32,
+    wrap_int,
+)
 from .decode import (
     InjectionPlan,
     T_BR,
@@ -84,6 +117,24 @@ UNROLL_MAX = 8
 
 #: Maximum number of basic blocks folded into one superblock chain.
 CHAIN_MAX_BLOCKS = 8
+
+#: Whether newly compiled programs emit the packed-ndarray vector tier.
+#: Captured into the generated source at compile time, so one program is
+#: internally consistent; toggle via :func:`set_vector_batching` (perf
+#: harness A/B runs compile fresh modules per mode).  The
+#: ``REPRO_VECTOR_BATCHING`` env var sets the process default (``0``
+#: disables), so CI can run whole differential sweeps on the per-lane
+#: tier without touching test code.
+BATCH_VECTORS = os.environ.get("REPRO_VECTOR_BATCHING", "1") != "0"
+
+
+def set_vector_batching(enabled: bool) -> bool:
+    """Enable/disable the batched vector tier for *subsequently compiled*
+    programs; returns the previous setting."""
+    global BATCH_VECTORS
+    previous = BATCH_VECTORS
+    BATCH_VECTORS = bool(enabled)
+    return previous
 
 #: Process-wide compile counters, mirroring ``DECODE_EVENTS``: ``functions``
 #: increments once per :class:`CompiledFunction` build.  Tests use it to
@@ -263,6 +314,8 @@ class _FunctionCompiler:
         self._value_names: dict = {}
         self._block_names: dict = {}
         self._edge_names: dict = {}
+        self._dtype_names: dict = {}
+        self._packed_consts: dict = {}
         self.env = {
             "__builtins__": {},
             "_FB": FALLBACK,
@@ -270,6 +323,12 @@ class _FunctionCompiler:
             "_wi": wrap_int,
             "_IO": InvalidOperation,
             "_phi_err": _phi_err,
+            "_ul": as_lanes,
+            "_pk": as_packed,
+            "_VE": VECTOR_EVENTS,
+            "_WH": np.where,
+            "_SB": np.signbit,
+            "_QN": quiet_nan_f32,
             "int": int,
             "list": list,
             "zip": zip,
@@ -307,6 +366,28 @@ class _FunctionCompiler:
         if name is None:
             name = self.bind(_Edge(self.entries[target_block], prev_block), "e")
             self._edge_names[key] = name
+        return name
+
+    def dtype_name(self, dtype) -> str:
+        name = self._dtype_names.get(dtype)
+        if name is None:
+            name = self.bind(dtype, "dt")
+            self._dtype_names[dtype] = name
+        return name
+
+    def packed_const(self, lanes, dtype) -> str:
+        """Env name of a pre-packed constant-vector ndarray.
+
+        Keyed by dtype plus ``repr`` of the lane list — never by value
+        equality, which would collide -0.0 with 0.0.  The bound array is
+        shared read-only: nothing in the generated code or the bulk
+        evaluators mutates operand arrays in place.
+        """
+        key = (str(np.dtype(dtype)), repr(lanes))
+        name = self._packed_consts.get(key)
+        if name is None:
+            name = self.bind(np.array(lanes, dtype), "kv")
+            self._packed_consts[key] = name
         return name
 
     # -- chain formation -------------------------------------------------------
@@ -373,29 +454,103 @@ class _FunctionCompiler:
     def _emit_chain(self, head, chain, mode) -> str:
         name = self.fresh("c")
         em = _ChainEmitter(self, mode)
+        # Self-loop chains (final condbr with exactly one successor equal to
+        # the chain head) compile to an in-chain ``while`` loop; the head
+        # phis dispatch dynamically once, then re-evaluate along the static
+        # latch edge each iteration (see emit_term / emit_loop_phis).
+        dterm = self.dfn.blocks[chain[-1]].term
+        loop = False
+        if dterm is not None and dterm[0] == T_CONDBR:
+            _ir, _c, tb, fb = dterm[3]
+            loop = (tb.source is head) != (fb.source is head)
+        if loop:
+            em.loop_head = head
+            em.loop_dblock = self.dfn.blocks[head]
+            em.loop_latch = chain[-1]
+            defs = set()
+            for block in chain:
+                defs.update(block.instructions)
+                defs.update(p for p, _t in self.dfn.blocks[block].phis)
+            em.chain_defs = defs
         for j, block in enumerate(chain):
             dblock = self.dfn.blocks[block]
             if j == 0:
                 em.emit_head_phis(dblock)
+                if loop:
+                    em.line("while True:")
+                    em.base = 1
+                    # Defer in-loop register writes: pre-register the head
+                    # phis (their regs entries go stale each iteration once
+                    # the back edge reassigns the temps).
+                    em.loop_regs = {}
+                    for phi, _table in dblock.phis:
+                        target = (
+                            em.vlocals.get(phi)
+                            if em._phi_dtype(phi) is not None
+                            else em.locals.get(phi)
+                        )
+                        if target is not None:
+                            em.loop_regs[self.value_key(phi)] = target
             else:
                 em.emit_interior_phis(dblock, chain[j - 1])
             em.emit_block_body(block, dblock, last=(j == len(chain) - 1))
+        # Prologue: prechecks, then loads of everything loop-invariant
+        # (stats fields, step limit, hook, runtime attrs, memory accessors,
+        # external register reads).  The body runs under try/finally — the
+        # finally writes the running locals back exactly once per call, on
+        # returns and traps alike, so observable state at every escape
+        # point matches the per-site attribute writes this replaces.
         prologue = [f"def {name}(vm, regs, prev):"]
         prologue.append("    stats = vm.stats")
-        prologue.append(f"    if stats.total + {em.charged_total} > vm.step_limit:")
+        prologue.append("    _st = stats.total")
+        prologue.append("    _sl = vm.step_limit")
+        prologue.append(f"    if _st + {em.charged_total} > _sl:")
         prologue.append("        return _FB")
+        prologue.append("    _ss = stats.scalar")
+        prologue.append("    _sv = stats.vector")
         if mode is not None:
             prologue.append("    rt = vm.fault_runtime")
             prologue.append("    _dc = rt.dynamic_count")
             if mode == "inject":
-                prologue.append(
-                    f"    if _dc < rt.max_target and "
-                    f"rt.span_hits(_dc, _dc + {em.max_sites}):"
-                )
+                if loop:
+                    prologue.append("    _mt = rt.max_target")
+                    prologue.append("    _sh = rt.span_hits")
+                    prologue.append(
+                        f"    if _dc < _mt and _sh(_dc, _dc + {em.max_sites}):"
+                    )
+                else:
+                    prologue.append(
+                        f"    if _dc < rt.max_target and "
+                        f"rt.span_hits(_dc, _dc + {em.max_sites}):"
+                    )
                 prologue.append("        return _FB")
             else:
                 prologue.append("    _ws = rt.site_widths")
-        self.sources.append("\n".join(prologue + em.lines) + "\n")
+        if loop:
+            prologue.append("    _bh = vm.block_hook")
+        if em.packed_defs:
+            prologue.append("    _vs = 0")
+        for hoist in em.hoists:
+            prologue.append("    " + hoist)
+        prologue.append("    try:")
+        body = ["    " + text for text in em.lines]
+        epilogue = [
+            "    finally:",
+            "        stats.total = _st",
+            "        stats.scalar = _ss",
+            "        stats.vector = _sv",
+        ]
+        if mode is not None:
+            epilogue.append("        rt.dynamic_count = _dc")
+            if mode == "count":
+                epilogue.append(
+                    "        if rt.checkpoint_interval is not None "
+                    "and _dc >= rt._next_checkpoint:"
+                )
+                epilogue.append("            rt.checkpoint_pending = True")
+        if em.packed_defs:
+            epilogue.append("        _VE['ndarray_slots'] += _vs")
+        self.sources.append("\n".join(prologue + body + epilogue) + "\n")
         return name
 
 
@@ -407,18 +562,57 @@ class _ChainEmitter:
         self.mode = mode  # None (no sites) | "count" | "inject"
         self.lines: list[str] = []
         self.locals: dict = {}
+        # Packed-representation locals: IR value -> ndarray-holding local.
+        # A value may appear in both caches (the two representations of the
+        # same bits); neither is ever mutated in place, so they stay
+        # consistent for the lifetime of the chain invocation.
+        self.vlocals: dict = {}
         self.lcount = 0
         # Step accounting batched since the previous commit.
         self.pending = [0, 0, 0]
         # Whole-chain charge (the prologue precheck constant).
         self.charged_total = 0
         self.max_sites = 0
+        # Dynamic-site counts / count-mode width bytes coalesced since the
+        # previous commit (flushed in tape order at every commit, which
+        # precedes every trap point — so the tape at any trap is exact).
+        self.pending_sites = 0
+        self.pending_widths = b""
+        self.packed_defs = 0
+        self.packed_flushed = 0
         self._mem_name = None
+        self._packed_mems: dict = {}
+        # Unknown-representation locals (list OR ndarray at run time, e.g.
+        # a scalar select between vector registers inside a loop): reads
+        # normalize through _ul/_pk, which accept both.
+        self.ulocals: dict = {}
+        # Prologue-level hoists (memory object, bulk accessors, reads of
+        # registers defined outside the chain): emitted once per chain
+        # call, ahead of any in-chain loop.
+        self.hoists: list[str] = []
+        # In-chain loop state (set by _emit_chain for self-loop chains).
+        self.base = 0
+        self.loop_head = None
+        self.loop_dblock = None
+        self.loop_latch = None
+        # Inside an in-chain loop, register-dict writes are deferred: defs
+        # land in locals only, and this key-expr -> local map is flushed to
+        # ``regs`` immediately before every in-loop return (the only points
+        # where control can leave the chain with the registers observable).
+        # Exceptions (traps) abandon the run, so they need no flush.
+        self.loop_regs: dict | None = None
+        # Every register this chain defines (instructions and phis of all
+        # chain blocks, precomputed before emission).  Reads of these must
+        # never be hoisted to the prologue: a use can precede its def in
+        # emission order (an interior-block phi feeding the loop head
+        # through the back edge), so "not cached in locals yet" does not
+        # imply loop-invariant.
+        self.chain_defs: set = frozenset()
 
     # -- low-level emission ----------------------------------------------------
 
     def line(self, text: str, indent: int = 1) -> None:
-        self.lines.append("    " * indent + text)
+        self.lines.append("    " * (indent + self.base) + text)
 
     def fresh_local(self) -> str:
         self.lcount += 1
@@ -440,31 +634,58 @@ class _ChainEmitter:
         self.pending[2] += d0.tax_vector * n
         self.charged_total += d0.tax_total * n
 
+    def flush_sites(self) -> None:
+        """Emit the coalesced dynamic-site bookkeeping accumulated since the
+        previous flush: one ``_dc`` increment and (count mode) one tape
+        extend, in site order."""
+        if not self.pending_sites and not self.pending_widths:
+            return
+        if self.pending_sites:
+            self.line(f"_dc += {self.pending_sites}")
+        if self.mode == "count" and self.pending_widths:
+            wb = self.fc.bind(self.pending_widths, "w")
+            self.line(f"_ws.extend({wb})")
+        self.pending_sites = 0
+        self.pending_widths = b""
+
     def commit(self) -> None:
+        """Flush all pending charges into the running locals.
+
+        ``_st``/``_ss``/``_sv`` (and ``_dc``) are chain-locals; the real
+        ``stats``/runtime attributes are written back exactly once per
+        call, in the chain's ``finally`` — which runs on every return
+        *and* on every trap, so observable state at any escape point is
+        bit-identical to the per-attribute writes this replaces."""
+        self.flush_sites()
         t, s, v = self.pending
         if t:
-            self.line(f"stats.total += {t}")
+            self.line(f"_st += {t}")
         if s:
-            self.line(f"stats.scalar += {s}")
+            self.line(f"_ss += {s}")
         if v:
-            self.line(f"stats.vector += {v}")
+            self.line(f"_sv += {v}")
         self.pending = [0, 0, 0]
+        d = self.packed_defs - self.packed_flushed
+        if d:
+            self.line(f"_vs += {d}")
+            self.packed_flushed = self.packed_defs
 
     def emit_exits(self) -> None:
+        # Runtime/stats write-back now lives in the chain's ``finally``;
+        # a return point only needs the pending charges committed.
         self.commit()
-        if self.mode is not None:
-            self.line("rt.dynamic_count = _dc")
-            if self.mode == "count":
-                self.line(
-                    "if rt.checkpoint_interval is not None "
-                    "and _dc >= rt._next_checkpoint:"
-                )
-                self.line("    rt.checkpoint_pending = True", 1)
+
+    def emit_regs_flush(self, indent: int = 1) -> None:
+        """Write loop-deferred register updates back to ``regs`` — emitted
+        before every in-loop return, so the register dict is canonical
+        exactly when control can leave the chain."""
+        for key, name in self.loop_regs.items():
+            self.line(f"regs[{key}] = {name}", indent)
 
     def memref(self) -> str:
         if self._mem_name is None:
             self._mem_name = "mem"
-            self.line("mem = vm.memory")
+            self.hoists.append("mem = vm.memory")
         return self._mem_name
 
     # -- operand expressions ---------------------------------------------------
@@ -478,16 +699,89 @@ class _ChainEmitter:
         return self.fc.bind(payload, "k")
 
     def rd(self, value) -> str:
-        """Read an operand, caching register loads in a chain-local."""
+        """Read an operand in canonical (list/scalar) representation,
+        caching register loads in a chain-local."""
         is_reg, payload = _spec(value)
         if not is_reg:
             return self.const_expr(payload)
+        return self.rd_reg(payload)
+
+    def _emit_reg_load(self, text: str, payload) -> None:
+        """Emit a ``regs`` load line — hoisted to the chain prologue when
+        inside an in-chain loop.  Registers the chain never defines cannot
+        change during one call, so those loads are loop-invariant.  Reads
+        of the chain's own defs stay in place: a use can precede its def in
+        emission order (an interior-block phi feeding the loop head through
+        the back edge), and decoded closures write ``regs`` directly."""
+        if self.loop_regs is not None and payload not in self.chain_defs:
+            self.hoists.append(text)
+        else:
+            self.line(text)
+
+    def rd_reg(self, payload) -> str:
+        """Canonical read of one register, unpacking packed slots."""
         name = self.locals.get(payload)
         if name is None:
             name = self.fresh_local()
-            self.line(f"{name} = regs[{self.fc.value_key(payload)}]")
+            vname = self.vlocals.get(payload)
+            uname = self.ulocals.get(payload)
+            if vname is not None:
+                self.line(f"{name} = {vname}.tolist()")
+            elif uname is not None:
+                self.line(f"{name} = _ul({uname})")
+            elif BATCH_VECTORS and isinstance(payload.type, VectorType):
+                # The register may hold a packed slot left by an earlier
+                # chain; _ul is a list passthrough otherwise.
+                self._emit_reg_load(
+                    f"{name} = _ul(regs[{self.fc.value_key(payload)}])",
+                    payload,
+                )
+            else:
+                self._emit_reg_load(
+                    f"{name} = regs[{self.fc.value_key(payload)}]", payload
+                )
             self.locals[payload] = name
         return name
+
+    def rd_vec(self, value, dtype) -> str:
+        """Read a vector operand in packed representation, caching the
+        ndarray in a chain-local (register lists pack on the spot)."""
+        is_reg, payload = _spec(value)
+        if not is_reg:
+            return self.fc.packed_const(payload, dtype)
+        name = self.vlocals.get(payload)
+        if name is None:
+            name = self.fresh_local()
+            lname = self.locals.get(payload)
+            if lname is None:
+                lname = self.ulocals.get(payload)
+            dtn = self.fc.dtype_name(dtype)
+            if lname is not None:
+                self.line(f"{name} = _pk({lname}, {dtn})")
+            else:
+                self._emit_reg_load(
+                    f"{name} = _pk(regs[{self.fc.value_key(payload)}], {dtn})",
+                    payload,
+                )
+            self.vlocals[payload] = name
+        return name
+
+    def vec_expr(self, spec, dtype) -> str:
+        """Inline packed expression for a phi edge: no lines emitted (phi
+        dispatch branches cannot host hoisting loads), no caching."""
+        is_reg, payload = spec
+        if not is_reg:
+            return self.fc.packed_const(payload, dtype)
+        name = self.vlocals.get(payload)
+        if name is not None:
+            return name
+        lname = self.locals.get(payload)
+        if lname is None:
+            lname = self.ulocals.get(payload)
+        src = (
+            lname if lname is not None else f"regs[{self.fc.value_key(payload)}]"
+        )
+        return f"_pk({src}, {self.fc.dtype_name(dtype)})"
 
     def rd_raw(self, value) -> str:
         """Read an operand without hoisting — for lazily-evaluated contexts
@@ -495,18 +789,21 @@ class _ChainEmitter:
         is_reg, payload = _spec(value)
         if not is_reg:
             return self.const_expr(payload)
-        name = self.locals.get(payload)
-        if name is not None:
-            return name
-        return f"regs[{self.fc.value_key(payload)}]"
+        return self._raw_reg(payload)
 
     def rd_spec_raw(self, spec) -> str:
         is_reg, payload = spec
         if not is_reg:
             return self.const_expr(payload)
+        return self._raw_reg(payload)
+
+    def _raw_reg(self, payload) -> str:
         name = self.locals.get(payload)
         if name is not None:
             return name
+        uname = self.ulocals.get(payload)
+        if uname is not None:
+            return f"_ul({uname})"
         return f"regs[{self.fc.value_key(payload)}]"
 
     def rd_lane(self, value, lane: int) -> str:
@@ -517,11 +814,87 @@ class _ChainEmitter:
 
     def store_def(self, instr, expr: str) -> str:
         name = self.fresh_local()
-        self.line(f"regs[{self.fc.value_key(instr)}] = {name} = {expr}")
+        key = self.fc.value_key(instr)
+        if self.loop_regs is not None:
+            self.line(f"{name} = {expr}")
+            self.loop_regs[key] = name
+        else:
+            self.line(f"regs[{key}] = {name} = {expr}")
         self.locals[instr] = name
         return name
 
+    def store_def_packed(self, instr, expr: str) -> str:
+        """Write a packed (ndarray) def through to the register dict."""
+        name = self.fresh_local()
+        key = self.fc.value_key(instr)
+        if self.loop_regs is not None:
+            self.line(f"{name} = {expr}")
+            self.loop_regs[key] = name
+        else:
+            self.line(f"regs[{key}] = {name} = {expr}")
+        self.vlocals[instr] = name
+        self.packed_defs += 1
+        return name
+
+    def store_def_unknown(self, instr, expr: str) -> None:
+        """Write a def whose representation is unknown at compile time
+        (e.g. a scalar select between vector registers) — uncached outside
+        loops (later reads re-fetch through regs and normalize); inside a
+        loop it lands in a deferred local tracked as unknown-rep."""
+        key = self.fc.value_key(instr)
+        if self.loop_regs is not None:
+            name = self.fresh_local()
+            self.line(f"{name} = {expr}")
+            self.loop_regs[key] = name
+            self.ulocals[instr] = name
+        else:
+            self.line(f"regs[{key}] = {expr}")
+
+    def packed_mem_ref(self, kind: str, ty) -> str:
+        """Chain-local holding a memoized bulk memory accessor.
+
+        Hoisted to the chain prologue (like ``mem`` itself), so an in-chain
+        loop resolves each accessor once per call, not per iteration.
+        """
+        key = (kind, ty)
+        name = self._packed_mems.get(key)
+        if name is None:
+            mem = self.memref()
+            name = self.fresh_local()
+            tn = self.fc.bind(ty, "t")
+            if kind == "writer_raw":
+                self.hoists.append(
+                    f"{name} = {mem}.packed_writer({tn}, quiet=False)"
+                )
+            else:
+                self.hoists.append(f"{name} = {mem}.packed_{kind}({tn})")
+            self._packed_mems[key] = name
+        return name
+
     # -- phis ------------------------------------------------------------------
+
+    def _phi_dtype(self, phi):
+        """The packed dtype a phi normalizes to, or ``None`` to stay
+        canonical.  Normalizing batchable vector phis at every edge keeps
+        the phi's representation statically known to both caches."""
+        if not BATCH_VECTORS:
+            return None
+        ty = phi.type
+        if not isinstance(ty, VectorType):
+            return None
+        return np_dtype(ty.element)
+
+    def _phi_edge_expr(self, phi, spec) -> str:
+        dt = self._phi_dtype(phi)
+        if dt is not None:
+            return self.vec_expr(spec, dt)
+        return self.rd_spec_raw(spec)
+
+    def _cache_phi(self, phi, tmp) -> None:
+        if self._phi_dtype(phi) is not None:
+            self.vlocals[phi] = tmp
+        else:
+            self.locals[phi] = tmp
 
     def emit_head_phis(self, dblock) -> None:
         """Head-block phis dispatch on the dynamic ``prev`` edge; parallel
@@ -554,12 +927,12 @@ class _ChainEmitter:
                             2,
                         )
                         break
-                    self.line(f"{tmp} = {self.rd_spec_raw(spec)}", 2)
+                    self.line(f"{tmp} = {self._phi_edge_expr(phi, spec)}", 2)
             self.line("else:")
             self.line(f"_phi_err({first_phi}, prev)", 2)
             for (phi, _table), tmp in zip(phis, temps):
                 self.line(f"regs[{self.fc.value_key(phi)}] = {tmp}")
-                self.locals[phi] = tmp
+                self._cache_phi(phi, tmp)
         self._charge_phis(dblock)
 
     def emit_interior_phis(self, dblock, pred) -> None:
@@ -578,12 +951,70 @@ class _ChainEmitter:
                 break
             tmp = self.fresh_local()
             # No caching: a phi may read another phi's *pre-block* value.
-            self.line(f"{tmp} = {self.rd_spec_raw(spec)}")
+            self.line(f"{tmp} = {self._phi_edge_expr(phi, spec)}")
             temps.append((phi, tmp))
         for phi, tmp in temps:
             self.line(f"regs[{self.fc.value_key(phi)}] = {tmp}")
-            self.locals[phi] = tmp
+            self._cache_phi(phi, tmp)
         self._charge_phis(dblock)
+
+    def emit_loop_phis(self, dblock, pred) -> None:
+        """Re-evaluate the head block's phis along a compiled-in back edge.
+
+        Reassigns the *existing* head-phi temps (the loop body above reads
+        those names), so after this the next iteration of the ``while`` sees
+        the latch-edge values.  No charging: the head-phi charge is already
+        part of the chain's per-iteration pending cycle.
+        """
+        phis = dblock.phis
+        if not phis:
+            return
+        phi_set = {phi for phi, _ in phis}
+        items = []
+        for phi, table in phis:
+            spec = table.get(pred)
+            if spec is None:
+                self.line(
+                    f"_phi_err({self.fc.bind(phi, 'ph')}, "
+                    f"{self.fc.block_name(pred)})"
+                )
+                return
+            target = (
+                self.vlocals.get(phi)
+                if self._phi_dtype(phi) is not None
+                else self.locals.get(phi)
+            )
+            if target is None:
+                # The head dispatch raised unconditionally (no incoming
+                # edges at all): the loop body is dead code.
+                return
+            items.append((phi, spec, target))
+        # Parallel semantics: go through fresh intermediates only when some
+        # phi reads a sibling phi of the same block.
+        if len(items) > 1 and any(
+            spec[0] and spec[1] in phi_set for _phi, spec, _t in items
+        ):
+            staged = []
+            for phi, spec, target in items:
+                t = self.fresh_local()
+                self.line(f"{t} = {self._phi_edge_expr(phi, spec)}")
+                staged.append((phi, t, target))
+            for phi, t, target in staged:
+                self.line(f"{target} = {t}")
+                self._loop_phi_store(phi, target)
+        else:
+            for phi, spec, target in items:
+                self.line(f"{target} = {self._phi_edge_expr(phi, spec)}")
+                self._loop_phi_store(phi, target)
+
+    def _loop_phi_store(self, phi, target: str) -> None:
+        # Back-edge phi writes are deferred with every other in-loop def;
+        # the targets are pre-registered when the loop opens, so this only
+        # needs the non-deferred (defensive) path.
+        if self.loop_regs is not None:
+            self.loop_regs[self.fc.value_key(phi)] = target
+        else:
+            self.line(f"regs[{self.fc.value_key(phi)}] = {target}")
 
     def _charge_phis(self, dblock) -> None:
         self.pending[0] += dblock.phi_total
@@ -602,17 +1033,49 @@ class _ChainEmitter:
         n = len(group)
         width = _entry_widths()[d0.entry_index]
         if d0.mask_operand_index is None:
-            self.line(f"_dc += {n}")
+            # Coalesced: flushed (in tape order) at the next commit.
+            self.pending_sites += n
             self.max_sites += n
             if self.mode == "count":
-                wb = self.fc.bind(bytes((width,)) * n, "w")
-                self.line(f"_ws.extend({wb})")
+                self.pending_widths += bytes((width,)) * n
             return
-        mask = self.rd(instr.operands[d0.mask_operand_index])
-        af = self.fc.bind(d0.active_fn, "af")
-        total = " + ".join(f"{af}({mask}[{d.lane}])" for d in group)
+        mask_val = instr.operands[d0.mask_operand_index]
+        is_reg, payload = _spec(mask_val)
+        if not is_reg and type(payload) is list:
+            # Constant mask: fold the active count at compile time — but
+            # only when every lane evaluates to canonical 0/1 (lshr on wide
+            # integer lanes can yield arbitrary counts, which must keep
+            # today's dynamic arithmetic and tape growth).
+            try:
+                counts = [d0.active_fn(payload[d.lane]) for d in group]
+            except Exception:
+                counts = None
+            if counts is not None and all(c in (0, 1) for c in counts):
+                active = sum(counts)
+                self.pending_sites += active
+                self.max_sites += n
+                if self.mode == "count":
+                    self.pending_widths += bytes((width,)) * active
+                return
+        # Dynamic mask: flush the coalesced counts first so the width tape
+        # stays in site order, then count active lanes at run time.
+        self.flush_sites()
         na = self.fresh_local()
-        self.line(f"{na} = {total}")
+        bulk = d0.active_bulk_fn
+        vname = self.vlocals.get(payload) if is_reg else None
+        lanes = sorted(d.lane for d in group)
+        if (
+            bulk is not None
+            and vname is not None
+            and lanes == list(range(mask_val.type.length))
+        ):
+            bf = self.fc.bind(bulk, "af")
+            self.line(f"{na} = {bf}({vname})")
+        else:
+            mask = self.rd(mask_val)
+            af = self.fc.bind(d0.active_fn, "af")
+            total = " + ".join(f"{af}({mask}[{d.lane}])" for d in group)
+            self.line(f"{na} = {total}")
         self.line(f"_dc += {na}")
         self.max_sites += n
         if self.mode == "count":
@@ -664,7 +1127,12 @@ class _ChainEmitter:
         if not handled:
             # Anything without a specialized emitter runs its (unplanned)
             # decoded closure; commit first since it may trap or raise.
+            # Decoded closures read and write ``regs`` directly, so inside
+            # a loop the deferred register writes flush first (the closure's
+            # own def is in chain_defs, so its reads are never hoisted).
             self.commit()
+            if self.loop_regs is not None:
+                self.emit_regs_flush()
             self.line(f"{self.fc.bind(_decode_step(instr), 'x')}(vm, regs)")
         if lv_group is not None:
             # Result-register sites: tax and counts land after the defining
@@ -687,18 +1155,40 @@ class _ChainEmitter:
             return self._emit_gep(instr)
         if cls is Load:
             self.commit()
-            ty = self.fc.bind(instr.type, "t")
+            lty = instr.type
             mem = self.memref()
             p = self.rd(instr.operands[0])
-            self.store_def(instr, f"{mem}.read_value({ty}, {p})")
+            if (
+                BATCH_VECTORS
+                and isinstance(lty, VectorType)
+                and np_dtype(lty.element) is not None
+            ):
+                # Bulk read into a packed slot; the accessor's own miss
+                # path raises the exact per-lane traps.
+                rdr = self.packed_mem_ref("reader", lty)
+                self.store_def_packed(instr, f"{rdr}({p})")
+            else:
+                ty = self.fc.bind(lty, "t")
+                self.store_def(instr, f"{mem}.read_value({ty}, {p})")
             return True
         if cls is Store:
             self.commit()
-            ty = self.fc.bind(instr.value.type, "t")
+            vty = instr.value.type
             mem = self.memref()
-            v = self.rd(instr.operands[0])
-            p = self.rd(instr.operands[1])
-            self.line(f"{mem}.write_value({ty}, {p}, {v})")
+            if (
+                BATCH_VECTORS
+                and isinstance(vty, VectorType)
+                and np_dtype(vty.element) is not None
+            ):
+                v = self.rd_vec(instr.operands[0], np_dtype(vty.element))
+                p = self.rd(instr.operands[1])
+                wtr = self.packed_mem_ref("writer", vty)
+                self.line(f"{wtr}({p}, {v})")
+            else:
+                ty = self.fc.bind(vty, "t")
+                v = self.rd(instr.operands[0])
+                p = self.rd(instr.operands[1])
+                self.line(f"{mem}.write_value({ty}, {p}, {v})")
             return True
         if cls is Alloca:
             self.commit()
@@ -731,11 +1221,21 @@ class _ChainEmitter:
                     return f"_rf({a} {sym} {b})"
                 return f"({a} {sym} {b})"
         elif isinstance(ty, IntType):
-            sym = {"add": "+", "sub": "-", "mul": "*", "xor": "^"}.get(opcode)
+            sym = {"add": "+", "sub": "-", "mul": "*"}.get(opcode)
             if sym is not None:
-                return f"_wi({a} {sym} {b}, {ty.bits})"
-            sym = {"and": "&", "or": "|"}.get(opcode)
+                bits = ty.bits
+                if bits == 1:
+                    # wrap_int keeps i1 canonical as 0/1.
+                    return f"(({a} {sym} {b}) & 1)"
+                # Branchless two's-complement wrap, inlined: identical to
+                # wrap_int(x, bits) for every Python int x.
+                half = 1 << (bits - 1)
+                mask = (1 << bits) - 1
+                return f"((({a} {sym} {b}) + {half} & {mask}) - {half})"
+            sym = {"and": "&", "or": "|", "xor": "^"}.get(opcode)
             if sym is not None:
+                # Closed over canonical operands (xor of two in-range
+                # two's-complement ints is in range), so no wrap needed.
                 return f"({a} {sym} {b})"
         fn = self.fc.bind(ops.binop_fn(opcode, ty), "f")
         return f"{fn}({a}, {b})"
@@ -746,6 +1246,15 @@ class _ChainEmitter:
         if trapping:
             self.commit()
         if isinstance(ty, VectorType):
+            if BATCH_VECTORS and not trapping:
+                dt = np_dtype(ty.element)
+                bulk = ops.binop_bulk(instr.opcode, ty.element)
+                if dt is not None and bulk is not None:
+                    a = self.rd_vec(instr.operands[0], dt)
+                    b = self.rd_vec(instr.operands[1], dt)
+                    fn = self.fc.bind(bulk, "f")
+                    self.store_def_packed(instr, f"{fn}({a}, {b})")
+                    return True
             a = self.rd(instr.operands[0])
             b = self.rd(instr.operands[1])
             if ty.length <= UNROLL_MAX:
@@ -761,6 +1270,13 @@ class _ChainEmitter:
                 expr = f"[{fn}(x, y) for x, y in zip({a}, {b})]"
             self.store_def(instr, expr)
         else:
+            if isinstance(ty, IntType) and instr.opcode in ("add", "sub"):
+                is_reg1, p1 = _spec(instr.operands[1])
+                if not is_reg1 and type(p1) is int and p1 == 0:
+                    # x +/- 0 of a canonical int is x (wrap_int is a no-op
+                    # on already-canonical values): alias, don't recompute.
+                    self.store_def(instr, self.rd(instr.operands[0]))
+                    return True
             a = self.rd(instr.operands[0])
             b = self.rd(instr.operands[1])
             self.store_def(instr, self._scalar_binop_expr(instr.opcode, ty, a, b))
@@ -778,6 +1294,15 @@ class _ChainEmitter:
 
     def _emit_compare(self, instr) -> bool:
         operand_ty = instr.lhs.type
+        if isinstance(operand_ty, VectorType) and BATCH_VECTORS:
+            dt = np_dtype(operand_ty.element)
+            bulk = ops.compare_bulk(instr.opcode, instr.predicate, operand_ty.element)
+            if dt is not None and bulk is not None:
+                a = self.rd_vec(instr.operands[0], dt)
+                b = self.rd_vec(instr.operands[1], dt)
+                fn = self.fc.bind(bulk, "f")
+                self.store_def_packed(instr, f"{fn}({a}, {b})")
+                return True
         a = self.rd(instr.operands[0])
         b = self.rd(instr.operands[1])
         if isinstance(operand_ty, VectorType):
@@ -806,6 +1331,17 @@ class _ChainEmitter:
 
     def _emit_select(self, instr) -> bool:
         if instr.condition.type.is_vector():
+            if BATCH_VECTORS:
+                dt = np_dtype(instr.type.element)
+                cdt = np_dtype(instr.condition.type.element)
+                if dt is not None and cdt is not None:
+                    # Eager arms, like the unrolled path below; np.where on
+                    # an int8 0/1 condition returns a fresh array.
+                    c = self.rd_vec(instr.operands[0], cdt)
+                    a = self.rd_vec(instr.operands[1], dt)
+                    b = self.rd_vec(instr.operands[2], dt)
+                    self.store_def_packed(instr, f"_WH({c}, {a}, {b})")
+                    return True
             c = self.rd(instr.operands[0])
             a = self.rd(instr.operands[1])
             b = self.rd(instr.operands[2])
@@ -823,14 +1359,29 @@ class _ChainEmitter:
             # side's register is read.
             a = self.rd_raw(instr.operands[1])
             b = self.rd_raw(instr.operands[2])
-            self.store_def(instr, f"({a} if {c} else {b})")
+            if isinstance(instr.type, VectorType):
+                # A register arm may hold either representation; write it
+                # through unchanged and let later reads normalize.
+                self.store_def_unknown(instr, f"({a} if {c} else {b})")
+            else:
+                self.store_def(instr, f"({a} if {c} else {b})")
         return True
 
     def _emit_cast(self, instr) -> bool:
         src_ty = instr.operands[0].type
         dst_ty = instr.type
-        a = self.rd(instr.operands[0])
         if isinstance(dst_ty, VectorType):
+            if BATCH_VECTORS:
+                sdt = np_dtype(src_ty.scalar_type)
+                bulk = ops.cast_bulk(
+                    instr.opcode, src_ty.scalar_type, dst_ty.element
+                )
+                if sdt is not None and bulk is not None:
+                    a = self.rd_vec(instr.operands[0], sdt)
+                    fn = self.fc.bind(bulk, "f")
+                    self.store_def_packed(instr, f"{fn}({a})")
+                    return True
+            a = self.rd(instr.operands[0])
             fn = self.fc.bind(
                 ops.cast_fn(instr.opcode, src_ty.scalar_type, dst_ty.element),
                 "f",
@@ -842,6 +1393,16 @@ class _ChainEmitter:
             else:
                 expr = f"[{fn}(x) for x in {a}]"
         else:
+            if (
+                instr.opcode == "bitcast"
+                and isinstance(src_ty, PointerType)
+                and isinstance(dst_ty, PointerType)
+            ):
+                # Pointer-to-pointer bitcast is the identity in the scalar
+                # evaluator: alias the operand instead of calling it.
+                self.store_def(instr, self.rd(instr.operands[0]))
+                return True
+            a = self.rd(instr.operands[0])
             fn = self.fc.bind(ops.cast_fn(instr.opcode, src_ty, dst_ty), "f")
             expr = f"{fn}({a})"
         self.store_def(instr, expr)
@@ -912,6 +1473,14 @@ class _ChainEmitter:
         return True
 
     def _emit_fneg(self, instr) -> bool:
+        if instr.type.is_vector() and BATCH_VECTORS:
+            dt = np_dtype(instr.type.element)
+            bulk = ops.fneg_bulk(instr.type.element)
+            if dt is not None and bulk is not None:
+                a = self.rd_vec(instr.operands[0], dt)
+                fn = self.fc.bind(bulk, "f")
+                self.store_def_packed(instr, f"{fn}({a})")
+                return True
         a = self.rd(instr.operands[0])
         if instr.type.is_vector():
             length = instr.type.length
@@ -993,6 +1562,20 @@ class _ChainEmitter:
         self.store_def(instr, expr)
         return True
 
+    def _bulk_mask_test(self, m: str, mask_elem, convention) -> str:
+        """Whole-vector mask test over a packed mask array.
+
+        Bit-identical to mapping :meth:`_mask_test` over the lanes: i1
+        masks are canonical 0/1 int8 (np.where treats them as booleans),
+        sign-bit float masks use ``signbit`` (== bit 63/31, NaNs included),
+        sign-bit integer masks use ``< 0``.
+        """
+        if convention == MASK_SIGN:
+            if mask_elem.is_float():
+                return f"_SB({m})"
+            return f"({m} < 0)"
+        return m
+
     def _mask_test(self, mask: str, lane: int, mask_ty, convention) -> str:
         if convention == MASK_SIGN:
             elem = mask_ty.scalar_type
@@ -1021,10 +1604,61 @@ class _ChainEmitter:
         self.commit()
         mem = self.memref()
         if kind == "maskload":
+            mask_ty = ftype.params[info.mask_index]
+            conv = info.mask_convention
+            edt = np_dtype(elem)
+            mdt = np_dtype(mask_ty.element)
+            if BATCH_VECTORS and edt is not None and mdt is not None:
+                # Bulk path, gated at run time on the whole span being
+                # in-bounds: reading the inactive lanes is then harmless
+                # (no side effects, no traps), and an out-of-bounds span
+                # drops to the per-lane path, which traps only on *active*
+                # out-of-bounds lanes — exactly today's semantics.
+                addr = self.rd(instr.operands[0])
+                m = self.rd_vec(instr.operands[info.mask_index], mdt)
+                test = self._bulk_mask_test(m, mask_ty.element, conv)
+                if conv == MASK_SIGN:
+                    zero = [0.0 if elem.is_float() else 0] * length
+                    pt = self.fc.packed_const(zero, edt)
+                    pt_list = None
+                else:
+                    pt = self.rd_vec(instr.operands[2], edt)
+                    pt_list = self.fresh_local()
+                rdr = self.packed_mem_ref("reader", data_ty)
+                out = self.fresh_local()
+                self.line(
+                    f"if not {mem}.strict_alignment and "
+                    f"{mem}.range_ok({addr}, {length * stride}):"
+                )
+                self.line(f"    {out} = _WH({test}, {rdr}({addr}), {pt})")
+                self.line("else:")
+                ml = self.fresh_local()
+                self.line(f"{ml} = {m}.tolist()", 2)
+                if pt_list is None:
+                    zero_expr = "0.0" if elem.is_float() else "0"
+                    passthru = [zero_expr] * length
+                else:
+                    self.line(f"{pt_list} = {pt}.tolist()", 2)
+                    passthru = [f"{pt_list}[{i}]" for i in range(length)]
+                parts = [
+                    f"{mem}.read_scalar({et}, {addr} + {i * stride}) "
+                    f"if {self._mask_test(ml, i, mask_ty, conv)} "
+                    f"else {passthru[i]}"
+                    for i in range(length)
+                ]
+                self.line(f"{out} = [" + ", ".join(parts) + "]", 2)
+                # Representation depends on the branch taken: unknown-rep.
+                key = self.fc.value_key(instr)
+                if self.loop_regs is not None:
+                    self.loop_regs[key] = out
+                    self.ulocals[instr] = out
+                else:
+                    self.line(f"regs[{key}] = {out}")
+                self.packed_defs += 1
+                return True
             addr = self.rd(instr.operands[0])
             mask = self.rd(instr.operands[info.mask_index])
-            mask_ty = ftype.params[info.mask_index]
-            if info.mask_convention == MASK_SIGN:
+            if conv == MASK_SIGN:
                 zero = "0.0" if elem.is_float() else "0"
                 passthru = [zero] * length
             else:
@@ -1032,23 +1666,65 @@ class _ChainEmitter:
                 passthru = [f"{pt}[{i}]" for i in range(length)]
             parts = [
                 f"{mem}.read_scalar({et}, {addr} + {i * stride}) "
-                f"if {self._mask_test(mask, i, mask_ty, info.mask_convention)} "
+                f"if {self._mask_test(mask, i, mask_ty, conv)} "
                 f"else {passthru[i]}"
                 for i in range(length)
             ]
             self.store_def(instr, "[" + ", ".join(parts) + "]")
             return True
         if kind == "maskstore":
-            mask = self.rd(instr.operands[info.mask_index])
             mask_ty = ftype.params[info.mask_index]
-            if info.mask_convention == MASK_SIGN:
+            conv = info.mask_convention
+            edt = np_dtype(elem)
+            mdt = np_dtype(mask_ty.element)
+            if BATCH_VECTORS and edt is not None and mdt is not None:
+                # Read-modify-write over the whole span: active lanes take
+                # the (f32-quieted) data, inactive lanes are written back
+                # with their *raw* current bytes — hence the raw reader and
+                # non-quieting writer; memory bits of untouched lanes never
+                # change.
+                if conv == MASK_SIGN:
+                    addr = self.rd(instr.operands[0])
+                    d = self.rd_vec(instr.operands[2], edt)
+                else:
+                    d = self.rd_vec(instr.operands[0], edt)
+                    addr = self.rd(instr.operands[1])
+                m = self.rd_vec(instr.operands[info.mask_index], mdt)
+                test = self._bulk_mask_test(m, mask_ty.element, conv)
+                f32 = isinstance(elem, FloatType) and elem.bits == 32
+                data_expr = f"_QN({d})" if f32 else d
+                wtr = self.packed_mem_ref("writer_raw", data_ty)
+                rdr = self.packed_mem_ref("reader", data_ty)
+                self.line(
+                    f"if not {mem}.strict_alignment and "
+                    f"{mem}.range_ok({addr}, {length * stride}):"
+                )
+                self.line(
+                    f"    {wtr}({addr}, _WH({test}, {data_expr}, {rdr}({addr})))"
+                )
+                self.line("else:")
+                ml = self.fresh_local()
+                dl = self.fresh_local()
+                self.line(f"{ml} = {m}.tolist()", 2)
+                self.line(f"{dl} = {d}.tolist()", 2)
+                for i in range(length):
+                    test_i = self._mask_test(ml, i, mask_ty, conv)
+                    self.line(f"if {test_i}:", 2)
+                    self.line(
+                        f"    {mem}.write_scalar({et}, {addr} + {i * stride}, "
+                        f"{dl}[{i}])",
+                        2,
+                    )
+                return True
+            mask = self.rd(instr.operands[info.mask_index])
+            if conv == MASK_SIGN:
                 addr = self.rd(instr.operands[0])
                 data = self.rd(instr.operands[2])
             else:
                 data = self.rd(instr.operands[0])
                 addr = self.rd(instr.operands[1])
             for i in range(length):
-                test = self._mask_test(mask, i, mask_ty, info.mask_convention)
+                test = self._mask_test(mask, i, mask_ty, conv)
                 self.line(f"if {test}:")
                 self.line(
                     f"    {mem}.write_scalar({et}, {addr} + {i * stride}, "
@@ -1095,13 +1771,53 @@ class _ChainEmitter:
             c = self.rd_spec_raw((is_reg, cond))
             e1 = self.fc.edge_name(true_block.source, src)
             e2 = self.fc.edge_name(false_block.source, src)
-            self.line(f"return {e1} if {c} else {e2}")
+            if last and self.loop_head is not None:
+                # In-chain loop back edge.  Everything is already committed
+                # (exits above), so returning to the driver at any of the
+                # guards below re-enters this same chain through the normal
+                # edge — hook firing, step-limit fallback, and inject-span
+                # fallback all behave exactly as the non-looping emission.
+                # Each return flushes the loop-deferred register writes
+                # first; the flush runs once per call, not per iteration.
+                if true_block.source is self.loop_head:
+                    self.line(f"if not {c}:")
+                    exit_edge, e_back = e2, e1
+                else:
+                    self.line(f"if {c}:")
+                    exit_edge, e_back = e1, e2
+                self.emit_regs_flush(2)
+                self.line(f"    return {exit_edge}")
+                self.line("if _bh is not None:")
+                self.emit_regs_flush(2)
+                self.line(f"    return {e_back}")
+                self.line(f"if _st + {self.charged_total} > _sl:")
+                self.emit_regs_flush(2)
+                self.line(f"    return {e_back}")
+                if self.mode == "inject":
+                    self.line(
+                        f"if _dc < _mt and _sh(_dc, _dc + {self.max_sites}):"
+                    )
+                    self.emit_regs_flush(2)
+                    self.line(f"    return {e_back}")
+                self.emit_loop_phis(self.loop_dblock, self.loop_latch)
+            else:
+                self.line(f"return {e1} if {c} else {e2}")
         elif tag == T_RET:
             self.emit_exits()
             if payload is None:
                 self.line("return (None,)")
             else:
-                self.line(f"return ({self.rd_spec_raw(payload)},)")
+                is_reg, value = payload
+                if (
+                    is_reg
+                    and BATCH_VECTORS
+                    and isinstance(value.type, VectorType)
+                ):
+                    # Return values escape to runners/callers: canonicalize
+                    # a packed slot back to the lane list.
+                    self.line(f"return ({self.rd_reg(value)},)")
+                else:
+                    self.line(f"return ({self.rd_spec_raw(payload)},)")
         else:
             assert tag == T_UNREACHABLE
             self.emit_exits()

@@ -55,8 +55,10 @@ from ..ir.values import (
     ConstantVector,
     UndefValue,
 )
+import numpy as np
+
 from . import ops
-from .bits import round_f32
+from .bits import VECTOR_EVENTS, round_f32
 
 # Terminator tags.
 T_BR = 0
@@ -99,6 +101,7 @@ class PlannedSite:
         "entry_index",
         "mask_operand_index",
         "active_fn",
+        "active_bulk_fn",
         "to_int",
         "to_ptr",
         "tax_total",
@@ -113,6 +116,7 @@ class PlannedSite:
         entry_index: int,
         mask_operand_index: int | None = None,
         active_fn=None,
+        active_bulk_fn=None,
         to_int=None,
         to_ptr=None,
         tax: tuple[int, int, int] = (1, 1, 0),
@@ -122,6 +126,7 @@ class PlannedSite:
         self.entry_index = entry_index
         self.mask_operand_index = mask_operand_index
         self.active_fn = active_fn
+        self.active_bulk_fn = active_bulk_fn
         self.to_int = to_int
         self.to_ptr = to_ptr
         self.tax_total, self.tax_scalar, self.tax_vector = tax
@@ -418,6 +423,24 @@ def _spec(value):
     if isinstance(value, Constant):
         return False, evaluate_constant(value)
     return True, value
+
+
+def unpack_regs(regs: dict) -> None:
+    """Canonicalize a register file in place for decoded execution.
+
+    The compiled engine's batched tier leaves packed ndarray slots in the
+    register dict (:mod:`repro.vm.compile`); the decoded closures here
+    index, mutate, and bit-flip vector registers as canonical Python lists,
+    so every fallback into decoded execution converts first.  ``tolist`` is
+    the exact widening (f32 lanes quiet like ``struct.unpack('<f')``), and
+    the conversion count is reported by the perf harness."""
+    n = 0
+    for key, value in regs.items():
+        if type(value) is np.ndarray:
+            regs[key] = value.tolist()
+            n += 1
+    if n:
+        VECTOR_EVENTS["fallback_unpacks"] += n
 
 
 def _raiser(message: str):

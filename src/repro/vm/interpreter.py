@@ -29,12 +29,22 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..errors import InvalidOperation, StepLimitExceeded
 from ..ir.intrinsics import MASK_SIGN, IntrinsicInfo
 from ..ir.module import Function, Module
 from ..ir.types import Type, VectorType
 from .compile import _Edge, compiled_program, exec_decoded_block
-from .decode import InjectionPlan, T_BR, T_CONDBR, T_RET, T_UNREACHABLE, decoded_program
+from .decode import (
+    InjectionPlan,
+    T_BR,
+    T_CONDBR,
+    T_RET,
+    T_UNREACHABLE,
+    decoded_program,
+    unpack_regs,
+)
 from .memory import Memory
 from .ops import sign_active
 from .snapshot import ResumePoint, copy_regs
@@ -221,28 +231,33 @@ class Interpreter:
         entries = cfn.entries
         dfn = cfn.dfn
         try:
-            while True:
-                if hook is not None:
-                    hook(self, dfn, regs, entry, prev_block)
-                    hook = self.block_hook  # hooks may uninstall themselves
-                fn = entry.fn_inject if inject else entry.fn_count
-                if fn is not None:
-                    r = fn(self, regs, prev_block)
-                    cls = r.__class__
-                    if cls is _Edge:
-                        entry = r.entry
-                        prev_block = r.prev
-                        continue
-                    if cls is tuple:
-                        return r[0]
-                    # FALLBACK: run this head block decoded, then rejoin.
-                nxt, aux = exec_decoded_block(
-                    self, dfn, entry.dblock, regs, prev_block
-                )
-                if nxt is None:
-                    return aux
-                entry = entries[nxt]
-                prev_block = aux
+            # Batched chains evaluate whole-vector NumPy expressions whose
+            # scalar counterparts are silent on overflow/invalid/div-by-zero;
+            # suppress the warnings wholesale so semantics (and stderr) match.
+            with np.errstate(all="ignore"):
+                while True:
+                    if hook is not None:
+                        hook(self, dfn, regs, entry, prev_block)
+                        hook = self.block_hook  # hooks may uninstall themselves
+                    fn = entry.fn_inject if inject else entry.fn_count
+                    if fn is not None:
+                        r = fn(self, regs, prev_block)
+                        cls = r.__class__
+                        if cls is _Edge:
+                            entry = r.entry
+                            prev_block = r.prev
+                            continue
+                        if cls is tuple:
+                            return r[0]
+                        # FALLBACK: run this head block decoded, then rejoin.
+                    unpack_regs(regs)
+                    nxt, aux = exec_decoded_block(
+                        self, dfn, entry.dblock, regs, prev_block
+                    )
+                    if nxt is None:
+                        return aux
+                    entry = entries[nxt]
+                    prev_block = aux
         finally:
             self._depth = depth
 

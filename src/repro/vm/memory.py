@@ -18,7 +18,14 @@ import numpy as np
 
 from ..errors import MemoryFault
 from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
-from .bits import bits_to_float, float_to_bits, to_unsigned, wrap_int
+from .bits import (
+    bits_to_float,
+    float_to_bits,
+    np_dtype,
+    quiet_nan_f32,
+    to_unsigned,
+    wrap_int,
+)
 from .snapshot import PAGE_SHIFT, PAGE_SIZE, AllocationImage, MemoryImage, split_pages
 
 #: Base of the simulated heap; low addresses (incl. null) are never mapped.
@@ -28,13 +35,19 @@ GUARD_GAP = 4096
 
 
 class Allocation:
-    __slots__ = ("base", "size", "data", "label")
+    __slots__ = ("base", "size", "data", "label", "views")
 
     def __init__(self, base: int, size: int, label: str = ""):
         self.base = base
         self.size = size
         self.data = bytearray(size)
         self.label = label
+        # Lazily-built whole-buffer ndarray views keyed by dtype, shared by
+        # the packed accessors.  Safe to cache: ``data`` is only ever
+        # mutated in place (slice assignment, including snapshot restore),
+        # never rebound or resized, so a view stays current for the
+        # allocation's lifetime.
+        self.views: dict = {}
 
     @property
     def end(self) -> int:
@@ -68,6 +81,8 @@ class Memory:
         self._scalar_readers: dict = {}
         self._vector_readers: dict = {}
         self._vector_writers: dict = {}
+        self._packed_readers: dict = {}
+        self._packed_writers: dict = {}
         # Dirty-page tracking for copy-on-write snapshots.  None (the
         # default) = tracking off, zero overhead beyond one is-None test per
         # write.  When tracking, maps Allocation -> set of dirty page
@@ -111,6 +126,19 @@ class Memory:
 
     def check_range(self, addr: int, size: int) -> None:
         self._find(addr, size)
+
+    def range_ok(self, addr: int, size: int) -> bool:
+        """Non-raising bounds test: is ``[addr, addr+size)`` fully mapped?
+
+        Guard gaps between allocations mean a contiguous range is mapped
+        iff it lies inside one allocation, so this is the exact whole-vector
+        precondition the batched masked-intrinsic path needs.
+        """
+        i = bisect_right(self._bases, addr) - 1
+        if i < 0:
+            return False
+        alloc = self._allocations[i]
+        return alloc.base <= addr and addr + size <= alloc.end
 
     # -- raw bytes --------------------------------------------------------------
 
@@ -229,6 +257,20 @@ class Memory:
             self.read_scalar(elem, addr + i * stride) for i in range(type.length)
         ]
 
+    #: struct code -> ndarray dtype for the bulk accessors below.  A single
+    #: ``frombuffer``/``tobytes`` replaces per-element struct conversion:
+    #: one copy per access, not one per lane.  Bit-exact: integer and f64
+    #: lanes are raw copies, f32 ``tolist`` widens through the same hardware
+    #: cvtss2sd as ``struct.unpack('<f')`` (quiet-NaN behaviour included),
+    #: and 'Q' pointers read back as the nonnegative 64-bit patterns.
+    _CODE_DTYPES = {
+        "i": np.int32,
+        "q": np.int64,
+        "f": np.float32,
+        "d": np.float64,
+        "Q": np.uint64,
+    }
+
     def _build_vector_reader(self, type: VectorType):
         code = self._struct_code(type.element)
         if code is None or self.strict_alignment:
@@ -238,9 +280,10 @@ class Memory:
 
             return read
 
-        fmt = struct.Struct(f"<{type.length}{code}")
-        size = fmt.size
-        unpack_from = fmt.unpack_from
+        dtype = self._CODE_DTYPES[code]
+        length = type.length
+        size = length * np.dtype(dtype).itemsize
+        frombuffer = np.frombuffer
         bases = self._bases
         allocs = self._allocations
 
@@ -250,7 +293,9 @@ class Memory:
                 alloc = allocs[i]
                 off = addr - alloc.base
                 if off >= 0 and off + size <= alloc.size:
-                    return list(unpack_from(alloc.data, off))
+                    return frombuffer(
+                        alloc.data, dtype, length, off
+                    ).tolist()
             # Guard gaps mean a contiguous vector can never straddle two
             # allocations, so a bulk bounds failure is a per-lane failure
             # too: replay lane-wise for the exact faulting lane/message.
@@ -282,35 +327,36 @@ class Memory:
 
             return write
 
-        fmt = struct.Struct(f"<{type.length}{code}")
-        size = fmt.size
-        pack_into = fmt.pack_into
+        dtype = self._CODE_DTYPES[code]
+        length = type.length
+        size = length * np.dtype(dtype).itemsize
         bases = self._bases
         allocs = self._allocations
-        if isinstance(elem, FloatType) and elem.bits == 32:
-            # struct.pack('<f') raises on binary64 magnitudes beyond the
-            # binary32 range; the scalar path maps them to ±inf first.
-            from .bits import _clamp_f32
-
+        if isinstance(elem, FloatType):
+            # One ndarray cast replaces the per-lane float()/_clamp_f32
+            # loop: narrowing a binary64 magnitude beyond the binary32
+            # range yields ±inf, the same mapping _clamp_f32 applied
+            # before struct.pack('<f') — errstate keeps the cast's
+            # overflow note from surfacing as a warning.
             def convert(values):
-                return [_clamp_f32(float(v)) for v in values]
-        elif isinstance(elem, FloatType):
-            convert = None
+                with np.errstate(over="ignore", invalid="ignore"):
+                    return np.array(values, dtype)
+
         elif code == "Q":  # pointers: store the 64-bit pattern
             def convert(values):
-                return [int(v) & 0xFFFFFFFFFFFFFFFF for v in values]
-        else:
-            # Signed formats accept the canonical signed range directly;
-            # out-of-range raw ints (host-supplied) take the generic path.
-            lo = -(1 << (elem.bits - 1))
-            hi = (1 << (elem.bits - 1)) - 1
+                return np.array(
+                    [int(v) & 0xFFFFFFFFFFFFFFFF for v in values], dtype
+                )
 
+        else:
+            # The signed dtypes accept the canonical signed range directly;
+            # out-of-range raw ints (host-supplied) raise OverflowError in
+            # the cast and take the generic path instead.
             def convert(values):
-                out = [int(v) for v in values]
-                for v in out:
-                    if v < lo or v > hi:
-                        return None
-                return out
+                try:
+                    return np.array(values, dtype)
+                except OverflowError:
+                    return None
 
         def write(addr, values):
             i = bisect_right(bases, addr) - 1
@@ -318,9 +364,9 @@ class Memory:
                 alloc = allocs[i]
                 off = addr - alloc.base
                 if off >= 0 and off + size <= alloc.size:
-                    converted = list(values) if convert is None else convert(values)
+                    converted = convert(values)
                     if converted is not None:
-                        pack_into(alloc.data, off, *converted)
+                        alloc.data[off : off + size] = converted.tobytes()
                         dirty = self._dirty
                         if dirty is not None:
                             pages = dirty.get(alloc)
@@ -335,6 +381,154 @@ class Memory:
             # Bounds failure or non-canonical values: the generic lane-wise
             # path preserves exact trap messages and partial-write order.
             self._write_vector_generic(type, addr, values)
+
+        return write
+
+    # -- packed (ndarray) vector access ----------------------------------------
+    #
+    # The compiled engine's batched tier moves whole vectors between memory
+    # and packed ndarray register slots.  Reads return *raw* bit patterns
+    # (no f32 NaN quieting — see vm/bits.py for why that is unobservable);
+    # writes quiet f32 NaN lanes first, because that is exactly what the
+    # scalar path's load-then-store round trip would have produced.
+
+    def packed_reader(self, type: VectorType):
+        """A memoized ``addr -> ndarray`` bulk reader for one vector type."""
+        reader = self._packed_readers.get(type)
+        if reader is None:
+            reader = self._packed_readers[type] = self._build_packed_reader(type)
+        return reader
+
+    def _build_packed_reader(self, type: VectorType):
+        dtype = np_dtype(type.element)
+        if dtype is None or self.strict_alignment:
+            # Unusual element types and strict-alignment checking go
+            # through the canonical lane path, packed afterwards.
+            def read(addr, _type=type):
+                return np.array(self._read_vector_generic(_type, addr))
+
+            return read
+
+        length = type.length
+        itemsize = np.dtype(dtype).itemsize
+        lo_mask = itemsize - 1
+        shift = itemsize.bit_length() - 1
+        size = length * itemsize
+        frombuffer = np.frombuffer
+        bases = self._bases
+        allocs = self._allocations
+        # Last-hit allocation memo: loops stream through one array, so the
+        # common case skips the bisect entirely.  A stale memo is harmless —
+        # the bounds check rejects it and the bisect path takes over (freed
+        # allocations are never unmapped from the address space).
+        last = None
+
+        def read(addr):
+            nonlocal last
+            alloc = last
+            if alloc is not None:
+                off = addr - alloc.base
+                if 0 <= off and off + size <= alloc.size:
+                    if not off & lo_mask:
+                        view = alloc.views.get(dtype)
+                        if view is None:
+                            view = alloc.views[dtype] = frombuffer(
+                                alloc.data, dtype, alloc.size >> shift
+                            )
+                        q = off >> shift
+                        return view[q : q + length].copy()
+                    return frombuffer(alloc.data, dtype, length, off).copy()
+            i = bisect_right(bases, addr) - 1
+            if i >= 0:
+                alloc = allocs[i]
+                off = addr - alloc.base
+                if off >= 0 and off + size <= alloc.size:
+                    last = alloc
+                    if not off & lo_mask:
+                        # Element-aligned: slice the cached whole-buffer
+                        # view (one frombuffer per allocation, ever).
+                        view = alloc.views.get(dtype)
+                        if view is None:
+                            view = alloc.views[dtype] = frombuffer(
+                                alloc.data, dtype, alloc.size >> shift
+                            )
+                        q = off >> shift
+                        return view[q : q + length].copy()
+                    return frombuffer(alloc.data, dtype, length, off).copy()
+            return np.array(self._read_vector_generic(type, addr))
+
+        return read
+
+    def packed_writer(self, type: VectorType, quiet: bool = True):
+        """A memoized ``(addr, ndarray) -> None`` bulk writer.
+
+        ``quiet=False`` skips the f32 NaN quieting — for read-modify-write
+        sequences (masked stores) that must put back the *raw* bit patterns
+        of the lanes they did not touch.
+        """
+        key = (type, quiet)
+        writer = self._packed_writers.get(key)
+        if writer is None:
+            writer = self._packed_writers[key] = self._build_packed_writer(
+                type, quiet
+            )
+        return writer
+
+    def _build_packed_writer(self, type: VectorType, quiet: bool):
+        dtype = np_dtype(type.element)
+        if dtype is None or self.strict_alignment:
+
+            def write(addr, array, _type=type):
+                self._write_vector_generic(_type, addr, array.tolist())
+
+            return write
+
+        length = type.length
+        itemsize = np.dtype(dtype).itemsize
+        lo_mask = itemsize - 1
+        shift = itemsize.bit_length() - 1
+        size = length * itemsize
+        frombuffer = np.frombuffer
+        quiet = quiet and dtype is np.float32
+        bases = self._bases
+        allocs = self._allocations
+
+        def write(addr, array):
+            i = bisect_right(bases, addr) - 1
+            if i >= 0:
+                alloc = allocs[i]
+                off = addr - alloc.base
+                if off >= 0 and off + size <= alloc.size:
+                    if quiet:
+                        array = quiet_nan_f32(array)
+                    if not off & lo_mask:
+                        # Element-aligned: store through the cached
+                        # whole-buffer view (bit-identical to the tobytes
+                        # path — the array already has this exact dtype).
+                        view = alloc.views.get(dtype)
+                        if view is None:
+                            view = alloc.views[dtype] = frombuffer(
+                                alloc.data, dtype, alloc.size >> shift
+                            )
+                        q = off >> shift
+                        view[q : q + length] = array
+                    else:
+                        alloc.data[off : off + size] = array.tobytes()
+                    dirty = self._dirty
+                    if dirty is not None:
+                        pages = dirty.get(alloc)
+                        if pages is not None:
+                            pages.update(
+                                range(
+                                    off >> PAGE_SHIFT,
+                                    ((off + size - 1) >> PAGE_SHIFT) + 1,
+                                )
+                            )
+                    return
+            # Bounds failure: the lane-wise path raises the exact per-lane
+            # trap message (tolist canonicalizes, quieting f32 NaNs the
+            # same way the in-bounds path just would have).
+            self._write_vector_generic(type, addr, array.tolist())
 
         return write
 

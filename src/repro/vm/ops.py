@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from ..errors import ArithmeticTrap, InvalidOperation
 from ..ir.types import FloatType, IntType, PointerType, Type
 from .bits import (
@@ -29,6 +31,9 @@ from .bits import (
     float_to_bits,
     float_to_int_trunc,
     float_to_uint_trunc,
+    np_dtype,
+    np_uint_view,
+    quiet_nan_f32,
     round_f32,
     to_unsigned,
     wrap_int,
@@ -394,3 +399,235 @@ def reduce_intrinsic(name: str, ret: Type, args: list):
     if op == "fmin":
         return _reduce_fminmax(vec, ieee_min, f32)
     raise InvalidOperation(f"unhandled reduction {name}")
+
+
+# -- bulk (packed ndarray) evaluators ------------------------------------------
+#
+# The compiled engine's batched tier evaluates whole vectors as single NumPy
+# calls.  Each ``*_bulk`` builder returns a callable over packed ndarrays
+# that is *bit-identical* to mapping the scalar evaluator above over the
+# canonical lane list, or ``None`` when no such callable exists (the caller
+# then keeps the unrolled per-lane emission):
+#
+# * f32 add/sub/mul/div: hardware binary32 equals the scalar path's
+#   compute-in-binary64-then-round because binary64 carries more than
+#   2p + 2 significand bits (Figueroa's no-double-rounding bound), and NaN
+#   propagation is the same SSE hardware in both;
+# * ``fdiv``'s one semantic divergence — x/0 with x NaN or ±0 substitutes
+#   a canonical quiet NaN in :func:`fdiv` — is patched by a post-condition
+#   mask;
+# * integer add/sub/mul wrap silently in C just like ``wrap_int``; shifts
+#   mask the count to the width through unsigned views (x86), ``ashr``
+#   stays signed;
+# * trapping ops (div/rem) and ``frem`` are declined — traps must carry
+#   per-lane messages and exact step accounting.
+#
+# Predicates return int8 0/1 arrays (``tolist`` of which reproduces the
+# canonical ``int(bool)`` lanes the unrolled compare emits).
+
+
+def binop_bulk(op: str, ty: Type):
+    """A packed ``(a, b) -> ndarray`` evaluator, or ``None``."""
+    dtype = np_dtype(ty)
+    if dtype is None:
+        return None
+    if isinstance(ty, FloatType):
+        simple = {"fadd": np.add, "fsub": np.subtract, "fmul": np.multiply}.get(op)
+        if simple is not None:
+            return simple
+        if op == "fdiv":
+
+            def bulk_fdiv(a, b):
+                r = np.divide(a, b)
+                bad = (b == 0) & (np.isnan(a) | (a == 0))
+                if bad.any():
+                    r[bad] = np.nan
+                return r
+
+            return bulk_fdiv
+        return None
+    bits = ty.bits
+    if bits == 1:
+        # i1 lanes are canonical 0/1: only the closed bitwise ops batch.
+        return {
+            "and": np.bitwise_and,
+            "or": np.bitwise_or,
+            "xor": np.bitwise_xor,
+        }.get(op)
+    simple = {
+        "add": np.add,
+        "sub": np.subtract,
+        "mul": np.multiply,
+        "and": np.bitwise_and,
+        "or": np.bitwise_or,
+        "xor": np.bitwise_xor,
+    }.get(op)
+    if simple is not None:
+        return simple
+    u = np_uint_view(dtype)
+    if op == "shl":
+        return lambda a, b: (a.view(u) << (b & (bits - 1)).view(u)).view(dtype)
+    if op == "lshr":
+        return lambda a, b: (a.view(u) >> (b & (bits - 1)).view(u)).view(dtype)
+    if op == "ashr":
+        return lambda a, b: a >> (b & (bits - 1))
+    return None
+
+
+def fneg_bulk(ty: Type):
+    """A packed ``(a) -> ndarray`` fneg, or ``None`` for non-float lanes.
+
+    Sign-bit XOR through the uint view rather than an FP negate, so even a
+    raw signalling-NaN lane keeps its payload bit-for-bit — exactly what the
+    scalar path's C-level ``-x`` does.
+    """
+    if not isinstance(ty, FloatType):
+        return None
+    dtype = np_dtype(ty)
+    u = np_uint_view(dtype)
+    sign = u(1 << (ty.bits - 1))
+    return lambda a: (a.view(u) ^ sign).view(dtype)
+
+
+_FCMP_BULK = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: (a < b) | (a > b),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+    "ueq": lambda a, b: ~((a < b) | (a > b)),
+    "une": lambda a, b: a != b,
+    "ult": lambda a, b: ~(a >= b),
+    "ule": lambda a, b: ~(a > b),
+    "ugt": lambda a, b: ~(a <= b),
+    "uge": lambda a, b: ~(a < b),
+    "ord": lambda a, b: (a == a) & (b == b),
+    "uno": lambda a, b: ~((a == a) & (b == b)),
+}
+
+_UNSIGNED_ICMP_BULK = {
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+
+
+def compare_bulk(opcode: str, pred: str, ty: Type):
+    """A packed ``(a, b) -> int8 ndarray`` evaluator, or ``None``."""
+    dtype = np_dtype(ty)
+    if dtype is None:
+        return None
+    if opcode == "icmp":
+        direct = _SIGNED_ICMP.get(pred)
+        if direct is not None:
+            return lambda a, b, _f=direct: _f(a, b).view(np.int8)
+        unsigned = _UNSIGNED_ICMP_BULK.get(pred)
+        if unsigned is None:
+            return None
+        u = np_uint_view(dtype)
+        return lambda a, b, _f=unsigned: _f(a.view(u), b.view(u)).view(np.int8)
+    fn = _FCMP_BULK.get(pred)
+    if fn is None:
+        return None
+    # NaN-aware by construction: ordered predicates are plain comparisons
+    # (False on NaN), unordered ones their complements (True on NaN).
+    return lambda a, b, _f=fn: _f(a, b).view(np.int8)
+
+
+def cast_bulk(op: str, src: Type, dst: Type):
+    """A packed ``(a) -> ndarray`` evaluator for one cast, or ``None``."""
+    sdt = np_dtype(src)
+    ddt = np_dtype(dst)
+    if sdt is None or ddt is None:
+        return None
+    if op == "bitcast":
+        if src.bits != dst.bits:
+            return None
+        if src.is_float() and dst.is_integer():
+            # The scalar path's struct.unpack quiets f32 signalling NaNs on
+            # load; packed arrays defer that to this escape point.
+            if src.bits == 32:
+                return lambda a: quiet_nan_f32(a).view(ddt)
+            return lambda a: a.view(ddt)
+        if src.is_integer() and dst.is_float():
+            return lambda a: a.view(ddt)
+        return lambda a: a  # same-type reinterpretation
+    if op == "zext":
+        if dst.bits == 1:
+            return None
+        if src.bits == 1:
+            return lambda a: a.astype(ddt)  # canonical 0/1
+        us, ud = np_uint_view(sdt), np_uint_view(ddt)
+        return lambda a: a.view(us).astype(ud).view(ddt)
+    if op == "sext":
+        if dst.bits == 1:
+            return None
+        if src.bits == 1:
+            return lambda a: (-a).astype(ddt)  # 0/1 -> 0/-1, then widen
+        return lambda a: a.astype(ddt)
+    if op == "trunc":
+        if dst.bits == 1:
+            return lambda a: (a & 1).astype(np.int8)
+        mask = (1 << dst.bits) - 1
+        ud = np_uint_view(ddt)
+        # a & mask is the value's low bits as a nonnegative int in the
+        # source dtype; the uint downcast is value-preserving, the final
+        # view re-signs it — exactly wrap_int(v, dst.bits).
+        return lambda a: (a & mask).astype(ud).view(ddt)
+    if op == "sitofp":
+        if dst.bits == 32:
+            # float(v) then round_f32: binary64 first, then narrow — the
+            # double rounding is part of the scalar semantics, so the
+            # batched path reproduces it verbatim.
+            return lambda a: a.astype(np.float64).astype(np.float32)
+        return lambda a: a.astype(np.float64)
+    if op == "uitofp":
+        us = np_uint_view(sdt)
+        if dst.bits == 32:
+            return lambda a: a.view(us).astype(np.float64).astype(np.float32)
+        return lambda a: a.view(us).astype(np.float64)
+    if op == "fptosi":
+        return _fptosi_bulk(ddt, dst.bits)
+    if op == "fptoui":
+        return _fptoui_bulk(ddt, dst.bits)
+    if op == "fpext":
+        return lambda a: a.astype(np.float64)
+    if op == "fptrunc":
+        return lambda a: a.astype(np.float32)
+    return None
+
+
+def _fptosi_bulk(ddt, bits: int):
+    lo = -(1 << (bits - 1))
+    lim = float(1 << (bits - 1))  # exact power of two
+
+    def bulk(a):
+        t = np.trunc(a.astype(np.float64))
+        # NaN fails t >= -lim, so `bad` needs no separate isnan test.  The
+        # float bounds are exact: no integer-valued double lies strictly
+        # between the signed range and ±2^(bits-1).
+        bad = ~(t >= -lim) | (t >= lim)
+        r = np.where(bad, 0.0, t).astype(ddt)
+        if bad.any():
+            r[bad] = lo  # cvttss2si "integer indefinite"
+        return r
+
+    return bulk
+
+
+def _fptoui_bulk(ddt, bits: int):
+    sentinel = wrap_int(1 << (bits - 1), bits)
+    lim = float(1 << bits)
+    ud = np_uint_view(ddt)
+
+    def bulk(a):
+        t = np.trunc(a.astype(np.float64))
+        bad = ~(t >= 0.0) | (t >= lim)
+        r = np.where(bad, 0.0, t).astype(ud).view(ddt)
+        if bad.any():
+            r[bad] = sentinel
+        return r
+
+    return bulk

@@ -36,6 +36,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from struct import pack
 
+import numpy as np
+
 #: Snapshot page size in bytes.  Allocations in the workloads are a few KB,
 #: so 1 KiB pages keep the dirty-tracking sets tiny while still sharing
 #: untouched spans of large buffers between checkpoints.
@@ -127,14 +129,20 @@ class MemoryImage:
 # -- register snapshots -----------------------------------------------------
 #
 # Register files map IR values (Argument / Instruction objects) to Python
-# scalars or lists of scalars.  The decoded closures mutate vector registers
-# in place, so snapshots (and resume copies) need depth-1 list copies; the
-# elements themselves are immutable ints/floats.
+# scalars, lists of scalars, or — in the compiled engine's batched tier —
+# packed ndarrays (:mod:`repro.vm.bits`).  The decoded closures mutate
+# vector registers in place, so snapshots (and resume copies) need depth-1
+# copies of both list and ndarray values; the scalar elements themselves
+# are immutable ints/floats.
 
 
 def copy_regs(regs: dict) -> dict:
-    """Depth-1 copy of a register file (lists copied, scalars shared)."""
-    return {k: v.copy() if type(v) is list else v for k, v in regs.items()}
+    """Depth-1 copy of a register file (vectors copied, scalars shared)."""
+    out = {}
+    for k, v in regs.items():
+        t = type(v)
+        out[k] = v.copy() if t is list or t is np.ndarray else v
+    return out
 
 
 def _scalar_matches(a, b) -> bool:
@@ -147,6 +155,27 @@ def _scalar_matches(a, b) -> bool:
     if type(a) is float:
         return pack("<d", a) == pack("<d", b)
     return a == b
+
+
+def _vector_matches(lv, sv) -> bool:
+    # Packed-vs-packed compares raw bytes (bit-identical by definition; a
+    # raw-vs-quieted f32 NaN pair fails, which is merely conservative —
+    # quieting is unobservable downstream, so a missed convergence only
+    # delays classification, never changes it).  Mixed representations
+    # canonicalize through ``tolist`` — an exact widening — and compare
+    # lane-wise like two lists.
+    lp = type(lv) is np.ndarray
+    sp = type(sv) is np.ndarray
+    if lp and sp and lv.dtype == sv.dtype:
+        return lv.shape == sv.shape and lv.tobytes() == sv.tobytes()
+    a = lv.tolist() if lp else lv
+    b = sv.tolist() if sp else sv
+    if type(a) is not list or type(b) is not list or len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if not _scalar_matches(x, y):
+            return False
+    return True
 
 
 def regs_match(live: dict, saved: dict) -> bool:
@@ -162,12 +191,10 @@ def regs_match(live: dict, saved: dict) -> bool:
         sv = saved.get(key, _MISSING)
         if sv is _MISSING:
             return False
-        if type(lv) is list:
-            if type(sv) is not list or len(lv) != len(sv):
+        tl = type(lv)
+        if tl is list or tl is np.ndarray:
+            if not _vector_matches(lv, sv):
                 return False
-            for a, b in zip(lv, sv):
-                if not _scalar_matches(a, b):
-                    return False
         elif not _scalar_matches(lv, sv):
             return False
     return True

@@ -17,6 +17,7 @@ emits — adversarial phi webs, odd mask constants, store-then-masked-load
 aliasing — which is where a specializing compiler grows silent bugs.
 """
 
+import os
 from random import Random
 
 import numpy as np
@@ -238,7 +239,13 @@ def engine_stream(module: Module, engine: str, seeds=range(3)) -> list:
     return stream
 
 
-@pytest.mark.parametrize("module_seed", range(20))
+#: Seed counts are env-configurable so CI's extended matrix can widen the
+#: sweep without editing the file (see .github/workflows/ci.yml).
+_FUZZ_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "20"))
+_REMAINDER_SEEDS = int(os.environ.get("REPRO_REMAINDER_SEEDS", "8"))
+
+
+@pytest.mark.parametrize("module_seed", range(_FUZZ_SEEDS))
 def test_engines_bit_identical_on_random_modules(module_seed):
     module = build_random_module(module_seed)
     oracle = engine_stream(module, "instrumented")
@@ -248,6 +255,85 @@ def test_engines_bit_identical_on_random_modules(module_seed):
         assert engine_stream(module, engine) == oracle, (
             f"engine {engine!r} diverged from the instrumented oracle on "
             f"fuzz module seed {module_seed}"
+        )
+
+
+def build_remainder_module(seed: int) -> Module:
+    """A stride-4 loop whose trip count need not divide the vector width.
+
+    The body computes the lane mask dynamically — lane ``k`` active iff
+    ``i + k < n`` (scalar icmp + insertelement, the scalarized remainder
+    idiom vectorizers emit) — and pushes it through
+    ``llvm.masked.load/store.v4i32``.  With trip counts like 5, 6, 7 the
+    final iteration runs a genuinely partial mask, exercising the batched
+    tier's masked paths and its per-lane fallbacks on the same module.
+    """
+    rng = Random(seed)
+    m = Module(f"rem{seed}")
+    fn = m.add_function(
+        "f", FunctionType(I32, (pointer(I32), pointer(F32), I32)), ["ip", "fp", "n"]
+    )
+    entry = fn.add_block("entry")
+    loop = fn.add_block("loop")
+    body = fn.add_block("body")
+    latch = fn.add_block("latch")
+    done = fn.add_block("done")
+
+    b = IRBuilder(entry)
+    ivp = b.bitcast(fn.args[0], pointer(V4I), "ivp")
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I32, "i")
+    vacc = b.phi(V4I, "vacc")
+    cmp = b.icmp("slt", i, fn.args[2], "cmp")
+    b.condbr(cmp, body, done)
+
+    b.position_at_end(body)
+    mask = ConstantVector([const_int(I1, 0)] * 4)
+    for k in range(4):
+        ck = b.icmp("slt", b.add(i, b.i32(k)), fn.args[2], f"c{k}")
+        mask = b.insertelement(mask, ck, k, f"m{k}")
+    q = b.lshr(i, b.i32(2), "q")
+    slot = b.gep(ivp, q, "slot")
+    ld = declare_intrinsic(m, "llvm.masked.load.v4i32")
+    st = declare_intrinsic(m, "llvm.masked.store.v4i32")
+    loaded = b.call(ld, [slot, mask, zeroinitializer(V4I)], "mld")
+    vnext = b.binop(rng.choice(_VEC_OPS), vacc, loaded, "vnext")
+    b.call(st, [vnext, slot, mask])
+    b.br(latch)
+
+    b.position_at_end(latch)
+    inext = b.add(i, b.i32(4), "inext")
+    b.br(loop)
+
+    b.position_at_end(done)
+    lane = b.extractelement(vacc, rng.randint(0, 3), "lane")
+    b.ret(b.xor(lane, b.load(b.gep(fn.args[0], b.i32(0))), "r"))
+
+    i.add_incoming(b.i32(0), entry)
+    i.add_incoming(inext, latch)
+    vacc.add_incoming(
+        ConstantVector([b.i32(rng.randint(-3, 3)) for _ in range(4)]), entry
+    )
+    vacc.add_incoming(vnext, latch)
+
+    verify_module(m)
+    return m
+
+
+@pytest.mark.parametrize("module_seed", range(_REMAINDER_SEEDS))
+def test_engines_bit_identical_on_masked_remainder_loops(module_seed):
+    """Trip counts 5, 6, 7 (runner seeds 1-3) never divide the 4-lane
+    width, so every module's last iteration runs a partial mask."""
+    module = build_remainder_module(module_seed)
+    oracle = engine_stream(module, "instrumented", seeds=range(1, 4))
+    for engine in ENGINES:
+        if engine == "instrumented":
+            continue
+        assert engine_stream(module, engine, seeds=range(1, 4)) == oracle, (
+            f"engine {engine!r} diverged from the instrumented oracle on "
+            f"masked-remainder module seed {module_seed}"
         )
 
 

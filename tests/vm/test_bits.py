@@ -3,6 +3,7 @@
 import math
 import struct
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -17,8 +18,11 @@ from repro.vm.bits import (
     float_to_bits,
     float_to_int_trunc,
     float_to_uint_trunc,
+    pack_lanes,
+    quiet_nan_f32,
     round_f32,
     to_unsigned,
+    unpack_lanes,
     wrap_int,
 )
 
@@ -166,3 +170,74 @@ class TestFloatToInt:
         assert float_to_uint_trunc(3.7, 32) == 3
         assert float_to_uint_trunc(-1.0, 32) == -(2**31)
         assert float_to_uint_trunc(float("nan"), 32) == -(2**31)
+
+
+class TestPackedBitPatterns:
+    """Bit-pattern round trips through the packed ndarray representation.
+
+    The batched compiled tier keeps vector registers as ndarrays and
+    reinterprets them through same-width uint views (memory stores, mask
+    decodes, injection).  These tests pin the equivalence that makes that
+    sound: for every awkward f32/f64 citizen — NaN payloads, signalling
+    NaNs, signed zero, denormals — the ndarray round trip produces exactly
+    the bytes the scalar struct-based path produces.
+    """
+
+    def _np_pattern(self, value) -> int:
+        return int(np.array([value], np.float32).view(np.uint32)[0])
+
+    def _struct_pattern(self, value) -> int:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+
+    def test_quiet_nan_payload_survives_packing(self):
+        for pattern in (0x7FC00123, 0xFFC0ABCD, 0x7FC00000, 0xFF800001 | 0x00400000):
+            v = bits_to_float(pattern, 32)
+            assert self._np_pattern(v) == self._struct_pattern(v) == pattern
+
+    def test_signalling_nan_quiets_identically_to_struct(self):
+        # A Python float cannot hold an f32 SNaN: widening quiets it.  The
+        # packed path must quiet the same way the struct path does.
+        for pattern in (0x7F800001, 0xFF800001, 0x7F80FFFF):
+            v = bits_to_float(pattern, 32)
+            assert self._np_pattern(v) == self._struct_pattern(v)
+
+    def test_signed_zero(self):
+        assert self._np_pattern(-0.0) == 0x80000000
+        assert self._np_pattern(0.0) == 0x00000000
+        lanes = [0.0, -0.0, 0.0, -0.0]
+        back = unpack_lanes(pack_lanes(lanes, np.float32))
+        assert [math.copysign(1.0, x) for x in back] == [1.0, -1.0, 1.0, -1.0]
+
+    def test_denormals(self):
+        for pattern in (0x00000001, 0x007FFFFF, 0x80000001):
+            v = bits_to_float(pattern, 32)
+            assert self._np_pattern(v) == pattern
+            [back] = unpack_lanes(pack_lanes([v], np.float32))
+            assert float_to_bits(back, 32) == pattern
+
+    def test_f64_payloads(self):
+        for pattern in (0x7FF8000000000123, 0x8000000000000001, 0x000FFFFFFFFFFFFF):
+            v = bits_to_float(pattern, 64)
+            got = int(np.array([v], np.float64).view(np.uint64)[0])
+            assert got == struct.unpack("<Q", struct.pack("<d", v))[0] == pattern
+
+    def test_int_lanes_are_twos_complement_views(self):
+        lanes = [wrap_int(v, 32) for v in (0, -1, 2**31, 2**31 - 1, -(2**31))]
+        packed = pack_lanes(lanes, np.int32)
+        views = packed.view(np.uint32).tolist()
+        assert views == [to_unsigned(v, 32) for v in lanes]
+        assert unpack_lanes(packed) == lanes
+
+    def test_quiet_nan_f32_matches_scalar_quieting(self):
+        # Build the array through the uint view so SNaN patterns actually
+        # reach it, then compare lane-for-lane against the struct path.
+        patterns = [0x7F800001, 0x7FC00123, 0x3F800000, 0xFF800001]
+        arr = np.array(patterns, np.uint32).view(np.float32)
+        quieted = quiet_nan_f32(arr).view(np.uint32).tolist()
+        # SNaNs gain the quiet bit, quiet NaNs and ordinary values pass
+        # through untouched (payloads and signs preserved).
+        assert quieted == [0x7FC00001, 0x7FC00123, 0x3F800000, 0xFFC00001]
+
+    def test_quiet_nan_f32_is_identity_without_nans(self):
+        arr = np.array([1.0, -0.0, 1e-45], np.float32)
+        assert quiet_nan_f32(arr) is arr

@@ -341,3 +341,92 @@ class TestSnapshotRestore:
         assert image.matches(mem)
         mem.alloc(16)
         assert not image.matches(mem)
+
+
+class TestPackedAccessorDirtyTracking:
+    """The bulk ndarray accessors must honor the same dirty-page contract
+    as the scalar paths: every packed store marks the pages it touches, so
+    incremental snapshots copy them and restores bring the bytes back —
+    including through the cached whole-buffer views the accessors slice."""
+
+    def test_packed_write_marks_dirty_pages(self):
+        from repro.vm.snapshot import PAGE_SIZE
+
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc(PAGE_SIZE * 4)
+        first = mem.snapshot()  # enables dirty tracking
+        write = mem.packed_writer(vty)
+        write(a + PAGE_SIZE * 2, np.arange(8, dtype=np.float32))
+        second = mem.snapshot(first)
+        img0, img1 = first.image_at(a), second.image_at(a)
+        assert img1.pages[2] is not img0.pages[2]  # dirtied page copied
+        clean = [i for i in range(len(img0.pages)) if i != 2]
+        assert all(img1.pages[i] is img0.pages[i] for i in clean)
+
+    def test_packed_write_straddling_pages_dirties_both(self):
+        from repro.vm.snapshot import PAGE_SIZE
+
+        mem = Memory()
+        vty = vector(F32, 8)
+        a = mem.alloc(PAGE_SIZE * 3)
+        first = mem.snapshot()
+        mem.packed_writer(vty)(
+            a + PAGE_SIZE - 16, np.arange(8, dtype=np.float32)
+        )
+        second = mem.snapshot(first)
+        img0, img1 = first.image_at(a), second.image_at(a)
+        assert img1.pages[0] is not img0.pages[0]
+        assert img1.pages[1] is not img0.pages[1]
+        assert img1.pages[2] is img0.pages[2]
+
+    def test_packed_restore_round_trip_through_cached_views(self):
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc_typed(vty, 4)
+        read = mem.packed_reader(vty)
+        write = mem.packed_writer(vty)
+        write(a, np.array([1, 2, 3, 4], np.int32))  # builds the cached view
+        image = mem.snapshot()
+        write(a, np.array([5, 6, 7, 8], np.int32))
+        mem.restore(image)
+        # The whole-buffer view built before the restore must read the
+        # restored bytes (restore mutates the bytearray in place).
+        assert read(a).tolist() == [1, 2, 3, 4]
+
+    def test_quiet_false_writer_preserves_raw_snan_bits(self):
+        mem = Memory()
+        vty = vector(F32, 4)
+        a = mem.alloc_typed(vty, 2)
+        snan = np.array([0x7F800001] * 4, np.uint32).view(np.float32)
+        mem.packed_writer(vty, quiet=False)(a, snan)
+        raw = np.frombuffer(mem.read_bytes(a, 16), np.uint32).tolist()
+        assert raw == [0x7F800001] * 4  # raw put-back: no quiet bit
+        mem.packed_writer(vty)(a, snan)  # default path quiets
+        raw = np.frombuffer(mem.read_bytes(a, 16), np.uint32).tolist()
+        assert raw == [0x7FC00001] * 4
+
+    def test_quiet_false_writer_still_marks_dirty_pages(self):
+        mem = Memory()
+        vty = vector(F32, 4)
+        a = mem.alloc_typed(vty, 2)
+        image = mem.snapshot()
+        mem.packed_writer(vty, quiet=False)(
+            a, np.arange(4, dtype=np.float32)
+        )
+        assert not image.matches(mem)
+        mem.restore(image)
+        assert mem.packed_reader(vty)(a).tolist() == [0.0] * 4
+
+    def test_unaligned_packed_access_falls_back_correctly(self):
+        # An element-misaligned address cannot use the cached view; the
+        # per-call frombuffer path must produce identical bytes.
+        mem = Memory()
+        vty = vector(I32, 4)
+        a = mem.alloc(64)
+        mem.write_bytes(a, bytes(range(33)) + bytes(31))
+        aligned = mem.packed_reader(vty)(a).tolist()
+        shifted = mem.packed_reader(vty)(a + 1).tolist()
+        expect = np.frombuffer(bytes(range(33)) + bytes(31), np.int32, 4, 1)
+        assert shifted == expect.tolist()
+        assert aligned == np.frombuffer(bytes(range(33)), np.int32, 4).tolist()
