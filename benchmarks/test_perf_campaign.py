@@ -25,7 +25,11 @@ The contract has three parts:
   geomean >= 1.2x with fadd_f32 >= 1.5x, every cell bit-identical between
   tiers;
 * checkpoint restore keeps faulty runs >= 1.5x faster than full replay on
-  the late-fault-biased workload while staying bit-identical to it.
+  the late-fault-biased workload while staying bit-identical to it;
+* sharded campaigns scale: at 4 shards the simulated-cluster wall
+  (max shard + merge) delivers >= 2.5x the 1-shard experiments/sec, every
+  shard count's merged journal is byte-identical to the 1-shard run's, and
+  the outcome totals never move.
 
 Marked ``slow`` and excluded from tier-1 (``testpaths = ["tests"]``); run
 with::
@@ -147,3 +151,27 @@ def test_campaign_throughput():
         f"{ck['stats']['sites_skipped']} sites skipped)"
     )
     assert ck["stats"]["restores"] > 0
+
+    # Distributed-campaign contract: sharding pays for itself.  The merge
+    # invariant (every count byte-identical to the 1-shard journal) is the
+    # correctness half; the scaling floor at 4 shards is the throughput
+    # half.  Totals moving between counts would mean striping changed the
+    # experiment stream — the one thing --shards must never do.
+    sb = results["shard_bench"]
+    reference_totals = sb["counts"]["1"]["totals"]
+    for count, cell in sb["counts"].items():
+        assert cell["journal_matches_serial"], (
+            f"shard_bench x{count}: merged journal diverged from the "
+            "1-shard serial run"
+        )
+        assert cell["totals"] == reference_totals, (
+            f"shard_bench x{count}: outcome totals {cell['totals']} != "
+            f"1-shard {reference_totals}"
+        )
+    four = sb["counts"]["4"]
+    assert four["scaling_vs_1_shard"] >= 2.5, (
+        f"4-shard simulated cluster only {four['scaling_vs_1_shard']:.2f}x "
+        f"over 1 shard ({four['experiments_per_second']:.0f} vs "
+        f"{sb['counts']['1']['experiments_per_second']:.0f} exp/s; "
+        "merge overhead or shard skew regressed; >= 2.5x required)"
+    )

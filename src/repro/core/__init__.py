@@ -12,8 +12,16 @@ from .campaign import (
     CampaignSummary,
     run_batch,
     run_campaigns,
+    would_converge,
 )
 from .classify import ADDRESS, CONTROL, PURE_DATA, classify_instruction
+from .cluster import (
+    ClusterResult,
+    ShardOutcome,
+    merged_cell_summary,
+    run_cell_sharded,
+    run_sharded,
+)
 from .direct import build_injection_plan, chain_tax
 from .injector import ENGINES, FaultInjector, GoldenCache, GoldenRun, clone_module
 from .parallel import (
@@ -47,8 +55,14 @@ __all__ = [
     "CampaignConfig",
     "CampaignStats",
     "CampaignSummary",
+    "ClusterResult",
+    "ShardOutcome",
+    "merged_cell_summary",
     "run_batch",
     "run_campaigns",
+    "run_cell_sharded",
+    "run_sharded",
+    "would_converge",
     "GoldenCache",
     "DEFAULT_CHUNKSIZE",
     "ExperimentPool",

@@ -46,6 +46,28 @@ class CampaignConfig:
     require_normality: bool = True
 
 
+def would_converge(sdc_samples: list[float], config: CampaignConfig) -> bool:
+    """Would a convergence-gated run have stopped within these samples?
+
+    Prefix-evaluates exactly the predicate :func:`run_campaigns` applies
+    after each campaign (t-based margin of error within target, optional
+    near-normality, ``min_campaigns`` warm-up).  Shard runs disable the
+    early exit — every shard must consume the identical full-budget
+    schedule or the stripes would desynchronize — so the convergence flag
+    is recomputed from the recorded samples instead: here at the end of a
+    ``--shards 1`` baseline run, and in :func:`repro.store.merge.
+    merge_shards` from the reassembled journal.  Both paths see the same
+    samples, so the flag lands byte-identical in both manifests.
+    """
+    for n in range(config.min_campaigns, len(sdc_samples) + 1):
+        prefix = sdc_samples[:n]
+        moe_ok = margin_of_error(prefix, config.confidence) <= config.margin_target
+        normal_ok = (not config.require_normality) or is_near_normal(prefix)
+        if moe_ok and normal_ok:
+            return True
+    return False
+
+
 @dataclass
 class CampaignStats:
     """Aggregated counts over any number of experiments."""
@@ -140,6 +162,7 @@ def _campaign_results_serial(
     rng: Random,
     bindings_factory: BindingsFactory | None,
     recorder=None,
+    shard=None,
 ):
     if recorder is None:
         for _ in range(count):
@@ -148,12 +171,17 @@ def _campaign_results_serial(
         return
     # Store-recorded path: draw the schedule triple first (identical RNG
     # consumption to injector.experiment), so a completed experiment can be
-    # replayed from the store without its faulty run ever executing.
+    # replayed from the store without its faulty run ever executing.  A
+    # shard run draws *every* position — the schedule is one RNG stream, so
+    # skipping a draw would shift every later shard's triples — but only
+    # executes the positions its stripe owns.
     for _ in range(count):
         runner = runner_factory(rng)
         golden, k, bit = draw_experiment(injector, runner, rng, bindings_factory)
         params = getattr(runner, "params", None)
         key, seq = recorder.claim(k, bit, params)
+        if shard is not None and not shard.owns(seq):
+            continue
         stored = recorder.replay(key)
         if stored is not None:
             yield stored
@@ -173,6 +201,7 @@ def _campaign_results_parallel(
     bindings_factory: BindingsFactory | None,
     pool: ExperimentPool,
     recorder=None,
+    shard=None,
 ):
     if recorder is None:
 
@@ -200,6 +229,12 @@ def _campaign_results_parallel(
                 runner = runner_factory(rng)
                 entry = make_schedule_entry(injector, runner, rng, bindings_factory)
                 key, seq = recorder.claim(entry.k, entry.bit, entry.params)
+                if shard is not None and not shard.owns(seq):
+                    # Drawn (the RNG stream must advance identically on
+                    # every shard) but owned by another stripe: never
+                    # reaches the workers, never yields a result.
+                    plan.put(("skip", None, None))
+                    continue
                 stored = recorder.replay(key)
                 if stored is not None:
                     plan.put(("stored", stored, None))
@@ -217,6 +252,8 @@ def _campaign_results_parallel(
         kind, payload, meta = plan.get()
         if kind == "error":
             raise payload
+        if kind == "skip":
+            continue
         if kind == "stored":
             yield payload
             continue
@@ -236,6 +273,7 @@ def run_batch(
     worker_context: WorkerContext | None = None,
     pool=None,
     recorder=None,
+    shard=None,
 ) -> CampaignStats:
     """Run ``count`` experiments into one :class:`CampaignStats` block.
 
@@ -246,26 +284,31 @@ def run_batch(
     A ``recorder`` (:meth:`repro.store.CampaignStore.recorder`) streams
     every result into a durable store and replays already-stored
     experiments instead of executing them — bit-identical either way.
+    A ``shard`` (:class:`~repro.store.ShardSpec`, recorder required) draws
+    the full schedule but executes/records only its stripe of it.
     """
+    if shard is not None and recorder is None:
+        raise ValueError("run_batch(shard=...) requires a recorder")
     stats = CampaignStats()
     try:
         if pool is not None:
             for result in _campaign_results_parallel(
                 injector, runner_factory, count, rng, bindings_factory, pool,
-                recorder,
+                recorder, shard,
             ):
                 stats.add(result)
         elif jobs > 1 and worker_context is not None:
             with ExperimentPool(jobs, worker_context) as own_pool:
                 for result in _campaign_results_parallel(
                     injector, runner_factory, count, rng, bindings_factory,
-                    own_pool, recorder,
+                    own_pool, recorder, shard,
                 ):
                     stats.add(result)
                 own_pool.close()
         else:
             for result in _campaign_results_serial(
-                injector, runner_factory, count, rng, bindings_factory, recorder
+                injector, runner_factory, count, rng, bindings_factory,
+                recorder, shard,
             ):
                 stats.add(result)
     finally:
@@ -286,6 +329,7 @@ def run_campaigns(
     worker_context: WorkerContext | None = None,
     pool=None,
     recorder=None,
+    shard=None,
 ) -> CampaignSummary:
     """Run fault-injection campaigns to statistical convergence.
 
@@ -302,7 +346,18 @@ def run_campaigns(
     replays already-stored experiments without executing their faulty
     runs; an interrupted campaign resumed this way converges to the same
     summary, record for record, as an uninterrupted one.
+
+    A ``shard`` (:class:`~repro.store.ShardSpec`; recorder required) runs
+    one stripe of a distributed sweep: the full schedule is drawn (same RNG
+    stream as serial) but only owned positions execute, and the convergence
+    early-exit is disabled — every shard must cover the identical
+    ``max_campaigns`` budget or the stripes could not be merged.  The
+    convergence flag is instead recomputed from the samples via
+    :func:`would_converge` (complete samples only: a ``1``-shard baseline
+    here, the merged journal in ``store merge``).
     """
+    if shard is not None and recorder is None:
+        raise ValueError("run_campaigns(shard=...) requires a recorder")
     config = config or CampaignConfig()
     rng = Random(seed)
     campaigns: list[CampaignStats] = []
@@ -332,6 +387,7 @@ def run_campaigns(
                     bindings_factory,
                     pool,
                     recorder,
+                    shard,
                 )
             else:
                 results = _campaign_results_serial(
@@ -341,6 +397,7 @@ def run_campaigns(
                     rng,
                     bindings_factory,
                     recorder,
+                    shard,
                 )
             for result in results:
                 stats.add(result)
@@ -348,7 +405,7 @@ def run_campaigns(
             campaigns.append(stats)
             sdc_samples.append(stats.rate("sdc"))
 
-            if len(campaigns) >= config.min_campaigns:
+            if shard is None and len(campaigns) >= config.min_campaigns:
                 moe_ok = margin_of_error(sdc_samples, config.confidence) <= config.margin_target
                 normal_ok = (not config.require_normality) or is_near_normal(sdc_samples)
                 if moe_ok and normal_ok:
@@ -362,8 +419,20 @@ def run_campaigns(
             # land every journaled record before control leaves.
             recorder.store.flush()
 
+    if shard is not None and shard.count == 1:
+        # Full-budget baseline with complete samples: recompute the flag a
+        # convergence-gated run would have produced, so the manifest matches
+        # what `store merge` derives from a merged multi-shard journal.
+        converged = would_converge(sdc_samples, config)
+
     if recorder is not None:
-        recorder.finish(executed_total=totals.total, converged=converged)
+        # A >1-shard stripe sees only its share of each campaign, so its
+        # samples cannot answer the convergence question; merge recomputes
+        # the flag from the reassembled journal instead.
+        finish_converged = (
+            None if shard is not None and shard.count > 1 else converged
+        )
+        recorder.finish(executed_total=totals.total, converged=finish_converged)
 
     benign_samples = [c.rate("benign") for c in campaigns]
     crash_samples = [c.rate("crash") for c in campaigns]

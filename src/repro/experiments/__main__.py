@@ -12,6 +12,19 @@ Usage::
     python -m repro.experiments status --store store/  # progress per cell
     python -m repro.experiments resume --store store/  # finish what's stored
     python -m repro.experiments report --store store/  # tables, no execution
+    python -m repro.experiments fig11 --store sweep/ --shards 2/4  # one stripe
+    python -m repro.experiments fig11 --store sweep/ --shards 4    # simulated cluster
+    python -m repro.experiments merge --store sweep/   # shards -> serial journal
+    python -m repro.experiments verify --store DIR     # integrity check, no execution
+
+``--shards i/N`` runs stripe ``i`` of an N-way partition of the campaign
+schedule into its own store at ``<store>/shard-i/`` — run the N stripes on
+N hosts against a shared filesystem (or N processes here), then ``merge``
+reassembles ``<store>/merged/`` byte-identical to a single-host ``--shards
+1`` run.  A bare ``--shards N`` does all of that locally in N forked
+processes.  ``--shards`` (like ``--jobs``) never enters experiment keys:
+shard runs disable the convergence early-exit and always cover the full
+``max_campaigns`` budget, so every stripe sees the same schedule.
 
 ``--jobs N`` fans the fault-injection campaigns (fig11/fig12/perf) out over
 N worker processes; results are bit-identical to ``--jobs 1``.
@@ -52,7 +65,11 @@ from . import EXPERIMENTS
 
 
 #: CLI verbs that operate on an existing store instead of running anything.
-STORE_COMMANDS = ("status", "resume", "report")
+STORE_COMMANDS = ("status", "resume", "report", "merge", "verify")
+
+#: Experiments that accept ``--shards`` (campaign sweeps; the memoized
+#: table experiments have no schedule to stripe).
+SHARDABLE = ("fig11", "fig12", "perf")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,6 +129,23 @@ def main(argv: list[str] | None = None) -> int:
         help="crash deliberately after N newly executed experiments "
         "(requires --store; exercises the resume machinery)",
     )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="SPEC",
+        help="partition the campaign schedule: 'i/N' runs stripe i into "
+        "<store>/shard-i/ (one distributed worker); a bare N forks N such "
+        "runs locally and merges them; '1' is the full-budget serial "
+        "baseline the merged journal is byte-identical to (fig11/fig12 "
+        "with --store; for perf, a bare count to sweep in shard_bench)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="output store directory for merge (default: <store>/merged)",
+    )
     args = parser.parse_args(argv)
     if args.no_checkpoints and args.checkpoint_interval is not None:
         parser.error("--no-checkpoints conflicts with --checkpoint-interval")
@@ -127,11 +161,81 @@ def main(argv: list[str] | None = None) -> int:
     if args.abort_after is not None and args.store is None:
         parser.error("--abort-after requires --store")
 
-    store = None
-    if args.store is not None:
-        from ..store import CampaignStore
+    shards = None
+    if args.shards is not None:
+        from ..store import ShardSpec, StoreError, parse_shards
 
-        store = CampaignStore(args.store)
+        if args.experiment not in SHARDABLE:
+            parser.error(
+                f"--shards applies to {', '.join(SHARDABLE)}, not "
+                f"{args.experiment} (a resumed shard store remembers its "
+                f"own stripe)"
+            )
+        try:
+            shards = parse_shards(args.shards)
+        except StoreError as exc:
+            parser.error(str(exc))
+        if args.experiment == "perf":
+            if isinstance(shards, ShardSpec):
+                parser.error(
+                    "perf takes a bare shard count (--shards N) to sweep "
+                    "in shard_bench, not a partition"
+                )
+        elif args.store is None:
+            parser.error("--shards requires --store (shards are stores)")
+
+    # merge / verify / sharded status never open (or create) a store in
+    # this process — they inspect what shard runs left behind.
+    if args.experiment == "merge":
+        return _merge(args)
+    if args.experiment == "verify":
+        return _verify(args)
+    if args.store is not None and args.experiment in (
+        "status", "resume", "report"
+    ):
+        from ..store import is_shard_parent
+
+        if is_shard_parent(args.store):
+            if args.experiment == "status":
+                from ..store import render_sharded_status
+
+                print(render_sharded_status(args.store))
+                return 0
+            if args.experiment == "resume":
+                return _resume_shard_parent(args)
+            # report: the merged store is the serial-identical journal;
+            # point at it if it exists, otherwise ask for a merge first.
+            merged = args.store / "merged"
+            if not (merged / "STORE").exists():
+                print(
+                    f"{args.store} holds unmerged shard stores; run "
+                    f"`merge --store {args.store}` first, then report",
+                    file=sys.stderr,
+                )
+                return 3
+            args.store = merged
+
+    # A bare --shards N>1 is the simulated cluster: each stripe opens its
+    # own store inside a forked child, so no store opens here either.
+    if isinstance(shards, int) and shards > 1 and args.experiment != "perf":
+        return _run_cluster(args, shards)
+
+    store = None
+    shard_spec = None
+    if args.store is not None:
+        from ..store import CampaignStore, ShardSpec, shard_dir
+
+        if isinstance(shards, ShardSpec):
+            store = CampaignStore(shard_dir(args.store, shards.index))
+            store.set_shard(shards)
+            shard_spec = shards
+        else:
+            store = CampaignStore(args.store)
+            if shards == 1 and args.experiment != "perf":
+                store.set_shard(ShardSpec(0, 1))
+            # A store that is one stripe of a sweep stays one: plain runs
+            # and resumes pick the pinned spec back up.
+            shard_spec = store.shard_spec()
 
     try:
         if args.experiment == "status":
@@ -140,14 +244,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment == "report":
             return _report_from_store(store, args)
         if args.experiment == "resume":
-            return _resume(store, args)
-        return _run_experiments(store, args)
+            return _resume(store, args, shard=shard_spec)
+        return _run_experiments(store, args, shard=shard_spec, shards=shards)
     finally:
         if store is not None:
+            if shard_spec is not None:
+                store.save_shard_state()
             store.close()
 
 
-def _run_one(name: str, args, store=None, benchmarks=None, scale=None, engine=None):
+def _run_one(
+    name: str, args, store=None, benchmarks=None, scale=None, engine=None,
+    shard=None, shards=None,
+):
     """Dispatch one experiment driver with the CLI's knobs."""
     mod = EXPERIMENTS[name]
     scale = scale or args.scale
@@ -159,27 +268,37 @@ def _run_one(name: str, args, store=None, benchmarks=None, scale=None, engine=No
         return mod.run(
             scale, benchmarks=benchmarks, jobs=args.jobs, engine=engine,
             checkpoint_interval=interval, store=store,
-            abort_after=args.abort_after,
+            abort_after=args.abort_after, shard=shard,
         )
     if name == "fig12":
         return mod.run(
             scale, jobs=args.jobs, engine=engine, checkpoint_interval=interval,
-            store=store, abort_after=args.abort_after,
+            store=store, abort_after=args.abort_after, shard=shard,
         )
     if name == "perf":
         # None = benchmark both engines side by side; perf measures wall
-        # clock, so it never records to or replays from a store.
+        # clock, so it never records to or replays from a store.  A bare
+        # --shards N narrows the shard-scaling sweep to (1, N).
+        from .perf import SHARD_BENCH_COUNTS
+
+        shard_counts = SHARD_BENCH_COUNTS
+        if isinstance(shards, int):
+            shard_counts = (1,) if shards == 1 else (1, shards)
         if args.no_checkpoints:
             return mod.run(
                 scale, jobs=args.jobs, engine=args.engine,
-                checkpoint_interval=None,
+                checkpoint_interval=None, shard_counts=shard_counts,
             )
         if args.checkpoint_interval is not None:
             return mod.run(
                 scale, jobs=args.jobs, engine=args.engine,
                 checkpoint_interval=args.checkpoint_interval,
+                shard_counts=shard_counts,
             )
-        return mod.run(scale, jobs=args.jobs, engine=args.engine)
+        return mod.run(
+            scale, jobs=args.jobs, engine=args.engine,
+            shard_counts=shard_counts,
+        )
     if name == "ablations":
         return mod.run(scale, engine=engine, store=store)
     return mod.run(scale, store=store)
@@ -192,7 +311,7 @@ def _emit(name: str, report, args) -> None:
         report.save(args.json_dir / f"{name}.json")
 
 
-def _run_experiments(store, args) -> int:
+def _run_experiments(store, args, shard=None, shards=None) -> int:
     from ..store import CampaignAborted
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -200,7 +319,11 @@ def _run_experiments(store, args) -> int:
         t0 = time.time()
         benchmarks = args.benchmark if name == "fig11" else None
         try:
-            report = _run_one(name, args, store=store, benchmarks=benchmarks)
+            report = _run_one(
+                name, args, store=store, benchmarks=benchmarks,
+                shard=shard if name in SHARDABLE else None,
+                shards=shards,
+            )
         except CampaignAborted as aborted:
             print(f"{name}: {aborted}", file=sys.stderr)
             print(
@@ -214,8 +337,12 @@ def _run_experiments(store, args) -> int:
     return 0
 
 
-def _resume(store, args) -> int:
-    """Finish every incomplete cell the store has manifests for."""
+def _resume(store, args, shard=None) -> int:
+    """Finish every incomplete cell the store has manifests for.
+
+    A shard store resumes as the stripe it was pinned to (``shard.json``);
+    ``--shards`` is never needed — or allowed — to resume one.
+    """
     plans = store.resume_plans()
     if not plans:
         print(f"{store.root}: nothing to resume (empty store)")
@@ -233,12 +360,110 @@ def _resume(store, args) -> int:
             benchmarks=plan["benchmarks"],
             scale=plan["scale"],
             engine=plan["engine"],
+            shard=shard if name in SHARDABLE else None,
         )
         _emit(name, report, args)
+        stripe = f" (stripe {shard.spec})" if shard is not None else ""
         print(
             f"\n[{name} resumed in {time.time() - t0:.1f}s at "
-            f"scale={plan['scale']}]\n"
+            f"scale={plan['scale']}{stripe}]\n"
         )
+    return 0
+
+
+def _resume_shard_parent(args) -> int:
+    """Resume every ``shard-*/`` store under a sweep parent, in turn."""
+    from ..store import CampaignStore, find_shard_dirs
+
+    code = 0
+    for path in find_shard_dirs(args.store):
+        store = CampaignStore(path)
+        try:
+            code = max(code, _resume(store, args, shard=store.shard_spec()))
+        finally:
+            store.save_shard_state()
+            store.close()
+    if code == 0:
+        print(
+            f"all shards of {args.store} resumed — `merge --store "
+            f"{args.store}` assembles the serial-identical journal."
+        )
+    return code
+
+
+def _merge(args) -> int:
+    """``merge``: reassemble shard journals into one serial store."""
+    from ..store import StoreError, merge_shards
+
+    try:
+        report = merge_shards(args.store, out=args.out)
+    except StoreError as exc:
+        print(f"merge: {exc}", file=sys.stderr)
+        return 3
+    print(report.render())
+    return 0
+
+
+def _verify(args) -> int:
+    """``verify``: integrity-check a store (or every shard of a sweep).
+
+    Exit 0 when every journal checks out, 3 otherwise; never executes an
+    experiment and never mutates the store.
+    """
+    from ..store import find_shard_dirs, is_shard_parent, verify_store
+
+    if is_shard_parent(args.store):
+        targets = find_shard_dirs(args.store)
+        merged = Path(args.store) / "merged"
+        if (merged / "STORE").exists():
+            targets = [*targets, merged]
+    else:
+        targets = [args.store]
+    ok = True
+    for target in targets:
+        report = verify_store(target)
+        print(report.render())
+        ok = ok and report.ok
+    return 0 if ok else 3
+
+
+def _run_cluster(args, count: int) -> int:
+    """A bare ``--shards N``: fork N stripe runs, merge, rebuild, report."""
+    from ..analysis.report import rebuild_report
+    from ..core.cluster import run_sharded
+    from ..errors import ReproError
+    from ..store import CampaignStore
+
+    name = args.experiment
+    benchmarks = args.benchmark if name == "fig11" else None
+
+    def worker(store, shard):
+        _run_one(
+            name, args, store=store, benchmarks=benchmarks, shard=shard
+        )
+        return dict(store.session_counters)
+
+    t0 = time.time()
+    try:
+        result = run_sharded(args.store, count, worker)
+    except ReproError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 3
+    print(result.merge.render())
+    print()
+    merged = CampaignStore(result.merged_store)
+    try:
+        report = rebuild_report(merged, name)
+    finally:
+        merged.close()
+    _emit(name, report, args)
+    print(
+        f"\n[{name} completed on {count} simulated hosts in "
+        f"{time.time() - t0:.1f}s (slowest shard "
+        f"{max(result.shard_seconds):.1f}s, merge "
+        f"{result.merge_seconds:.2f}s) at scale={args.scale}; merged store: "
+        f"{result.merged_store}]\n"
+    )
     return 0
 
 

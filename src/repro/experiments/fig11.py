@@ -70,6 +70,7 @@ def run_cell(
     store=None,
     recorder=None,
     abort_after: int | None = None,
+    shard=None,
 ) -> dict:
     """One Fig.-11 cell: campaigns for (benchmark, ISA, site category).
 
@@ -77,7 +78,9 @@ def run_cell(
     whole sweep shares one :class:`~repro.core.parallel.SweepPool` and/or a
     :class:`~repro.store.CampaignStore`; standalone callers leave them unset
     and get a per-cell pool (``jobs > 1``), serial runs, and — with
-    ``store`` — a per-cell recorder.
+    ``store`` — a per-cell recorder.  ``shard`` (a :class:`~repro.store.
+    ShardSpec`) restricts execution to one schedule stripe; see
+    :mod:`repro.store.shard`.
     """
     if injector is None:
         module = workload.compile(target)
@@ -104,6 +107,7 @@ def run_cell(
         worker_context=worker_context,
         pool=pool,
         recorder=recorder,
+        shard=shard,
     )
     totals = summary.totals
     return {
@@ -130,7 +134,10 @@ def run(
     checkpoint_interval: int | None = None,
     store=None,
     abort_after: int | None = None,
+    shard=None,
 ) -> ExperimentReport:
+    if shard is not None and store is None:
+        raise ValueError("fig11.run(shard=...) requires a store")
     config = SCALES[scale]
     report = ExperimentReport(name="fig11", scale=scale, headers=list(HEADERS))
     cells = [
@@ -184,6 +191,7 @@ def run(
                     injector=injectors.get(key),
                     scale=scale,
                     recorder=recorders.get(key),
+                    shard=shard,
                 )
             )
     finally:

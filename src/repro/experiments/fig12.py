@@ -119,6 +119,7 @@ def run_cell(
     store=None,
     recorder=None,
     abort_after: int | None = None,
+    shard=None,
 ) -> dict:
     if injector is None:
         module = workload.compile(target, foreach_detectors=True)
@@ -148,6 +149,7 @@ def run_cell(
         worker_context=worker_context,
         pool=pool,
         recorder=recorder,
+        shard=shard,
     )
     paper = PAPER_FIG12.get((workload.name, category))
     return {
@@ -170,7 +172,10 @@ def run(
     checkpoint_interval: int | None = None,
     store=None,
     abort_after: int | None = None,
+    shard=None,
 ) -> ExperimentReport:
+    if shard is not None and store is None:
+        raise ValueError("fig12.run(shard=...) requires a store")
     experiments = FIG12_EXPERIMENTS[scale]
     report = ExperimentReport(name="fig12", scale=scale, headers=list(HEADERS))
     cells = [(w, category) for w in micro_workloads() for category in CATEGORIES]
@@ -223,6 +228,7 @@ def run(
                     injector=injectors.get(key),
                     scale=scale,
                     recorder=recorders.get(key),
+                    shard=shard,
                 )
                 row["overhead"] = overheads[w.name]
                 row["paper_overhead"] = PAPER_OVERHEADS.get(w.name)

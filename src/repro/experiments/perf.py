@@ -94,6 +94,16 @@ DISPATCH_SERIES = 5
 #: ``BENCH_campaign.json`` is reported against this fixed point.
 DISPATCH_BASELINE_COMPILED = 9_242_823
 
+#: Shard-scaling sweep: shard counts, and the fixed (large) input that
+#: makes execution dominate drawing.  Every shard redraws the *whole*
+#: schedule (one shared RNG stream) but executes only its stripe; a single
+#: fixed input means the redraw cost is one golden run plus cheap RNG
+#: calls, so the per-shard wall tracks the stripe's faulty-run share.
+#: Checkpoints stay off: full replays are the regime where distributing
+#: the faulty runs pays.
+SHARD_BENCH_COUNTS = (1, 2, 4, 8)
+SHARD_BENCH_INPUT = {"n": 2048, "seed": 777}
+
 
 def _mini_injector(
     engine: str, checkpoint_interval: int | None
@@ -574,10 +584,104 @@ def vector_bench(ops: tuple = VECTOR_BENCH_OPS) -> dict:
     return out
 
 
+def shard_bench(counts: tuple = SHARD_BENCH_COUNTS) -> dict:
+    """Shard-scaling throughput: the distributed-campaign tentpole's numbers.
+
+    Runs the fixed mini-campaign schedule (vector_sum, one fixed input,
+    full replays) as an N-way simulated cluster for each shard count,
+    merges, and reports experiments/sec against the **simulated cluster
+    wall** — ``max(shard seconds) + merge seconds``, what N single-core
+    hosts sharing a filesystem would deliver.  Shards run *sequentially*
+    (each is timed with the machine to itself), so the numbers are honest
+    on any core count; ``machine_seconds`` records what this one machine
+    actually spent.  Every count's merged journal must be byte-identical
+    to the 1-shard run's, or the speedup is not reported.
+    """
+    import tempfile
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from ..core.cluster import run_cell_sharded
+
+    workload = get_workload("vector_sum")
+    module = workload.compile("avx")
+    config = MINI_CONFIG
+    planned = config.experiments_per_campaign * config.max_campaigns
+
+    def cell(store, shard):
+        # Built inside the child: a real cluster host compiles the module
+        # and runs its own golden, so that cost belongs in the shard wall.
+        injector = FaultInjector(
+            module, category="all", step_limit=2_000_000, engine="direct",
+            checkpoint_interval=None,
+        )
+        recorder = store.recorder(
+            experiment="perf-shard",
+            cell={"benchmark": workload.name, "input": dict(SHARD_BENCH_INPUT)},
+            scale="bench",
+            injector=injector,
+            seed=SEED,
+            config=asdict(config),
+            planned=planned,
+        )
+
+        def factory(rng: Random):
+            return workload.build_runner(dict(SHARD_BENCH_INPUT))
+
+        return run_campaigns(
+            injector, factory, config, seed=SEED, recorder=recorder,
+            shard=shard,
+        )
+
+    out: dict = {
+        "workload": workload.name,
+        "input": dict(SHARD_BENCH_INPUT),
+        "experiments": planned,
+        "config": asdict(config),
+        "engine": "direct",
+        "checkpoint_interval": None,
+        "timing_model": (
+            "shards run sequentially, each timed alone; "
+            "simulated_wall_seconds = max(shard) + merge"
+        ),
+        "counts": {},
+    }
+    reference_journal: bytes | None = None
+    reference_eps: float | None = None
+    with tempfile.TemporaryDirectory(prefix="shard_bench.") as tmp:
+        for count in counts:
+            result = run_cell_sharded(
+                Path(tmp) / f"x{count}", count, cell, sequential=True
+            )
+            journal = (result.merged_store / "journal.jsonl").read_bytes()
+            if reference_journal is None:
+                reference_journal = journal
+            wall = result.simulated_wall_seconds
+            eps = planned / wall
+            if reference_eps is None:
+                reference_eps = eps
+            totals = dict(result.merge.outcomes)
+            out["counts"][str(count)] = {
+                "shards": count,
+                "shard_seconds": [round(s, 6) for s in result.shard_seconds],
+                "max_shard_seconds": max(result.shard_seconds),
+                "merge_seconds": result.merge_seconds,
+                "simulated_wall_seconds": wall,
+                "machine_seconds": result.machine_seconds,
+                "experiments_per_second": eps,
+                "scaling_vs_1_shard": eps / reference_eps,
+                "p99_shard_skew": result.skew(0.99),
+                "journal_matches_serial": journal == reference_journal,
+                "totals": totals,
+            }
+    return out
+
+
 def bench_results(
     jobs: int = 1,
     engines: tuple = ENGINES,
     checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+    shard_counts: tuple | None = SHARD_BENCH_COUNTS,
 ) -> dict:
     """Per-engine timings for both regimes — the ``BENCH_campaign.json``
     payload.
@@ -619,6 +723,8 @@ def bench_results(
         "checkpoint": checkpoint_bench(),
         "dispatch": dispatch_bench(engines),
     }
+    if shard_counts:
+        payload["shard_bench"] = shard_bench(shard_counts)
     if "compiled" in engines:
         payload["compiled"] = compiled_bench()
         payload["vector"] = vector_bench()
@@ -651,10 +757,12 @@ def run(
     jobs: int = 1,
     engine: str | None = None,
     checkpoint_interval: int | None = MINI_CHECKPOINT_INTERVAL,
+    shard_counts: tuple | None = SHARD_BENCH_COUNTS,
 ) -> ExperimentReport:
     engines = ENGINES if engine is None else (engine,)
     results = bench_results(
-        jobs=jobs, engines=engines, checkpoint_interval=checkpoint_interval
+        jobs=jobs, engines=engines, checkpoint_interval=checkpoint_interval,
+        shard_counts=shard_counts,
     )
     rows = [
         cell
@@ -732,6 +840,18 @@ def run(
             "batched-vs-unrolled vector opcodes (compiled engine) — "
             + "; ".join(parts)
             + f"; geomean {vec['geomean_speedup']:.2f}x"
+        )
+    sb = results.get("shard_bench")
+    if sb:
+        parts = [
+            f"{count} shard(s): {cell['experiments_per_second']:.0f} exp/s "
+            f"({cell['scaling_vs_1_shard']:.2f}x)"
+            + ("" if cell["journal_matches_serial"] else " (JOURNAL MISMATCH)")
+            for count, cell in sb["counts"].items()
+        ]
+        report.notes.append(
+            "shard scaling (sequentially timed shards, simulated cluster "
+            "wall = max shard + merge) — " + "; ".join(parts)
         )
     ck = results.get("checkpoint")
     if ck:

@@ -14,11 +14,28 @@ Entry points: :class:`CampaignStore` (open/create a store directory),
 from a store without executing anything).
 """
 
-from .journal import Journal, StoreCorruption, StoreError, TornTailWarning
+from .journal import (
+    Journal,
+    StoreCorruption,
+    StoreError,
+    TornTailWarning,
+    scan_frames,
+)
 from .keys import cell_key, experiment_key, module_fingerprint, stable_json
+from .merge import MergeReport, merge_shards
 from .recorder import CampaignAborted, CampaignRecorder
 from .records import decode_result, encode_result
+from .shard import (
+    ShardSpec,
+    find_shard_dirs,
+    is_shard_parent,
+    parse_shards,
+    render_sharded_status,
+    shard_dir,
+    sharded_status_rows,
+)
 from .store import FORMAT, CampaignStore
+from .verify import VerifyReport, verify_store
 
 __all__ = [
     "CampaignAborted",
@@ -26,13 +43,25 @@ __all__ = [
     "CampaignStore",
     "FORMAT",
     "Journal",
+    "MergeReport",
+    "ShardSpec",
     "StoreCorruption",
     "StoreError",
     "TornTailWarning",
+    "VerifyReport",
     "cell_key",
     "decode_result",
     "encode_result",
     "experiment_key",
+    "find_shard_dirs",
+    "is_shard_parent",
+    "merge_shards",
     "module_fingerprint",
+    "parse_shards",
+    "render_sharded_status",
+    "scan_frames",
+    "shard_dir",
+    "sharded_status_rows",
     "stable_json",
+    "verify_store",
 ]

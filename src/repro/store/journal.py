@@ -61,6 +61,38 @@ def parse_frame(line: bytes) -> dict:
     return record
 
 
+def scan_frames(path: str | Path) -> list[dict]:
+    """All records of a journal, refusing *any* damage — tail included.
+
+    The strict, read-only counterpart of :meth:`Journal.load`: ``merge``
+    and ``verify`` must never mutate the stores they inspect, and a torn
+    tail there means a shard crashed mid-run — the right response is
+    "resume that shard", not a silent repair that would merge a journal
+    missing its last record.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = path.read_bytes()
+    records: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            raise StoreError(
+                f"{path}: unterminated final record at byte {offset} "
+                f"(crash mid-append) — resume the owning run to repair it"
+            )
+        try:
+            records.append(parse_frame(data[offset:newline]))
+        except ValueError as exc:
+            raise StoreError(
+                f"{path}: damaged record at byte {offset} ({exc})"
+            ) from exc
+        offset = newline + 1
+    return records
+
+
 class Journal:
     """One crc-framed JSONL file with batched, append-only writes."""
 

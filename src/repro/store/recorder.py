@@ -51,6 +51,7 @@ class CampaignRecorder:
         if record is None:
             return None
         self.hits += 1
+        self.store.session_counters["hits"] += 1
         return decode_result(record["result"])
 
     def record(self, key: str, seq: int, k: int, bit: int, params, result) -> None:
@@ -67,6 +68,7 @@ class CampaignRecorder:
             }
         )
         self.misses += 1
+        self.store.session_counters["misses"] += 1
         if self.abort_after is not None and self.misses >= self.abort_after:
             self.store.flush()
             raise CampaignAborted(

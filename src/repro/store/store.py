@@ -30,10 +30,13 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from collections import Counter
+
 from .journal import Journal, StoreError
 from .keys import campaign_identity, digest
 from .recorder import CampaignRecorder
 from .records import decode_rows, encode_rows
+from .shard import ShardSpec, read_shard_file, write_shard_file
 
 FORMAT = "repro-campaign-store-v1"
 
@@ -66,6 +69,11 @@ class CampaignStore:
         self._by_campaign: dict[str, dict[int, dict]] = {}
         self._cells: dict[str, dict] = {}
         self._manifests: dict[str, dict] = {}
+        #: Replay hits / executed misses across every recorder this process
+        #: opened on the store — what a shard run persists for the merge
+        #: tool's per-shard accounting (see :meth:`save_shard_state`).
+        self.session_counters: Counter = Counter()
+        self._shard: ShardSpec | None = read_shard_file(self.root)
         for record in self._manifests_journal.load():
             self._index_manifest(record)
         for record in self._journal.load():
@@ -167,6 +175,44 @@ class CampaignStore:
     def lookup_experiment(self, key: str) -> dict | None:
         return self._experiments.get(key)
 
+    # -- shard assignment ------------------------------------------------------
+
+    def shard_spec(self) -> ShardSpec | None:
+        """This store's stripe of a sharded sweep (``None``: a full store)."""
+        return self._shard
+
+    def set_shard(self, spec: ShardSpec) -> None:
+        """Pin this store as one stripe of a sharded sweep.
+
+        Refuses to reassign an already-pinned store to a different stripe —
+        the journal would interleave two partitions and never merge.
+        """
+        write_shard_file(self.root, spec)
+        self._shard = spec
+
+    def save_shard_state(self) -> None:
+        """Persist this session's hit/miss counters into ``shard.json``.
+
+        The counters are advisory provenance for ``merge``'s per-shard
+        report (the journal itself is the source of truth for records);
+        repeated sessions accumulate.
+        """
+        if self._shard is None:
+            return
+        import json
+
+        path = self.root / "shard.json"
+        data = {"index": self._shard.index, "count": self._shard.count}
+        if path.exists():
+            data = json.loads(path.read_text())
+        counters = Counter(data.get("counters", {}))
+        counters.update(self.session_counters)
+        data["counters"] = dict(counters)
+        _atomic_write_text(path, json.dumps(data, sort_keys=True) + "\n")
+        # Persisted — start the next accumulation window from zero so a
+        # second save in the same session cannot double-count.
+        self.session_counters.clear()
+
     def record_experiment(self, record: dict) -> None:
         self._journal.append(record)
         self._index_record(record)
@@ -226,11 +272,19 @@ class CampaignStore:
     # -- status / resume -------------------------------------------------------
 
     def status_rows(self) -> list[dict]:
-        """One progress row per campaign cell plus per cell-group."""
+        """One progress row per campaign cell plus per cell-group.
+
+        On a shard store, ``planned`` is this stripe's share of the global
+        budget (the manifest pins the whole sweep's budget so merge can
+        check coverage; the shard only ever executes its stripe of it);
+        the global figure rides along as ``global_planned``.
+        """
         rows = []
         for manifest in self._manifests.values():
             done = self.experiment_count(manifest["campaign_key"])
-            planned = manifest["planned"]
+            planned = global_planned = manifest["planned"]
+            if self._shard is not None:
+                planned = self._shard.stripe_size(global_planned)
             if manifest["completed"]:
                 state = "complete"
                 planned = manifest["executed"]
@@ -248,6 +302,7 @@ class CampaignStore:
                     "engine": manifest["engine"],
                     "done": done,
                     "planned": planned,
+                    "global_planned": global_planned,
                     "state": state,
                 }
             )

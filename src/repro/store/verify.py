@@ -1,0 +1,177 @@
+"""``store verify``: integrity-check a campaign store without executing.
+
+Re-walks both journals record by record — crc frames, experiment-key
+uniqueness *and* recomputation (every stored key must equal the sha256 the
+current code derives from ``(campaign, seq, k, bit, params)``), manifest
+registry fingerprints against the live workload registry, and schedule
+coverage (a campaign's seqs must form the exact prefix, or shard stripe, of
+its planned schedule).  Nothing is mutated: damaged journals are *reported*,
+not repaired, so ``verify`` is safe on stores another process may still
+own.  It is also the final gate of :func:`repro.store.merge.merge_shards`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .journal import StoreError, scan_frames
+from .keys import experiment_key
+
+
+@dataclass
+class VerifyReport:
+    """What one store walk found; ``ok`` iff no problems."""
+
+    root: Path
+    problems: list[str] = field(default_factory=list)
+    experiments: int = 0
+    cells: int = 0
+    campaigns: int = 0
+    manifests_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        head = (
+            f"{self.root}: {self.experiments} experiment record(s), "
+            f"{self.cells} cell record(s), {self.campaigns} campaign(s)"
+        )
+        if self.ok:
+            return head + " — OK"
+        return head + " — FAILED\n" + "\n".join(
+            f"  - {p}" for p in self.problems
+        )
+
+
+def verify_store(root: str | Path, registry_check: bool = True) -> VerifyReport:
+    """Walk a store's journals and return a :class:`VerifyReport`.
+
+    ``registry_check=False`` skips the live-registry fingerprint comparison
+    (for inspecting archived stores from older workload registries; every
+    structural check still runs).
+    """
+    from .shard import read_shard_file
+
+    root = Path(root)
+    report = VerifyReport(root=root)
+    marker = root / "STORE"
+    if not marker.exists():
+        report.problems.append(f"no STORE marker: {root} is not a campaign store")
+        return report
+    from .store import FORMAT
+
+    found = marker.read_text().strip()
+    if found != FORMAT:
+        report.problems.append(
+            f"format {found!r} is not this build's {FORMAT!r}"
+        )
+        return report
+
+    try:
+        manifests = scan_frames(root / "manifests.jsonl")
+    except StoreError as exc:
+        report.problems.append(str(exc))
+        manifests = []
+    try:
+        records = scan_frames(root / "journal.jsonl")
+    except StoreError as exc:
+        report.problems.append(str(exc))
+        records = []
+
+    # Manifests: last-wins per campaign; fingerprints against the live code.
+    by_campaign_manifest: dict[str, dict] = {}
+    for manifest in manifests:
+        if manifest.get("kind") != "campaign" or "campaign_key" not in manifest:
+            report.problems.append(
+                f"manifest journal holds a non-campaign record: "
+                f"{sorted(manifest)!r}"
+            )
+            continue
+        by_campaign_manifest[manifest["campaign_key"]] = manifest
+    report.campaigns = len(by_campaign_manifest)
+    report.manifests_checked = len(manifests)
+    if registry_check and by_campaign_manifest:
+        from ..workloads.registry import REGISTRY_VERSION, registry_fingerprint
+
+        live = registry_fingerprint()
+        for key, manifest in by_campaign_manifest.items():
+            if (
+                manifest["registry_version"] != REGISTRY_VERSION
+                or manifest["registry_fingerprint"] != live
+            ):
+                report.problems.append(
+                    f"campaign {key[:12]}: workload registry changed since "
+                    f"recording (version {manifest['registry_version']} -> "
+                    f"{REGISTRY_VERSION}); its results describe different "
+                    f"workloads"
+                )
+
+    # Experiment / cell records: uniqueness, key recomputation, references.
+    seen_keys: set[str] = set()
+    seen_cells: set[str] = set()
+    seqs: dict[str, list[int]] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "experiment":
+            report.experiments += 1
+            key = record["key"]
+            if key in seen_keys:
+                report.problems.append(f"duplicate experiment key {key[:12]}")
+            seen_keys.add(key)
+            campaign = record["campaign"]
+            if campaign not in by_campaign_manifest:
+                report.problems.append(
+                    f"experiment {key[:12]} references unmanifested campaign "
+                    f"{campaign[:12]}"
+                )
+            expected = experiment_key(
+                campaign, record["seq"], record["k"], record["bit"],
+                record["params"],
+            )
+            if expected != key:
+                report.problems.append(
+                    f"experiment at seq {record['seq']} of campaign "
+                    f"{campaign[:12]}: stored key {key[:12]} != recomputed "
+                    f"{expected[:12]} (payload edited?)"
+                )
+            seqs.setdefault(campaign, []).append(record["seq"])
+        elif kind == "cell":
+            report.cells += 1
+            if record["key"] in seen_cells:
+                report.problems.append(
+                    f"duplicate cell key {record['key'][:12]}"
+                )
+            seen_cells.add(record["key"])
+        else:
+            report.problems.append(f"unknown journal record kind {kind!r}")
+
+    # Schedule coverage: seqs must be the exact prefix of this store's share
+    # of the planned schedule — the whole schedule for a full store, the
+    # stripe for a shard store — and complete when the manifest says so.
+    shard = read_shard_file(root)
+    for campaign, manifest in by_campaign_manifest.items():
+        got = sorted(seqs.get(campaign, []))
+        planned = manifest.get("planned") or 0
+        if shard is not None:
+            expected_full = shard.stripe(max(planned, (max(got) + 1) if got else 0))
+        else:
+            expected_full = list(range(max(planned, len(got))))
+        expected = expected_full[: len(got)]
+        if got != expected:
+            report.problems.append(
+                f"campaign {campaign[:12]}: stored seqs are not the "
+                f"schedule {'stripe' if shard else 'prefix'} "
+                f"(first divergence at position "
+                f"{next((i for i, (a, b) in enumerate(zip(got, expected)) if a != b), min(len(got), len(expected)))})"
+            )
+        if manifest.get("completed") and manifest.get("executed") is not None:
+            if len(got) != manifest["executed"]:
+                report.problems.append(
+                    f"campaign {campaign[:12]}: manifest says "
+                    f"{manifest['executed']} executed but journal holds "
+                    f"{len(got)} record(s)"
+                )
+    return report

@@ -52,7 +52,7 @@ def test_record_crash_status_resume_report(tmp_path, capsys):
 
 
 def test_store_commands_require_store(capsys):
-    for verb in ("status", "resume", "report"):
+    for verb in ("status", "resume", "report", "merge", "verify"):
         try:
             main([verb])
         except SystemExit as exc:
@@ -63,4 +63,97 @@ def test_store_commands_require_store(capsys):
         main(["fig11", "--abort-after", "3"])
     except SystemExit as exc:
         assert exc.code == 2
+    capsys.readouterr()
+
+
+def test_shards_flag_rejected_outside_shardable_runs(capsys, tmp_path):
+    for argv in (
+        ["fig10", "--shards", "2"],  # not a shardable experiment
+        ["fig11", "--scale", "smoke", "--shards", "2"],  # no --store
+        ["perf", "--shards", "0/4"],  # perf only takes a count
+        ["fig11", "--store", str(tmp_path / "s"), "--shards", "5/4"],
+    ):
+        try:
+            main(argv)
+        except SystemExit as exc:
+            assert exc.code == 2, argv
+        else:  # pragma: no cover
+            raise AssertionError(f"expected SystemExit for {argv}")
+    capsys.readouterr()
+
+
+def test_sharded_cli_run_merges_byte_identically(tmp_path, capsys):
+    base = ["fig11", "--scale", "smoke", "--benchmark", "chebyshev"]
+    serial = tmp_path / "serial"
+    assert main(base + ["--store", str(serial), "--shards", "1"]) == 0
+    capsys.readouterr()
+
+    # `--shards 4` forks four shard runs, merges, and rebuilds the report.
+    parent = tmp_path / "cluster"
+    serial_dir = tmp_path / "serial_json"
+    cluster_dir = tmp_path / "cluster_json"
+    assert (
+        main(base + ["--store", str(parent), "--shards", "4",
+                     "--json-dir", str(cluster_dir)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "4 simulated hosts" in out
+
+    for name in ("journal.jsonl", "manifests.jsonl"):
+        assert (parent / "merged" / name).read_bytes() == (
+            serial / name
+        ).read_bytes(), name
+
+    # `status --store <parent>` shows per-shard stripes and combined totals.
+    assert main(["status", "--store", str(parent)]) == 0
+    out = capsys.readouterr().out
+    assert "0/4" in out and "3/4" in out and "complete" in out
+
+    # `verify` walks every shard plus the merged store.
+    assert main(["verify", "--store", str(parent)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") >= 5
+
+    # The report rebuilt from the merged journal matches the serial one.
+    assert (
+        main(["report", "--store", str(serial),
+              "--json-dir", str(serial_dir)])
+        == 0
+    )
+    capsys.readouterr()
+    assert _rows(cluster_dir / "fig11.json") == _rows(serial_dir / "fig11.json")
+
+
+def test_merge_verb_and_shard_facet(tmp_path, capsys):
+    base = ["fig11", "--scale", "smoke", "--benchmark", "chebyshev"]
+    parent = tmp_path / "sweep"
+
+    # Run each stripe separately via the `i/N` facet (one "host" each)...
+    for spec in ("0/2", "1/2"):
+        assert main(base + ["--store", str(parent), "--shards", spec]) == 0
+        capsys.readouterr()
+
+    # ...report on the unmerged parent points at `merge` first...
+    assert main(["report", "--store", str(parent)]) == 3
+    assert "merge --store" in capsys.readouterr().err
+
+    # ...and the merge verb assembles + verifies the serial journal.
+    assert main(["merge", "--store", str(parent)]) == 0
+    out = capsys.readouterr().out
+    assert "Merged 2 shard(s)" in out and "verify: OK" in out
+
+    # A torn shard tail flips verify and merge to exit 3; a parent-level
+    # resume repairs it and the re-merge succeeds.
+    journal = parent / "shard-1" / "journal.jsonl"
+    good = journal.read_bytes()
+    journal.write_bytes(good[:-9])
+    assert main(["verify", "--store", str(parent)]) == 3
+    capsys.readouterr()
+    assert main(["merge", "--store", str(parent)]) == 3
+    assert "shard 1/2" in capsys.readouterr().err
+    assert main(["resume", "--store", str(parent)]) == 0
+    capsys.readouterr()
+    assert journal.read_bytes() == good
+    assert main(["merge", "--store", str(parent)]) == 0
     capsys.readouterr()

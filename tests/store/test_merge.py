@@ -1,0 +1,183 @@
+"""``store merge`` refuses anything that would not reassemble the serial
+journal: torn shards, mixed partitionings, missing or overlapping stripes,
+mismatched manifests, incomplete shards.  Happy-path byte-identity lives in
+``test_cluster.py``."""
+
+import json
+import shutil
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import CampaignConfig, FaultInjector, run_campaigns
+from repro.store import (
+    CampaignAborted,
+    CampaignStore,
+    ShardSpec,
+    StoreError,
+    merge_shards,
+    shard_dir,
+)
+from repro.store.journal import frame, scan_frames
+from repro.workloads import get_workload
+
+_CONFIG = CampaignConfig(
+    experiments_per_campaign=6,
+    max_campaigns=2,
+    min_campaigns=2,
+    require_normality=False,
+    margin_target=0.0,
+)
+_SEED = 1234
+
+
+def _run_shard(store, shard, seed=_SEED, abort_after=None):
+    w = get_workload("vcopy")
+    injector = FaultInjector(
+        w.compile("avx"), category="pure-data", engine="direct"
+    )
+    recorder = store.recorder(
+        experiment="test",
+        cell={"benchmark": "vcopy"},
+        scale="custom",
+        injector=injector,
+        seed=seed,
+        config=asdict(_CONFIG),
+        planned=12,
+        abort_after=abort_after,
+    )
+    return run_campaigns(
+        injector, w.runner_factory(), _CONFIG, seed=seed,
+        recorder=recorder, shard=shard,
+    )
+
+
+def _build_sweep(parent, count=2, seed=_SEED):
+    for i in range(count):
+        store = CampaignStore(shard_dir(parent, i))
+        spec = ShardSpec(i, count)
+        store.set_shard(spec)
+        _run_shard(store, spec, seed=seed)
+        store.save_shard_state()
+        store.close()
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    parent = tmp_path_factory.mktemp("sweep") / "parent"
+    _build_sweep(parent)
+    return parent
+
+
+@pytest.fixture
+def parent(sweep, tmp_path):
+    """A private mutable copy of the pristine 2-way sweep."""
+    copy = tmp_path / "parent"
+    shutil.copytree(sweep, copy)
+    return copy
+
+
+def test_merge_happy_path_is_idempotent(parent):
+    report = merge_shards(parent)
+    assert report.verify.ok
+    assert report.records == 12
+    assert "Merged 2 shard(s)" in report.render()
+    first = (parent / "merged" / "journal.jsonl").read_bytes()
+    # Re-merging overwrites the existing merged store with identical bytes.
+    merge_shards(parent)
+    assert (parent / "merged" / "journal.jsonl").read_bytes() == first
+
+
+def test_refuses_plain_store_and_empty_parent(parent, tmp_path):
+    with pytest.raises(StoreError, match="itself a campaign store"):
+        merge_shards(parent / "shard-0")
+    with pytest.raises(StoreError, match="no shard-"):
+        merge_shards(tmp_path / "empty")
+
+
+def test_refuses_shard_without_shard_json(parent):
+    (parent / "shard-1" / "shard.json").unlink()
+    with pytest.raises(StoreError, match="no shard.json"):
+        merge_shards(parent)
+
+
+def test_refuses_torn_shard_journal(parent):
+    path = parent / "shard-0" / "journal.jsonl"
+    path.write_bytes(path.read_bytes()[:-9])
+    with pytest.raises(StoreError, match="shard 0/2.*resume the owning run"):
+        merge_shards(parent)
+
+
+def test_refuses_count_disagreement(parent):
+    (parent / "shard-1" / "shard.json").write_text(
+        json.dumps({"index": 1, "count": 3}) + "\n"
+    )
+    with pytest.raises(StoreError, match="disagree on the shard count"):
+        merge_shards(parent)
+
+
+def test_refuses_mislabeled_stripe(parent):
+    # shard-1's store claims stripe 0/2: caught before any record checks.
+    shutil.rmtree(parent / "shard-0")
+    (parent / "shard-1").rename(parent / "shard-0")
+    with pytest.raises(StoreError, match="mislabeled stripe"):
+        merge_shards(parent)
+
+
+def test_refuses_missing_stripe(parent):
+    shutil.rmtree(parent / "shard-1")
+    with pytest.raises(StoreError, match="missing shard store"):
+        merge_shards(parent)
+
+
+def test_refuses_overlapping_stripes(parent):
+    # shard-1 replaced by a copy of shard-0's records: every seq it holds
+    # belongs to stripe 0/2.
+    for name in ("journal.jsonl", "manifests.jsonl"):
+        shutil.copy(parent / "shard-0" / name, parent / "shard-1" / name)
+    with pytest.raises(StoreError, match="overlapping key ranges"):
+        merge_shards(parent)
+
+
+def test_refuses_different_sweeps(parent):
+    # Re-run shard-1's stripe under a different seed: different campaign
+    # keys, so the stripes cannot be one sweep.
+    shutil.rmtree(parent / "shard-1")
+    store = CampaignStore(shard_dir(parent, 1))
+    spec = ShardSpec(1, 2)
+    store.set_shard(spec)
+    _run_shard(store, spec, seed=_SEED + 1)
+    store.close()
+    with pytest.raises(StoreError, match="different campaign sets"):
+        merge_shards(parent)
+
+
+def test_refuses_registry_fingerprint_mismatch(parent):
+    path = parent / "shard-1" / "manifests.jsonl"
+    records = scan_frames(path)
+    for record in records:
+        record["registry_fingerprint"] = "f" * 64
+    path.write_bytes(b"".join(frame(r) for r in records))
+    with pytest.raises(StoreError, match="different workload registries"):
+        merge_shards(parent)
+
+
+def test_refuses_incomplete_shard(parent):
+    shutil.rmtree(parent / "shard-1")
+    store = CampaignStore(shard_dir(parent, 1))
+    spec = ShardSpec(1, 2)
+    store.set_shard(spec)
+    with pytest.raises(CampaignAborted):
+        _run_shard(store, spec, abort_after=2)
+    store.close()
+    with pytest.raises(StoreError, match="incomplete.*resume that shard"):
+        merge_shards(parent)
+
+
+def test_refuses_nonempty_out_dir(parent, tmp_path):
+    out = tmp_path / "occupied"
+    out.mkdir()
+    (out / "precious.txt").write_text("keep me\n")
+    with pytest.raises(StoreError, match="refusing to merge into it"):
+        merge_shards(parent, out=out)
+    assert (out / "precious.txt").read_text() == "keep me\n"

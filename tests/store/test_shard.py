@@ -1,0 +1,128 @@
+"""ShardSpec arithmetic, shard.json pinning, and `store verify`."""
+
+import pytest
+
+from repro.store import (
+    CampaignStore,
+    ShardSpec,
+    StoreError,
+    find_shard_dirs,
+    is_shard_parent,
+    parse_shards,
+    shard_dir,
+    verify_store,
+)
+from repro.store.journal import Journal
+from repro.store.shard import read_shard_file, write_shard_file
+
+
+def test_stripe_partitions_every_schedule():
+    for count in (1, 2, 3, 4, 7):
+        for total in (0, 1, 5, 12, 100):
+            stripes = [ShardSpec(i, count).stripe(total) for i in range(count)]
+            flat = sorted(seq for stripe in stripes for seq in stripe)
+            assert flat == list(range(total)), (count, total)
+            for i, stripe in enumerate(stripes):
+                spec = ShardSpec(i, count)
+                assert len(stripe) == spec.stripe_size(total)
+                assert all(spec.owns(seq) for seq in stripe)
+                assert not any(
+                    spec.owns(seq) for seq in range(total) if seq not in stripe
+                )
+
+
+def test_parse_shards():
+    assert parse_shards("3") == 3
+    assert parse_shards("1") == 1
+    assert parse_shards("2/4") == ShardSpec(2, 4)
+    assert parse_shards(" 0/1 ") == ShardSpec(0, 1)
+    for bad in ("0", "-1", "x", "1/x", "4/4", "2/1", ""):
+        with pytest.raises(StoreError):
+            parse_shards(bad)
+
+
+def test_shard_file_pins_the_stripe(tmp_path):
+    assert read_shard_file(tmp_path) is None
+    write_shard_file(tmp_path, ShardSpec(1, 4))
+    assert read_shard_file(tmp_path) == ShardSpec(1, 4)
+    # Re-pinning the same stripe is idempotent; a different one refuses.
+    write_shard_file(tmp_path, ShardSpec(1, 4))
+    with pytest.raises(StoreError, match="refusing"):
+        write_shard_file(tmp_path, ShardSpec(2, 4))
+
+
+def test_store_set_shard_refuses_reassignment(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    store.set_shard(ShardSpec(0, 2))
+    assert store.shard_spec() == ShardSpec(0, 2)
+    with pytest.raises(StoreError):
+        store.set_shard(ShardSpec(1, 2))
+    store.close()
+    # The pin survives reopening.
+    reopened = CampaignStore(tmp_path / "s")
+    assert reopened.shard_spec() == ShardSpec(0, 2)
+    reopened.close()
+
+
+def test_shard_parent_discovery(tmp_path):
+    assert not is_shard_parent(tmp_path)
+    for i in (1, 0):
+        CampaignStore(shard_dir(tmp_path, i)).close()
+    (tmp_path / "shard-x").mkdir()  # not a shard dir
+    assert is_shard_parent(tmp_path)
+    assert [p.name for p in find_shard_dirs(tmp_path)] == ["shard-0", "shard-1"]
+    # A directory that is itself a store is not a parent.
+    store = CampaignStore(tmp_path / "plain")
+    store.close()
+    assert not is_shard_parent(tmp_path / "plain")
+
+
+def test_verify_empty_and_foreign(tmp_path):
+    assert not verify_store(tmp_path / "nowhere").ok
+    store = CampaignStore(tmp_path / "s")
+    store.close()
+    report = verify_store(tmp_path / "s")
+    assert report.ok and report.experiments == 0
+
+
+def test_verify_rejects_edited_payload(tmp_path):
+    """A journal record whose content was altered fails key recomputation."""
+    from repro.store.journal import frame, parse_frame
+
+    store = CampaignStore(tmp_path / "s")
+    store.close()
+    journal = tmp_path / "s" / "journal.jsonl"
+    # Hand-frame a record whose stored key does not match its content.
+    record = {
+        "kind": "experiment",
+        "key": "0" * 64,
+        "campaign": "c" * 64,
+        "seq": 0,
+        "k": 1,
+        "bit": 0,
+        "params": None,
+        "result": {"outcome": "benign"},
+    }
+    journal.write_bytes(frame(record))
+    assert parse_frame(journal.read_bytes()[:-1]) == record  # crc intact
+    report = verify_store(tmp_path / "s")
+    assert not report.ok
+    assert any("recomputed" in p for p in report.problems)
+    assert any("unmanifested" in p for p in report.problems)
+
+
+def test_verify_refuses_torn_tail_without_repair(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    journal = Journal(tmp_path / "s" / "journal.jsonl")
+    journal.append({"kind": "cell", "key": "k1", "experiment": "t", "scale": "s",
+                    "cell": {}, "rows": []})
+    journal.close()
+    store.close()
+    path = tmp_path / "s" / "journal.jsonl"
+    before = path.read_bytes()
+    path.write_bytes(before[:-7])
+    report = verify_store(tmp_path / "s")
+    assert not report.ok
+    assert any("resume the owning run" in p for p in report.problems)
+    # verify never mutates: the torn bytes are still there.
+    assert path.read_bytes() == before[:-7]
