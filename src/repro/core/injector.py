@@ -270,6 +270,28 @@ class FaultInjector:
             )
         return sites
 
+    def engine_identity(self) -> dict:
+        """The result-determining engine fields, as a plain dict.
+
+        Everything that (together with a campaign seed and config) fixes
+        the experiment stream: pristine-module content hash, engine, site
+        category, step limit, and mask policy.  ``checkpoint_interval`` is
+        deliberately absent — checkpointing is proven bit-identical to
+        full replay, so two injectors differing only there are
+        interchangeable.  This is both the campaign-store key prefix (see
+        :func:`repro.store.keys.campaign_identity`) and the cache key the
+        campaign service shares warm engines under across tenants.
+        """
+        from ..store.keys import module_fingerprint
+
+        return {
+            "module": module_fingerprint(self.source_module),
+            "engine": self.engine,
+            "category": self.category,
+            "step_limit": self.step_limit,
+            "respect_masks": self.respect_masks,
+        }
+
     def worker_payload(self) -> dict:
         """Constructor kwargs for rebuilding this injector in a worker."""
         if not self._cloned:

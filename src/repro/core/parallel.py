@@ -19,6 +19,7 @@ schedule generator they overlap with worker faulty runs.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable
@@ -233,6 +234,138 @@ class SweepCell:
 
     def close(self) -> None:
         """No-op: the owning :class:`SweepPool` manages worker lifetime."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A by-name recipe for one campaign cell's execution engine.
+
+    Unlike :class:`WorkerContext` — which ships the pickled module itself —
+    a spec is a few strings: workers rebuild the module by compiling the
+    named registry workload locally (compilation and site enumeration are
+    deterministic, so the rebuilt engine is bit-identical to the parent's).
+    That makes specs cheap enough to ride along with *every* task, which is
+    what lets one persistent pool serve campaigns that did not exist when
+    the pool forked: a worker receiving a spec it has never seen builds the
+    engine once, caches it, and every later campaign on the same spec —
+    any tenant, any seed — reuses it warm.
+    """
+
+    workload: str
+    target: str
+    category: str
+    engine: str = "direct"
+    step_limit: int = 2_000_000
+    respect_masks: bool = True
+    checkpoint_interval: int | None = None
+
+
+def _spec_context(spec: EngineSpec) -> WorkerContext:
+    """Build a :class:`WorkerContext` from a by-name spec (worker side)."""
+    from ..workloads.registry import build_runner, get_workload
+
+    module = get_workload(spec.workload).compile(spec.target)
+    return WorkerContext(
+        injector={
+            "module": module,
+            "category": spec.category,
+            "step_limit": spec.step_limit,
+            "respect_masks": spec.respect_masks,
+            "engine": spec.engine,
+            "checkpoint_interval": spec.checkpoint_interval,
+        },
+        make_runner=functools.partial(build_runner, spec.workload),
+    )
+
+
+#: Service-mode worker state: engines built on first use and kept warm for
+#: every later campaign with the same spec (the handoff the campaign
+#: service's warm-submission speedup rests on).  Maps EngineSpec ->
+#: _WorkerEngine; lives for the worker process's whole life.
+_service_engines: dict = {}
+
+
+def _run_service_task(keyed_task) -> ExperimentResult:
+    spec, task = keyed_task
+    engine = _service_engines.get(spec)
+    if engine is None:
+        engine = _service_engines[spec] = _WorkerEngine(_spec_context(spec))
+    return engine.run_task(task)
+
+
+def _warm_service_engine(spec: EngineSpec) -> bool:
+    """Pre-build one worker's engine for ``spec``; True if it was cold."""
+    if spec in _service_engines:
+        return False
+    _service_engines[spec] = _WorkerEngine(_spec_context(spec))
+    return True
+
+
+class ServicePool:
+    """One persistent worker pool shared by every campaign of a service.
+
+    The sweep pool forks with all cell contexts known upfront; a service
+    cannot know its future submissions, so its pool forks *empty* and
+    workers build engines lazily from the :class:`EngineSpec` riding along
+    with each task, keeping them cached across campaigns and tenants.
+    Concurrent ``imap`` calls from different scheduler threads are safe —
+    ``multiprocessing.Pool`` serializes its task queue — and results of
+    each campaign still stream back in that campaign's schedule order.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self._pool = multiprocessing.get_context().Pool(processes=jobs)
+
+    def cell(self, spec: EngineSpec) -> "ServiceCell":
+        return ServiceCell(self, spec)
+
+    def imap_spec(
+        self, spec: EngineSpec, schedule, chunksize: int = DEFAULT_CHUNKSIZE
+    ):
+        return self._pool.imap(
+            _run_service_task, ((spec, task) for task in schedule), chunksize
+        )
+
+    def prewarm(self, spec: EngineSpec) -> int:
+        """Build ``spec``'s engine in every worker; returns cold builds.
+
+        Best-effort: ``map`` hands the batch to whichever workers are
+        free, so a busy pool may warm fewer than ``jobs`` processes — the
+        stragglers build on first task instead, which is correct, just
+        colder.
+        """
+        return sum(
+            self._pool.map(_warm_service_engine, [spec] * self.jobs, chunksize=1)
+        )
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ServicePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()
+
+
+class ServiceCell:
+    """One campaign's pool-compatible view of a :class:`ServicePool`."""
+
+    def __init__(self, pool: ServicePool, spec: EngineSpec):
+        self._pool = pool
+        self.spec = spec
+
+    def imap(self, schedule, chunksize: int = DEFAULT_CHUNKSIZE):
+        return self._pool.imap_spec(self.spec, schedule, chunksize)
+
+    def close(self) -> None:
+        """No-op: the owning :class:`ServicePool` manages worker lifetime."""
 
 
 def draw_experiment(

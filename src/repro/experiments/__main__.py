@@ -16,6 +16,10 @@ Usage::
     python -m repro.experiments fig11 --store sweep/ --shards 4    # simulated cluster
     python -m repro.experiments merge --store sweep/   # shards -> serial journal
     python -m repro.experiments verify --store DIR     # integrity check, no execution
+    python -m repro.experiments serve --store DIR      # multi-tenant campaign daemon
+    python -m repro.experiments submit --workload vcopy --category pure-data
+    python -m repro.experiments watch --campaign KEY   # stream SSE progress
+    python -m repro.experiments status --store DIR --json  # machine-readable rows
 
 ``--shards i/N`` runs stripe ``i`` of an N-way partition of the campaign
 schedule into its own store at ``<store>/shard-i/`` — run the N stripes on
@@ -67,6 +71,11 @@ from . import EXPERIMENTS
 #: CLI verbs that operate on an existing store instead of running anything.
 STORE_COMMANDS = ("status", "resume", "report", "merge", "verify")
 
+#: CLI verbs for the campaign service (see :mod:`repro.service`):
+#: ``serve`` runs the daemon, ``submit`` posts one campaign (or runs it
+#: in-process with ``--local``), ``watch`` tails a campaign's SSE stream.
+SERVICE_COMMANDS = ("serve", "submit", "watch")
+
 #: Experiments that accept ``--shards`` (campaign sweeps; the memoized
 #: table experiments have no schedule to stripe).
 SHARDABLE = ("fig11", "fig12", "perf")
@@ -74,7 +83,10 @@ SHARDABLE = ("fig11", "fig12", "perf")
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
-    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all", *STORE_COMMANDS])
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", *STORE_COMMANDS, *SERVICE_COMMANDS],
+    )
     parser.add_argument("--scale", choices=("smoke", "quick", "full"), default="quick")
     parser.add_argument(
         "--benchmark",
@@ -146,6 +158,62 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="output store directory for merge (default: <store>/merged)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output for status/report (the same schema "
+        "the campaign service streams over SSE and serves at /v1/status)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="campaign service address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765, help="campaign service port"
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="serve: campaigns executing at once (queued beyond that)",
+    )
+    parser.add_argument(
+        "--workload", default=None, help="submit: registry workload name"
+    )
+    parser.add_argument(
+        "--category", default="pure-data", help="submit: fault-site category"
+    )
+    parser.add_argument(
+        "--target", default="avx", help="submit: ISA target (avx|sse)"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="submit: campaign seed (default: the fig11 cell seed, so the "
+        "journal matches a CLI fig11 run of the same cell)",
+    )
+    parser.add_argument("--tenant", default="cli", help="submit: tenant name")
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=1,
+        help="submit: weighted-fair share under contention (1-16)",
+    )
+    parser.add_argument(
+        "--local",
+        action="store_true",
+        help="submit: run the campaign in this process against --store "
+        "(no daemon; the cold baseline the service benchmark compares to)",
+    )
+    parser.add_argument(
+        "--campaign", default=None, metavar="KEY", help="watch: campaign key"
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="submit: stream the campaign's events after submitting",
+    )
     args = parser.parse_args(argv)
     if args.no_checkpoints and args.checkpoint_interval is not None:
         parser.error("--no-checkpoints conflicts with --checkpoint-interval")
@@ -160,6 +228,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"{args.experiment} requires --store DIR")
     if args.abort_after is not None and args.store is None:
         parser.error("--abort-after requires --store")
+
+    if args.experiment in SERVICE_COMMANDS:
+        if args.experiment == "serve" and args.store is None:
+            parser.error("serve requires --store DIR")
+        if args.experiment == "submit" and args.workload is None:
+            parser.error("submit requires --workload NAME")
+        if args.experiment == "submit" and args.local and args.store is None:
+            parser.error("submit --local requires --store DIR")
+        if args.experiment == "watch" and args.campaign is None:
+            parser.error("watch requires --campaign KEY")
+        if args.experiment == "serve":
+            return _serve(args)
+        if args.experiment == "submit":
+            return _submit(args)
+        return _watch(args)
 
     shards = None
     if args.shards is not None:
@@ -239,7 +322,14 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.experiment == "status":
-            print(store.render_status())
+            if args.json:
+                import json as _json
+
+                from ..service.protocol import status_payload
+
+                print(_json.dumps(status_payload(store), indent=2))
+            else:
+                print(store.render_status())
             return 0
         if args.experiment == "report":
             return _report_from_store(store, args)
@@ -479,8 +569,125 @@ def _report_from_store(store, args) -> int:
             print(f"skipping unknown stored experiment {name!r}", file=sys.stderr)
             continue
         report = rebuild_report(store, name)
-        _emit(name, report, args)
-        print()
+        if args.json:
+            # Exactly the daemon's /v1/report?format=json body: the CLI
+            # and the service are byte-interchangeable report sources.
+            print(report.to_json())
+            if args.json_dir:
+                args.json_dir.mkdir(parents=True, exist_ok=True)
+                report.save(args.json_dir / f"{name}.json")
+        else:
+            _emit(name, report, args)
+            print()
+    return 0
+
+
+# -- campaign service verbs ----------------------------------------------------
+
+
+def _serve(args) -> int:
+    """``serve``: run the multi-tenant campaign daemon until interrupted."""
+    from ..service import CampaignService
+
+    service = CampaignService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs if args.jobs > 1 else 0,
+        max_concurrent=args.max_concurrent,
+    )
+    service.serve_forever()
+    return 0
+
+
+def _submission_payload(args) -> dict:
+    payload = {
+        "workload": args.workload,
+        "target": args.target,
+        "category": args.category,
+        "engine": args.engine or "direct",
+        "scale": args.scale,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    return payload
+
+
+def _submit(args) -> int:
+    import json as _json
+
+    if args.local:
+        return _submit_local(args)
+    from ..service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        ack = client.submit(**_submission_payload(args))
+    except (ServiceUnavailable, ValueError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 3
+    print(_json.dumps(ack, indent=2))
+    if args.watch and not ack.get("cached"):
+        return _stream_events(client, ack["campaign"])
+    return 0
+
+
+def _submit_local(args) -> int:
+    """``submit --local``: one campaign, this process, no daemon.
+
+    The service benchmark's cold baseline: pays interpreter start-up,
+    compilation, and an empty golden cache on every invocation — exactly
+    what a warm daemon amortises away.
+    """
+    from ..service.protocol import BadSubmission, normalize_submission
+    from ..service.workers import EngineCache, execute_submission
+    from ..store import CampaignStore
+
+    try:
+        sub = normalize_submission(_submission_payload(args))
+    except BadSubmission as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 3
+    store = CampaignStore(args.store)
+    try:
+        summary = execute_submission(
+            store, sub, pool=None, engines=EngineCache(), emit=lambda e: None
+        )
+    finally:
+        store.close()
+    totals = summary.totals
+    print(
+        f"{sub.workload}/{sub.target}/{sub.category}: {totals.total} "
+        f"experiments (sdc={totals.sdc} benign={totals.benign} "
+        f"crash={totals.crash}), converged={summary.converged}"
+    )
+    return 0
+
+
+def _watch(args) -> int:
+    from ..service import ServiceClient
+
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    return _stream_events(client, args.campaign)
+
+
+def _stream_events(client, key: str) -> int:
+    import json as _json
+
+    from ..service import ServiceUnavailable
+
+    try:
+        for name, payload in client.events(key):
+            print(_json.dumps({"event": name, **payload}))
+            if name == "failed":
+                return 3
+    except ServiceUnavailable as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

@@ -1,0 +1,214 @@
+"""A blocking client for the campaign daemon (stdlib ``http.client``).
+
+Used by the ``submit`` / ``watch`` CLI verbs, the load generator, and the
+tests.  One method per endpoint; :meth:`ServiceClient.events` turns the
+SSE stream into a generator of ``(event_name, payload)`` pairs, and
+:meth:`ServiceClient.run` is the submit-and-wait convenience the load
+generator times.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from ..errors import ReproError
+
+
+class ServiceUnavailable(ReproError):
+    """The daemon is unreachable, or it refused the request (429/5xx)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One tenant's view of a campaign daemon at ``host:port``.
+
+    Each request opens a fresh connection (the daemon serves one request
+    per connection), so a client object is safe to share across threads.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        tenant: str = "anonymous",
+        timeout: float = 60.0,
+    ):
+        self.host, self.port = host, port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- raw HTTP --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            conn.close()
+            raise ServiceUnavailable(
+                f"campaign service at {self.host}:{self.port} unreachable: "
+                f"{exc}"
+            ) from exc
+        conn.close()
+        if response.status >= 500:
+            raise ServiceUnavailable(
+                data.decode(errors="replace"), status=response.status
+            )
+        try:
+            decoded = json.loads(data)
+        except json.JSONDecodeError:
+            decoded = {"raw": data.decode(errors="replace")}
+        return response.status, decoded
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> dict:
+        status, payload = self._request("GET", "/v1/health")
+        if status != 200:
+            raise ServiceUnavailable(str(payload), status=status)
+        return payload
+
+    def submit(self, **submission) -> dict:
+        """Submit one campaign; returns the ack payload.
+
+        Raises :class:`ServiceUnavailable` on backpressure (429) with
+        ``status`` set, and ``ValueError`` on a rejected submission (400).
+        """
+        submission.setdefault("tenant", self.tenant)
+        status, payload = self._request("POST", "/v1/campaigns", submission)
+        if status == 429:
+            raise ServiceUnavailable(payload.get("error", "backpressure"), 429)
+        if status == 400:
+            raise ValueError(payload.get("error", "bad submission"))
+        return payload
+
+    def status(self) -> dict:
+        status, payload = self._request("GET", "/v1/status")
+        if status != 200:
+            raise ServiceUnavailable(str(payload), status=status)
+        return payload
+
+    def campaign(self, key: str) -> dict:
+        status, payload = self._request("GET", f"/v1/campaigns/{key}")
+        if status == 404:
+            raise KeyError(key)
+        return payload
+
+    def report(self, name: str = "fig11", format: str = "json") -> str:
+        """The rebuilt report, as raw text (JSON or rendered table)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/report?name={name}&format={format}")
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        if response.status != 200:
+            raise ServiceUnavailable(
+                data.decode(errors="replace"), status=response.status
+            )
+        return data.decode()
+
+    def events(self, key: str, timeout: float | None = None):
+        """Stream one campaign's SSE events as ``(name, payload)`` pairs.
+
+        The generator ends when the daemon closes the stream (campaign
+        finished, or it was already complete — a lone ``snapshot``).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/campaigns/{key}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceUnavailable(
+                    response.read().decode(errors="replace"),
+                    status=response.status,
+                )
+            name, data_lines = None, []
+            for raw in response:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and (name or data_lines):
+                    yield name or "message", json.loads(
+                        "\n".join(data_lines) or "{}"
+                    )
+                    name, data_lines = None, []
+        finally:
+            conn.close()
+
+    # -- conveniences ----------------------------------------------------------
+
+    def run(self, poll: float = 0.02, **submission) -> dict:
+        """Submit and wait for completion; returns the final status row.
+
+        Also records ``first_result_latency``: seconds from submission to
+        the first progress/complete event — the p99 the load generator
+        floors.  Retries submission on backpressure with linear backoff.
+        """
+        t0 = time.monotonic()
+        while True:
+            try:
+                ack = self.submit(**submission)
+                break
+            except ServiceUnavailable as exc:
+                if exc.status != 429:
+                    raise
+                time.sleep(poll)
+        key = ack["campaign"]
+        first_result = None
+        final: dict = {}
+        if ack.get("cached"):
+            first_result = time.monotonic() - t0
+            final = ack.get("row", {})
+        else:
+            for name, payload in self.events(key):
+                if name in ("progress", "complete", "snapshot"):
+                    if first_result is None and (
+                        payload.get("done") or name == "complete"
+                    ):
+                        first_result = time.monotonic() - t0
+                if name == "failed":
+                    raise ReproError(
+                        f"campaign {key[:12]} failed: {payload.get('error')}"
+                    )
+                if name == "complete":
+                    final = payload
+            if first_result is None:
+                first_result = time.monotonic() - t0
+        return {
+            "campaign": key,
+            "cached": bool(ack.get("cached")),
+            "elapsed": time.monotonic() - t0,
+            "first_result_latency": first_result,
+            "final": final,
+        }
+
+    def wait_ready(self, timeout: float = 10.0, poll: float = 0.05) -> dict:
+        """Block until the daemon answers ``/v1/health`` (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

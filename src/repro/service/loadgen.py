@@ -1,0 +1,207 @@
+"""The service load generator: N concurrent clients x M campaigns each.
+
+Measures the three numbers the campaign service exists to improve and
+that ``benchmarks/test_perf_campaign.py`` floors:
+
+* **warm campaigns/sec** — distinct micro-workload campaigns completed
+  per second through one warm daemon (shared forked pool, warm parent
+  engines, primed golden caches);
+* **cold campaigns/sec** — the same campaigns run the pre-service way:
+  one fresh CLI process per campaign (``submit --local`` in a pristine
+  store), at the same client concurrency.  Every run pays interpreter
+  start-up, module compilation, and golden-cache misses from zero — the
+  costs the daemon amortises;
+* **p99 submission-to-first-result** — wall time from POSTing a
+  submission to the first SSE progress event carrying a result.
+
+Campaigns are distinct (unique seeds), so nothing is served from the
+memoization cache — the warm numbers measure warm *execution*, not
+cache hits.  A non-measured warm-up round builds each spec's engine
+first, so the timed phase sees the steady state a long-running daemon
+lives in.
+"""
+
+from __future__ import annotations
+
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from .client import ServiceClient
+from .server import CampaignService
+
+#: Micro workloads: tiny vectors, instant campaigns — the bench measures
+#: service overhead and warm-engine reuse, not injection throughput.
+MICRO_WORKLOADS = ("vcopy", "dot_product", "vector_sum")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _submissions(clients: int, per_client: int, scale: str) -> list[list[dict]]:
+    """Each client's distinct submissions (unique seeds; cycled specs)."""
+    plans = []
+    for c in range(clients):
+        plan = []
+        for m in range(per_client):
+            i = c * per_client + m
+            plan.append(
+                {
+                    "workload": MICRO_WORKLOADS[i % len(MICRO_WORKLOADS)],
+                    "category": "pure-data",
+                    "engine": "direct",
+                    "scale": scale,
+                    "seed": 77_000 + i,
+                }
+            )
+        plans.append(plan)
+    return plans
+
+
+def _run_cold(submissions: list[dict], clients: int, root: Path) -> dict:
+    """The baseline: every campaign in its own fresh CLI process + store."""
+    src = str(Path(__file__).resolve().parents[2])
+
+    def one(i_sub):
+        i, sub = i_sub
+        store = root / f"cold{i}"
+        t0 = time.monotonic()
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments", "submit", "--local",
+                "--workload", sub["workload"],
+                "--category", sub["category"],
+                "--seed", str(sub["seed"]),
+                "--scale", sub["scale"],
+                "--store", str(store),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"cold run failed: {proc.stderr[-500:]}")
+        return time.monotonic() - t0
+
+    t0 = time.monotonic()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        latencies = list(pool.map(one, enumerate(submissions)))
+    elapsed = time.monotonic() - t0
+    return {
+        "campaigns": len(submissions),
+        "elapsed_s": elapsed,
+        "campaigns_per_sec": len(submissions) / elapsed,
+        "mean_latency_s": statistics.fmean(latencies),
+    }
+
+
+def service_bench(
+    clients: int = 8,
+    campaigns_per_client: int = 4,
+    scale: str = "smoke",
+    jobs: int = 0,
+    cold_sample: int | None = None,
+    max_concurrent: int = 8,
+) -> dict:
+    """Run the full warm-vs-cold load test; returns the results dict.
+
+    ``jobs=0`` (default) runs daemon campaigns serially on their runner
+    threads — for micro workloads the forked pool's IPC costs more than
+    the experiments, and the bench's contract is about service overhead.
+    ``cold_sample`` bounds how many cold CLI runs the baseline pays for
+    (default: one per client); the cold rate extrapolates per campaign.
+    """
+    plans = _submissions(clients, campaigns_per_client, scale)
+    flat = [sub for plan in plans for sub in plan]
+    with tempfile.TemporaryDirectory(prefix="service-bench-") as tmp:
+        root = Path(tmp)
+
+        # -- cold baseline: fresh process + fresh store per campaign -----------
+        sample = flat[: (cold_sample or clients)]
+        cold = _run_cold(sample, clients, root)
+
+        # -- warm service ------------------------------------------------------
+        service = CampaignService(
+            root / "store",
+            port=0,
+            jobs=jobs,
+            max_concurrent=max_concurrent,
+            max_pending=max(256, len(flat) + clients),
+            durable=True,
+        )
+        thread = threading.Thread(
+            target=service.serve_forever, kwargs={"quiet": True}, daemon=True
+        )
+        thread.start()
+        if not service.ready.wait(timeout=30):
+            raise RuntimeError("campaign service failed to start")
+        try:
+            warmup_client = ServiceClient(
+                port=service.port, tenant="warmup", timeout=120
+            )
+            warmup_client.wait_ready()
+
+            # Warm-up, not timed: one concurrent campaign per client slot,
+            # cycling the specs — builds enough parent engines that the
+            # timed phase's concurrent campaigns all find a warm one.
+            def warm_one(i: int):
+                warmup_client.run(
+                    workload=MICRO_WORKLOADS[i % len(MICRO_WORKLOADS)],
+                    category="pure-data", scale=scale, seed=76_000 + i,
+                )
+
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                list(pool.map(warm_one, range(clients)))
+
+            first_result: list[float] = []
+            lock = threading.Lock()
+
+            def client_run(index: int) -> int:
+                client = ServiceClient(
+                    port=service.port, tenant=f"client{index}", timeout=120
+                )
+                done = 0
+                for sub in plans[index]:
+                    outcome = client.run(**sub)
+                    with lock:
+                        first_result.append(outcome["first_result_latency"])
+                    done += 1
+                return done
+
+            t0 = time.monotonic()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                completed = sum(pool.map(client_run, range(clients)))
+            warm_elapsed = time.monotonic() - t0
+            engine_stats = service.engines.stats()
+        finally:
+            service.request_stop()
+            thread.join(timeout=30)
+
+    warm_rate = completed / warm_elapsed
+    return {
+        "clients": clients,
+        "campaigns_per_client": campaigns_per_client,
+        "scale": scale,
+        "pool_jobs": jobs,
+        "warm": {
+            "campaigns": completed,
+            "elapsed_s": warm_elapsed,
+            "campaigns_per_sec": warm_rate,
+            "p50_first_result_s": _percentile(first_result, 0.50),
+            "p99_first_result_s": _percentile(first_result, 0.99),
+            "engine_builds": engine_stats["builds"],
+            "engine_reuses": engine_stats["reuses"],
+        },
+        "cold": cold,
+        "warm_vs_cold_speedup": warm_rate / cold["campaigns_per_sec"],
+    }

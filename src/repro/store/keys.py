@@ -45,15 +45,7 @@ def module_fingerprint(module) -> str:
 
 def campaign_identity(injector, seed: int, config: dict) -> dict:
     """The campaign-scope fields of the experiment key, as a plain dict."""
-    return {
-        "module": module_fingerprint(injector.source_module),
-        "engine": injector.engine,
-        "category": injector.category,
-        "step_limit": injector.step_limit,
-        "respect_masks": injector.respect_masks,
-        "seed": seed,
-        "config": config,
-    }
+    return {**injector.engine_identity(), "seed": seed, "config": config}
 
 
 def experiment_key(campaign_key: str, seq: int, k: int, bit: int, params) -> str:

@@ -28,6 +28,7 @@ Record kinds:
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from collections import Counter
@@ -42,9 +43,20 @@ FORMAT = "repro-campaign-store-v1"
 
 
 class CampaignStore:
-    """Durable, resumable campaign persistence rooted at a directory."""
+    """Durable, resumable campaign persistence rooted at a directory.
 
-    def __init__(self, root: str | Path, flush_every: int = 16):
+    One store object is safe to share between threads: journal appends are
+    frame-atomic (see :class:`~repro.store.journal.Journal`) and the
+    in-memory index is guarded by an internal lock, so concurrent
+    recorders (the campaign service runs many tenants' campaigns over one
+    store) never corrupt the index a reader is iterating.  ``durable=True``
+    fsyncs every journal flush — the service's accepted-submission
+    acknowledgement rests on it.
+    """
+
+    def __init__(
+        self, root: str | Path, flush_every: int = 16, durable: bool = False
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         marker = self.root / "STORE"
@@ -62,9 +74,18 @@ class CampaignStore:
                     f"marker; refusing to adopt it as a campaign store"
                 )
             _atomic_write_text(marker, FORMAT + "\n")
-        self._journal = Journal(self.root / "journal.jsonl", flush_every)
+        self._journal = Journal(
+            self.root / "journal.jsonl", flush_every, durable=durable
+        )
         # Manifests are rare and pin resumability; land them immediately.
-        self._manifests_journal = Journal(self.root / "manifests.jsonl", 1)
+        self._manifests_journal = Journal(
+            self.root / "manifests.jsonl", 1, durable=durable
+        )
+        #: Guards the in-memory index (experiments/cells/manifests dicts)
+        #: against concurrent recorder writes vs. status/report reads.
+        #: Reentrant: readers like ``status_rows`` call other locked
+        #: accessors.
+        self._index_lock = threading.RLock()
         self._experiments: dict[str, dict] = {}
         self._by_campaign: dict[str, dict[int, dict]] = {}
         self._cells: dict[str, dict] = {}
@@ -82,22 +103,25 @@ class CampaignStore:
     # -- indexing --------------------------------------------------------------
 
     def _index_manifest(self, record: dict) -> None:
-        self._manifests[record["campaign_key"]] = record
+        with self._index_lock:
+            self._manifests[record["campaign_key"]] = record
 
     def _index_record(self, record: dict) -> None:
         kind = record.get("kind")
         if kind == "experiment":
-            self._experiments[record["key"]] = record
-            self._by_campaign.setdefault(record["campaign"], {})[
-                record["seq"]
-            ] = record
+            with self._index_lock:
+                self._experiments[record["key"]] = record
+                self._by_campaign.setdefault(record["campaign"], {})[
+                    record["seq"]
+                ] = record
         elif kind == "cell":
             # The index holds live values; floats travel as bit patterns
             # only on disk (see records.encode_rows).
-            self._cells[record["key"]] = {
-                **record,
-                "rows": decode_rows(record["rows"]),
-            }
+            with self._index_lock:
+                self._cells[record["key"]] = {
+                    **record,
+                    "rows": decode_rows(record["rows"]),
+                }
 
     # -- campaign recording ----------------------------------------------------
 
@@ -140,40 +164,45 @@ class CampaignStore:
             "executed": None,
             "converged": None,
         }
-        existing = self._manifests.get(campaign_key)
-        if existing is not None and (
-            existing["registry_version"] != manifest["registry_version"]
-            or existing["registry_fingerprint"] != manifest["registry_fingerprint"]
-        ):
-            raise StoreError(
-                f"workload registry changed since campaign "
-                f"{campaign_key[:12]} was recorded (version "
-                f"{existing['registry_version']} -> "
-                f"{manifest['registry_version']}); resuming would splice "
-                f"results from different workloads — use a fresh store"
-            )
-        if existing is not None:
-            # Keep the recorded progress fields (identity already matches —
-            # the key is a digest of it) but fold in any fresher extras,
-            # e.g. an overhead measured on this run but not the crashed one.
-            merged_extras = {**existing.get("extras", {}), **(extras or {})}
-            if merged_extras != existing.get("extras"):
-                existing = {**existing, "extras": merged_extras}
-                self.add_manifest(existing)
-            manifest = self._manifests[campaign_key]
-        else:
-            self.add_manifest(manifest)
+        with self._index_lock:
+            existing = self._manifests.get(campaign_key)
+            if existing is not None and (
+                existing["registry_version"] != manifest["registry_version"]
+                or existing["registry_fingerprint"]
+                != manifest["registry_fingerprint"]
+            ):
+                raise StoreError(
+                    f"workload registry changed since campaign "
+                    f"{campaign_key[:12]} was recorded (version "
+                    f"{existing['registry_version']} -> "
+                    f"{manifest['registry_version']}); resuming would splice "
+                    f"results from different workloads — use a fresh store"
+                )
+            if existing is not None:
+                # Keep the recorded progress fields (identity already
+                # matches — the key is a digest of it) but fold in any
+                # fresher extras, e.g. an overhead measured on this run but
+                # not the crashed one.
+                merged_extras = {**existing.get("extras", {}), **(extras or {})}
+                if merged_extras != existing.get("extras"):
+                    existing = {**existing, "extras": merged_extras}
+                    self.add_manifest(existing)
+                manifest = self._manifests[campaign_key]
+            else:
+                self.add_manifest(manifest)
         return CampaignRecorder(self, manifest, abort_after=abort_after)
 
     def add_manifest(self, manifest: dict) -> None:
-        if self._manifests.get(manifest["campaign_key"]) == manifest:
-            return
-        self._manifests_journal.append(manifest)
-        self._manifests_journal.flush()
-        self._index_manifest(manifest)
+        with self._index_lock:
+            if self._manifests.get(manifest["campaign_key"]) == manifest:
+                return
+            self._manifests_journal.append(manifest)
+            self._manifests_journal.flush()
+            self._index_manifest(manifest)
 
     def lookup_experiment(self, key: str) -> dict | None:
-        return self._experiments.get(key)
+        with self._index_lock:
+            return self._experiments.get(key)
 
     # -- shard assignment ------------------------------------------------------
 
@@ -220,7 +249,8 @@ class CampaignStore:
     # -- cell memoization (non-campaign experiments) ---------------------------
 
     def lookup_cell(self, key: str) -> dict | None:
-        return self._cells.get(key)
+        with self._index_lock:
+            return self._cells.get(key)
 
     def record_cell(
         self, key: str, experiment: str, scale: str, cell: dict, rows: list[dict]
@@ -241,21 +271,25 @@ class CampaignStore:
 
     def manifests(self, experiment: str | None = None) -> list[dict]:
         """Campaign manifests in recording order."""
-        out = list(self._manifests.values())
+        with self._index_lock:
+            out = list(self._manifests.values())
         if experiment is not None:
             out = [m for m in out if m["experiment"] == experiment]
         return out
 
     def experiments_for(self, campaign_key: str) -> list[dict]:
         """A campaign's experiment records in schedule order."""
-        by_seq = self._by_campaign.get(campaign_key, {})
+        with self._index_lock:
+            by_seq = dict(self._by_campaign.get(campaign_key, {}))
         return [by_seq[seq] for seq in sorted(by_seq)]
 
     def experiment_count(self, campaign_key: str) -> int:
-        return len(self._by_campaign.get(campaign_key, {}))
+        with self._index_lock:
+            return len(self._by_campaign.get(campaign_key, {}))
 
     def cells(self, experiment: str | None = None) -> list[dict]:
-        out = list(self._cells.values())
+        with self._index_lock:
+            out = list(self._cells.values())
         if experiment is not None:
             out = [c for c in out if c["experiment"] == experiment]
         return out
@@ -263,10 +297,11 @@ class CampaignStore:
     def stored_experiments(self) -> list[str]:
         """Distinct experiment names present, in first-recorded order."""
         names: dict[str, None] = {}
-        for manifest in self._manifests.values():
-            names.setdefault(manifest["experiment"])
-        for cell in self._cells.values():
-            names.setdefault(cell["experiment"])
+        with self._index_lock:
+            for manifest in self._manifests.values():
+                names.setdefault(manifest["experiment"])
+            for cell in self._cells.values():
+                names.setdefault(cell["experiment"])
         return list(names)
 
     # -- status / resume -------------------------------------------------------
@@ -280,7 +315,7 @@ class CampaignStore:
         the global figure rides along as ``global_planned``.
         """
         rows = []
-        for manifest in self._manifests.values():
+        for manifest in self.manifests():
             done = self.experiment_count(manifest["campaign_key"])
             planned = global_planned = manifest["planned"]
             if self._shard is not None:
@@ -307,7 +342,7 @@ class CampaignStore:
                 }
             )
         groups: dict[tuple, int] = {}
-        for cell in self._cells.values():
+        for cell in self.cells():
             key = (cell["experiment"], cell["scale"])
             groups[key] = groups.get(key, 0) + 1
         for (experiment, scale), count in sorted(groups.items()):
@@ -364,7 +399,7 @@ class CampaignStore:
         one per cell-group for the memoized experiments.
         """
         plans: dict[tuple, dict] = {}
-        for manifest in self._manifests.values():
+        for manifest in self.manifests():
             if manifest["scale"] not in ("smoke", "quick", "full"):
                 # Recorded through the API with a custom config; the CLI
                 # cannot reconstruct that schedule.
@@ -387,7 +422,7 @@ class CampaignStore:
             plan["benchmarks"] = sorted(plan["benchmarks"]) or None
             out.append(plan)
         seen_cells = {
-            (c["experiment"], c["scale"]) for c in self._cells.values()
+            (c["experiment"], c["scale"]) for c in self.cells()
         }
         for experiment, scale in sorted(seen_cells):
             if scale not in ("smoke", "quick", "full"):

@@ -12,6 +12,7 @@ engine clones before instrumenting, so cached modules stay pristine.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable
@@ -50,6 +51,9 @@ class Workload:
     #: Human-readable summary of the input space (Table I's "Test Input").
     input_summary: str = ""
     _module_cache: dict = field(default_factory=dict, repr=False)
+    _compile_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     def compile(
         self,
@@ -61,14 +65,20 @@ class Workload:
         key = (tgt.name, foreach_detectors, uniform_detectors)
         module = self._module_cache.get(key)
         if module is None:
-            module = compile_source(
-                self.source,
-                tgt,
-                name=f"{self.name}-{tgt.name}",
-                foreach_detectors=foreach_detectors,
-                uniform_detectors=uniform_detectors,
-            )
-            self._module_cache[key] = module
+            # Double-checked under the lock: concurrent campaign-service
+            # threads racing here must converge on ONE canonical module
+            # object per key (fingerprints and golden caches key off it).
+            with self._compile_lock:
+                module = self._module_cache.get(key)
+                if module is None:
+                    module = compile_source(
+                        self.source,
+                        tgt,
+                        name=f"{self.name}-{tgt.name}",
+                        foreach_detectors=foreach_detectors,
+                        uniform_detectors=uniform_detectors,
+                    )
+                    self._module_cache[key] = module
         return module
 
     def build_runner(self, params: dict) -> Callable[[Interpreter], dict]:
@@ -103,11 +113,20 @@ class Workload:
 
 _REGISTRY: dict[str, Workload] = {}
 
+#: Memoized :func:`registry_fingerprint` value.  Hashing re-reads every
+#: workload's full MiniISPC source (~tens of KB), and the fingerprint is
+#: recomputed per manifest write and per ``verify`` — hot enough to matter
+#: for the campaign service, which manifests every accepted submission.
+#: Any registry mutation (:func:`register`) invalidates it.
+_fingerprint_cache: str | None = None
+
 
 def register(workload: Workload) -> Workload:
+    global _fingerprint_cache
     if workload.name in _REGISTRY:
         raise ValueError(f"workload {workload.name!r} already registered")
     _REGISTRY[workload.name] = workload
+    _fingerprint_cache = None
     return workload
 
 
@@ -164,14 +183,23 @@ def registry_fingerprint() -> str:
     *meant*.  Campaign-store manifests pin it so a resumed campaign is
     guaranteed to splice new results onto old ones drawn from the same
     input spaces and kernels.
+
+    Memoized: ``Workload.source`` is immutable after registration, so the
+    hash only changes when the registry's membership does — the cache is
+    dropped on every :func:`register` (which also covers the lazy
+    :func:`_ensure_loaded` bulk registration).
     """
+    global _fingerprint_cache
     _ensure_loaded()
+    if _fingerprint_cache is not None:
+        return _fingerprint_cache
     h = hashlib.sha256()
     for name in sorted(_REGISTRY):
         w = _REGISTRY[name]
         h.update(f"{name}\x00{w.suite}\x00{w.entry}\x00{w.input_summary}\x00".encode())
         h.update(hashlib.sha256(w.source.encode()).digest())
-    return h.hexdigest()
+    _fingerprint_cache = h.hexdigest()
+    return _fingerprint_cache
 
 
 def micro_workloads() -> list[Workload]:
@@ -181,23 +209,33 @@ def micro_workloads() -> list[Workload]:
 
 
 _loaded = False
+#: Serializes the lazy bulk registration: without it a second thread
+#: could observe a half-populated registry mid-import (the campaign
+#: service resolves workloads from concurrent executor threads).
+#: Reentrant because workload modules may consult the registry while
+#: registering.
+_load_lock = threading.RLock()
 
 
 def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    _loaded = True
-    # Import for registration side effects.
-    from . import (  # noqa: F401
-        blackscholes,
-        cg,
-        chebyshev,
-        fluidanimate,
-        jacobi,
-        micro,
-        raytracing,
-        sorting,
-        stencil,
-        swaptions,
-    )
+    with _load_lock:
+        if _loaded:
+            return
+        # Import for registration side effects.
+        from . import (  # noqa: F401
+            blackscholes,
+            cg,
+            chebyshev,
+            fluidanimate,
+            jacobi,
+            micro,
+            raytracing,
+            sorting,
+            stencil,
+            swaptions,
+        )
+
+        _loaded = True

@@ -1,0 +1,141 @@
+"""Service CLI verbs and the shared ``--json`` schema."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def _run_local(tmp_path, workload="vcopy"):
+    store = str(tmp_path / "store")
+    assert (
+        main(
+            [
+                "submit", "--local", "--workload", workload,
+                "--category", "pure-data", "--scale", "smoke",
+                "--store", store,
+            ]
+        )
+        == 0
+    )
+    return store
+
+
+def test_submit_local_prints_summary(tmp_path, capsys):
+    _run_local(tmp_path)
+    out = capsys.readouterr().out
+    assert "vcopy/avx/pure-data" in out
+    assert "experiments" in out
+
+
+def test_status_json_shares_the_sse_schema(tmp_path, capsys):
+    store = _run_local(tmp_path)
+    capsys.readouterr()
+    assert main(["status", "--store", store, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == 1
+    (row,) = payload["campaigns"]
+    # The exact fields the daemon's SSE snapshot/status events carry.
+    for field in (
+        "campaign", "cell", "state", "done", "planned", "totals", "tenant",
+    ):
+        assert field in row
+    assert row["state"] == "complete"
+    assert row["totals"]["total"] == row["done"] > 0
+    assert row["tenant"] == "cli"
+
+
+def test_status_human_output_unchanged(tmp_path, capsys):
+    store = _run_local(tmp_path)
+    capsys.readouterr()
+    assert main(["status", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "complete" in out and "{" not in out
+
+
+def test_report_json_equals_offline_rebuild(tmp_path, capsys):
+    from repro.analysis.report import rebuild_report
+    from repro.store import CampaignStore
+
+    store = _run_local(tmp_path)
+    capsys.readouterr()
+    assert main(["report", "--store", store, "--json"]) == 0
+    printed = capsys.readouterr().out
+    opened = CampaignStore(store)
+    try:
+        expected = rebuild_report(opened, "fig11").to_json()
+    finally:
+        opened.close()
+    assert printed == expected + "\n"
+    assert json.loads(printed)["rows"][0]["benchmark"] == "vcopy"
+
+
+def test_report_json_dir_still_writes_files(tmp_path, capsys):
+    store = _run_local(tmp_path)
+    json_dir = tmp_path / "out"
+    assert (
+        main(["report", "--store", store, "--json", "--json-dir", str(json_dir)])
+        == 0
+    )
+    assert (json_dir / "fig11.json").exists()
+
+
+def test_service_verbs_validate_their_flags(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["serve"])  # no --store
+    assert "serve requires --store" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["submit"])  # no --workload
+    assert "submit requires --workload" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["submit", "--local", "--workload", "vcopy"])  # no --store
+    assert "--local requires --store" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["watch"])  # no --campaign
+    assert "watch requires --campaign" in capsys.readouterr().err
+
+
+def test_submit_local_rejects_bad_submission(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "submit", "--local", "--workload", "vcopy",
+                "--category", "imaginary", "--store", str(tmp_path / "s"),
+            ]
+        )
+        == 3
+    )
+    assert "category" in capsys.readouterr().err
+
+
+def test_submit_against_dead_daemon_fails_cleanly(capsys):
+    assert (
+        main(
+            [
+                "submit", "--workload", "vcopy", "--category", "pure-data",
+                "--host", "127.0.0.1", "--port", "1",  # nothing listens
+            ]
+        )
+        == 3
+    )
+    assert "unreachable" in capsys.readouterr().err
+
+
+def test_local_and_repeat_local_replay_from_store(tmp_path, capsys):
+    """Second --local run of the same submission replays every experiment
+    from the journal (hits, no new frames)."""
+    store = _run_local(tmp_path)
+    before = (tmp_path / "store" / "journal.jsonl").read_bytes()
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "submit", "--local", "--workload", "vcopy",
+                "--category", "pure-data", "--scale", "smoke",
+                "--store", store,
+            ]
+        )
+        == 0
+    )
+    assert (tmp_path / "store" / "journal.jsonl").read_bytes() == before

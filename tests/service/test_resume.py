@@ -1,0 +1,155 @@
+"""Daemon crash recovery: kill -9 mid-campaign, restart, byte-identical
+journal.  Drives the real ``serve`` CLI verb in a subprocess — the same
+path CI's service-smoke job exercises."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.service import ServiceClient, ServiceUnavailable
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_daemon(store: Path, port: int) -> subprocess.Popen:
+    env = {**os.environ, "PYTHONPATH": SRC}
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "serve",
+            "--store", str(store), "--port", str(port),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_state(client, key, states, timeout=120.0, poll=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            row = client.campaign(key)
+        except (ServiceUnavailable, KeyError):
+            time.sleep(poll)
+            continue
+        if row["state"] in states:
+            return row
+        time.sleep(poll)
+    raise AssertionError(f"campaign {key[:12]} never reached {states}")
+
+
+def _wait_progress(client, key, timeout=120.0, poll=0.002):
+    """Block until at least one experiment landed (or the campaign ended)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            row = client.campaign(key)
+        except (ServiceUnavailable, KeyError):
+            time.sleep(poll)
+            continue
+        if row["done"] > 0 or row["state"] in ("complete", "failed"):
+            return row
+        time.sleep(poll)
+    raise AssertionError("no progress observed")
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_kill9_mid_campaign_resumes_to_byte_identical_journal(tmp_path):
+    store = tmp_path / "daemon-store"
+    port = _free_port()
+    submission = {
+        "workload": "vcopy",
+        "category": "pure-data",
+        "scale": "quick",
+        "tenant": "crashy",
+    }
+
+    proc = _spawn_daemon(store, port)
+    try:
+        client = ServiceClient(port=port, tenant="crashy", timeout=60)
+        client.wait_ready(timeout=60)
+        ack = client.submit(**submission)
+        key = ack["campaign"]
+        # The 202 ack promises durability: the manifest is already
+        # fsynced, so a kill at ANY point from here on must be
+        # recoverable.  Kill as soon as the journal shows progress.
+        _wait_progress(client, key)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    # Restart over the same store: the daemon re-discovers the campaign
+    # from its manifest and finishes it (replaying stored experiments,
+    # executing only the remainder).
+    proc = _spawn_daemon(store, port)
+    try:
+        client = ServiceClient(port=port, tenant="crashy", timeout=60)
+        client.wait_ready(timeout=60)
+        row = _wait_state(client, key, ("complete",))
+        assert row["converged"] is not None
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    # An uninterrupted local run of the same submission produces the
+    # byte-identical journal: the crash left no trace in the record
+    # stream.
+    clean = tmp_path / "clean-store"
+    assert (
+        cli_main(
+            [
+                "submit", "--local", "--workload", "vcopy",
+                "--category", "pure-data", "--scale", "quick",
+                "--store", str(clean),
+            ]
+        )
+        == 0
+    )
+    assert (store / "journal.jsonl").read_bytes() == (
+        clean / "journal.jsonl"
+    ).read_bytes()
+
+
+def test_resumed_daemon_serves_watch_and_report(tmp_path):
+    """After a restart, a finished campaign is still watchable (snapshot)
+    and reportable — state lives in the store, not the process."""
+    store = tmp_path / "store"
+    port = _free_port()
+    proc = _spawn_daemon(store, port)
+    try:
+        client = ServiceClient(port=port, tenant="t", timeout=60)
+        client.wait_ready(timeout=60)
+        out = client.run(
+            workload="dot_product", category="pure-data", scale="smoke"
+        )
+        key = out["campaign"]
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc = _spawn_daemon(store, port)
+    try:
+        client = ServiceClient(port=port, tenant="t", timeout=60)
+        client.wait_ready(timeout=60)
+        events = list(client.events(key))
+        assert events[0][0] == "snapshot"
+        assert events[0][1]["state"] == "complete"
+        report = json.loads(client.report("fig11", "json"))
+        assert report["rows"][0]["benchmark"] == "dot_product"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)

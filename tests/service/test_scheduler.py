@@ -1,0 +1,124 @@
+"""Stride scheduler: weighted fairness, catch-up, backpressure."""
+
+import pytest
+
+from repro.service import Backpressure, FairScheduler
+
+
+def _drain(sched, limit=10_000):
+    out = []
+    while True:
+        popped = sched.pop()
+        if popped is None:
+            return out
+        out.append(popped)
+        assert len(out) <= limit
+
+
+def test_empty_pop_returns_none():
+    assert FairScheduler().pop() is None
+
+
+def test_single_tenant_fifo():
+    sched = FairScheduler()
+    for i in range(5):
+        sched.push("a", 1, i)
+    assert _drain(sched) == [("a", i) for i in range(5)]
+
+
+def test_equal_weights_interleave():
+    sched = FairScheduler()
+    for i in range(4):
+        sched.push("a", 1, f"a{i}")
+        sched.push("b", 1, f"b{i}")
+    tenants = [t for t, _ in _drain(sched)]
+    # Every adjacent pair covers both tenants: no tenant runs twice in a
+    # row while the other is backlogged.
+    for i in range(len(tenants) - 1):
+        assert {tenants[i], tenants[i + 1]} == {"a", "b"}
+
+
+def test_weighted_shares_are_proportional():
+    sched = FairScheduler(max_pending=1000, max_per_tenant=100)
+    for i in range(90):
+        sched.push("heavy", 3, i)
+        sched.push("light", 1, i)
+    first_40 = [t for t, _ in [sched.pop() for _ in range(40)]]
+    heavy = first_40.count("heavy")
+    # 3:1 weights -> ~30 of the first 40 dispatches; allow slack of 2.
+    assert 28 <= heavy <= 32
+
+
+def test_items_within_tenant_stay_fifo_under_contention():
+    sched = FairScheduler()
+    for i in range(10):
+        sched.push("a", 2, i)
+        sched.push("b", 1, i)
+    by_tenant = {"a": [], "b": []}
+    for tenant, item in _drain(sched):
+        by_tenant[tenant].append(item)
+    assert by_tenant["a"] == sorted(by_tenant["a"])
+    assert by_tenant["b"] == sorted(by_tenant["b"])
+
+
+def test_late_tenant_does_not_starve_incumbent():
+    sched = FairScheduler()
+    # Incumbent runs alone for a while, advancing its pass far past zero.
+    for i in range(50):
+        sched.push("old", 1, i)
+    for _ in range(50):
+        sched.pop()
+    # A brand-new tenant enters at the global pass, not zero: dispatches
+    # now interleave instead of the newcomer draining first.
+    for i in range(6):
+        sched.push("old", 1, f"o{i}")
+        sched.push("new", 1, f"n{i}")
+    first_six = [t for t, _ in [sched.pop() for _ in range(6)]]
+    assert first_six.count("new") <= 4
+
+
+def test_idle_reentry_catches_pass_up():
+    sched = FairScheduler()
+    sched.push("a", 1, 0)
+    sched.push("b", 1, 0)
+    for _ in range(2):
+        sched.pop()
+    # "a" keeps working; "b" idles.
+    for i in range(20):
+        sched.push("a", 1, i)
+    for _ in range(20):
+        sched.pop()
+    # "b" returns: it must not burst ahead on its stale (tiny) pass.
+    for i in range(4):
+        sched.push("a", 1, f"a{i}")
+        sched.push("b", 1, f"b{i}")
+    first_four = [t for t, _ in [sched.pop() for _ in range(4)]]
+    assert first_four.count("b") <= 3
+
+
+def test_global_backpressure():
+    sched = FairScheduler(max_pending=3)
+    for i in range(3):
+        sched.push(f"t{i}", 1, i)
+    with pytest.raises(Backpressure):
+        sched.push("t9", 1, 99)
+    sched.pop()
+    sched.push("t9", 1, 99)  # a slot freed
+
+
+def test_per_tenant_backpressure():
+    sched = FairScheduler(max_pending=100, max_per_tenant=2)
+    sched.push("a", 1, 0)
+    sched.push("a", 1, 1)
+    with pytest.raises(Backpressure):
+        sched.push("a", 1, 2)
+    sched.push("b", 1, 0)  # other tenants unaffected
+
+
+def test_snapshot_shape():
+    sched = FairScheduler()
+    sched.push("a", 4, "x")
+    snap = sched.snapshot()
+    assert snap["a"]["pending"] == 1
+    assert snap["a"]["weight"] == 4
+    assert len(sched) == 1

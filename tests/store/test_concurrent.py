@@ -1,0 +1,174 @@
+"""Concurrent store access: the guarantees the campaign service leans on.
+
+Threaded recorders share one ``CampaignStore`` (many tenants, one daemon);
+forked writers share one journal *file* (shard runs, the service's worker
+pool).  Either way the journal must never interleave within a frame or
+tear one — and ``durable=True`` must fsync every flush."""
+
+import multiprocessing
+import os
+import threading
+
+from repro.core.campaign import CampaignConfig, run_campaigns
+from repro.core.injector import FaultInjector
+from repro.store import CampaignStore, Journal
+from repro.store.journal import scan_frames
+from repro.workloads.registry import get_workload
+
+
+def _recorded_campaign(store, workload_name, seed):
+    workload = get_workload(workload_name)
+    module = workload.compile("avx")
+    injector = FaultInjector(
+        module, category="pure-data", step_limit=2_000_000, engine="direct"
+    )
+    config = CampaignConfig(max_campaigns=4, experiments_per_campaign=4)
+    recorder = store.recorder(
+        experiment="fig11",
+        cell={"benchmark": workload_name, "target": "avx",
+              "category": "pure-data"},
+        scale="custom",
+        injector=injector,
+        seed=seed,
+        config={"max_campaigns": 4, "experiments_per_campaign": 4},
+        planned=16,
+    )
+    return run_campaigns(
+        injector, workload.runner_factory(), config, seed=seed,
+        recorder=recorder,
+    )
+
+
+def test_threaded_recorders_share_one_store(tmp_path):
+    """Four campaigns recording concurrently into one store: every frame
+    intact, every campaign's records complete and in schedule order."""
+    store = CampaignStore(tmp_path / "store", flush_every=3)
+    jobs = [("vcopy", 101), ("vcopy", 202), ("dot_product", 303),
+            ("vector_sum", 404)]
+    summaries = {}
+
+    def one(name, seed):
+        summaries[(name, seed)] = _recorded_campaign(store, name, seed)
+
+    threads = [threading.Thread(target=one, args=job) for job in jobs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    store.close()
+
+    assert len(summaries) == 4
+    # Strict scan: any torn or interleaved frame fails the parse.
+    records = scan_frames(tmp_path / "store" / "journal.jsonl")
+    assert len(records) == sum(s.totals.total for s in summaries.values())
+
+    # Reopen: per-campaign streams are complete, gapless, in seq order.
+    fresh = CampaignStore(tmp_path / "store")
+    assert len(fresh.manifests()) == 4
+    for manifest in fresh.manifests():
+        experiments = fresh.experiments_for(manifest["campaign_key"])
+        assert [r["seq"] for r in experiments] == list(range(len(experiments)))
+        assert manifest["completed"]
+    fresh.close()
+
+
+def test_threaded_replay_races_do_not_duplicate_frames(tmp_path):
+    """Two threads replaying the SAME campaign from a warm store execute
+    nothing and append nothing — concurrent cache hits are idempotent."""
+    store = CampaignStore(tmp_path / "store")
+    baseline = _recorded_campaign(store, "vcopy", 7)
+    store.close()
+    before = (tmp_path / "store" / "journal.jsonl").read_bytes()
+
+    warm = CampaignStore(tmp_path / "store")
+    summaries = []
+
+    def one():
+        summaries.append(_recorded_campaign(warm, "vcopy", 7))
+
+    threads = [threading.Thread(target=one) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    warm.close()
+
+    assert all(s.store["hits"] == baseline.totals.total for s in summaries)
+    assert all(s.store["misses"] == 0 for s in summaries)
+    assert (tmp_path / "store" / "journal.jsonl").read_bytes() == before
+
+
+def _forked_writer(path, writer_id, count):
+    journal = Journal(path, flush_every=4)
+    for i in range(count):
+        journal.append({"writer": writer_id, "i": i, "pad": "x" * 100})
+    journal.close()
+
+
+def test_forked_writers_never_tear_frames(tmp_path):
+    """Independent processes appending to one journal file (O_APPEND,
+    one write per batch): all frames parse, none interleave."""
+    path = tmp_path / "j.jsonl"
+    count = 200
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_forked_writer, args=(path, w, count))
+        for w in range(4)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    records = scan_frames(path)  # strict: raises on any damage
+    assert len(records) == 4 * count
+    by_writer = {}
+    for record in records:
+        by_writer.setdefault(record["writer"], []).append(record["i"])
+    # Each writer's records appear in its append order (O_APPEND keeps
+    # per-descriptor ordering even under interleaving between writers).
+    assert set(by_writer) == {0, 1, 2, 3}
+    for seq in by_writer.values():
+        assert seq == sorted(seq) and len(seq) == count
+
+
+def test_durable_flush_fsyncs(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        synced.append(fd)
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", counting_fsync)
+    journal = Journal(tmp_path / "d.jsonl", flush_every=2, durable=True)
+    journal.append({"i": 0})
+    assert synced == []  # buffered, not yet flushed
+    journal.append({"i": 1})
+    assert len(synced) == 1  # batch flush -> one fsync
+    journal.close()
+
+    lazy = Journal(tmp_path / "l.jsonl", flush_every=1, durable=False)
+    lazy.append({"i": 0})
+    lazy.close()
+    assert len(synced) == 1  # non-durable journals never fsync
+
+
+def test_durable_store_lands_manifest_before_ack(tmp_path, monkeypatch):
+    """The service's acknowledgement contract: with ``durable=True``,
+    ``add_manifest`` returns only after an fsync covered the frame."""
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+    )
+    store = CampaignStore(tmp_path / "store", durable=True)
+    store.add_manifest(
+        {"kind": "campaign", "campaign_key": "k1", "experiment": "fig11",
+         "cell": {}, "scale": "smoke", "planned": 1, "extras": {},
+         "registry_version": 1, "registry_fingerprint": "f",
+         "completed": False, "executed": None, "converged": None}
+    )
+    assert synced  # the manifest hit stable storage inside add_manifest
+    store.close()

@@ -89,3 +89,56 @@ class TestRegistry:
         w = get_workload("vcopy")
         with pytest.raises(ValueError):
             register(w)
+
+
+class TestRegistryFingerprint:
+    """The memoized fingerprint: same value, ~300x cheaper, and correctly
+    invalidated when the registry's membership changes."""
+
+    def test_memoized_value_is_stable(self):
+        from repro.workloads import registry
+
+        first = registry.registry_fingerprint()
+        assert registry._fingerprint_cache == first
+        assert registry.registry_fingerprint() == first
+
+    def test_register_invalidates_the_cache(self):
+        from repro.workloads import registry
+
+        before = registry.registry_fingerprint()
+        w = get_workload("vcopy")
+        extra = type(w)(
+            name="___fingerprint_probe",
+            suite=w.suite,
+            language=w.language,
+            description="cache invalidation probe",
+            source=w.source,
+            entry=w.entry,
+            sample_input=w.sample_input,
+            make_runner=w.make_runner,
+            input_summary=w.input_summary,
+        )
+        registry.register(extra)
+        try:
+            assert registry._fingerprint_cache is None
+            after = registry.registry_fingerprint()
+            assert after != before
+        finally:
+            del registry._REGISTRY["___fingerprint_probe"]
+            registry._fingerprint_cache = None
+        assert registry.registry_fingerprint() == before
+
+    def test_memoization_is_much_faster_than_rehashing(self):
+        # Not a timing floor (tier-1 stays timing-free) — just proof the
+        # hot path no longer walks every workload source: the cached call
+        # must not touch hashlib at all.
+        import hashlib
+        from unittest import mock
+
+        from repro.workloads import registry
+
+        registry.registry_fingerprint()  # prime
+        with mock.patch.object(
+            hashlib, "sha256", side_effect=AssertionError("rehashed")
+        ):
+            registry.registry_fingerprint()
