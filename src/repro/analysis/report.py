@@ -57,7 +57,11 @@ def rebuild_report(store, name: str):
     """
     from ..experiments.common import ExperimentReport
 
-    builders = {"fig11": _rebuild_fig11, "fig12": _rebuild_fig12}
+    builders = {
+        "fig11": _rebuild_fig11,
+        "fig12": _rebuild_fig12,
+        "vecdiff": _rebuild_vecdiff,
+    }
     builder = builders.get(name, _rebuild_cells)
     rows, notes, scales = builder(store, name)
     report = ExperimentReport(
@@ -129,6 +133,57 @@ def _rebuild_fig11(store, name: str):
                 "benchmark": manifest["cell"]["benchmark"],
                 "target": manifest["cell"]["target"],
                 "category": manifest["cell"]["category"],
+                "experiments": totals.total,
+                "campaigns": len(campaigns),
+                "sdc": totals.rate("sdc"),
+                "benign": totals.rate("benign"),
+                "crash": totals.rate("crash"),
+                "sdc_moe": sdc_estimate.margin,
+                "converged": manifest["converged"],
+                "crash_kinds": dict(totals.crash_kinds),
+                "static_sites": manifest["extras"].get("static_sites"),
+            }
+        )
+    return rows, notes, scales
+
+
+def _rebuild_vecdiff(store, name: str):
+    """vecdiff rows re-aggregate exactly like fig11's, plus the cell's
+    kernel/form coordinates (older manifests without them fall back to
+    parsing the form workload's name)."""
+    from ..analysis.stats import estimate_rate
+    from ..core.campaign import CampaignStats
+
+    rows, notes, scales = [], [], set()
+    for manifest in store.manifests("vecdiff"):
+        results = _campaign_records(store, manifest, notes)
+        if results is None:
+            continue
+        scales.add(manifest["scale"])
+        per = manifest["config"]["experiments_per_campaign"]
+        campaigns = []
+        for start in range(0, len(results), per):
+            stats = CampaignStats()
+            for result in results[start : start + per]:
+                stats.add(result)
+            campaigns.append(stats)
+        totals = CampaignStats()
+        for c in campaigns:
+            totals.merge(c)
+        sdc_estimate = estimate_rate(
+            [c.rate("sdc") for c in campaigns], manifest["config"]["confidence"]
+        )
+        cell = manifest["cell"]
+        name_ = cell["benchmark"]
+        form = cell.get("form") or ("auto" if name_.endswith("-auto") else "handvec")
+        kernel = cell.get("kernel") or name_.removesuffix("-auto")
+        rows.append(
+            {
+                "benchmark": name_,
+                "kernel": kernel,
+                "form": form,
+                "target": cell["target"],
+                "category": cell["category"],
                 "experiments": totals.total,
                 "campaigns": len(campaigns),
                 "sdc": totals.rate("sdc"),

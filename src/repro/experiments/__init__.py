@@ -1,6 +1,6 @@
 """Per-figure experiment regeneration drivers (Table I, Figs 10-12)."""
 
-from . import ablations, bitpos, fig10, fig11, fig12, perf, table1
+from . import ablations, bitpos, fig10, fig11, fig12, perf, table1, vecdiff
 from .common import CATEGORIES, ExperimentReport, SCALES, TARGETS, cell_seed
 
 EXPERIMENTS = {
@@ -11,6 +11,7 @@ EXPERIMENTS = {
     "ablations": ablations,
     "bitpos": bitpos,
     "perf": perf,
+    "vecdiff": vecdiff,
 }
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "fig12",
     "perf",
     "table1",
+    "vecdiff",
 ]

@@ -78,7 +78,10 @@ SERVICE_COMMANDS = ("serve", "submit", "watch")
 
 #: Experiments that accept ``--shards`` (campaign sweeps; the memoized
 #: table experiments have no schedule to stripe).
-SHARDABLE = ("fig11", "fig12", "perf")
+SHARDABLE = ("fig11", "fig12", "perf", "vecdiff")
+
+#: Campaign experiments whose cell set ``--benchmark`` can restrict.
+BENCHMARK_FILTERED = ("fig11", "vecdiff")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,7 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--benchmark",
         action="append",
-        help="restrict fig11 to specific benchmarks (repeatable)",
+        help="restrict fig11/vecdiff to specific benchmarks (repeatable; "
+        "for vecdiff, a base kernel like gen-map0 or a form workload name)",
     )
     parser.add_argument("--json-dir", type=Path, help="also dump JSON reports here")
     parser.add_argument(
@@ -354,7 +358,7 @@ def _run_one(
     # fig11/fig12 default checkpoints off (None); perf defaults them on
     # and only needs an override when the user forced a value or none.
     interval = None if args.no_checkpoints else args.checkpoint_interval
-    if name == "fig11":
+    if name in BENCHMARK_FILTERED:
         return mod.run(
             scale, benchmarks=benchmarks, jobs=args.jobs, engine=engine,
             checkpoint_interval=interval, store=store,
@@ -407,7 +411,7 @@ def _run_experiments(store, args, shard=None, shards=None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        benchmarks = args.benchmark if name == "fig11" else None
+        benchmarks = args.benchmark if name in BENCHMARK_FILTERED else None
         try:
             report = _run_one(
                 name, args, store=store, benchmarks=benchmarks,

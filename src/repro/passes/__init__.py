@@ -2,13 +2,21 @@
 
 from .constfold import constant_fold
 from .dce import dead_code_elimination
-from .manager import PassManager, default_pipeline, optimize
+from .manager import PassManager, default_pipeline, optimize, vectorize_pipeline
 from .mem2reg import promote_allocas
 from .simplifycfg import (
     fold_single_incoming_phis,
     merge_straightline_blocks,
     remove_unreachable_blocks,
     simplify_cfg,
+)
+from .vectorize import (
+    LoopReport,
+    VectorizeReport,
+    auto_vectorize_pass,
+    auto_vectorized,
+    vectorize_function,
+    vectorize_module,
 )
 
 __all__ = [
@@ -17,9 +25,16 @@ __all__ = [
     "PassManager",
     "default_pipeline",
     "optimize",
+    "vectorize_pipeline",
     "promote_allocas",
     "fold_single_incoming_phis",
     "merge_straightline_blocks",
     "remove_unreachable_blocks",
     "simplify_cfg",
+    "LoopReport",
+    "VectorizeReport",
+    "auto_vectorize_pass",
+    "auto_vectorized",
+    "vectorize_function",
+    "vectorize_module",
 ]

@@ -61,3 +61,15 @@ def optimize(module: Module) -> Module:
     """Run the default pipeline in place and return the module."""
     default_pipeline().run(module)
     return module
+
+
+def vectorize_pipeline(target="avx") -> "PassManager":
+    """The auto-vectorization pipeline: widen countable scalar loops to the
+    target's lanes, then clean up the scalar husks the transform orphans.
+    The vectorize pass is fixpoint-safe (it marks transformed loops and
+    reports the rest as bail-outs), so it composes with the manager's
+    iteration like any other pass."""
+    from .dce import dead_code_elimination
+    from .vectorize import auto_vectorize_pass
+
+    return PassManager([auto_vectorize_pass(target), dead_code_elimination])

@@ -1,0 +1,991 @@
+"""Loop auto-vectorizer: scalar countable loops -> masked vector IR.
+
+The paper evaluates hand-vectorized (ISPC-style) programs; this pass
+manufactures the *other* point on that axis — the same scalar kernel,
+mechanically widened to the target's ``Vl`` — so campaigns can compare the
+resiliency of auto-vectorized and hand-vectorized forms of one computation
+(the ``vecdiff`` experiment).
+
+The transform is the classic if-conversion + widening recipe:
+
+* **Loop recognition** (:mod:`..ir.cfg`): innermost natural loops with a
+  single latch, whose header is ``%iv = phi [init, pre], [iv+1, latch]``
+  followed by ``icmp slt %iv, %n`` / ``condbr`` — the shape both the
+  MiniISPC frontend and the seeded generator emit for counted loops.
+* **If-conversion**: the acyclic body region is linearized in reverse
+  post-order; block predicates are built from the branch conditions, merge
+  phis become ``select`` chains, and predicated memory traffic goes through
+  the target's masked intrinsics (``llvm.masked.*`` for i1-mask targets,
+  ``llvm.x86.avx.mask*`` sign-mask forms for AVX — exactly what
+  :mod:`..frontend.codegen` emits for ``foreach``).
+* **Widening**: every scalar op becomes its ``<Vl x T>`` form; the
+  induction variable becomes ``broadcast(iv) + <0, 1, ..., Vl-1>``;
+  loop-invariant operands are broadcast in the new preheader.  A full-width
+  unmasked main loop handles ``init .. n-Vl`` and a single *masked vector
+  epilogue* iteration handles the remainder with the scalarized lane mask
+  ``lane k active iff iv+k < n`` (the idiom of
+  :func:`repro.ir.generate.build_remainder_module`).
+* **Reductions**: integer ``add/mul/and/or/xor`` recurrences (conditional
+  or not) become vector accumulators — lane 0 seeded with the scalar init,
+  the other lanes with the op's identity — folded lane-by-lane after the
+  loop.  Because two's-complement arithmetic is associative and
+  commutative *exactly*, the folded result is bit-identical to the scalar
+  accumulation, which is what lets ``vecdiff`` campaigns compare outcome
+  distributions against a shared golden output.
+
+Everything else **bails out conservatively** with a machine-readable
+reason in the :class:`VectorizeReport`: calls, trapping arithmetic
+(integer div/rem would fault on inactive epilogue lanes the scalar program
+never executes), loop-carried memory dependences (any access whose address
+is not ``gep(invariant_base, iv)``, or a uniform load from a stored-to
+base), float recurrences (reassociation is not bit-exact), irreducible
+CFGs, side exits, and pre-existing vector code.  Distinct pointer *bases*
+are assumed not to alias — the same contract MiniISPC's ``uniform T x[]``
+parameters already carry.
+
+Known limitation: trip counts within ``Vl`` of ``INT_MAX`` overflow the
+widened latch compare; campaign inputs are element counts, far below that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.target import Target, get_target
+from ..ir.builder import IRBuilder
+from ..ir.cfg import DominatorTree, reverse_post_order
+from ..ir.clone import clone_module
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    CastOp,
+    CompareOp,
+    CondBranch,
+    FNeg,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from ..ir.intrinsics import declare_intrinsic
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import F32, I1, I8, I32, IntType, Type, pointer, vector
+from ..ir.values import (
+    Constant,
+    ConstantInt,
+    ConstantVector,
+    Value,
+    const_int,
+    zeroinitializer,
+)
+from ..ir.verifier import verify_module
+
+# -- bail-out reasons (machine-readable; stable strings) -----------------------
+
+NOT_INNERMOST = "not-innermost"
+MULTIPLE_LATCHES = "multiple-latches"
+IRREDUCIBLE = "irreducible-cfg"
+NO_PREHEADER = "no-preheader"
+NOT_COUNTABLE = "not-countable"
+SIDE_EXIT = "side-exit"
+HEADER_EFFECTS = "header-effects"
+CONTAINS_CALL = "contains-call"
+TRAPPING_ARITH = "trapping-arith"
+CONTAINS_ALLOCA = "contains-alloca"
+ALREADY_VECTOR = "already-vector"
+MEMORY_DEPENDENCE = "memory-dependence"
+ADDRESS_ESCAPE = "address-escape"
+UNSUPPORTED_ELEM = "unsupported-elem"
+LOOP_CARRIED = "loop-carried-recurrence"
+UNSUPPORTED = "unsupported-instruction"
+
+_TRAPPING_OPS = frozenset({"sdiv", "udiv", "srem", "urem"})
+#: Integer ops that are associative *and* commutative in two's-complement
+#: arithmetic exactly — the only recurrences whose vector accumulation
+#: reproduces the scalar result bit-for-bit.
+_REDUCTION_OPS = frozenset({"add", "mul", "and", "or", "xor"})
+_REDUCTION_IDENTITY = {"add": 0, "mul": 1, "and": -1, "or": 0, "xor": 0}
+
+#: Memory element types with masked load/store forms on every target
+#: (the AVX sign-mask intrinsics only exist for 32-bit lanes).
+_MEM_ELEMS = (I32, F32)
+
+
+@dataclass
+class LoopReport:
+    """One candidate loop's fate — ``vectorized`` or a bail-out reason."""
+
+    function: str
+    header: str
+    status: str  # "vectorized" | "bailout"
+    reason: str | None = None
+    width: int | None = None
+    widened: int = 0
+    masked_loads: int = 0
+    masked_stores: int = 0
+    selects: int = 0
+    reductions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "header": self.header,
+            "status": self.status,
+            "reason": self.reason,
+            "width": self.width,
+            "widened": self.widened,
+            "masked_loads": self.masked_loads,
+            "masked_stores": self.masked_stores,
+            "selects": self.selects,
+            "reductions": self.reductions,
+        }
+
+
+@dataclass
+class VectorizeReport:
+    """Machine-readable outcome of :func:`vectorize_module`."""
+
+    target: str
+    width: int
+    loops: list[LoopReport] = field(default_factory=list)
+
+    @property
+    def vectorized(self) -> list[LoopReport]:
+        return [l for l in self.loops if l.status == "vectorized"]
+
+    @property
+    def bailouts(self) -> list[LoopReport]:
+        return [l for l in self.loops if l.status == "bailout"]
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "width": self.width,
+            "loops": [l.to_dict() for l in self.loops],
+        }
+
+
+# -- loop discovery ------------------------------------------------------------
+
+
+@dataclass
+class _Candidate:
+    header: BasicBlock
+    latches: list[BasicBlock]
+    blocks: dict[int, BasicBlock]  # id -> block, header included
+
+
+def _natural_loops(fn: Function) -> tuple[DominatorTree, list[_Candidate]]:
+    dt = DominatorTree(fn)
+    by_header: dict[int, _Candidate] = {}
+    for block in reverse_post_order(fn):
+        term = block.terminator
+        if term is None:
+            continue
+        for succ in block.successors():
+            if dt.dominates(succ, block):
+                cand = by_header.setdefault(id(succ), _Candidate(succ, [], {}))
+                cand.latches.append(block)
+    for cand in by_header.values():
+        blocks = {id(cand.header): cand.header}
+        work = list(cand.latches)
+        while work:
+            b = work.pop()
+            if id(b) in blocks:
+                continue
+            blocks[id(b)] = b
+            work.extend(b.predecessors())
+        cand.blocks = blocks
+    return dt, list(by_header.values())
+
+
+def _has_irreducible_cycle(fn: Function, dt: DominatorTree) -> bool:
+    """A retreating edge whose target does not dominate its source marks a
+    cycle no natural-loop header owns."""
+    state: dict[int, int] = {}  # 0 unseen / 1 open / 2 done
+    for root in reverse_post_order(fn):
+        if state.get(id(root), 0):
+            continue
+        stack: list[tuple[BasicBlock, list[BasicBlock]]] = [
+            (root, list(root.successors()))
+        ]
+        state[id(root)] = 1
+        while stack:
+            block, succs = stack[-1]
+            if not succs:
+                state[id(block)] = 2
+                stack.pop()
+                continue
+            s = succs.pop()
+            st = state.get(id(s), 0)
+            if st == 1 and not dt.dominates(s, block):
+                return True
+            if st == 0:
+                state[id(s)] = 1
+                stack.append((s, list(s.successors())))
+    return False
+
+
+# -- analysis ------------------------------------------------------------------
+
+
+@dataclass
+class _Reduction:
+    phi: Phi
+    binop: BinaryOp
+    opcode: str
+    tail: Value  # the value flowing into the header phi from the latch
+
+
+@dataclass
+class _LoopInfo:
+    header: BasicBlock
+    latch: BasicBlock
+    preheader: BasicBlock
+    exit: BasicBlock
+    body_entry: BasicBlock
+    blocks: dict[int, BasicBlock]
+    region: list[BasicBlock]  # loop blocks minus header, topo order
+    every_iteration: set[int]  # region block ids that dominate the latch
+    iv: Phi
+    init: Value
+    bound: Value
+    reductions: list[_Reduction]
+    mem_kind: dict[int, tuple]  # id(load/store) -> ("stride"|"uniform", base)
+
+
+class _Bail(Exception):
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+def _is_invariant(value: Value, blocks: dict[int, BasicBlock]) -> bool:
+    if not isinstance(value, Instruction):
+        return True
+    return value.parent is None or id(value.parent) not in blocks
+
+
+def _feeds_recurrence(
+    value: Value, forbidden: set[int], blocks: dict[int, BasicBlock]
+) -> bool:
+    """Does ``value`` (transitively, within the loop) read any of the
+    ``forbidden`` header phis?"""
+    seen: set[int] = set()
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if id(v) in forbidden:
+            return True
+        if not isinstance(v, Instruction) or id(v) in seen:
+            continue
+        seen.add(id(v))
+        if _is_invariant(v, blocks):
+            continue
+        stack.extend(v.operands)
+    return False
+
+
+def _match_reduction(
+    info_blocks: dict[int, BasicBlock],
+    header: BasicBlock,
+    latch: BasicBlock,
+    phi: Phi,
+    forbidden: set[int],
+) -> _Reduction | None:
+    if not isinstance(phi.type, IntType) or phi.type.bits < 8:
+        return None
+    tail = phi.incoming_for(latch)
+    if not isinstance(tail, Instruction) or _is_invariant(tail, info_blocks):
+        return None
+    binop: BinaryOp | None = None
+    chain: dict[int, Phi] = {}
+    stack: list[Value] = [tail]
+    while stack:
+        v = stack.pop()
+        if v is phi:
+            continue
+        if isinstance(v, Phi):
+            if v.parent is header or _is_invariant(v, info_blocks):
+                return None
+            if id(v) in chain:
+                continue
+            chain[id(v)] = v
+            stack.extend(val for val, _ in v.incoming())
+        elif (
+            isinstance(v, BinaryOp)
+            and v.opcode in _REDUCTION_OPS
+            and not _is_invariant(v, info_blocks)
+        ):
+            if binop is not None and v is not binop:
+                return None
+            binop = v
+        else:
+            return None
+    if binop is None:
+        return None
+    lhs, rhs = binop.operands
+    if (lhs is phi) == (rhs is phi):  # exactly one operand must be the phi
+        return None
+    other = rhs if lhs is phi else lhs
+    if _feeds_recurrence(other, forbidden, info_blocks):
+        return None
+    # Use discipline: inside the loop, the phi / update / merge chain may
+    # only feed each other — a running partial sum must never be observable.
+    members = {id(phi), id(binop), *chain}
+    for node in (phi, binop, *chain.values()):
+        for user in node.users():
+            if (
+                isinstance(user, Instruction)
+                and not _is_invariant(user, info_blocks)
+                and id(user) not in members
+            ):
+                return None
+    return _Reduction(phi, binop, binop.opcode, tail)
+
+
+def _analyze(
+    fn: Function,
+    dt: DominatorTree,
+    cand: _Candidate,
+    all_headers: list[BasicBlock],
+) -> _LoopInfo:
+    header, blocks = cand.header, cand.blocks
+    for other in all_headers:
+        if other is not header and id(other) in blocks:
+            raise _Bail(NOT_INNERMOST)
+    if len(cand.latches) != 1:
+        raise _Bail(MULTIPLE_LATCHES)
+    latch = cand.latches[0]
+
+    preds = header.predecessors()
+    outside = [p for p in preds if id(p) not in blocks]
+    if len(preds) != 2 or len(outside) != 1:
+        raise _Bail(NO_PREHEADER)
+    preheader = outside[0]
+
+    term = header.terminator
+    if not isinstance(term, CondBranch):
+        raise _Bail(NOT_COUNTABLE)
+    cond = term.condition
+    if (
+        not isinstance(cond, CompareOp)
+        or cond.opcode != "icmp"
+        or cond.predicate != "slt"
+        or cond.parent is not header
+    ):
+        raise _Bail(NOT_COUNTABLE)
+    if id(term.true_target) not in blocks or id(term.false_target) in blocks:
+        raise _Bail(NOT_COUNTABLE)
+    body_entry, exit_block = term.true_target, term.false_target
+
+    non_phi = header.non_phi_instructions()
+    if len(non_phi) != 2 or non_phi[0] is not cond or non_phi[1] is not term:
+        raise _Bail(HEADER_EFFECTS)
+    if any(u is not term for u in cond.users()):
+        raise _Bail(HEADER_EFFECTS)
+
+    iv = cond.operands[0]
+    bound = cond.operands[1]
+    if not isinstance(iv, Phi) or iv.parent is not header:
+        raise _Bail(NOT_COUNTABLE)
+    if not isinstance(iv.type, IntType) or iv.type.bits < 8:
+        raise _Bail(NOT_COUNTABLE)
+    if not _is_invariant(bound, blocks):
+        raise _Bail(NOT_COUNTABLE)
+    init = iv.incoming_for(preheader)
+    if not _is_invariant(init, blocks):
+        raise _Bail(NOT_COUNTABLE)
+    step = iv.incoming_for(latch)
+    if (
+        not isinstance(step, BinaryOp)
+        or step.opcode != "add"
+        or _is_invariant(step, blocks)
+    ):
+        raise _Bail(NOT_COUNTABLE)
+    a, b = step.operands
+    if not (
+        (a is iv and isinstance(b, ConstantInt) and b.value == 1)
+        or (b is iv and isinstance(a, ConstantInt) and a.value == 1)
+    ):
+        raise _Bail(NOT_COUNTABLE)
+
+    # Exits only from the header; every in-loop terminator stays in-loop.
+    for blk in blocks.values():
+        if blk is header:
+            continue
+        t = blk.terminator
+        if not isinstance(t, (Branch, CondBranch)):
+            raise _Bail(SIDE_EXIT)
+        if any(id(s) not in blocks for s in blk.successors()):
+            raise _Bail(SIDE_EXIT)
+
+    other_phis = [p for p in header.phis() if p is not iv]
+    forbidden = {id(p) for p in other_phis}
+    reductions = []
+    for phi in other_phis:
+        red = _match_reduction(blocks, header, latch, phi, forbidden)
+        if red is None:
+            raise _Bail(LOOP_CARRIED)
+        reductions.append(red)
+
+    region = [
+        blk for blk in reverse_post_order(fn) if id(blk) in blocks and blk is not header
+    ]
+    every_iteration = {id(b) for b in region if dt.dominates(b, latch)}
+
+    mem_kind: dict[int, tuple] = {}
+    geps: list[GetElementPtr] = []
+    store_bases: set[int] = set()
+    uniform_bases: set[int] = set()
+
+    def classify(instr: Instruction, ptr: Value, is_store: bool) -> None:
+        if isinstance(ptr, GetElementPtr) and not _is_invariant(ptr, blocks):
+            base, idx = ptr.base, ptr.index
+            if not _is_invariant(base, blocks):
+                raise _Bail(MEMORY_DEPENDENCE)
+            if idx is iv:
+                mem_kind[id(instr)] = ("stride", base)
+                if is_store:
+                    store_bases.add(id(base))
+                return
+            if not is_store and _is_invariant(idx, blocks):
+                if id(instr.parent) not in every_iteration:
+                    raise _Bail(MEMORY_DEPENDENCE)
+                mem_kind[id(instr)] = ("uniform", base)
+                uniform_bases.add(id(base))
+                return
+            raise _Bail(MEMORY_DEPENDENCE)
+        if not is_store and _is_invariant(ptr, blocks):
+            if id(instr.parent) not in every_iteration:
+                raise _Bail(MEMORY_DEPENDENCE)
+            mem_kind[id(instr)] = ("uniform", ptr)
+            uniform_bases.add(id(ptr))
+            return
+        raise _Bail(MEMORY_DEPENDENCE)
+
+    for blk in region:
+        for instr in blk:
+            if instr.is_vector_instruction:
+                raise _Bail(ALREADY_VECTOR)
+            if isinstance(instr, Call):
+                raise _Bail(CONTAINS_CALL)
+            if isinstance(instr, Alloca):
+                raise _Bail(CONTAINS_ALLOCA)
+            if isinstance(instr, BinaryOp) and instr.opcode in _TRAPPING_OPS:
+                raise _Bail(TRAPPING_ARITH)
+            if isinstance(instr, CastOp):
+                if instr.type.is_pointer() or instr.operands[0].type.is_pointer():
+                    raise _Bail(ADDRESS_ESCAPE)
+            elif isinstance(instr, Load):
+                if not any(instr.type == t for t in _MEM_ELEMS):
+                    raise _Bail(UNSUPPORTED_ELEM)
+                classify(instr, instr.pointer, is_store=False)
+            elif isinstance(instr, Store):
+                if not any(instr.value.type == t for t in _MEM_ELEMS):
+                    raise _Bail(UNSUPPORTED_ELEM)
+                classify(instr, instr.pointer, is_store=True)
+            elif isinstance(instr, GetElementPtr):
+                geps.append(instr)
+            elif isinstance(instr, Phi):
+                if instr.type.is_pointer() or instr.type.is_vector():
+                    raise _Bail(UNSUPPORTED)
+            elif isinstance(
+                instr, (BinaryOp, FNeg, CompareOp, Select, Branch, CondBranch)
+            ):
+                pass
+            else:
+                raise _Bail(UNSUPPORTED)
+
+    # Distinct bases are assumed noalias, but a base that is both stored
+    # through and uniformly loaded is a genuine loop-carried dependence.
+    if store_bases & uniform_bases:
+        raise _Bail(MEMORY_DEPENDENCE)
+    # In-loop geps must only feed in-loop memory ops (no escaping addresses).
+    for gep in geps:
+        for user, index in gep.uses:
+            ok = (isinstance(user, Load) and index == 0) or (
+                isinstance(user, Store) and index == 1
+            )
+            if not ok or _is_invariant(user, blocks):
+                raise _Bail(ADDRESS_ESCAPE)
+
+    return _LoopInfo(
+        header=header,
+        latch=latch,
+        preheader=preheader,
+        exit=exit_block,
+        body_entry=body_entry,
+        blocks=blocks,
+        region=region,
+        every_iteration=every_iteration,
+        iv=iv,
+        init=init,
+        bound=bound,
+        reductions=reductions,
+        mem_kind=mem_kind,
+    )
+
+
+# -- transform -----------------------------------------------------------------
+
+
+class _LoopVectorizer:
+    def __init__(self, fn: Function, info: _LoopInfo, target: Target,
+                 report: LoopReport):
+        self.fn = fn
+        self.info = info
+        self.target = target
+        self.vl = target.vector_width
+        self.report = report
+        self.module = fn.module
+        self._inv_cache: dict[int, Value] = {}
+        self._ph_builder: IRBuilder | None = None
+        self.iv_ty: IntType = info.iv.type  # type: ignore[assignment]
+        self.iota = ConstantVector(
+            [const_int(self.iv_ty, k) for k in range(self.vl)]
+        )
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _ic(self, v: int) -> ConstantInt:
+        return const_int(self.iv_ty, v)
+
+    def _and_mask(self, b: IRBuilder, m1: Value | None, m2: Value | None):
+        if m1 is None:
+            return m2
+        if m2 is None:
+            return m1
+        return b.and_(m1, m2, "mand")
+
+    def _or_mask(self, b: IRBuilder, m1, m2):
+        if m1 is None or m2 is None:
+            return None
+        return b.or_(m1, m2, "mor")
+
+    def _not_mask(self, b: IRBuilder, m: Value) -> Value:
+        ones = IRBuilder.splat_const(const_int(I1, 1), self.vl)
+        return b.xor(m, ones, "mnot")
+
+    def _widen_invariant(self, value: Value) -> Value:
+        if isinstance(value, Constant):
+            return IRBuilder.splat_const(value, self.vl)
+        cached = self._inv_cache.get(id(value))
+        if cached is None:
+            assert self._ph_builder is not None
+            cached = self._ph_builder.broadcast(value, self.vl, value.name or "inv")
+            self._inv_cache[id(value)] = cached
+        return cached
+
+    def _sign_mask(self, b: IRBuilder, mask: Value, elem: Type) -> Value:
+        ivec = b.sext(mask, vector(I32, self.vl), "maski32")
+        if elem.is_float():
+            return b.bitcast(ivec, vector(F32, self.vl), "maskf32")
+        return ivec
+
+    def _masked_load(self, b: IRBuilder, addr: Value, elem: Type, mask: Value,
+                     name: str) -> Value:
+        self.report.masked_loads += 1
+        fn_i = declare_intrinsic(self.module, self.target.masked_load_name(elem))
+        vec_ty = vector(elem, self.vl)
+        if self.target.mask_style == "x86-sign":
+            i8p = b.bitcast(addr, pointer(I8))
+            return b.call(fn_i, [i8p, self._sign_mask(b, mask, elem)], name)
+        vp = b.bitcast(addr, pointer(vec_ty))
+        return b.call(fn_i, [vp, mask, zeroinitializer(vec_ty)], name)
+
+    def _masked_store(self, b: IRBuilder, addr: Value, elem: Type, mask: Value,
+                      value: Value) -> None:
+        self.report.masked_stores += 1
+        fn_i = declare_intrinsic(self.module, self.target.masked_store_name(elem))
+        if self.target.mask_style == "x86-sign":
+            i8p = b.bitcast(addr, pointer(I8))
+            b.call(fn_i, [i8p, self._sign_mask(b, mask, elem), value])
+            return
+        vp = b.bitcast(addr, pointer(vector(elem, self.vl)))
+        b.call(fn_i, [value, vp, mask])
+
+    # -- body widening ---------------------------------------------------------
+
+    def _emit_region(
+        self,
+        b: IRBuilder,
+        iv_scalar: Value,
+        lane_mask: Value | None,
+        vmap: dict[int, Value],
+    ) -> dict[int, Value]:
+        """Widen the if-converted body once (``lane_mask`` is ``None`` for the
+        full-width main loop, the remainder mask in the epilogue)."""
+        info, vl = self.info, self.vl
+        iv_bc = b.broadcast(iv_scalar, vl, "iv")
+        vmap[id(info.iv)] = b.add(iv_bc, self.iota, "iv.vec")
+
+        def w(value: Value) -> Value:
+            got = vmap.get(id(value))
+            if got is not None:
+                return got
+            if _is_invariant(value, info.blocks):
+                return self._widen_invariant(value)
+            raise AssertionError(f"unwidened in-loop value {value!r}")
+
+        block_pred: dict[int, Value | None] = {id(info.body_entry): None}
+        edge_pred: dict[tuple[int, int], Value | None] = {}
+
+        def flow(src: BasicBlock, dst: BasicBlock, mask: Value | None) -> None:
+            if dst is info.header:
+                return
+            key = (id(src), id(dst))
+            if key in edge_pred:
+                edge_pred[key] = self._or_mask(b, edge_pred[key], mask)
+            else:
+                edge_pred[key] = mask
+            if id(dst) in block_pred:
+                block_pred[id(dst)] = self._or_mask(b, block_pred[id(dst)], mask)
+            else:
+                block_pred[id(dst)] = mask
+
+        for blk in info.region:
+            pred = block_pred.get(id(blk))
+            if id(blk) in info.every_iteration:
+                pred = None  # executes every iteration: provably all-true
+            for instr in blk:
+                if isinstance(instr, Phi):
+                    pairs = instr.incoming()
+                    res = w(pairs[-1][0])
+                    for val, inblk in reversed(pairs[:-1]):
+                        ep = edge_pred.get((id(inblk), id(blk)))
+                        if ep is None:
+                            res = w(val)
+                        else:
+                            self.report.selects += 1
+                            res = b.select(ep, w(val), res, instr.name or "ifc")
+                    vmap[id(instr)] = res
+                elif isinstance(instr, BinaryOp):
+                    self.report.widened += 1
+                    vmap[id(instr)] = b.binop(
+                        instr.opcode, w(instr.operands[0]), w(instr.operands[1]),
+                        instr.name,
+                    )
+                elif isinstance(instr, FNeg):
+                    self.report.widened += 1
+                    vmap[id(instr)] = b.fneg(w(instr.operands[0]), instr.name)
+                elif isinstance(instr, CompareOp):
+                    self.report.widened += 1
+                    emit = b.icmp if instr.opcode == "icmp" else b.fcmp
+                    vmap[id(instr)] = emit(
+                        instr.predicate, w(instr.operands[0]), w(instr.operands[1]),
+                        instr.name,
+                    )
+                elif isinstance(instr, Select):
+                    self.report.widened += 1
+                    vmap[id(instr)] = b.select(
+                        w(instr.operands[0]), w(instr.operands[1]),
+                        w(instr.operands[2]), instr.name,
+                    )
+                elif isinstance(instr, CastOp):
+                    self.report.widened += 1
+                    vmap[id(instr)] = b.cast(
+                        instr.opcode, w(instr.operands[0]),
+                        vector(instr.type, vl), instr.name,
+                    )
+                elif isinstance(instr, GetElementPtr):
+                    pass  # consumed by the memory ops below
+                elif isinstance(instr, Load):
+                    kind, base = info.mem_kind[id(instr)]
+                    if kind == "uniform":
+                        ptr = instr.pointer
+                        if isinstance(ptr, GetElementPtr) and not _is_invariant(
+                            ptr, info.blocks
+                        ):
+                            ptr = b.gep(ptr.base, ptr.index, instr.name + ".u")
+                        ld = b.load(ptr, instr.name)
+                        vmap[id(instr)] = b.broadcast(ld, vl, instr.name)
+                        continue
+                    elem = instr.type
+                    addr = b.gep(base, iv_scalar, instr.name + ".a")
+                    mask = self._and_mask(b, lane_mask, pred)
+                    if mask is None:
+                        vp = b.bitcast(addr, pointer(vector(elem, vl)))
+                        vmap[id(instr)] = b.load(vp, instr.name)
+                    else:
+                        vmap[id(instr)] = self._masked_load(
+                            b, addr, elem, mask, instr.name or "mld"
+                        )
+                elif isinstance(instr, Store):
+                    _, base = info.mem_kind[id(instr)]
+                    elem = instr.value.type
+                    addr = b.gep(base, iv_scalar, "st.a")
+                    mask = self._and_mask(b, lane_mask, pred)
+                    value = w(instr.value)
+                    if mask is None:
+                        vp = b.bitcast(addr, pointer(vector(elem, vl)))
+                        b.store(value, vp)
+                    else:
+                        self._masked_store(b, addr, elem, mask, value)
+                elif isinstance(instr, Branch):
+                    flow(blk, instr.target, pred)
+                elif isinstance(instr, CondBranch):
+                    c = w(instr.condition)
+                    flow(blk, instr.true_target, self._and_mask(b, pred, c))
+                    flow(
+                        blk,
+                        instr.false_target,
+                        self._and_mask(b, pred, self._not_mask(b, c)),
+                    )
+                else:  # pragma: no cover - excluded by analysis
+                    raise AssertionError(f"unexpected {instr.opcode}")
+        return vmap
+
+    # -- the rewrite -----------------------------------------------------------
+
+    def run(self) -> None:
+        info, fn, vl = self.info, self.fn, self.vl
+        base = info.header.name
+        vph = fn.add_block(f"{base}.vec.ph", after=info.latch)
+        vbody = fn.add_block(f"{base}.vec.body", after=vph)
+        vchk = fn.add_block(f"{base}.vec.tailchk", after=vbody)
+        vtail = fn.add_block(f"{base}.vec.tail", after=vchk)
+        vdone = fn.add_block(f"{base}.vec.done", after=vtail)
+
+        # Retarget the preheader into the new vector preheader.
+        term = info.preheader.terminator
+        pb = IRBuilder()
+        if isinstance(term, Branch):
+            info.preheader.remove(term)
+            term.drop_all_references()
+            pb.position_at_end(info.preheader)
+            pb.br(vph)
+        else:
+            assert isinstance(term, CondBranch)
+            cond = term.condition
+            t = vph if term.true_target is info.header else term.true_target
+            f = vph if term.false_target is info.header else term.false_target
+            info.preheader.remove(term)
+            term.drop_all_references()
+            pb.position_at_end(info.preheader)
+            pb.condbr(cond, t, f)
+
+        # vec.ph: entry guard (main loop runs iff n >= Vl and init <= n-Vl;
+        # the n >= Vl leg keeps ``n - Vl`` from underflowing).
+        bph = IRBuilder(vph)
+        self._ph_builder = bph
+        limit = bph.sub(info.bound, self._ic(vl), "vec.limit")
+        wide_enough = bph.icmp("sge", info.bound, self._ic(vl), "vec.wide")
+        in_range = bph.icmp("sle", info.init, limit, "vec.inrange")
+        enter = bph.and_(wide_enough, in_range, "vec.enter")
+
+        red_inits: list[Value] = []
+        for red in info.reductions:
+            ident = const_int(red.phi.type, _REDUCTION_IDENTITY[red.opcode])
+            splat = IRBuilder.splat_const(ident, vl)
+            if isinstance(red.phi.incoming_for(info.preheader), Constant):
+                init_c = red.phi.incoming_for(info.preheader)
+                elems = [init_c] + [ident] * (vl - 1)
+                red_inits.append(ConstantVector(elems))
+            else:
+                red_inits.append(
+                    bph.insertelement(
+                        splat, red.phi.incoming_for(info.preheader), 0,
+                        f"{red.phi.name}.vinit",
+                    )
+                )
+
+        # vec.body: full-width main loop, unmasked.
+        b = IRBuilder(vbody)
+        iv_cur = b.phi(self.iv_ty, f"{info.iv.name}.v")
+        red_cur = [
+            b.phi(vector(red.phi.type, vl), f"{red.phi.name}.v")
+            for red in info.reductions
+        ]
+        vmap: dict[int, Value] = {
+            id(red.phi): cur for red, cur in zip(info.reductions, red_cur)
+        }
+        vmap = self._emit_region(b, iv_cur, None, vmap)
+        red_main = [vmap[id(red.tail)] for red in info.reductions]
+        iv_next = b.add(iv_cur, self._ic(vl), f"{info.iv.name}.vnext")
+        more = b.icmp("sle", iv_next, limit, "vec.more")
+        b.condbr(more, vbody, vchk)
+        iv_cur.add_incoming(info.init, vph)
+        iv_cur.add_incoming(iv_next, vbody)
+        for cur, vinit, out in zip(red_cur, red_inits, red_main):
+            cur.add_incoming(vinit, vph)
+            cur.add_incoming(out, vbody)
+
+        # vec.tailchk: anything left for the masked epilogue?
+        bc = IRBuilder(vchk)
+        iv_mid = bc.phi(self.iv_ty, f"{info.iv.name}.mid")
+        red_mid = [
+            bc.phi(vector(red.phi.type, vl), f"{red.phi.name}.mid")
+            for red in info.reductions
+        ]
+        iv_mid.add_incoming(info.init, vph)
+        iv_mid.add_incoming(iv_next, vbody)
+        for mid, vinit, out in zip(red_mid, red_inits, red_main):
+            mid.add_incoming(vinit, vph)
+            mid.add_incoming(out, vbody)
+        remain = bc.icmp("slt", iv_mid, info.bound, "vec.remain")
+        bc.condbr(remain, vtail, vdone)
+
+        # vec.tail: ONE masked vector iteration — the scalarized lane mask
+        # ``lane k active iff iv+k < n`` feeds every masked access.
+        bt = IRBuilder(vtail)
+        mask: Value = ConstantVector([const_int(I1, 0)] * vl)
+        for k in range(vl):
+            ck = bt.icmp(
+                "slt", bt.add(iv_mid, self._ic(k)), info.bound, f"vec.c{k}"
+            )
+            mask = bt.insertelement(mask, ck, k, f"vec.m{k}")
+        tail_vmap: dict[int, Value] = {
+            id(red.phi): mid for red, mid in zip(info.reductions, red_mid)
+        }
+        tail_vmap = self._emit_region(bt, iv_mid, mask, tail_vmap)
+        red_tail = [
+            bt.select(mask, tail_vmap[id(red.tail)], mid, f"{red.phi.name}.tail")
+            for red, mid in zip(info.reductions, red_mid)
+        ]
+        bt.br(vdone)
+
+        # Terminate vec.ph only now: both region emissions may have hoisted
+        # invariant broadcasts into it.
+        bph.condbr(enter, vbody, vchk)
+
+        # vec.done: fold accumulators lane-by-lane, materialize the exit IV.
+        bd = IRBuilder(vdone)
+        red_final: list[Value] = []
+        for red, mid in zip(info.reductions, red_mid):
+            fin = bd.phi(vector(red.phi.type, vl), f"{red.phi.name}.fin")
+            fin.add_incoming(mid, vchk)
+            fin.add_incoming(red_tail[info.reductions.index(red)], vtail)
+            acc = bd.extractelement(fin, 0, f"{red.phi.name}.l0")
+            for k in range(1, vl):
+                lane = bd.extractelement(fin, k, f"{red.phi.name}.l{k}")
+                acc = bd.binop(red.opcode, acc, lane, f"{red.phi.name}.fold")
+            red_final.append(acc)
+        ran = bd.icmp("slt", info.init, info.bound, "vec.ran")
+        iv_final = bd.select(ran, info.bound, info.init, f"{info.iv.name}.final")
+        bd.br(info.exit)
+        self.report.reductions = len(info.reductions)
+
+        # Rewire everything downstream of the old loop.
+        loop_ids = set(info.blocks)
+
+        def replace_external(old: Value, new: Value) -> None:
+            for user, index in list(old.uses):
+                if (
+                    isinstance(user, Instruction)
+                    and user.parent is not None
+                    and id(user.parent) in loop_ids
+                ):
+                    continue
+                user.set_operand(index, new)
+
+        replace_external(info.iv, iv_final)
+        for red, fin in zip(info.reductions, red_final):
+            replace_external(red.phi, fin)
+        for phi in info.exit.phis():
+            for i, blk in enumerate(phi.incoming_blocks):
+                if blk is info.header:
+                    phi.incoming_blocks[i] = vdone
+                    phi._bump_version()
+
+        for blk in info.blocks.values():
+            for instr in list(blk):
+                instr.drop_all_references()
+        for blk in info.blocks.values():
+            fn.remove_block(blk)
+
+        # Mark the loops we built so re-runs skip them (fixpoint safety).
+        iv_cur.meta["vectorized"] = True
+        iv_mid.meta["vectorized"] = True
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def vectorize_function(fn: Function, target: Target | str) -> list[LoopReport]:
+    """Vectorize every eligible innermost loop of ``fn`` in place."""
+    t = get_target(target) if isinstance(target, str) else target
+    reports: list[LoopReport] = []
+    reported: set[str] = set()
+    irreducible_noted = False
+    while True:
+        dt, cands = _natural_loops(fn)
+        if not irreducible_noted and _has_irreducible_cycle(fn, dt):
+            reports.append(
+                LoopReport(fn.name, "<cycle>", "bailout", IRREDUCIBLE, t.vector_width)
+            )
+            irreducible_noted = True
+        headers = [c.header for c in cands]
+        progress = False
+        for cand in cands:
+            if cand.header.name in reported:
+                continue
+            if any(p.meta.get("vectorized") for p in cand.header.phis()):
+                continue  # a loop this pass created earlier
+            report = LoopReport(
+                fn.name, cand.header.name, "bailout", width=t.vector_width
+            )
+            try:
+                info = _analyze(fn, dt, cand, headers)
+            except _Bail as bail:
+                report.reason = bail.reason
+                reports.append(report)
+                reported.add(cand.header.name)
+                continue
+            _LoopVectorizer(fn, info, t, report).run()
+            report.status = "vectorized"
+            report.reason = None
+            reports.append(report)
+            reported.add(cand.header.name)
+            progress = True
+            break  # CFG changed: rediscover before touching other loops
+        if not progress:
+            return reports
+
+
+def vectorize_module(module: Module, target: Target | str) -> VectorizeReport:
+    """Vectorize every defined function; verify the result."""
+    t = get_target(target) if isinstance(target, str) else target
+    report = VectorizeReport(target=t.name, width=t.vector_width)
+    for fn in module.defined_functions():
+        report.loops.extend(vectorize_function(fn, t))
+    verify_module(module)
+    return report
+
+
+def auto_vectorize_pass(target: Target | str):
+    """A :data:`~repro.passes.manager.FunctionPass` closure for the manager."""
+    t = get_target(target) if isinstance(target, str) else target
+
+    def vectorize(fn: Function) -> bool:
+        return any(r.status == "vectorized" for r in vectorize_function(fn, t))
+
+    vectorize.__name__ = f"vectorize_{t.name}"
+    return vectorize
+
+
+def auto_vectorized(
+    module: Module, target: Target | str, name: str | None = None
+) -> tuple[Module, VectorizeReport]:
+    """Clone ``module``, vectorize the clone, clean up, verify.
+
+    The input module is untouched — campaign code holds scalar and
+    auto-vectorized forms of one kernel side by side.
+    """
+    t = get_target(target) if isinstance(target, str) else target
+    out = clone_module(
+        module, name if name is not None else f"{module.name}.autovec.{t.name}"
+    )
+    report = VectorizeReport(target=t.name, width=t.vector_width)
+    for fn in out.defined_functions():
+        report.loops.extend(vectorize_function(fn, t))
+    from .dce import dead_code_elimination
+
+    for fn in out.defined_functions():
+        dead_code_elimination(fn)
+    out.renumber()
+    verify_module(out)
+    return out, report

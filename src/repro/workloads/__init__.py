@@ -1,6 +1,7 @@
 """The paper's nine vector benchmarks plus the §IV-E micro-benchmarks."""
 
 from .registry import (
+    GENERATED,
     ISPC_SUITE,
     MICRO,
     PARVEC,
@@ -14,6 +15,7 @@ from .registry import (
 )
 
 __all__ = [
+    "GENERATED",
     "ISPC_SUITE",
     "MICRO",
     "PARVEC",

@@ -1,0 +1,213 @@
+"""Generator-backed workload family: auto-vec vs hand-vec forms of one kernel.
+
+Each ``(seed, shape)`` recipe from :mod:`repro.ir.generate` contributes
+three registry entries — the *same* per-lane computation rendered three
+ways:
+
+* ``gen-{shape}{seed}``          — hand-vectorized (frontend ``foreach``
+  style: stride-``Vl`` masked loop, vector selects, lane-folded reduction);
+* ``gen-{shape}{seed}-scalar``   — the scalar counted loop with real
+  branches;
+* ``gen-{shape}{seed}-auto``     — the scalar form pushed through the
+  auto-vectorizer (:mod:`repro.passes.vectorize`) for the requested target.
+
+All three produce bit-identical golden outputs (the recipes restrict
+reductions to exactly-associative integer ops), so a ``vecdiff`` campaign
+comparing their fault-outcome distributions is measuring the *vectorization
+strategy*, not a changed computation.
+
+Unlike the MiniISPC benchmarks these workloads build IR directly, so
+:meth:`GeneratedWorkload.compile` overrides source compilation; the
+detector flags are accepted for interface compatibility but insert nothing
+(generated kernels carry no ``foreach`` metadata for detectors to hook).
+The ``source`` field holds the canonical recipe text
+(:func:`repro.ir.generate.recipe_source`) plus the form tag, so
+:func:`~repro.workloads.registry.registry_fingerprint` — and every campaign
+manifest pinning it — keys off recipe *content*: same seed ⇒ byte-identical
+manifests, changed generator ⇒ refused resume.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from ..frontend.target import Target, get_target
+from ..ir.generate import (
+    GENERATOR_VERSION,
+    KERNEL_SHAPES,
+    build_handvec_kernel,
+    build_scalar_kernel,
+    make_recipe,
+    recipe_source,
+)
+from ..ir.module import Module
+from .common import ArrayArgs, f32, i32
+from .registry import GENERATED, Workload, register
+
+#: The forms every recipe is rendered in.  The bare name is the
+#: hand-vectorized form (the paper's subject programs are hand-vectorized,
+#: so it keeps the unsuffixed name).
+FORMS = ("handvec", "scalar", "auto")
+
+#: Seeds registered by default at import time.  ``ensure_generated``
+#: registers further seeds on demand.
+DEFAULT_SEEDS = (0, 1)
+
+#: Input lengths; none divides any target's Vl (4/8/16), so hand-vec and
+#: auto-vec forms always execute a partial-mask iteration.
+_LENGTHS = (19, 33, 47, 85)
+
+
+class GeneratedWorkload(Workload):
+    """A workload whose module is built from a recipe, not MiniISPC source."""
+
+    def __init__(self, *, seed: int, shape: str, form: str, **kwargs):
+        super().__init__(**kwargs)
+        self.seed = seed
+        self.shape = shape
+        self.form = form
+
+    def compile(
+        self,
+        target: Target | str = "avx",
+        foreach_detectors: bool = False,
+        uniform_detectors: bool = False,
+    ) -> Module:
+        tgt = get_target(target) if isinstance(target, str) else target
+        key = (tgt.name, foreach_detectors, uniform_detectors)
+        module = self._module_cache.get(key)
+        if module is None:
+            with self._compile_lock:
+                module = self._module_cache.get(key)
+                if module is None:
+                    module = self._build(tgt)
+                    self._module_cache[key] = module
+        return module
+
+    def _build(self, target: Target) -> Module:
+        if self.form == "scalar":
+            # Target-independent, but cached per target like everything
+            # else so campaign fingerprints stay per-(workload, target).
+            return build_scalar_kernel(
+                self.seed, self.shape, name=f"{self.name}-{target.name}"
+            )
+        if self.form == "handvec":
+            return build_handvec_kernel(
+                self.seed, self.shape, target, name=f"{self.name}-{target.name}"
+            )
+        # auto: scalar form through the vectorizer.  Import here — the
+        # passes package imports workloads-adjacent modules and this file
+        # is imported during registry loading.
+        from ..passes.vectorize import auto_vectorized
+
+        scalar = build_scalar_kernel(self.seed, self.shape)
+        module, report = auto_vectorized(
+            scalar, target, name=f"{self.name}-{target.name}"
+        )
+        if not report.vectorized:
+            raise RuntimeError(
+                f"auto-vectorization of {self.name} bailed out: "
+                f"{[loop.to_dict() for loop in report.loops]}"
+            )
+        return module
+
+
+def _sample(rng: Random) -> dict:
+    return {"n": rng.choice(_LENGTHS), "seed": rng.randrange(2**31)}
+
+
+def _make_runner(params: dict):
+    n = params["n"]
+    gen = np.random.default_rng(params["seed"])
+    a = i32(gen.integers(-40, 40, n))
+    x = f32(gen.random(n) * 4 - 2)
+
+    def runner(vm):
+        args = ArrayArgs(vm)
+        pa = args.in_i32(a, "a")
+        px = args.in_f32(x, "x")
+        po = args.out_i32("out", n)
+        pf = args.out_f32("fout", n)
+        r = vm.run("kernel", [pa, px, po, pf, n])
+        return args.collect(extra={"r": int(r)})
+
+    return runner
+
+
+_FORM_DESCRIPTION = {
+    "handvec": "hand-vectorized (foreach-style masked stride-Vl loop)",
+    "scalar": "scalar counted loop with branches",
+    "auto": "scalar form auto-vectorized by passes/vectorize",
+}
+
+
+def workload_name(seed: int, shape: str, form: str) -> str:
+    base = f"gen-{shape}{seed}"
+    return base if form == "handvec" else f"{base}-{form}"
+
+
+def _make_workload(seed: int, shape: str, form: str) -> GeneratedWorkload:
+    recipe = make_recipe(seed, shape)
+    source = f"; form = {form}\n{recipe_source(recipe)}"
+    return GeneratedWorkload(
+        seed=seed,
+        shape=shape,
+        form=form,
+        name=workload_name(seed, shape, form),
+        suite=GENERATED,
+        language="IR",
+        description=(
+            f"Generated {shape} kernel (seed {seed}, generator "
+            f"v{GENERATOR_VERSION}): {_FORM_DESCRIPTION[form]}"
+        ),
+        source=source,
+        entry="kernel",
+        sample_input=_sample,
+        make_runner=_make_runner,
+        input_summary=f"1D array length: {list(_LENGTHS)}",
+    )
+
+
+def ensure_generated(seed: int, shape: str) -> list[GeneratedWorkload]:
+    """Register (idempotently) all three forms of one recipe."""
+    from .registry import _REGISTRY
+
+    if shape not in KERNEL_SHAPES:
+        raise ValueError(f"unknown kernel shape {shape!r}")
+    out = []
+    for form in FORMS:
+        name = workload_name(seed, shape, form)
+        existing = _REGISTRY.get(name)
+        out.append(existing or register(_make_workload(seed, shape, form)))
+    return out
+
+
+def generated_workloads() -> list[GeneratedWorkload]:
+    """Every currently-registered generated workload, sorted by name."""
+    from .registry import _REGISTRY, _ensure_loaded
+
+    _ensure_loaded()
+    return sorted(
+        (w for w in _REGISTRY.values() if isinstance(w, GeneratedWorkload)),
+        key=lambda w: w.name,
+    )
+
+
+def form_pairs(shapes=KERNEL_SHAPES, seeds=DEFAULT_SEEDS) -> list[tuple]:
+    """(kernel-base-name, handvec workload, auto workload) per recipe."""
+    pairs = []
+    for shape in shapes:
+        for seed in seeds:
+            hand, _scalar, auto = ensure_generated(seed, shape)
+            pairs.append((f"gen-{shape}{seed}", hand, auto))
+    return pairs
+
+
+for _seed in DEFAULT_SEEDS:
+    for _shape in KERNEL_SHAPES:
+        ensure_generated(_seed, _shape)
+
+# Keep linters from seeing the loop variables as exports.
+del _seed, _shape

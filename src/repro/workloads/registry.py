@@ -33,6 +33,8 @@ PARVEC = "Parvec"
 ISPC_SUITE = "ISPC"
 SCL = "SCL"
 MICRO = "Micro"
+#: generator-backed kernels (not in the paper's Table I)
+GENERATED = "Generated"
 
 
 @dataclass
@@ -230,6 +232,7 @@ def _ensure_loaded() -> None:
             cg,
             chebyshev,
             fluidanimate,
+            generated,
             jacobi,
             micro,
             raytracing,

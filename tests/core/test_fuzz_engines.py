@@ -1,11 +1,11 @@
 """Differential fuzzing: all three engines over random modules.
 
-A seeded generator builds small loop-shaped modules straight from
-:class:`~repro.ir.builder.IRBuilder` — scalar and vector arithmetic, phis
-(scalar, float, and vector), masked load/store intrinsics, plain memory
-traffic, compares, selects, casts, and shuffles — then runs seeded
-injection campaigns through the instrumented, direct, and compiled engines
-and requires the complete observable stream to be bit-identical: dynamic
+The seeded generators live in :mod:`repro.ir.generate` (shared with the
+generated workload family) — scalar and vector arithmetic, phis (scalar,
+float, and vector), masked load/store intrinsics, plain memory traffic,
+compares, selects, casts, and shuffles.  This file runs seeded injection
+campaigns through the instrumented, direct, and compiled engines and
+requires the complete observable stream to be bit-identical: dynamic
 site counts and widths, dynamic-instruction totals (golden and faulty),
 outcomes, crash kinds, and injection records.  Modules whose golden run
 traps are kept as differential cases too (all engines must trap
@@ -15,6 +15,9 @@ The workload-based differential matrix (``test_direct_engine.py``) covers
 the compiler's idioms; this file covers IR shapes the frontend never
 emits — adversarial phi webs, odd mask constants, store-then-masked-load
 aliasing — which is where a specializing compiler grows silent bugs.
+A third sweep feeds *auto-vectorized* generated kernels (from
+:mod:`repro.passes.vectorize`) through the same harness: predicated
+masked memory and select chains produced by the pass, not the frontend.
 """
 
 import os
@@ -25,160 +28,14 @@ import pytest
 
 from repro.core import ENGINES, FaultInjector
 from repro.errors import VMTrap
-from repro.ir import (
-    F32,
-    FunctionType,
-    I1,
-    I32,
-    IRBuilder,
-    Module,
-    const_float,
-    const_int,
-    declare_intrinsic,
-    pointer,
-    vector,
-    verify_module,
-    zeroinitializer,
+from repro.ir import F32, I32, Module
+from repro.ir.generate import (
+    KERNEL_SHAPES,
+    build_random_module,
+    build_remainder_module,
+    build_scalar_kernel,
 )
-from repro.ir.values import ConstantVector
-
-V4I = vector(I32, 4)
-V4F = vector(F32, 4)
-
-#: Exactly-representable f32 constants, so golden values stay tame and
-#: decode-time rounding is a no-op.
-_F32_CONSTS = (0.25, 0.5, 1.5, 2.0, -0.75, 3.0)
-
-_INT_OPS = ("add", "sub", "mul", "and", "or", "xor")
-_VEC_OPS = ("add", "sub", "mul", "xor")
-_FLOAT_OPS = ("fadd", "fsub", "fmul")
-_ICMP = ("eq", "ne", "slt", "sle", "sgt", "sge")
-
-
-def _mask_const(rng: Random) -> ConstantVector:
-    return ConstantVector([const_int(I1, rng.randint(0, 1)) for _ in range(4)])
-
-
-def build_random_module(seed: int) -> Module:
-    """One random loop: ``f(ip: i32*, fp: f32*, n: i32) -> i32``.
-
-    The loop header carries int/float/vector phis; the body mixes random
-    arithmetic with guaranteed memory traffic (masked and unmasked) on the
-    two 8-element argument arrays, every address clamped in-bounds with an
-    ``and 7`` / lane-0 base so the *golden* run never faults — corrupted
-    runs are free to.
-    """
-    rng = Random(seed)
-    m = Module(f"fuzz{seed}")
-    fn = m.add_function(
-        "f", FunctionType(I32, (pointer(I32), pointer(F32), I32)), ["ip", "fp", "n"]
-    )
-    entry = fn.add_block("entry")
-    loop = fn.add_block("loop")
-    body = fn.add_block("body")
-    latch = fn.add_block("latch")
-    done = fn.add_block("done")
-
-    b = IRBuilder(entry)
-    ivp = b.bitcast(fn.args[0], pointer(V4I), "ivp")
-    fvp = b.bitcast(fn.args[1], pointer(V4F), "fvp")
-    b.br(loop)
-
-    b.position_at_end(loop)
-    i = b.phi(I32, "i")
-    acc = b.phi(I32, "acc")
-    facc = b.phi(F32, "facc")
-    vacc = b.phi(V4I, "vacc")
-    cmp = b.icmp("slt", i, fn.args[2], "cmp")
-    b.condbr(cmp, body, done)
-
-    b.position_at_end(body)
-    ints = [i, acc, fn.args[2], b.i32(rng.randint(-20, 20))]
-    floats = [facc, const_float(rng.choice(_F32_CONSTS), F32)]
-    ivecs = [vacc]
-    bools = []
-
-    # Guaranteed memory traffic: scalar load/store on each array.
-    idx = b.and_(rng.choice(ints), b.i32(7), "idx")
-    ip_slot = b.gep(fn.args[0], idx, "ips")
-    ints.append(b.load(ip_slot, "ild"))
-    b.store(rng.choice(ints), ip_slot)
-    fidx = b.and_(rng.choice(ints), b.i32(7), "fidx")
-    fp_slot = b.gep(fn.args[1], fidx, "fps")
-    floats.append(b.load(fp_slot, "fld"))
-    b.store(rng.choice(floats), fp_slot)
-
-    for _ in range(rng.randint(4, 12)):
-        kind = rng.choice(
-            ["int", "int", "float", "vec", "cmp", "select", "cast", "shuffle",
-             "extract", "masked_load", "masked_store"]
-        )
-        if kind == "int":
-            ints.append(
-                b.binop(rng.choice(_INT_OPS), rng.choice(ints), rng.choice(ints))
-            )
-        elif kind == "float":
-            floats.append(
-                b.binop(
-                    rng.choice(_FLOAT_OPS), rng.choice(floats), rng.choice(floats)
-                )
-            )
-        elif kind == "vec":
-            ivecs.append(
-                b.binop(rng.choice(_VEC_OPS), rng.choice(ivecs), rng.choice(ivecs))
-            )
-        elif kind == "cmp":
-            bools.append(
-                b.icmp(rng.choice(_ICMP), rng.choice(ints), rng.choice(ints))
-            )
-        elif kind == "select" and bools:
-            ints.append(
-                b.select(rng.choice(bools), rng.choice(ints), rng.choice(ints))
-            )
-        elif kind == "cast":
-            ints.append(b.fptosi(rng.choice(floats), I32))
-        elif kind == "shuffle":
-            mask = [rng.randint(0, 7) for _ in range(4)]
-            ivecs.append(
-                b.shufflevector(rng.choice(ivecs), rng.choice(ivecs), mask)
-            )
-        elif kind == "extract":
-            ints.append(b.extractelement(rng.choice(ivecs), rng.randint(0, 3)))
-        elif kind == "masked_load":
-            ld = declare_intrinsic(m, "llvm.masked.load.v4i32")
-            ivecs.append(
-                b.call(ld, [ivp, _mask_const(rng), zeroinitializer(V4I)], "mld")
-            )
-        elif kind == "masked_store":
-            st = declare_intrinsic(m, "llvm.masked.store.v4i32")
-            b.call(st, [rng.choice(ivecs), ivp, _mask_const(rng)])
-
-    acc_next = rng.choice(ints)
-    facc_next = rng.choice(floats)
-    vacc_next = rng.choice(ivecs)
-    b.br(latch)
-
-    b.position_at_end(latch)
-    inext = b.add(i, b.i32(1), "inext")
-    b.br(loop)
-
-    b.position_at_end(done)
-    lane = b.extractelement(vacc, rng.randint(0, 3), "lane")
-    b.ret(b.xor(b.add(acc, lane, "sum"), b.load(b.gep(fn.args[0], b.i32(0))), "r"))
-
-    i.add_incoming(b.i32(0), entry)
-    i.add_incoming(inext, latch)
-    acc.add_incoming(b.i32(rng.randint(-5, 5)), entry)
-    acc.add_incoming(acc_next, latch)
-    facc.add_incoming(const_float(rng.choice(_F32_CONSTS), F32), entry)
-    facc.add_incoming(facc_next, latch)
-    vacc.add_incoming(
-        ConstantVector([b.i32(rng.randint(-3, 3)) for _ in range(4)]), entry
-    )
-    vacc.add_incoming(vacc_next, latch)
-
-    verify_module(m)
-    return m
+from repro.passes.vectorize import auto_vectorized
 
 
 def make_runner(seed: int):
@@ -200,14 +57,39 @@ def make_runner(seed: int):
     return runner
 
 
-def engine_stream(module: Module, engine: str, seeds=range(3)) -> list:
+def make_kernel_runner(seed: int):
+    """Runner for the generated-kernel signature (a, x, out, fout, n)."""
+    gen = np.random.default_rng(seed)
+    n = 3 + seed % 7
+    cap = n + 16
+    idata = gen.integers(-40, 40, cap).astype(np.int32)
+    fdata = gen.random(cap).astype(np.float32)
+
+    def runner(vm):
+        pa = vm.memory.store_array(I32, idata, "a")
+        px = vm.memory.store_array(F32, fdata, "x")
+        po = vm.memory.store_array(I32, np.zeros(cap, np.int32), "out")
+        pf = vm.memory.store_array(F32, np.zeros(cap, np.float32), "fout")
+        r = vm.run("kernel", [pa, px, po, pf, n])
+        return {
+            "out": vm.memory.load_array(I32, po, cap),
+            "fout": vm.memory.load_array(F32, pf, cap),
+            "r": r,
+        }
+
+    return runner
+
+
+def engine_stream(
+    module: Module, engine: str, seeds=range(3), runner_factory=make_runner
+) -> list:
     """Every observable of a seeded campaign, nan-safe via ``repr``."""
     injector = FaultInjector(
         module, category="all", step_limit=200_000, engine=engine
     )
     stream = []
     for seed in seeds:
-        runner = make_runner(seed)
+        runner = runner_factory(seed)
         try:
             golden = injector.golden(runner)
         except VMTrap as trap:
@@ -243,6 +125,7 @@ def engine_stream(module: Module, engine: str, seeds=range(3)) -> list:
 #: sweep without editing the file (see .github/workflows/ci.yml).
 _FUZZ_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "20"))
 _REMAINDER_SEEDS = int(os.environ.get("REPRO_REMAINDER_SEEDS", "8"))
+_AUTOVEC_SEEDS = int(os.environ.get("REPRO_AUTOVEC_SEEDS", "2"))
 
 
 @pytest.mark.parametrize("module_seed", range(_FUZZ_SEEDS))
@@ -258,70 +141,6 @@ def test_engines_bit_identical_on_random_modules(module_seed):
         )
 
 
-def build_remainder_module(seed: int) -> Module:
-    """A stride-4 loop whose trip count need not divide the vector width.
-
-    The body computes the lane mask dynamically — lane ``k`` active iff
-    ``i + k < n`` (scalar icmp + insertelement, the scalarized remainder
-    idiom vectorizers emit) — and pushes it through
-    ``llvm.masked.load/store.v4i32``.  With trip counts like 5, 6, 7 the
-    final iteration runs a genuinely partial mask, exercising the batched
-    tier's masked paths and its per-lane fallbacks on the same module.
-    """
-    rng = Random(seed)
-    m = Module(f"rem{seed}")
-    fn = m.add_function(
-        "f", FunctionType(I32, (pointer(I32), pointer(F32), I32)), ["ip", "fp", "n"]
-    )
-    entry = fn.add_block("entry")
-    loop = fn.add_block("loop")
-    body = fn.add_block("body")
-    latch = fn.add_block("latch")
-    done = fn.add_block("done")
-
-    b = IRBuilder(entry)
-    ivp = b.bitcast(fn.args[0], pointer(V4I), "ivp")
-    b.br(loop)
-
-    b.position_at_end(loop)
-    i = b.phi(I32, "i")
-    vacc = b.phi(V4I, "vacc")
-    cmp = b.icmp("slt", i, fn.args[2], "cmp")
-    b.condbr(cmp, body, done)
-
-    b.position_at_end(body)
-    mask = ConstantVector([const_int(I1, 0)] * 4)
-    for k in range(4):
-        ck = b.icmp("slt", b.add(i, b.i32(k)), fn.args[2], f"c{k}")
-        mask = b.insertelement(mask, ck, k, f"m{k}")
-    q = b.lshr(i, b.i32(2), "q")
-    slot = b.gep(ivp, q, "slot")
-    ld = declare_intrinsic(m, "llvm.masked.load.v4i32")
-    st = declare_intrinsic(m, "llvm.masked.store.v4i32")
-    loaded = b.call(ld, [slot, mask, zeroinitializer(V4I)], "mld")
-    vnext = b.binop(rng.choice(_VEC_OPS), vacc, loaded, "vnext")
-    b.call(st, [vnext, slot, mask])
-    b.br(latch)
-
-    b.position_at_end(latch)
-    inext = b.add(i, b.i32(4), "inext")
-    b.br(loop)
-
-    b.position_at_end(done)
-    lane = b.extractelement(vacc, rng.randint(0, 3), "lane")
-    b.ret(b.xor(lane, b.load(b.gep(fn.args[0], b.i32(0))), "r"))
-
-    i.add_incoming(b.i32(0), entry)
-    i.add_incoming(inext, latch)
-    vacc.add_incoming(
-        ConstantVector([b.i32(rng.randint(-3, 3)) for _ in range(4)]), entry
-    )
-    vacc.add_incoming(vnext, latch)
-
-    verify_module(m)
-    return m
-
-
 @pytest.mark.parametrize("module_seed", range(_REMAINDER_SEEDS))
 def test_engines_bit_identical_on_masked_remainder_loops(module_seed):
     """Trip counts 5, 6, 7 (runner seeds 1-3) never divide the 4-lane
@@ -334,6 +153,31 @@ def test_engines_bit_identical_on_masked_remainder_loops(module_seed):
         assert engine_stream(module, engine, seeds=range(1, 4)) == oracle, (
             f"engine {engine!r} diverged from the instrumented oracle on "
             f"masked-remainder module seed {module_seed}"
+        )
+
+
+@pytest.mark.parametrize("shape", KERNEL_SHAPES)
+@pytest.mark.parametrize("module_seed", range(_AUTOVEC_SEEDS))
+def test_engines_bit_identical_on_autovectorized_kernels(shape, module_seed):
+    """Auto-vectorized generated kernels through the same differential
+    harness: the pass's predicated masked loads/stores, lane-mask
+    insertelement chains, and epilogue selects are injection surfaces the
+    frontend never produces in quite this arrangement."""
+    scalar = build_scalar_kernel(module_seed, shape)
+    module, report = auto_vectorized(scalar, "sse")
+    assert report.vectorized, [loop.to_dict() for loop in report.loops]
+    oracle = engine_stream(
+        module, "instrumented", runner_factory=make_kernel_runner
+    )
+    for engine in ENGINES:
+        if engine == "instrumented":
+            continue
+        assert (
+            engine_stream(module, engine, runner_factory=make_kernel_runner)
+            == oracle
+        ), (
+            f"engine {engine!r} diverged from the instrumented oracle on "
+            f"auto-vectorized {shape} kernel seed {module_seed}"
         )
 
 

@@ -168,4 +168,7 @@ class TestCLI:
         assert (tmp_path / "table1.json").exists()
 
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {"table1", "fig10", "fig11", "fig12", "ablations", "bitpos", "perf"}
+        assert set(EXPERIMENTS) == {
+            "table1", "fig10", "fig11", "fig12", "ablations", "bitpos",
+            "perf", "vecdiff",
+        }

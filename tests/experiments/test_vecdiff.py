@@ -1,0 +1,122 @@
+"""vecdiff: campaigns over auto-vec vs hand-vec forms, store round trips."""
+
+import json
+
+from repro.experiments import vecdiff
+from repro.experiments.__main__ import main
+from repro.experiments.common import SCALES
+from repro.workloads import get_workload
+
+
+def _rows(path):
+    return json.load(open(path))["rows"]
+
+
+class TestDriver:
+    def test_single_cell(self):
+        cell = vecdiff.run_cell(
+            get_workload("gen-map0-auto"), "sse", "pure-data", SCALES["smoke"]
+        )
+        assert cell["experiments"] == 8
+        assert cell["form"] == "auto"
+        assert cell["kernel"] == "gen-map0"
+        assert abs(cell["sdc"] + cell["benign"] + cell["crash"] - 1.0) < 1e-9
+
+    def test_benchmark_filter_matches_base_and_form_names(self):
+        report = vecdiff.run("smoke", benchmarks=["gen-cond0"])
+        # Both compared forms, both targets, three categories.
+        assert len(report.rows) == 2 * 2 * 3
+        assert {r["form"] for r in report.rows} == {"handvec", "auto"}
+        only_auto = vecdiff.run("smoke", benchmarks=["gen-cond0-auto"])
+        assert {r["form"] for r in only_auto.rows} == {"auto"}
+
+    def test_render_reports_form_deltas(self):
+        report = vecdiff.run("smoke", benchmarks=["gen-map0"])
+        text = vecdiff.render(report)
+        assert "gen-map0" in text
+        assert "SDC(auto) - SDC(handvec)" in text
+        assert "6 comparable cells" in text
+
+
+class TestStoreRoundTrip:
+    def test_crash_resume_report_byte_identity(self, tmp_path, capsys):
+        """The acceptance invariant: a vecdiff run that crashes mid-cell
+        and resumes is byte-identical — journals and report rows — to one
+        that never crashed."""
+        clean_store = str(tmp_path / "clean_store")
+        crash_store = str(tmp_path / "crash_store")
+        base = ["vecdiff", "--scale", "smoke", "--benchmark", "gen-reduce0"]
+
+        clean_dir = tmp_path / "clean"
+        assert (
+            main(base + ["--store", clean_store, "--json-dir", str(clean_dir)])
+            == 0
+        )
+        capsys.readouterr()
+
+        assert main(base + ["--store", crash_store, "--abort-after", "5"]) == 3
+        assert "resume" in capsys.readouterr().err
+        resumed_dir = tmp_path / "resumed"
+        assert (
+            main(["resume", "--store", crash_store,
+                  "--json-dir", str(resumed_dir)])
+            == 0
+        )
+        capsys.readouterr()
+        assert _rows(resumed_dir / "vecdiff.json") == _rows(
+            clean_dir / "vecdiff.json"
+        )
+
+        clean_files = sorted(
+            p.name for p in (tmp_path / "clean_store").glob("*.jsonl")
+        )
+        crash_files = sorted(
+            p.name for p in (tmp_path / "crash_store").glob("*.jsonl")
+        )
+        assert clean_files == crash_files and clean_files
+        for name in clean_files:
+            assert (tmp_path / "clean_store" / name).read_bytes() == (
+                tmp_path / "crash_store" / name
+            ).read_bytes(), name
+
+        # `report` rebuilds the same rows from the journal alone.
+        rebuilt_dir = tmp_path / "rebuilt"
+        assert (
+            main(["report", "--store", crash_store,
+                  "--json-dir", str(rebuilt_dir)])
+            == 0
+        )
+        capsys.readouterr()
+        assert _rows(rebuilt_dir / "vecdiff.json") == _rows(
+            clean_dir / "vecdiff.json"
+        )
+
+    def test_same_seed_manifests_are_byte_identical(self, tmp_path, capsys):
+        """Stable content fingerprints: two stores recorded from the same
+        seed carry byte-identical manifest journals."""
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        args = ["vecdiff", "--scale", "smoke", "--benchmark", "gen-map1"]
+        assert main(args + ["--store", a]) == 0
+        assert main(args + ["--store", b]) == 0
+        capsys.readouterr()
+        manifests_a = sorted((tmp_path / "a").glob("manifest*.jsonl"))
+        manifests_b = sorted((tmp_path / "b").glob("manifest*.jsonl"))
+        assert manifests_a and [p.name for p in manifests_a] == [
+            p.name for p in manifests_b
+        ]
+        for pa, pb in zip(manifests_a, manifests_b):
+            assert pa.read_bytes() == pb.read_bytes()
+
+
+class TestServiceSubmission:
+    def test_generated_workload_submits_locally(self, tmp_path, capsys):
+        assert (
+            main(
+                ["submit", "--workload", "gen-cond1-auto", "--category",
+                 "control", "--scale", "smoke", "--local", "--store",
+                 str(tmp_path / "svc")]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gen-cond1-auto/avx/control: 8 experiments" in out

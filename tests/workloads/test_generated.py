@@ -1,0 +1,123 @@
+"""The generated workload family: registration, forms, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.ir.generate import KERNEL_SHAPES, make_recipe, recipe_source
+from repro.vm.interpreter import Interpreter
+from repro.workloads import GENERATED, all_workloads, get_workload
+from repro.workloads.generated import (
+    DEFAULT_SEEDS,
+    FORMS,
+    GeneratedWorkload,
+    ensure_generated,
+    form_pairs,
+    generated_workloads,
+    workload_name,
+)
+
+
+class TestRegistration:
+    def test_default_family_is_registered(self):
+        names = {w.name for w in all_workloads(suite=GENERATED)}
+        expected = {
+            workload_name(seed, shape, form)
+            for seed in DEFAULT_SEEDS
+            for shape in KERNEL_SHAPES
+            for form in FORMS
+        }
+        assert expected <= names
+
+    def test_three_forms_share_one_recipe(self):
+        for base, hand, auto in form_pairs():
+            scalar = get_workload(f"{base}-scalar")
+            assert isinstance(hand, GeneratedWorkload)
+            assert (hand.seed, hand.shape) == (scalar.seed, scalar.shape)
+            assert (auto.seed, auto.shape) == (scalar.seed, scalar.shape)
+            assert {hand.form, scalar.form, auto.form} == set(FORMS)
+
+    def test_ensure_generated_is_idempotent(self):
+        first = ensure_generated(0, "map")
+        second = ensure_generated(0, "map")
+        assert [a is b for a, b in zip(first, second)] == [True, True, True]
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_generated(0, "gather")
+
+    def test_generated_workloads_sorted_and_typed(self):
+        ws = generated_workloads()
+        assert ws == sorted(ws, key=lambda w: w.name)
+        assert all(isinstance(w, GeneratedWorkload) for w in ws)
+
+
+class TestFingerprints:
+    def test_recipes_are_process_stable(self):
+        # Random(str) seeds via SHA-512, so recipes cannot drift between
+        # processes or platforms — the registry fingerprint depends on it.
+        assert make_recipe(3, "cond") == make_recipe(3, "cond")
+        assert recipe_source(make_recipe(3, "cond")) == recipe_source(
+            make_recipe(3, "cond")
+        )
+
+    def test_distinct_recipes_have_distinct_sources(self):
+        sources = {
+            recipe_source(make_recipe(seed, shape))
+            for seed in range(4)
+            for shape in KERNEL_SHAPES
+        }
+        assert len(sources) == 12
+
+    def test_forms_have_distinct_workload_sources(self):
+        hand, scalar, auto = ensure_generated(0, "cond")
+        assert len({hand.source, scalar.source, auto.source}) == 3
+        for w in (hand, scalar, auto):
+            assert recipe_source(make_recipe(0, "cond")) in w.source
+
+    def test_registering_a_new_seed_changes_the_fingerprint(self):
+        from repro.workloads import registry
+
+        before = registry.registry_fingerprint()
+        created = ensure_generated(987654, "map")
+        try:
+            assert registry.registry_fingerprint() != before
+        finally:
+            for w in created:
+                del registry._REGISTRY[w.name]
+            registry._fingerprint_cache = None
+        assert registry.registry_fingerprint() == before
+
+
+class TestExecution:
+    def test_compile_ignores_detector_flags(self):
+        w = get_workload("gen-map0")
+        assert w.compile("avx", foreach_detectors=True) is not w.compile("avx")
+        assert w.compile("avx") is w.compile("avx")
+
+    @pytest.mark.parametrize("shape", KERNEL_SHAPES)
+    def test_forms_agree_bitwise(self, shape):
+        base = f"gen-{shape}0"
+        runner = get_workload(base).reference_runner(11)
+        outputs = []
+        for suffix in ("", "-scalar", "-auto"):
+            w = get_workload(base + suffix)
+            for target in ("avx", "sse"):
+                outputs.append(runner(Interpreter(w.compile(target))))
+        first = outputs[0]
+        for other in outputs[1:]:
+            assert first.keys() == other.keys()
+            for key in first:
+                a, b = first[key], other[key]
+                if isinstance(a, np.ndarray):
+                    assert np.array_equal(a, b), (base, key)
+                else:
+                    assert a == b, (base, key)
+
+    def test_input_lengths_never_divide_any_width(self):
+        w = get_workload("gen-map0")
+        from random import Random
+
+        lengths = {w.sample_input(Random(s))["n"] for s in range(50)}
+        for n in lengths:
+            for vl in (4, 8, 16):
+                assert n % vl != 0, (n, vl)
